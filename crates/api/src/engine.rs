@@ -1,0 +1,67 @@
+//! The engine entry point shared by Polymer and the three baselines.
+
+use polymer_graph::Graph;
+use polymer_numa::Machine;
+
+use crate::program::Program;
+use crate::result::RunResult;
+
+/// Which system an engine models, for reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The paper's contribution (crate `polymer-core`).
+    Polymer,
+    /// Vertex-centric hybrid push/pull baseline (crate `polymer-ligra`).
+    Ligra,
+    /// Edge-centric scatter–shuffle–gather baseline (crate `polymer-xstream`).
+    XStream,
+    /// Asynchronous worklist baseline (crate `polymer-galois`).
+    Galois,
+}
+
+impl EngineKind {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Polymer => "Polymer",
+            EngineKind::Ligra => "Ligra",
+            EngineKind::XStream => "X-Stream",
+            EngineKind::Galois => "Galois",
+        }
+    }
+}
+
+/// A graph-analytics engine: executes a [`Program`] over a graph on a
+/// simulated machine with `threads` simulated threads (bound node-major).
+///
+/// Engines are configured at construction (partitioning strategy, barrier
+/// family, adaptive-states toggle, ...); `run` is side-effect free with
+/// respect to the engine itself, so one engine value can serve many runs.
+pub trait Engine {
+    /// Which system this engine models.
+    fn kind(&self) -> EngineKind;
+
+    /// Execute `prog` to completion and return the result. Graph
+    /// construction/loading time is excluded from the result's clock, as in
+    /// the paper's methodology.
+    fn run<P: Program>(
+        &self,
+        machine: &Machine,
+        threads: usize,
+        graph: &Graph,
+        prog: &P,
+    ) -> RunResult<P::Val>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(EngineKind::Polymer.name(), "Polymer");
+        assert_eq!(EngineKind::Ligra.name(), "Ligra");
+        assert_eq!(EngineKind::XStream.name(), "X-Stream");
+        assert_eq!(EngineKind::Galois.name(), "Galois");
+    }
+}

@@ -1,0 +1,204 @@
+//! Shared engine-execution helpers: value-array setup, combine dispatch,
+//! and work chunking. Engines differ in layout and access strategy; the
+//! mechanics below are common.
+
+use std::ops::Range;
+
+use polymer_graph::{Graph, VId};
+use polymer_numa::{AccessCtx, AllocPolicy, Machine, NumaArray, NumaAtomicArray};
+
+use crate::program::{Combine, Program};
+
+/// The flat CSR/CSC topology arrays of Figure 1, placed by a per-array
+/// policy. Used by the NUMA-oblivious baselines; the Polymer engine builds
+/// its own per-node partitioned topology instead.
+pub struct TopoArrays {
+    /// CSR offsets (`n + 1` entries).
+    pub out_off: NumaArray<u64>,
+    /// CSR edge targets.
+    pub out_dst: NumaArray<u32>,
+    /// CSR edge weights (present when the program uses weights).
+    pub out_w: Option<NumaArray<u32>>,
+    /// CSC offsets (`n + 1` entries).
+    pub in_off: NumaArray<u64>,
+    /// CSC edge sources.
+    pub in_src: NumaArray<u32>,
+    /// Out-degree of each in-edge's source, aligned with `in_src` — pull
+    /// loops read it sequentially with the edge instead of randomly from the
+    /// vertex metadata (the real systems pack adjacency metadata this way).
+    pub in_src_deg: NumaArray<u32>,
+    /// CSC edge weights.
+    pub in_w: Option<NumaArray<u32>>,
+    /// Out-degrees (vertex metadata).
+    pub out_deg: NumaArray<u32>,
+}
+
+impl TopoArrays {
+    /// Copy a host graph into placed arrays. `policy(name)` chooses the
+    /// placement per array (the baselines pass interleaved for everything).
+    pub fn build(
+        machine: &Machine,
+        g: &Graph,
+        with_weights: bool,
+        policy: impl Fn(&str) -> AllocPolicy,
+    ) -> Self {
+        let n = g.num_vertices();
+        let out_off = machine.alloc_array_with("topo/out_off", n + 1, policy("topo/out_off"), |i| {
+            g.out_offsets()[i] as u64
+        });
+        let out_dst = machine.alloc_array_with(
+            "topo/out_dst",
+            g.num_edges(),
+            policy("topo/out_dst"),
+            |i| g.out_targets()[i],
+        );
+        let in_off = machine.alloc_array_with("topo/in_off", n + 1, policy("topo/in_off"), |i| {
+            g.in_offsets()[i] as u64
+        });
+        let in_src =
+            machine.alloc_array_with("topo/in_src", g.num_edges(), policy("topo/in_src"), |i| {
+                g.in_sources()[i]
+            });
+        let in_src_deg = machine.alloc_array_with(
+            "topo/in_src_deg",
+            g.num_edges(),
+            policy("topo/in_src_deg"),
+            |i| g.out_degree(g.in_sources()[i]) as u32,
+        );
+        let out_deg = machine.alloc_array_with("topo/degrees", n, policy("topo/degrees"), |v| {
+            g.out_degree(v as VId) as u32
+        });
+        let (out_w, in_w) = if with_weights {
+            (
+                Some(machine.alloc_array_with(
+                    "topo/out_w",
+                    g.num_edges(),
+                    policy("topo/out_w"),
+                    |i| g.out_edge_weights()[i],
+                )),
+                Some(machine.alloc_array_with(
+                    "topo/in_w",
+                    g.num_edges(),
+                    policy("topo/in_w"),
+                    |i| g.in_edge_weights()[i],
+                )),
+            )
+        } else {
+            (None, None)
+        };
+        TopoArrays {
+            out_off,
+            out_dst,
+            out_w,
+            in_off,
+            in_src,
+            in_src_deg,
+            in_w,
+            out_deg,
+        }
+    }
+}
+
+/// Allocate and initialize the `curr` and `next` application-data arrays
+/// with the given placements. Initialization models the construction stage
+/// (unaccounted), as the paper's timings exclude it.
+pub fn init_values<P: Program>(
+    machine: &Machine,
+    g: &Graph,
+    prog: &P,
+    curr_policy: AllocPolicy,
+    next_policy: AllocPolicy,
+) -> (NumaAtomicArray<P::Val>, NumaAtomicArray<P::Val>) {
+    let n = g.num_vertices();
+    let curr = machine.alloc_atomic_with::<P::Val>("data/curr", n, curr_policy, |v| {
+        prog.init(v as VId, g)
+    });
+    let identity = prog.next_identity();
+    let next = machine.alloc_atomic_with::<P::Val>("data/next", n, next_policy, |_| identity);
+    (curr, next)
+}
+
+/// Fold contribution `c` into `arr[i]` with the program's combine operator,
+/// atomically and accounted.
+#[inline]
+pub fn atomic_combine<P: Program>(
+    prog: &P,
+    arr: &NumaAtomicArray<P::Val>,
+    ctx: &mut AccessCtx,
+    i: usize,
+    c: P::Val,
+) {
+    match prog.combine() {
+        Combine::Add => {
+            arr.fetch_add(ctx, i, c);
+        }
+        Combine::Min => {
+            arr.fetch_min(ctx, i, c);
+        }
+        Combine::Mul => {
+            arr.fetch_mul(ctx, i, c);
+        }
+    }
+}
+
+/// Split `0..n` into `parts` equal chunks (vertex-oblivious work division).
+pub fn even_chunks(n: usize, parts: usize) -> Vec<Range<usize>> {
+    (0..parts)
+        .map(|p| (p * n / parts)..((p + 1) * n / parts))
+        .collect()
+}
+
+/// Split a sparse item list into `parts` contiguous chunks balanced by the
+/// items' degrees (Ligra parallelizes edge work, not just vertex counts).
+/// Returns index ranges into `items`.
+pub fn degree_balanced_chunks(
+    items: &[VId],
+    degree_of: impl Fn(VId) -> usize,
+    parts: usize,
+) -> Vec<Range<usize>> {
+    let total: usize = items.iter().map(|&v| degree_of(v) + 1).sum();
+    let mut cuts = Vec::with_capacity(parts + 1);
+    cuts.push(0usize);
+    let mut acc = 0usize;
+    let mut i = 0usize;
+    for p in 1..parts {
+        let target = p * total / parts;
+        while i < items.len() && acc < target {
+            acc += degree_of(items[i]) + 1;
+            i += 1;
+        }
+        cuts.push(i);
+    }
+    cuts.push(items.len());
+    (0..parts).map(|p| cuts[p]..cuts[p + 1]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_chunks_cover() {
+        let c = even_chunks(10, 3);
+        assert_eq!(c, vec![0..3, 3..6, 6..10]);
+        assert_eq!(even_chunks(2, 4).iter().map(|r| r.len()).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn degree_chunks_balance_heavy_head() {
+        // First item has degree 90, the rest degree 0.
+        let items: Vec<VId> = (0..10).collect();
+        let chunks = degree_balanced_chunks(&items, |v| if v == 0 { 90 } else { 0 }, 2);
+        // The hub alone is (about) half the work.
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks[0].len() <= 2, "head chunk {:?}", chunks[0]);
+        assert_eq!(chunks[0].end, chunks[1].start);
+        assert_eq!(chunks[1].end, 10);
+    }
+
+    #[test]
+    fn degree_chunks_empty_input() {
+        let chunks = degree_balanced_chunks(&[], |_| 1, 3);
+        assert!(chunks.iter().all(|r| r.is_empty()));
+    }
+}

@@ -1,0 +1,37 @@
+//! # polymer-api — the scatter–gather programming interface
+//!
+//! The paper's Polymer system inherits Ligra's `EdgeMap` / `VertexMap`
+//! vertex-centric interface (Section 4.1). This crate captures that model as
+//! a [`Program`] trait that all four engines (Polymer, Ligra-like,
+//! X-Stream-like, Galois-like) execute, so each algorithm is written once
+//! and the engines differ only in *data layout and access strategy* — which
+//! is exactly the comparison the paper makes.
+//!
+//! One synchronous iteration of a program is:
+//!
+//! 1. **Scatter/EdgeMap** — for every edge `(s, t, w)` with `s` in the
+//!    active set, compute `scatter(curr[s], w, outdeg(s))` and fold it into
+//!    `next[t]` with the program's commutative [`Combine`] operator (push
+//!    mode uses atomic combines; pull mode folds over in-edges). Targets
+//!    that receive a contribution form the *updated set*.
+//! 2. **Apply/VertexMap** — for every updated vertex `t`,
+//!    `apply(t, next[t], curr[t])` yields the new `curr[t]` and whether `t`
+//!    is active in the next iteration.
+//! 3. `next` is re-initialized to the program's identity; iterate until the
+//!    frontier is empty or `max_iters` is reached.
+//!
+//! The [`Engine`] trait is the common entry point; [`RunResult`] carries the
+//! final vertex values plus everything the experiment harness needs
+//! (simulated time, access profile, memory report).
+
+pub mod engine;
+pub mod exec;
+pub mod parallel;
+pub mod program;
+pub mod result;
+
+pub use engine::{Engine, EngineKind};
+pub use exec::{atomic_combine, degree_balanced_chunks, even_chunks, init_values, TopoArrays};
+pub use parallel::run_parallel;
+pub use program::{Combine, FrontierInit, Program};
+pub use result::RunResult;

@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks of the real (host-executed) components:
+//! synchronization primitives, instrumented-array overhead, graph substrate
+//! operations, and end-to-end simulator throughput. These measure *host*
+//! wall time — the simulated-time experiments live in the `src/bin/*`
+//! harness binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use polymer_algos::PageRank;
+use polymer_api::Engine;
+use polymer_core::PolymerEngine;
+use polymer_graph::{gen, Graph};
+use polymer_ligra::LigraEngine;
+use polymer_numa::{AccessCtx, AllocPolicy, AtomicF64, Machine, MachineSpec};
+use polymer_sync::{CondvarBarrier, DenseBitmap, HierBarrier, SenseBarrier};
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_round");
+    // Single-participant rounds isolate the barrier's atomic/lock cost
+    // (multi-thread latency on this 1-core host would measure the OS
+    // scheduler, not the barrier).
+    let sense = SenseBarrier::new(1);
+    g.bench_function("sense_reversing", |b| b.iter(|| black_box(sense.wait())));
+    let condvar = CondvarBarrier::new(1);
+    g.bench_function("condvar", |b| b.iter(|| black_box(condvar.wait())));
+    let hier = HierBarrier::new(&[1]);
+    g.bench_function("hierarchical", |b| b.iter(|| black_box(hier.wait(0))));
+    g.finish();
+}
+
+fn bench_atomics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atomic_f64");
+    let a = AtomicF64::new(0.0);
+    g.bench_function("fetch_add", |b| b.iter(|| a.fetch_add(black_box(1.0))));
+    g.bench_function("fetch_min", |b| b.iter(|| a.fetch_min(black_box(0.5))));
+    g.finish();
+}
+
+fn bench_instrumented_access(c: &mut Criterion) {
+    let machine = Machine::new(MachineSpec::intel80());
+    let arr = machine.alloc_array::<u64>("bench/a", 1 << 16, AllocPolicy::Interleaved);
+    let atomic = machine.alloc_atomic::<f64>("bench/f", 1 << 16, AllocPolicy::Interleaved);
+    let mut ctx = AccessCtx::new(&machine, 0);
+    let mut g = c.benchmark_group("instrumented_access");
+    g.throughput(Throughput::Elements(1));
+    let mut i = 0usize;
+    g.bench_function("read_seq", |b| {
+        b.iter(|| {
+            i = (i + 1) & 0xFFFF;
+            black_box(arr.get(&mut ctx, i))
+        })
+    });
+    let mut j = 1usize;
+    g.bench_function("read_rand", |b| {
+        b.iter(|| {
+            j = (j.wrapping_mul(25214903917).wrapping_add(11)) & 0xFFFF;
+            black_box(arr.get(&mut ctx, j))
+        })
+    });
+    g.bench_function("atomic_add", |b| {
+        b.iter(|| {
+            i = (i + 1) & 0xFFFF;
+            atomic.fetch_add(&mut ctx, i, 1.0)
+        })
+    });
+    g.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let machine = Machine::new(MachineSpec::test2());
+    let bits = DenseBitmap::new(&machine, "bench/b", 1 << 16, AllocPolicy::Interleaved);
+    let mut ctx = AccessCtx::new(&machine, 0);
+    let mut g = c.benchmark_group("bitmap");
+    let mut i = 0usize;
+    g.bench_function("set", |b| {
+        b.iter(|| {
+            i = (i + 97) & 0xFFFF;
+            bits.set(&mut ctx, i)
+        })
+    });
+    g.bench_function("test", |b| {
+        b.iter(|| {
+            i = (i + 97) & 0xFFFF;
+            bits.test(&mut ctx, i)
+        })
+    });
+    g.finish();
+}
+
+fn bench_graph_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph");
+    g.sample_size(20);
+    let el = gen::rmat(14, 1 << 18, gen::RMAT_GRAPH500, 1);
+    g.throughput(Throughput::Elements(el.num_edges() as u64));
+    g.bench_function("rmat_generate_256k_edges", |b| {
+        b.iter(|| gen::rmat(14, 1 << 18, gen::RMAT_GRAPH500, black_box(1)))
+    });
+    g.bench_function("csr_build_256k_edges", |b| {
+        b.iter(|| Graph::from_edges(black_box(&el)))
+    });
+    let degrees = el.out_degrees();
+    g.bench_function("edge_balanced_partition", |b| {
+        b.iter(|| polymer_graph::edge_balanced_ranges(black_box(&degrees), 8))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Host throughput of the whole simulated-engine stack.
+    let el = gen::rmat(12, 1 << 16, gen::RMAT_GRAPH500, 9);
+    let graph = Graph::from_edges(&el);
+    let prog = PageRank::new(graph.num_vertices());
+    let mut g = c.benchmark_group("engine_pagerank_64k_edges");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(5 * graph.num_edges() as u64));
+    g.bench_function("polymer_80threads", |b| {
+        b.iter(|| {
+            let m = Machine::new(MachineSpec::intel80());
+            PolymerEngine::new().run(&m, 80, &graph, &prog).seconds()
+        })
+    });
+    g.bench_function("ligra_80threads", |b| {
+        b.iter(|| {
+            let m = Machine::new(MachineSpec::intel80());
+            LigraEngine::new().run(&m, 80, &graph, &prog).seconds()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_barriers,
+    bench_atomics,
+    bench_instrumented_access,
+    bench_bitmap,
+    bench_graph_substrate,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Extension experiment: "large pages may be harmful on NUMA systems"
+//! (Gaud et al., USENIX ATC'14 — the paper's reference 21, cited in its
+//! related-work discussion of placement).
+//!
+//! Polymer's differential allocation places data at page granularity; with
+//! 2 MiB transparent huge pages the placement becomes so coarse that
+//! per-node partitions of the contiguous-virtual application data bleed
+//! across nodes and small runtime states collapse onto single nodes —
+//! recreating the hotspot/locality-loss effect the study measured, inside
+//! our machine model.
+
+use polymer_algos::PageRank;
+use polymer_api::Engine;
+use polymer_bench::{write_json, Args, Table, Workload};
+use polymer_core::PolymerEngine;
+use polymer_graph::DatasetId;
+use polymer_numa::{Machine, MachineSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    page_kib: usize,
+    seconds: f64,
+    remote_rate: f64,
+}
+
+fn main() {
+    let args = Args::parse(0, "ext_hugepages");
+    let wl = Workload::prepare(DatasetId::TwitterS, args.scale);
+    let prog = PageRank::new(wl.graph.num_vertices());
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&["Page size", "Time (s)", "Remote rate"]);
+    for page_bytes in [4 << 10, 64 << 10, 2 << 20] {
+        let mut spec = wl.scaled_spec(&MachineSpec::intel80());
+        spec.page_bytes = page_bytes;
+        eprintln!("[ext_hugepages] {} KiB pages ...", page_bytes >> 10);
+        let r = PolymerEngine::new().run(&Machine::new(spec), 80, &wl.graph, &prog);
+        table.row(vec![
+            format!("{} KiB", page_bytes >> 10),
+            format!("{:.4}", r.seconds()),
+            format!("{:.1}%", r.remote_report().access_rate_remote * 100.0),
+        ]);
+        rows.push(Row {
+            page_kib: page_bytes >> 10,
+            seconds: r.seconds(),
+            remote_rate: r.remote_report().access_rate_remote,
+        });
+    }
+
+    println!(
+        "Huge-page extension: Polymer PageRank, twitter at scale {}, 8 sockets\n",
+        args.scale
+    );
+    table.print();
+    println!(
+        "\nExpected: larger pages coarsen placement, raising the remote rate\n\
+         and runtime — the Gaud et al. effect, reproduced in the model."
+    );
+    write_json(&args.out, "ext_hugepages", &rows);
+}

@@ -1,0 +1,57 @@
+//! Figure 3(b): load/store latency (cycles) by hop distance, for both the
+//! 80-core Intel and 64-core AMD machine models. These are the machine
+//! characterization tables the whole cost model is calibrated from, printed
+//! alongside a pointer-chase "measurement" derived from the model (a
+//! dependent-load chain costs one full latency per hop).
+
+use polymer_bench::{write_json, Args, Table};
+use polymer_numa::{DistClass, MachineSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    machine: String,
+    inst: &'static str,
+    hop0: f64,
+    hop1: f64,
+    hop2: f64,
+}
+
+fn main() {
+    let args = Args::parse(0, "fig3_latency");
+    let mut rows = Vec::new();
+    let mut table = Table::new(&["Machine", "Inst.", "0-hop", "1-hop", "2-hop"]);
+    for spec in [MachineSpec::intel80(), MachineSpec::amd64()] {
+        for (inst, get) in [
+            ("Load", &(|d| spec.latency.load(d)) as &dyn Fn(DistClass) -> f64),
+            ("Store", &|d| spec.latency.store(d)),
+        ] {
+            let (h0, h1, h2) = (
+                get(DistClass::Local),
+                get(DistClass::OneHop),
+                get(DistClass::TwoHop),
+            );
+            table.row(vec![
+                spec.name.clone(),
+                inst.to_string(),
+                format!("{h0:.0}"),
+                format!("{h1:.0}"),
+                format!("{h2:.0}"),
+            ]);
+            rows.push(Row {
+                machine: spec.name.clone(),
+                inst,
+                hop0: h0,
+                hop1: h1,
+                hop2: h2,
+            });
+        }
+    }
+    println!("Figure 3(b): memory access latency (cycles) by distance\n");
+    table.print();
+    println!(
+        "\nPaper reference (Intel): load 117/271/372, store 108/304/409 cycles;\n\
+         (AMD): load 228/419/498, store 256/463/544 cycles."
+    );
+    write_json(&args.out, "fig3_latency", &rows);
+}

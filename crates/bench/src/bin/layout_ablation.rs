@@ -1,0 +1,81 @@
+//! Extension ablation (beyond the paper's Table 6): how much of Polymer's
+//! win is *data placement* vs. *factored computation*?
+//!
+//! Three configurations of the Polymer engine run PageRank on the twitter
+//! graph over 8 sockets:
+//!
+//! 1. full Polymer (co-located placement + factored computation),
+//! 2. factored computation with NUMA-oblivious placement (everything
+//!    interleaved, states centralized — Section 3.1's layout),
+//! 3. the Ligra baseline for reference (neither).
+//!
+//! The gap between (1) and (2) is the contribution of Table 1's
+//! differential allocation alone.
+
+use polymer_algos::PageRank;
+use polymer_api::Engine;
+use polymer_bench::{write_json, Args, Table, Workload};
+use polymer_core::PolymerEngine;
+use polymer_graph::DatasetId;
+use polymer_ligra::LigraEngine;
+use polymer_numa::{Machine, MachineSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: &'static str,
+    seconds: f64,
+    remote_rate: f64,
+}
+
+fn main() {
+    let args = Args::parse(0, "layout_ablation");
+    let wl = Workload::prepare(DatasetId::TwitterS, args.scale);
+    let spec = wl.scaled_spec(&MachineSpec::intel80());
+    let prog = PageRank::new(wl.graph.num_vertices());
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&["Configuration", "Time (s)", "Remote rate"]);
+    let mut run = |config: &'static str, r: polymer_api::RunResult<f64>| {
+        table.row(vec![
+            config.to_string(),
+            format!("{:.4}", r.seconds()),
+            format!("{:.1}%", r.remote_report().access_rate_remote * 100.0),
+        ]);
+        rows.push(Row {
+            config,
+            seconds: r.seconds(),
+            remote_rate: r.remote_report().access_rate_remote,
+        });
+    };
+
+    eprintln!("[layout_ablation] full polymer ...");
+    run(
+        "Polymer (placement + factoring)",
+        PolymerEngine::new().run(&Machine::new(spec.clone()), 80, &wl.graph, &prog),
+    );
+    eprintln!("[layout_ablation] factoring only ...");
+    run(
+        "Polymer w/o NUMA placement",
+        PolymerEngine::new()
+            .without_numa_placement()
+            .run(&Machine::new(spec.clone()), 80, &wl.graph, &prog),
+    );
+    eprintln!("[layout_ablation] ligra baseline ...");
+    run(
+        "Ligra (neither)",
+        LigraEngine::new().run(&Machine::new(spec), 80, &wl.graph, &prog),
+    );
+
+    println!(
+        "Layout ablation: PageRank, twitter at scale {}, 8 sockets x 10 cores\n",
+        args.scale
+    );
+    table.print();
+    println!(
+        "\nExpected ordering: full Polymer fastest with the lowest remote\n\
+         rate; removing placement forfeits most of the locality win even\n\
+         with the computation still factored."
+    );
+    write_json(&args.out, "layout_ablation", &rows);
+}

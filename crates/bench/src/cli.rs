@@ -1,0 +1,81 @@
+//! Minimal CLI parsing shared by the experiment binaries (no external
+//! dependencies: flags are few and uniform).
+
+use std::path::PathBuf;
+
+/// Parsed common flags.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Dataset scale shift (relative to `polymer_graph::datasets` defaults).
+    pub scale: i32,
+    /// Output directory for JSON results.
+    pub out: PathBuf,
+}
+
+impl Args {
+    /// Parse `std::env::args`, with a binary-specific default scale shift.
+    /// Recognized flags: `--scale <i32>`, `--out <dir>`, `--help`.
+    pub fn parse(default_scale: i32, experiment: &str) -> Args {
+        Self::parse_from(std::env::args().skip(1), default_scale, experiment)
+    }
+
+    fn parse_from(
+        args: impl Iterator<Item = String>,
+        default_scale: i32,
+        experiment: &str,
+    ) -> Args {
+        let mut out = Args {
+            scale: default_scale,
+            out: PathBuf::from("results"),
+        };
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = it.next().unwrap_or_else(|| die(experiment, "--scale needs a value"));
+                    out.scale = v
+                        .parse()
+                        .unwrap_or_else(|_| die(experiment, "--scale must be an integer"));
+                }
+                "--out" => {
+                    let v = it.next().unwrap_or_else(|| die(experiment, "--out needs a value"));
+                    out.out = PathBuf::from(v);
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "{experiment}: reproduces the corresponding table/figure of the paper.\n\
+                         Flags: --scale <shift> (dataset size, default {default_scale}), \
+                         --out <dir> (JSON results, default results/)"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(experiment, &format!("unknown flag {other}")),
+            }
+        }
+        out
+    }
+}
+
+fn die(experiment: &str, msg: &str) -> ! {
+    eprintln!("{experiment}: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_overrides() {
+        let a = Args::parse_from(std::iter::empty(), -2, "t");
+        assert_eq!(a.scale, -2);
+        assert_eq!(a.out, PathBuf::from("results"));
+        let a = Args::parse_from(
+            ["--scale", "-4", "--out", "/tmp/x"].iter().map(|s| s.to_string()),
+            -2,
+            "t",
+        );
+        assert_eq!(a.scale, -4);
+        assert_eq!(a.out, PathBuf::from("/tmp/x"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # polymer-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (Section 6); see
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for recorded
+//! paper-vs-measured results. Binaries share the [`runner`] dispatch layer
+//! (any system × any algorithm × any dataset at any machine shape) and the
+//! [`report`] table/JSON output helpers.
+//!
+//! Common CLI flags (parsed by [`cli::Args`]):
+//!
+//! * `--scale <shift>` — dataset scale shift relative to the defaults in
+//!   `polymer_graph::datasets` (negative = smaller/faster). Each binary
+//!   picks a sensible default.
+//! * `--out <dir>` — where to write the JSON result files (default
+//!   `results/`).
+
+pub mod cli;
+pub mod report;
+pub mod runner;
+
+pub use cli::Args;
+pub use report::{write_json, Table};
+pub use runner::{run, AlgoId, Metrics, SystemId, Workload};

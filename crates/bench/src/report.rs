@@ -1,0 +1,123 @@
+//! Table printing and JSON result output.
+
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A simple aligned text table mirroring the paper's layout.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds like the paper's tables (2-digit precision, drifting to
+/// more digits for sub-second values).
+pub fn fmt_sec(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// Write a serializable result to `<dir>/<name>.json`.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let data = serde_json::to_string_pretty(value).expect("serialize results");
+    fs::write(&path, data).expect("write results file");
+    eprintln!("[results written to {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["Algo", "Time"]);
+        t.row(vec!["PR".into(), "5.28".into()]);
+        t.row(vec!["SSSP".into(), "341".into()]);
+        let r = t.render();
+        assert!(r.contains("Algo"));
+        assert!(r.lines().count() == 4);
+        // Right-aligned columns.
+        assert!(r.lines().nth(2).unwrap().starts_with("  PR"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn fmt_sec_scales() {
+        assert_eq!(fmt_sec(341.2), "341");
+        assert_eq!(fmt_sec(5.284), "5.28");
+        assert_eq!(fmt_sec(0.9), "0.900");
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        let dir = std::env::temp_dir().join("polymer_bench_test");
+        write_json(&dir, "t", &vec![1, 2, 3]);
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("t.json")).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,372 @@
+//! Dispatch layer: run any (system, algorithm) pair on any workload and
+//! machine shape, returning uniform metrics.
+
+use polymer_algos::{BeliefPropagation, Bfs, ConnectedComponents, PageRank, SpMV, Sssp};
+use polymer_api::{Engine, RunResult};
+use polymer_core::{PolymerConfig, PolymerEngine};
+use polymer_galois::GaloisEngine;
+use polymer_graph::{dataset, DatasetId, Graph, VId};
+use polymer_ligra::LigraEngine;
+use polymer_numa::{Machine, MachineSpec, RemoteAccessReport};
+use polymer_xstream::XStreamEngine;
+use serde::Serialize;
+
+/// The four systems of the paper's comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum SystemId {
+    /// The paper's contribution.
+    Polymer,
+    /// Vertex-centric hybrid baseline.
+    Ligra,
+    /// Edge-centric baseline.
+    XStream,
+    /// Asynchronous worklist baseline.
+    Galois,
+}
+
+impl SystemId {
+    /// All systems in the paper's column order.
+    pub const ALL: [SystemId; 4] = [
+        SystemId::Polymer,
+        SystemId::Ligra,
+        SystemId::XStream,
+        SystemId::Galois,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemId::Polymer => "Polymer",
+            SystemId::Ligra => "Ligra",
+            SystemId::XStream => "X-Stream",
+            SystemId::Galois => "Galois",
+        }
+    }
+}
+
+/// The six algorithms of the paper's Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum AlgoId {
+    /// PageRank (5 iterations).
+    PR,
+    /// Sparse matrix–vector multiplication (5 iterations).
+    SpMV,
+    /// Belief propagation (5 iterations).
+    BP,
+    /// Breadth-first search.
+    BFS,
+    /// Connected components.
+    CC,
+    /// Single-source shortest paths.
+    SSSP,
+}
+
+impl AlgoId {
+    /// All algorithms in the paper's row order.
+    pub const ALL: [AlgoId; 6] = [
+        AlgoId::PR,
+        AlgoId::SpMV,
+        AlgoId::BP,
+        AlgoId::BFS,
+        AlgoId::CC,
+        AlgoId::SSSP,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoId::PR => "PR",
+            AlgoId::SpMV => "SpMV",
+            AlgoId::BP => "BP",
+            AlgoId::BFS => "BFS",
+            AlgoId::CC => "CC",
+            AlgoId::SSSP => "SSSP",
+        }
+    }
+
+    /// True when the algorithm runs on the symmetrized graph.
+    pub fn needs_symmetric(self) -> bool {
+        matches!(self, AlgoId::CC)
+    }
+}
+
+/// A prepared workload: the graph in both orientations plus a traversal
+/// source. Building it once amortizes generation across systems.
+pub struct Workload {
+    /// Dataset identity (for reports).
+    pub id: DatasetId,
+    /// The directed graph.
+    pub graph: Graph,
+    /// The symmetrized graph (for CC).
+    pub sym: Graph,
+    /// Source vertex for BFS/SSSP: the maximum-out-degree vertex, which the
+    /// traversal reaches most of the graph from.
+    pub source: VId,
+}
+
+/// Paper edge counts of Table 2, for barrier scaling.
+fn paper_edges(id: DatasetId) -> f64 {
+    match id {
+        DatasetId::TwitterS => 1.47e9,
+        DatasetId::Rmat24S => 268e6,
+        DatasetId::Rmat27S => 2.14e9,
+        DatasetId::PowerlawS => 105e6,
+        DatasetId::RoadUsS => 58e6,
+    }
+}
+
+/// Paper vertex counts of Table 2, for LLC scaling.
+fn paper_vertices(id: DatasetId) -> f64 {
+    match id {
+        DatasetId::TwitterS => 41.7e6,
+        DatasetId::Rmat24S => 16.8e6,
+        DatasetId::Rmat27S => 134.2e6,
+        DatasetId::PowerlawS => 10e6,
+        DatasetId::RoadUsS => 23.9e6,
+    }
+}
+
+impl Workload {
+    /// Generate a dataset at `scale_shift` and prepare both orientations.
+    pub fn prepare(id: DatasetId, scale_shift: i32) -> Self {
+        let el = dataset(id, scale_shift);
+        let graph = Graph::from_edges(&el);
+        let mut sel = el.clone();
+        sel.symmetrize();
+        let sym = Graph::from_edges(&sel);
+        let source = (0..graph.num_vertices() as VId)
+            .max_by_key(|&v| graph.out_degree(v))
+            .unwrap_or(0);
+        Workload {
+            id,
+            graph,
+            sym,
+            source,
+        }
+    }
+
+    /// The graph an algorithm should run on.
+    pub fn graph_for(&self, algo: AlgoId) -> &Graph {
+        if algo.needs_symmetric() {
+            &self.sym
+        } else {
+            &self.graph
+        }
+    }
+
+    /// Barrier-cost scale for this workload: scaled edges over the paper's
+    /// edge count, so fixed synchronization overheads keep the paper's
+    /// proportion to per-iteration work (see `MachineSpec::barrier_scale`).
+    pub fn barrier_scale(&self) -> f64 {
+        self.graph.num_edges() as f64 / paper_edges(self.id)
+    }
+
+    /// LLC-capacity scale for this workload: scaled vertices over the
+    /// paper's vertex count (see `MachineSpec::llc_scale`).
+    pub fn llc_scale(&self) -> f64 {
+        self.graph.num_vertices() as f64 / paper_vertices(self.id)
+    }
+
+    /// A machine spec with this workload's barrier and LLC scaling applied.
+    pub fn scaled_spec(&self, spec: &MachineSpec) -> MachineSpec {
+        let mut s = spec.clone();
+        s.barrier_scale = self.barrier_scale();
+        s.llc_scale = self.llc_scale();
+        s
+    }
+}
+
+/// Uniform result metrics for the reports.
+#[derive(Clone, Debug, Serialize)]
+pub struct Metrics {
+    /// System that ran.
+    pub system: SystemId,
+    /// Algorithm.
+    pub algo: AlgoId,
+    /// Dataset name.
+    pub graph: String,
+    /// Simulated runtime in seconds (the paper's Table 3 unit).
+    pub seconds: f64,
+    /// Iterations / scheduler rounds executed.
+    pub iterations: usize,
+    /// Simulated threads and sockets.
+    pub threads: usize,
+    /// Sockets spanned.
+    pub sockets: usize,
+    /// Remote-access profile (Table 4).
+    pub remote: RemoteAccessReport,
+    /// Peak memory in GiB (Table 5).
+    pub peak_gib: f64,
+    /// Peak agent-replica memory in GiB (Table 5 brackets; Polymer only).
+    pub agents_gib: f64,
+    /// Simulated barrier time, seconds (Figure 10).
+    pub barrier_sec: f64,
+    /// Per-socket busy time in seconds (Figure 11(b)).
+    pub per_socket_sec: Vec<f64>,
+}
+
+fn metrics<V>(
+    system: SystemId,
+    algo: AlgoId,
+    graph: &str,
+    spec: &MachineSpec,
+    r: &RunResult<V>,
+) -> Metrics {
+    Metrics {
+        system,
+        algo,
+        graph: graph.to_string(),
+        seconds: r.seconds(),
+        iterations: r.iterations,
+        threads: r.threads,
+        sockets: r.sockets,
+        remote: r.remote_report(),
+        peak_gib: r.memory.peak_gib(),
+        agents_gib: r.memory.tag_peak("agents") as f64 / (1u64 << 30) as f64,
+        barrier_sec: r.clock.barrier_us / 1e6,
+        per_socket_sec: r
+            .per_socket_us(spec.cores_per_node)
+            .iter()
+            .map(|us| us / 1e6)
+            .collect(),
+    }
+}
+
+/// Run one (system, algorithm) pair on a workload with a fresh machine of
+/// the given spec, using `threads` simulated threads.
+pub fn run(
+    system: SystemId,
+    algo: AlgoId,
+    wl: &Workload,
+    spec: &MachineSpec,
+    threads: usize,
+) -> Metrics {
+    run_with_polymer_config(system, algo, wl, spec, threads, PolymerConfig::default())
+}
+
+/// Like [`run`], with an explicit Polymer configuration (ablations).
+pub fn run_with_polymer_config(
+    system: SystemId,
+    algo: AlgoId,
+    wl: &Workload,
+    spec: &MachineSpec,
+    threads: usize,
+    config: PolymerConfig,
+) -> Metrics {
+    let g = wl.graph_for(algo);
+    let machine = Machine::new(wl.scaled_spec(spec));
+    let name = wl.id.name();
+    macro_rules! dispatch_prog {
+        ($prog:expr) => {{
+            let prog = $prog;
+            match system {
+                SystemId::Polymer => {
+                    let r = PolymerEngine::with_config(config).run(&machine, threads, g, &prog);
+                    metrics(system, algo, name, spec, &r)
+                }
+                SystemId::Ligra => {
+                    let r = LigraEngine::new().run(&machine, threads, g, &prog);
+                    metrics(system, algo, name, spec, &r)
+                }
+                SystemId::XStream => {
+                    let r = XStreamEngine::new().run(&machine, threads, g, &prog);
+                    metrics(system, algo, name, spec, &r)
+                }
+                SystemId::Galois => {
+                    let r = GaloisEngine::new().run(&machine, threads, g, &prog);
+                    metrics(system, algo, name, spec, &r)
+                }
+            }
+        }};
+    }
+    match algo {
+        AlgoId::PR => dispatch_prog!(PageRank::new(g.num_vertices())),
+        AlgoId::SpMV => dispatch_prog!(SpMV::new()),
+        AlgoId::BP => dispatch_prog!(BeliefPropagation::new()),
+        AlgoId::BFS => dispatch_prog!(Bfs::new(wl.source)),
+        AlgoId::CC => dispatch_prog!(ConnectedComponents::new()),
+        AlgoId::SSSP => dispatch_prog!(Sssp::new(wl.source)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_prepares_both_orientations() {
+        let wl = Workload::prepare(DatasetId::Rmat24S, -7);
+        assert!(wl.sym.num_edges() >= wl.graph.num_edges());
+        assert!(wl.graph.out_degree(wl.source) > 0);
+        assert!(std::ptr::eq(wl.graph_for(AlgoId::CC), &wl.sym));
+        assert!(std::ptr::eq(wl.graph_for(AlgoId::PR), &wl.graph));
+    }
+
+    #[test]
+    fn run_every_system_on_small_workload() {
+        let wl = Workload::prepare(DatasetId::RoadUsS, -8);
+        let spec = MachineSpec::test2();
+        for sys in SystemId::ALL {
+            let m = run(sys, AlgoId::BFS, &wl, &spec, 4);
+            assert!(m.seconds > 0.0, "{:?}", sys);
+            assert!(m.iterations > 0);
+            assert_eq!(m.threads, 4);
+        }
+    }
+
+    #[test]
+    fn results_agree_across_systems() {
+        // The dispatcher must hand every system the same graph and source.
+        let wl = Workload::prepare(DatasetId::Rmat24S, -8);
+        let spec = MachineSpec::test2();
+        let (want, _) =
+            polymer_algos::run_reference(&wl.graph, &Bfs::new(wl.source));
+        for sys in SystemId::ALL {
+            let g = wl.graph_for(AlgoId::BFS);
+            let machine = Machine::new(spec.clone());
+            let prog = Bfs::new(wl.source);
+            let values = match sys {
+                SystemId::Polymer => PolymerEngine::new().run(&machine, 4, g, &prog).values,
+                SystemId::Ligra => LigraEngine::new().run(&machine, 4, g, &prog).values,
+                SystemId::XStream => XStreamEngine::new().run(&machine, 4, g, &prog).values,
+                SystemId::Galois => GaloisEngine::new().run(&machine, 4, g, &prog).values,
+            };
+            assert_eq!(values, want, "{:?} diverged", sys);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_run_on_all_systems() {
+        let wl = Workload::prepare(DatasetId::PowerlawS, -9);
+        let spec = MachineSpec::test2();
+        for algo in AlgoId::ALL {
+            for sys in SystemId::ALL {
+                let m = run(sys, algo, &wl, &spec, 2);
+                assert!(
+                    m.seconds >= 0.0 && m.iterations > 0,
+                    "{:?}/{:?} produced no work",
+                    sys,
+                    algo
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_and_llc_scaling_follow_dataset() {
+        let wl = Workload::prepare(DatasetId::TwitterS, -6);
+        assert!(wl.barrier_scale() > 0.0 && wl.barrier_scale() < 1.0);
+        assert!(wl.llc_scale() > 0.0 && wl.llc_scale() < 1.0);
+        let spec = wl.scaled_spec(&MachineSpec::intel80());
+        assert_eq!(spec.barrier_scale, wl.barrier_scale());
+        assert_eq!(spec.llc_scale, wl.llc_scale());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SystemId::Polymer.name(), "Polymer");
+        assert_eq!(AlgoId::SSSP.name(), "SSSP");
+        assert!(AlgoId::CC.needs_symmetric());
+        assert!(!AlgoId::BFS.needs_symmetric());
+    }
+}

@@ -1,0 +1,630 @@
+//! The Polymer execution engine (paper Sections 4.3 and 5).
+
+use polymer_api::{
+    atomic_combine, even_chunks, Engine, EngineKind, FrontierInit, Program, RunResult,
+};
+use polymer_graph::{Graph, VId};
+use polymer_numa::{
+    AccessCtx, BarrierKind, Machine, MemoryReport, SimExecutor,
+};
+use polymer_sync::{should_densify, DenseBitmap, LookupTable, ThreadQueues};
+
+use crate::layout::PolymerLayout;
+
+/// Engine configuration: the paper's three Section 5 optimizations, each
+/// independently toggleable for the ablation experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct PolymerConfig {
+    /// Edge-oriented balanced partitioning (Table 6(b), Figure 11).
+    pub balanced_partitioning: bool,
+    /// Adaptive runtime states — sparse queues when the frontier is small
+    /// (Table 6(a)). When off, states are always dense bitmaps.
+    pub adaptive_states: bool,
+    /// Barrier family (Figure 10: `SenseNuma` is the NUMA-aware barrier;
+    /// `Pthread` is the w/o-optimization baseline).
+    pub barrier: BarrierKind,
+    /// NUMA-aware data placement. When off, partitioning and agents remain
+    /// (computation is still factored) but every allocation is interleaved
+    /// and runtime states centralized — isolating the placement
+    /// contribution (extension ablation beyond the paper's Table 6).
+    pub numa_aware_placement: bool,
+}
+
+impl Default for PolymerConfig {
+    fn default() -> Self {
+        PolymerConfig {
+            balanced_partitioning: true,
+            adaptive_states: true,
+            barrier: BarrierKind::SenseNuma,
+            numa_aware_placement: true,
+        }
+    }
+}
+
+/// The Polymer engine.
+#[derive(Clone, Debug, Default)]
+pub struct PolymerEngine {
+    /// Configuration (defaults enable every optimization).
+    pub config: PolymerConfig,
+}
+
+impl PolymerEngine {
+    /// An engine with every optimization enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(config: PolymerConfig) -> Self {
+        PolymerEngine { config }
+    }
+
+    /// Disable edge-oriented balanced partitioning.
+    pub fn without_balanced_partitioning(mut self) -> Self {
+        self.config.balanced_partitioning = false;
+        self
+    }
+
+    /// Disable adaptive runtime states (always-dense bitmaps).
+    pub fn without_adaptive_states(mut self) -> Self {
+        self.config.adaptive_states = false;
+        self
+    }
+
+    /// Use a different barrier family.
+    pub fn with_barrier(mut self, kind: BarrierKind) -> Self {
+        self.config.barrier = kind;
+        self
+    }
+
+    /// Disable NUMA-aware placement (interleaved allocations, centralized
+    /// states) while keeping the factored computation.
+    pub fn without_numa_placement(mut self) -> Self {
+        self.config.numa_aware_placement = false;
+        self
+    }
+}
+
+/// Polymer's distributed frontier: sparse vertex list, or per-node dense
+/// bitmaps linked through the lock-less lookup table.
+enum PFrontier {
+    Sparse(Vec<VId>),
+    Dense {
+        table: LookupTable<DenseBitmap>,
+        count: usize,
+    },
+}
+
+impl PFrontier {
+    fn len(&self) -> usize {
+        match self {
+            PFrontier::Sparse(v) => v.len(),
+            PFrontier::Dense { count, .. } => *count,
+        }
+    }
+
+    /// Accounted membership test (dense only).
+    #[inline]
+    fn test_dense(
+        table: &LookupTable<DenseBitmap>,
+        layout: &PolymerLayout,
+        ctx: &mut AccessCtx,
+        v: usize,
+    ) -> bool {
+        let owner = layout.owner(v);
+        let bits = table.get(owner).expect("frontier partition installed");
+        bits.test(ctx, v - layout.nodes[owner].range.start)
+    }
+
+    /// Build the dense representation from items (distributed allocation,
+    /// one partition per node via the lookup table).
+    fn densify(machine: &Machine, layout: &PolymerLayout, items: &[VId]) -> PFrontier {
+        let table = LookupTable::new(layout.num_nodes());
+        for (node, nl) in layout.nodes.iter().enumerate() {
+            table.install(
+                node,
+                DenseBitmap::new(
+                    machine,
+                    "stat/frontier",
+                    nl.range.len(),
+                    layout.state_policy(node),
+                ),
+            );
+        }
+        for &v in items {
+            let owner = layout.owner(v as usize);
+            table
+                .get(owner)
+                .unwrap()
+                .set_unaccounted(v as usize - layout.nodes[owner].range.start);
+        }
+        PFrontier::Dense {
+            table,
+            count: items.len(),
+        }
+    }
+
+    fn all(machine: &Machine, layout: &PolymerLayout, n: usize) -> PFrontier {
+        let items: Vec<VId> = (0..n as VId).collect();
+        Self::densify(machine, layout, &items)
+    }
+}
+
+/// Iterate `0..len` starting at `pivot` and wrapping (the paper's *rolling
+/// order*: each node starts with its own vertices to spread cross-node
+/// traffic).
+fn rolling(len: usize, pivot: usize) -> impl Iterator<Item = usize> {
+    (pivot..len).chain(0..pivot)
+}
+
+impl Engine for PolymerEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Polymer
+    }
+
+    fn run<P: Program>(
+        &self,
+        machine: &Machine,
+        threads: usize,
+        g: &Graph,
+        prog: &P,
+    ) -> RunResult<P::Val> {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let identity = prog.next_identity();
+        let sc = prog.scatter_cycles();
+
+        let mut sim =
+            SimExecutor::with_config(machine, threads, Default::default(), self.config.barrier);
+        let spanned = sim.num_sockets();
+        let tpn: Vec<usize> = (0..spanned)
+            .map(|node| sim.threads_on_node(node).len())
+            .collect();
+        // Thread index within its node (threads are bound node-major).
+        let tin: Vec<usize> = (0..threads)
+            .map(|t| t - sim.threads_on_node(sim.node_of_thread(t))[0])
+            .collect();
+
+        // Both edge directions are always materialized (the real system
+        // keeps them for runtime mode switching; Table 5's memory accounting
+        // includes both). `prefer_push` only pins the execution mode.
+        let with_pull = true;
+        let use_pull_allowed = !prog.prefer_push();
+        let layout = PolymerLayout::build_with_placement(
+            machine,
+            g,
+            &tpn,
+            self.config.balanced_partitioning,
+            with_pull,
+            prog.uses_weights(),
+            self.config.numa_aware_placement,
+        );
+
+        // Application data: contiguous virtual, physically chunked by owner.
+        let curr = machine.alloc_atomic_with::<P::Val>("data/curr", n, layout.chunked_policy(), |v| {
+            prog.init(v as VId, g)
+        });
+        let next =
+            machine.alloc_atomic_with::<P::Val>("data/next", n, layout.chunked_policy(), |_| {
+                identity
+            });
+
+        let mut frontier = match prog.initial_frontier(g) {
+            FrontierInit::All => PFrontier::all(machine, &layout, n),
+            FrontierInit::Single(s) => {
+                assert!((s as usize) < n, "source out of range");
+                if self.config.adaptive_states {
+                    PFrontier::Sparse(vec![s])
+                } else {
+                    PFrontier::densify(machine, &layout, &[s])
+                }
+            }
+        };
+
+        let queues = ThreadQueues::new(machine, threads);
+        let mut iters = 0usize;
+        while frontier.len() > 0 && iters < prog.max_iters() {
+            let frontier_degree: u64 = match &frontier {
+                PFrontier::Sparse(items) => {
+                    items.iter().map(|&v| g.out_degree(v) as u64).sum()
+                }
+                PFrontier::Dense { count, .. } => (m as u64) * (*count as u64) / (n.max(1) as u64),
+            };
+            let use_pull = use_pull_allowed
+                && should_densify(frontier.len() as u64, frontier_degree, m as u64);
+
+            // Per-iteration runtime states: distributed allocation, linked
+            // through the lock-less lookup table (Section 4.2).
+            let updated: LookupTable<DenseBitmap> = LookupTable::new(spanned);
+            for (node, nl) in layout.nodes.iter().enumerate() {
+                updated.install(
+                    node,
+                    DenseBitmap::new(
+                        machine,
+                        "stat/updated",
+                        nl.range.len(),
+                        layout.state_policy(node),
+                    ),
+                );
+            }
+
+            // --- Scatter / gather phase -------------------------------
+            if use_pull {
+                // Pull: each node reads its local sources and writes the
+                // global next array sequentially by target.
+                let fr = match frontier {
+                    f @ PFrontier::Dense { .. } => f,
+                    PFrontier::Sparse(items) => PFrontier::densify(machine, &layout, &items),
+                };
+                let table = match &fr {
+                    PFrontier::Dense { table, .. } => table,
+                    PFrontier::Sparse(_) => unreachable!(),
+                };
+                sim.run_phase("gather-pull", |tid, ctx| {
+                    let node = ctx.node();
+                    let nl = &layout.nodes[node];
+                    let dir = nl.pull.as_ref().expect("pull layout built");
+                    let my = &dir.slices[tin[tid]];
+                    if my.is_empty() {
+                        return;
+                    }
+                    // Rolling order: start at the first agent the node owns.
+                    let pivot = dir
+                        .agent_id
+                        .raw()
+                        .partition_point(|&t| (t as usize) < nl.range.start)
+                        .clamp(my.start, my.end)
+                        - my.start;
+                    let own_bits = table.get(node).unwrap();
+                    for off in rolling(my.len(), pivot) {
+                        let a = my.start + off;
+                        let t = dir.agent_id.get(ctx, a) as usize;
+                        let lo = dir.agent_off.get(ctx, a) as usize;
+                        let hi = dir.agent_off.get(ctx, a + 1) as usize;
+                        let mut acc = identity;
+                        let mut any = false;
+                        for e in lo..hi {
+                            let s = dir.endpoint.get(ctx, e) as usize;
+                            // Sources are local to this node by layout.
+                            if own_bits.test(ctx, s - nl.range.start) {
+                                let w = match &dir.weight {
+                                    Some(ws) => ws.get(ctx, e),
+                                    None => 1,
+                                };
+                                let sv = curr.load(ctx, s);
+                                let deg = layout.out_deg.get(ctx, s);
+                                acc = prog.fold(acc, prog.scatter(s as VId, sv, w, deg));
+                                ctx.charge_cycles(sc);
+                                any = true;
+                            }
+                        }
+                        if any {
+                            atomic_combine(prog, &next, ctx, t, acc);
+                            let owner = layout.owner(t);
+                            updated
+                                .get(owner)
+                                .unwrap()
+                                .set(ctx, t - layout.nodes[owner].range.start);
+                        }
+                    }
+                });
+                drop(fr);
+            } else {
+                match &frontier {
+                    PFrontier::Dense { table, .. } => {
+                        // Dense push: every node scans its agents, testing
+                        // the (distributed) frontier bitmap per source.
+                        sim.run_phase("scatter-push", |tid, ctx| {
+                            let node = ctx.node();
+                            let nl = &layout.nodes[node];
+                            let dir = &nl.push;
+                            let my = &dir.slices[tin[tid]];
+                            for a in my.clone() {
+                                let s = dir.agent_id.get(ctx, a) as usize;
+                                if !PFrontier::test_dense(table, &layout, ctx, s) {
+                                    continue;
+                                }
+                                let deg = dir.agent_deg.get(ctx, a);
+                                let sv = curr.load(ctx, s);
+                                let lo = dir.agent_off.get(ctx, a) as usize;
+                                let hi = dir.agent_off.get(ctx, a + 1) as usize;
+                                for e in lo..hi {
+                                    let t = dir.endpoint.get(ctx, e) as usize;
+                                    let w = match &dir.weight {
+                                        Some(ws) => ws.get(ctx, e),
+                                        None => 1,
+                                    };
+                                    atomic_combine(
+                                        prog,
+                                        &next,
+                                        ctx,
+                                        t,
+                                        prog.scatter(s as VId, sv, w, deg),
+                                    );
+                                    ctx.charge_cycles(sc);
+                                    if updated
+                                        .get(node)
+                                        .unwrap()
+                                        .set(ctx, t - nl.range.start)
+                                    {
+                                        queues.push(ctx, t as VId);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                    PFrontier::Sparse(items) => {
+                        // Sparse push: every node routes each active vertex
+                        // through its local agent index.
+                        let per_node_chunks: Vec<Vec<std::ops::Range<usize>>> = (0..spanned)
+                            .map(|node| even_chunks(items.len(), tpn[node]))
+                            .collect();
+                        sim.run_phase("scatter-push-sparse", |tid, ctx| {
+                            let node = ctx.node();
+                            let nl = &layout.nodes[node];
+                            let dir = &nl.push;
+                            let my = per_node_chunks[node][tin[tid]].clone();
+                            for &s in &items[my] {
+                                let slot = dir.agent_idx.get(ctx, s as usize);
+                                if slot == 0 {
+                                    continue;
+                                }
+                                let a = (slot - 1) as usize;
+                                let deg = dir.agent_deg.get(ctx, a);
+                                let sv = curr.load(ctx, s as usize);
+                                let lo = dir.agent_off.get(ctx, a) as usize;
+                                let hi = dir.agent_off.get(ctx, a + 1) as usize;
+                                for e in lo..hi {
+                                    let t = dir.endpoint.get(ctx, e) as usize;
+                                    let w = match &dir.weight {
+                                        Some(ws) => ws.get(ctx, e),
+                                        None => 1,
+                                    };
+                                    atomic_combine(
+                                        prog,
+                                        &next,
+                                        ctx,
+                                        t,
+                                        prog.scatter(s, sv, w, deg),
+                                    );
+                                    ctx.charge_cycles(sc);
+                                    if updated
+                                        .get(node)
+                                        .unwrap()
+                                        .set(ctx, t - nl.range.start)
+                                    {
+                                        queues.push(ctx, t as VId);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                }
+            }
+            sim.charge_barrier();
+
+            // --- Apply phase ------------------------------------------
+            let mut alive_count = vec![0u64; threads];
+            let mut alive_degree = vec![0u64; threads];
+            if use_pull {
+                // Scan each node's own updated bitmap.
+                let alive_count = &mut alive_count;
+                let alive_degree = &mut alive_degree;
+                sim.run_phase("apply", |tid, ctx| {
+                    let node = ctx.node();
+                    let nl = &layout.nodes[node];
+                    let bits = updated.get(node).unwrap();
+                    let words = even_chunks(bits.num_words(), tpn[node]);
+                    for w in words[tin[tid]].clone() {
+                        let mut word = bits.word(ctx, w);
+                        while word != 0 {
+                            let b = word.trailing_zeros() as usize;
+                            word &= word - 1;
+                            let t = nl.range.start + w * 64 + b;
+                            let acc = next.load(ctx, t);
+                            let cv = curr.load(ctx, t);
+                            let (val, alive) = prog.apply(t as VId, acc, cv);
+                            curr.store(ctx, t, val);
+                            next.store(ctx, t, identity);
+                            if alive {
+                                queues.push(ctx, t as VId);
+                                alive_count[tid] += 1;
+                                alive_degree[tid] += layout.out_deg.get(ctx, t) as u64;
+                            }
+                        }
+                    }
+                });
+            } else {
+                // Queue-based apply: each node's threads produced exactly the
+                // targets it owns (push processes local targets).
+                let mut per_node_items: Vec<Vec<VId>> = vec![Vec::new(); spanned];
+                for t in 0..threads {
+                    per_node_items[sim.node_of_thread(t)].extend(queues.drain_thread(t));
+                }
+                let per_node_chunks: Vec<Vec<std::ops::Range<usize>>> = (0..spanned)
+                    .map(|node| even_chunks(per_node_items[node].len(), tpn[node]))
+                    .collect();
+                let alive_count = &mut alive_count;
+                let alive_degree = &mut alive_degree;
+                sim.run_phase("apply", |tid, ctx| {
+                    let node = ctx.node();
+                    let my = per_node_chunks[node][tin[tid]].clone();
+                    for &t in &per_node_items[node][my] {
+                        let ti = t as usize;
+                        let acc = next.load(ctx, ti);
+                        let cv = curr.load(ctx, ti);
+                        let (val, alive) = prog.apply(t, acc, cv);
+                        curr.store(ctx, ti, val);
+                        next.store(ctx, ti, identity);
+                        if alive {
+                            queues.push(ctx, t);
+                            alive_count[tid] += 1;
+                            alive_degree[tid] += layout.out_deg.get(ctx, ti) as u64;
+                        }
+                    }
+                });
+            }
+            sim.charge_barrier();
+
+            // --- Next frontier ----------------------------------------
+            let alive: u64 = alive_count.iter().sum();
+            let degree: u64 = alive_degree.iter().sum();
+            let items = queues.drain_merged();
+            debug_assert_eq!(items.len() as u64, alive);
+            frontier = if self.config.adaptive_states
+                && !should_densify(alive, degree, m as u64)
+            {
+                PFrontier::Sparse(items)
+            } else {
+                PFrontier::densify(machine, &layout, &items)
+            };
+            iters += 1;
+        }
+
+        let memory = MemoryReport::from_machine(machine);
+        RunResult {
+            values: curr.snapshot(),
+            iterations: iters,
+            clock: sim.clock().clone(),
+            memory,
+            threads,
+            sockets: spanned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymer_algos::{run_reference, Bfs, ConnectedComponents, PageRank, SpMV, Sssp};
+    use polymer_graph::gen;
+    use polymer_numa::MachineSpec;
+
+    fn check_exact<P: Program>(g: &Graph, prog: &P, engine: &PolymerEngine)
+    where
+        P::Val: Eq,
+    {
+        let m = Machine::new(MachineSpec::test2());
+        let got = engine.run(&m, 4, g, prog);
+        let (want, _) = run_reference(g, prog);
+        assert_eq!(got.values, want);
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let el = gen::rmat(10, 8_000, gen::RMAT_GRAPH500, 11);
+        let g = Graph::from_edges(&el);
+        check_exact(&g, &Bfs::new(0), &PolymerEngine::new());
+    }
+
+    #[test]
+    fn bfs_matches_without_optimizations() {
+        let el = gen::rmat(9, 4_000, gen::RMAT_GRAPH500, 21);
+        let g = Graph::from_edges(&el);
+        check_exact(
+            &g,
+            &Bfs::new(0),
+            &PolymerEngine::new()
+                .without_adaptive_states()
+                .without_balanced_partitioning()
+                .with_barrier(BarrierKind::Pthread),
+        );
+    }
+
+    #[test]
+    fn sssp_matches_reference_on_road() {
+        let el = gen::road_grid(16, 16, 0.6, 3);
+        let g = Graph::from_edges(&el);
+        check_exact(&g, &Sssp::new(0), &PolymerEngine::new());
+    }
+
+    #[test]
+    fn cc_matches_reference() {
+        let mut el = gen::uniform(300, 500, 7);
+        el.symmetrize();
+        let g = Graph::from_edges(&el);
+        check_exact(&g, &ConnectedComponents::new(), &PolymerEngine::new());
+    }
+
+    #[test]
+    fn pagerank_close_to_reference() {
+        let el = gen::rmat(9, 4_000, gen::RMAT_GRAPH500, 5);
+        let g = Graph::from_edges(&el);
+        let prog = PageRank::new(g.num_vertices());
+        let m = Machine::new(MachineSpec::test2());
+        let got = PolymerEngine::new().run(&m, 4, &g, &prog);
+        let (want, _) = run_reference(&g, &prog);
+        let err = polymer_algos::reference::max_rel_error(&got.values, &want);
+        assert!(err < 1e-9, "max rel error {err}");
+    }
+
+    #[test]
+    fn spmv_close_to_reference() {
+        let el = gen::uniform(200, 2_000, 9);
+        let g = Graph::from_edges(&el);
+        let prog = SpMV::new();
+        let m = Machine::new(MachineSpec::test2());
+        let got = PolymerEngine::new().run(&m, 2, &g, &prog);
+        let (want, _) = run_reference(&g, &prog);
+        let err = polymer_algos::reference::max_rel_error(&got.values, &want);
+        assert!(err < 1e-9, "max rel error {err}");
+    }
+
+    #[test]
+    fn agents_show_up_in_memory_report() {
+        let el = gen::rmat(10, 8_000, gen::RMAT_GRAPH500, 2);
+        let g = Graph::from_edges(&el);
+        let prog = PageRank::new(g.num_vertices());
+        let m = Machine::new(MachineSpec::intel80());
+        let r = PolymerEngine::new().run(&m, 80, &g, &prog);
+        assert!(r.memory.tag_peak("agents") > 0);
+        assert_eq!(r.iterations, 5);
+        assert_eq!(r.sockets, 8);
+    }
+
+    #[test]
+    fn placement_ablation_preserves_results_and_costs_locality() {
+        let el = gen::rmat(11, 32_000, gen::RMAT_GRAPH500, 17);
+        let g = Graph::from_edges(&el);
+        let prog = PageRank::new(g.num_vertices());
+        let m1 = Machine::new(MachineSpec::intel80());
+        let aware = PolymerEngine::new().run(&m1, 80, &g, &prog);
+        let m2 = Machine::new(MachineSpec::intel80());
+        let oblivious = PolymerEngine::new()
+            .without_numa_placement()
+            .run(&m2, 80, &g, &prog);
+        let err =
+            polymer_algos::reference::max_rel_error(&aware.values, &oblivious.values);
+        assert!(err < 1e-9, "placement must not change results: {err}");
+        assert!(
+            oblivious.remote_report().access_rate_remote
+                > 2.0 * aware.remote_report().access_rate_remote,
+            "oblivious placement must raise the remote rate ({} vs {})",
+            oblivious.remote_report().access_rate_remote,
+            aware.remote_report().access_rate_remote
+        );
+    }
+
+    #[test]
+    fn remote_rate_lower_than_ligra() {
+        // Table 4's core claim: co-location + factored computation cuts the
+        // remote access rate well below the NUMA-oblivious baseline.
+        let el = gen::rmat(11, 32_000, gen::RMAT_GRAPH500, 6);
+        let g = Graph::from_edges(&el);
+        let prog = PageRank::new(g.num_vertices());
+        let m1 = Machine::new(MachineSpec::intel80());
+        let poly = PolymerEngine::new().run(&m1, 80, &g, &prog);
+        let m2 = Machine::new(MachineSpec::intel80());
+        let ligra = polymer_ligra::LigraEngine::new().run(&m2, 80, &g, &prog);
+        let pr = poly.remote_report().access_rate_remote;
+        let lr = ligra.remote_report().access_rate_remote;
+        assert!(pr < 0.75 * lr, "polymer {pr:.3} vs ligra {lr:.3}");
+        // And the simulated runtime should be lower too.
+        assert!(
+            poly.seconds() < ligra.seconds(),
+            "polymer {} vs ligra {}",
+            poly.seconds(),
+            ligra.seconds()
+        );
+    }
+}

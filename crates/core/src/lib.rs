@@ -1,0 +1,32 @@
+//! # polymer-core — the Polymer engine (the paper's primary contribution)
+//!
+//! A NUMA-aware graph-analytics engine implementing Sections 4 and 5 of
+//! *NUMA-Aware Graph-Structured Analytics* (PPoPP'15):
+//!
+//! * **NUMA-aware partitioning and agents** ([`layout`]): vertices are split
+//!   into per-node ranges (edge-oriented balanced by default); in push mode
+//!   every node co-locates the edges *targeting* its vertices, with
+//!   lightweight immutable replicas ("agents") of the remote source
+//!   vertices' topology metadata; pull mode co-locates edges with their
+//!   sources symmetrically.
+//! * **Differential allocation** (Table 1): topology and agents live in
+//!   discrete node-local allocations; application data (`curr`/`next`) is
+//!   one contiguous virtual array whose physical page ranges are distributed
+//!   to the owning nodes; runtime states are allocated per node each
+//!   iteration and linked through a lock-less lookup table.
+//! * **Factored computation** ([`engine`]): each node performs *part of the
+//!   computation for all vertices* instead of all computation for part of
+//!   the vertices — turning Ligra's `RAND|W|G` scatter into `SEQ|R|G` reads
+//!   plus `RAND|W|L` writes (push), and its `RAND|R|G` gather into
+//!   `RAND|R|L` reads plus `SEQ|W|G` writes (pull), which is exactly the
+//!   pattern the machine measurements favor.
+//! * **The three optimizations** of Section 5: a hierarchical
+//!   sense-reversing barrier, edge-oriented balanced partitioning, and
+//!   adaptive runtime states — each independently toggleable for the
+//!   paper's ablation experiments (Figure 10(b), Table 6).
+
+pub mod engine;
+pub mod layout;
+
+pub use engine::{PolymerConfig, PolymerEngine};
+pub use layout::{NodeLayout, PolymerLayout};

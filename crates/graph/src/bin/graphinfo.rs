@@ -1,0 +1,60 @@
+//! Command-line graph inspector: loads an edge-list file (text or `.bin`)
+//! and prints the Table 2-style statistics plus a degree histogram.
+//!
+//! ```sh
+//! graphinfo twitter.bin
+//! ```
+
+use std::process::exit;
+
+use polymer_graph::{io, Graph, GraphStats};
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: graphinfo <edge-list file>");
+            exit(2);
+        }
+    };
+    let el = match io::load(&path) {
+        Ok(el) => el,
+        Err(e) => {
+            eprintln!("failed to load {path}: {e}");
+            exit(1);
+        }
+    };
+    let g = Graph::from_edges(&el);
+    let s = GraphStats::compute(&g);
+
+    println!("{path}");
+    println!("  vertices        {:>12}", s.num_vertices);
+    println!("  edges           {:>12}", s.num_edges);
+    println!("  avg out-degree  {:>12.2}", s.avg_degree);
+    println!("  max out-degree  {:>12}", s.max_out_degree);
+    println!("  max in-degree   {:>12}", s.max_in_degree);
+    println!("  isolated        {:>12}", s.isolated);
+    println!("  skew (max/avg)  {:>12.1}", s.skew());
+
+    // Log-scale out-degree histogram.
+    let mut buckets = [0usize; 24];
+    for v in 0..g.num_vertices() {
+        let d = g.out_degree(v as u32);
+        let b = if d == 0 { 0 } else { (d.ilog2() as usize + 1).min(23) };
+        buckets[b] += 1;
+    }
+    let top = buckets.iter().copied().max().unwrap_or(1).max(1);
+    println!("\n  out-degree histogram (log2 buckets):");
+    for (b, &count) in buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let label = if b == 0 {
+            "0".to_string()
+        } else {
+            format!("{}-{}", 1usize << (b - 1), (1usize << b) - 1)
+        };
+        let bar = "#".repeat((count * 50 / top).max(1));
+        println!("  {label:>12}  {count:>10}  {bar}");
+    }
+}

@@ -1,0 +1,141 @@
+//! The construction-stage edge-list representation.
+
+use crate::types::{Edge, VId, Weight};
+
+/// A list of directed edges plus the vertex-count bound. Generators and I/O
+/// produce this; [`crate::Graph::from_edges`] consumes it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices; all edge endpoints are `< num_vertices`.
+    pub num_vertices: usize,
+    /// The edges.
+    pub edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// An empty edge list over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        EdgeList {
+            num_vertices: n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Build from raw `(src, dst)` pairs with weight 1.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (VId, VId)>) -> Self {
+        let edges = pairs
+            .into_iter()
+            .map(|(s, d)| Edge::new(s, d))
+            .collect();
+        let el = EdgeList {
+            num_vertices: n,
+            edges,
+        };
+        el.validate();
+        el
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append one edge.
+    pub fn push(&mut self, e: Edge) {
+        debug_assert!((e.src as usize) < self.num_vertices);
+        debug_assert!((e.dst as usize) < self.num_vertices);
+        self.edges.push(e);
+    }
+
+    /// Panic if any endpoint is out of range (used after deserialization).
+    pub fn validate(&self) {
+        for e in &self.edges {
+            assert!(
+                (e.src as usize) < self.num_vertices && (e.dst as usize) < self.num_vertices,
+                "edge ({}, {}) out of range for {} vertices",
+                e.src,
+                e.dst,
+                self.num_vertices
+            );
+        }
+    }
+
+    /// Remove duplicate `(src, dst)` pairs (keeping the first weight) and
+    /// self-loops. Sorts the list as a side effect.
+    pub fn dedup(&mut self) {
+        self.edges.retain(|e| e.src != e.dst);
+        self.edges
+            .sort_unstable_by_key(|e| ((e.src as u64) << 32) | e.dst as u64);
+        self.edges.dedup_by_key(|e| (e.src, e.dst));
+    }
+
+    /// Make the graph undirected by adding the reverse of every edge (the
+    /// paper represents an undirected edge as a pair of directed ones), then
+    /// dedup.
+    pub fn symmetrize(&mut self) {
+        let rev: Vec<Edge> = self.edges.iter().map(|e| e.reversed()).collect();
+        self.edges.extend(rev);
+        self.dedup();
+    }
+
+    /// Overwrite all weights using `f(src, dst)`; used to attach the paper's
+    /// random `(0, 100]` weights for SpMV/SSSP.
+    pub fn reweight(&mut self, mut f: impl FnMut(VId, VId) -> Weight) {
+        for e in &mut self.edges {
+            e.weight = f(e.src, e.dst);
+        }
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.num_vertices];
+        for e in &self.edges {
+            d[e.src as usize] += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_and_degrees() {
+        let el = EdgeList::from_pairs(4, [(0, 1), (0, 2), (3, 0)]);
+        assert_eq!(el.num_edges(), 3);
+        assert_eq!(el.out_degrees(), vec![2, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        EdgeList::from_pairs(2, [(0, 5)]);
+    }
+
+    #[test]
+    fn dedup_removes_loops_and_dupes() {
+        let mut el = EdgeList::from_pairs(3, [(0, 1), (1, 1), (0, 1), (2, 0)]);
+        el.dedup();
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.edges[0], Edge::new(0, 1));
+        assert_eq!(el.edges[1], Edge::new(2, 0));
+    }
+
+    #[test]
+    fn symmetrize_doubles_unique_edges() {
+        let mut el = EdgeList::from_pairs(3, [(0, 1), (1, 2)]);
+        el.symmetrize();
+        assert_eq!(el.num_edges(), 4);
+        assert!(el.edges.contains(&Edge::new(1, 0)));
+        assert!(el.edges.contains(&Edge::new(2, 1)));
+    }
+
+    #[test]
+    fn reweight_applies_function() {
+        let mut el = EdgeList::from_pairs(3, [(0, 1), (1, 2)]);
+        el.reweight(|s, d| s + d);
+        assert_eq!(el.edges[0].weight, 1);
+        assert_eq!(el.edges[1].weight, 3);
+    }
+}

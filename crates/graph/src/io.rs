@@ -1,0 +1,233 @@
+//! Edge-list I/O: a human-readable text format and a compact binary format.
+//!
+//! Text format: one `src dst [weight]` triple per line; blank lines and lines
+//! starting with `#` or `%` are ignored (SNAP/DIMACS-style). Binary format:
+//! a magic header, vertex/edge counts, then `(u32 src, u32 dst, u32 weight)`
+//! triples in little-endian order.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::edgelist::EdgeList;
+use crate::types::{Edge, VId};
+
+const MAGIC: &[u8; 8] = b"PLYMRGR1";
+
+/// Parse the text edge-list format from a reader.
+pub fn read_text(r: impl Read) -> io::Result<EdgeList> {
+    let mut edges = Vec::new();
+    let mut max_v: u64 = 0;
+    for (lineno, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let bad = |m: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {m}: {t:?}", lineno + 1),
+            )
+        };
+        let src: VId = it
+            .next()
+            .ok_or_else(|| bad("missing source"))?
+            .parse()
+            .map_err(|_| bad("bad source"))?;
+        let dst: VId = it
+            .next()
+            .ok_or_else(|| bad("missing target"))?
+            .parse()
+            .map_err(|_| bad("bad target"))?;
+        let weight = match it.next() {
+            Some(w) => w.parse().map_err(|_| bad("bad weight"))?,
+            None => 1,
+        };
+        max_v = max_v.max(src as u64).max(dst as u64);
+        edges.push(Edge { src, dst, weight });
+    }
+    let num_vertices = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    Ok(EdgeList {
+        num_vertices,
+        edges,
+    })
+}
+
+/// Write the text format.
+pub fn write_text(el: &EdgeList, w: impl Write) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# polymer edge list: {} vertices, {} edges", el.num_vertices, el.num_edges())?;
+    for e in &el.edges {
+        writeln!(w, "{} {} {}", e.src, e.dst, e.weight)?;
+    }
+    w.flush()
+}
+
+/// Read the binary format.
+pub fn read_binary(mut r: impl Read) -> io::Result<EdgeList> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a polymer binary edge list (bad magic)",
+        ));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    let mut edges = Vec::with_capacity(m);
+    let mut rec = [0u8; 12];
+    for _ in 0..m {
+        r.read_exact(&mut rec)?;
+        let src = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let dst = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        let weight = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+        if src as usize >= n || dst as usize >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("edge ({src}, {dst}) out of range for {n} vertices"),
+            ));
+        }
+        edges.push(Edge { src, dst, weight });
+    }
+    Ok(EdgeList {
+        num_vertices: n,
+        edges,
+    })
+}
+
+/// Write the binary format.
+pub fn write_binary(el: &EdgeList, w: impl Write) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&(el.num_vertices as u64).to_le_bytes())?;
+    w.write_all(&(el.num_edges() as u64).to_le_bytes())?;
+    for e in &el.edges {
+        w.write_all(&e.src.to_le_bytes())?;
+        w.write_all(&e.dst.to_le_bytes())?;
+        w.write_all(&e.weight.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Load an edge list from a path, choosing the format by extension
+/// (`.bin` → binary, anything else → text).
+pub fn load(path: impl AsRef<Path>) -> io::Result<EdgeList> {
+    let path = path.as_ref();
+    let f = File::open(path)?;
+    if path.extension().is_some_and(|e| e == "bin") {
+        read_binary(f)
+    } else {
+        read_text(f)
+    }
+}
+
+/// Save an edge list to a path, choosing the format by extension.
+pub fn save(el: &EdgeList, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    let f = File::create(path)?;
+    if path.extension().is_some_and(|e| e == "bin") {
+        write_binary(el, f)
+    } else {
+        write_text(el, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList {
+            num_vertices: 5,
+            edges: vec![
+                Edge::weighted(0, 1, 10),
+                Edge::weighted(1, 2, 20),
+                Edge::weighted(4, 0, 1),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let el = sample();
+        let mut buf = Vec::new();
+        write_text(&el, &mut buf).unwrap();
+        let back = read_text(&buf[..]).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn text_parses_comments_defaults_and_errors() {
+        let ok = read_text("# comment\n% other\n\n0 1\n2 3 7\n".as_bytes()).unwrap();
+        assert_eq!(ok.num_vertices, 4);
+        assert_eq!(ok.edges[0].weight, 1);
+        assert_eq!(ok.edges[1].weight, 7);
+
+        let err = read_text("0\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = read_text("a b\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad source"));
+        let err = read_text("0 1 x\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad weight"));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let el = sample();
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        let err = read_binary(&b"NOTMAGIC"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+        // Truncated file.
+        let el = sample();
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_edges() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&9u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn file_round_trip_both_formats() {
+        let dir = std::env::temp_dir();
+        let el = sample();
+        for name in ["polymer_io_test.txt", "polymer_io_test.bin"] {
+            let p = dir.join(name);
+            save(&el, &p).unwrap();
+            let back = load(&p).unwrap();
+            assert_eq!(back, el);
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn empty_text_gives_empty_list() {
+        let el = read_text("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(el.num_vertices, 0);
+        assert_eq!(el.num_edges(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # polymer-graph — graph substrate for the Polymer reproduction
+//!
+//! Host-side graph data structures and tooling shared by every engine:
+//!
+//! * [`EdgeList`] — the construction-stage representation; generators and
+//!   I/O produce it.
+//! * [`Graph`] — immutable CSR (out-edges) + CSC (in-edges) with per-vertex
+//!   degrees, exactly the topology layout of the paper's Figure 1. Engines
+//!   copy it into their own NUMA placements.
+//! * [`gen`] — workload generators reproducing the paper's Table 2 graph
+//!   families: R-MAT (Graph500 parameters), Zipf power-law (PowerGraph's
+//!   method, constant 2.0), a road-network grid (high diameter, avg degree
+//!   ≈ 2.4), and uniform random graphs.
+//! * [`partition`] — vertex-balanced and edge-oriented balanced partitioning
+//!   (paper Section 5, "Balanced Partitioning").
+//! * [`io`] — plain-text and binary edge-list readers/writers.
+//! * [`datasets`] — the scaled-down named datasets used by the experiment
+//!   harness, with the scale factors recorded in `EXPERIMENTS.md`.
+
+pub mod csr;
+pub mod datasets;
+pub mod edgelist;
+pub mod gen;
+pub mod io;
+pub mod partition;
+pub mod stats;
+pub mod types;
+
+pub use csr::Graph;
+pub use datasets::{dataset, DatasetId};
+pub use edgelist::EdgeList;
+pub use partition::{edge_balanced_ranges, vertex_balanced_ranges, PartitionStats};
+pub use stats::GraphStats;
+pub use types::{Edge, VId, Weight};

@@ -1,0 +1,93 @@
+//! Summary statistics of a graph, used by the harness to print dataset
+//! tables (paper Table 2) and to sanity-check generator output.
+
+use crate::csr::Graph;
+
+/// Degree and size statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Directed-edge count.
+    pub num_edges: usize,
+    /// Average out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Vertices with neither in- nor out-edges.
+    pub isolated: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics for a graph.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut max_out = 0;
+        let mut max_in = 0;
+        let mut isolated = 0;
+        for v in 0..n {
+            let od = g.out_degree(v as u32);
+            let id = g.in_degree(v as u32);
+            max_out = max_out.max(od);
+            max_in = max_in.max(id);
+            if od == 0 && id == 0 {
+                isolated += 1;
+            }
+        }
+        GraphStats {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                g.num_edges() as f64 / n as f64
+            },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            isolated,
+        }
+    }
+
+    /// Degree skew: max out-degree over average degree. ≫ 1 for power-law
+    /// graphs, ≈ 1 for road networks.
+    pub fn skew(&self) -> f64 {
+        if self.avg_degree == 0.0 {
+            0.0
+        } else {
+            self.max_out_degree as f64 / self.avg_degree
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let g = Graph::from_edges(&EdgeList::from_pairs(
+            5,
+            [(0, 1), (0, 2), (0, 3), (1, 0)],
+        ));
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_out_degree, 3);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.isolated, 1);
+        assert!((s.avg_degree - 0.8).abs() < 1e-12);
+        assert!((s.skew() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let g = Graph::from_edges(&EdgeList::new(0));
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.skew(), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Fundamental graph types.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier. 32 bits suffice for the scaled datasets (the paper's
+/// largest graph has 134 M vertices, also within `u32`).
+pub type VId = u32;
+
+/// Edge weight. The paper adds a random weight in `(0, 100]` to each edge for
+/// SpMV and SSSP; unweighted algorithms ignore it.
+pub type Weight = u32;
+
+/// A directed edge with weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VId,
+    /// Target vertex.
+    pub dst: VId,
+    /// Edge weight (1 for unweighted graphs).
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// An unweighted (weight 1) edge.
+    #[inline]
+    pub fn new(src: VId, dst: VId) -> Self {
+        Edge { src, dst, weight: 1 }
+    }
+
+    /// A weighted edge.
+    #[inline]
+    pub fn weighted(src: VId, dst: VId, weight: Weight) -> Self {
+        Edge { src, dst, weight }
+    }
+
+    /// The same edge in the opposite direction.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+            weight: self.weight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_constructors() {
+        let e = Edge::new(1, 2);
+        assert_eq!(e.weight, 1);
+        let w = Edge::weighted(1, 2, 42);
+        assert_eq!(w.weight, 42);
+        assert_eq!(w.reversed(), Edge::weighted(2, 1, 42));
+    }
+}

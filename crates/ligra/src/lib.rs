@@ -1,0 +1,338 @@
+//! # polymer-ligra — the Ligra-like vertex-centric baseline
+//!
+//! A faithful reimplementation of Ligra's engine strategy (Shun & Blelloch,
+//! PPoPP'13) over the simulated NUMA machine, reproducing exactly the
+//! execution flow the paper's Figure 2 analyzes:
+//!
+//! * **Hybrid direction switching** (Beamer): sparse frontiers run *push*
+//!   mode (iterate active vertices, atomically scatter along out-edges);
+//!   dense frontiers run *pull* mode (iterate all vertices, gather from
+//!   active in-neighbors). The switch uses Ligra's `|active| + Σdeg >
+//!   |E|/20` rule.
+//! * **Adaptive frontier representation**: sparse vertex queues ↔ dense
+//!   bitmaps, switched with the same threshold.
+//! * **NUMA-oblivious layout**: topology and application data end up
+//!   *interleaved* across nodes (the first-touch mismatch of the paper's
+//!   Section 3.1) and per-iteration runtime states are *centrally*
+//!   allocated by the main thread — so push mode issues random global
+//!   writes (`RAND|W|G`) and pull mode random global reads (`RAND|R|G`),
+//!   precisely the patterns Polymer eliminates.
+
+use polymer_api::{
+    atomic_combine, degree_balanced_chunks, even_chunks, init_values, Engine, EngineKind,
+    FrontierInit, Program, RunResult, TopoArrays,
+};
+use polymer_graph::{Graph, VId};
+use polymer_numa::{AllocPolicy, BarrierKind, Machine, MemoryReport, SimExecutor};
+use polymer_sync::{should_densify, DenseBitmap, Frontier, ThreadQueues};
+
+/// The Ligra-like engine. Construct with [`LigraEngine::new`].
+#[derive(Clone, Debug, Default)]
+pub struct LigraEngine {
+    /// Force push mode (disable the hybrid switch); for ablations.
+    pub force_push: bool,
+}
+
+impl LigraEngine {
+    /// An engine with the standard hybrid push/pull switching.
+    pub fn new() -> Self {
+        LigraEngine { force_push: false }
+    }
+
+    /// Disable pull mode (always push), for experiments.
+    pub fn push_only(mut self) -> Self {
+        self.force_push = true;
+        self
+    }
+}
+
+impl Engine for LigraEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Ligra
+    }
+
+    fn run<P: Program>(
+        &self,
+        machine: &Machine,
+        threads: usize,
+        g: &Graph,
+        prog: &P,
+    ) -> RunResult<P::Val> {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let identity = prog.next_identity();
+        let sc = prog.scatter_cycles();
+
+        // Construction stage: interleaved layout everywhere (the paper's
+        // observed outcome of first-touch with parallel constructors).
+        let topo = TopoArrays::build(machine, g, prog.uses_weights(), |_| AllocPolicy::Interleaved);
+        let (curr, next) = init_values(
+            machine,
+            g,
+            prog,
+            AllocPolicy::Interleaved,
+            AllocPolicy::Interleaved,
+        );
+
+        let mut sim =
+            SimExecutor::with_config(machine, threads, Default::default(), BarrierKind::Hierarchical);
+        let mut frontier = match prog.initial_frontier(g) {
+            FrontierInit::All => {
+                Frontier::all(machine, "stat/frontier", n, AllocPolicy::Centralized)
+            }
+            FrontierInit::Single(s) => Frontier::sparse(vec![s]),
+        };
+
+        let queues = ThreadQueues::new(machine, threads);
+        let mut iters = 0usize;
+        while !frontier.is_empty() && iters < prog.max_iters() {
+            // Choose direction: dense frontiers pull, sparse ones push.
+            let frontier_degree: u64 = match &frontier {
+                Frontier::Sparse(items) => {
+                    items.iter().map(|&v| g.out_degree(v) as u64).sum()
+                }
+                Frontier::Dense { count, .. } => {
+                    // Estimate: dense frontiers are near-full.
+                    (m as u64) * (*count as u64) / (n.max(1) as u64)
+                }
+            };
+            let use_pull = !self.force_push
+                && !prog.prefer_push()
+                && should_densify(frontier.len() as u64, frontier_degree, m as u64);
+            // `frontier` is consumed below and rebuilt after apply; keep the
+            // converted representation alive through the scatter phase.
+            let _converted;
+
+            // Per-iteration runtime state, centrally allocated (Section 3.1).
+            let updated = DenseBitmap::new(machine, "stat/updated", n, AllocPolicy::Centralized);
+
+            if use_pull {
+                let fr =
+                    frontier.into_dense(machine, "stat/frontier", n, AllocPolicy::Centralized);
+                let bits = fr.as_dense().expect("dense after conversion");
+                let all_active = fr.len() == n;
+                // Balance pull chunks by in-edge counts (Ligra's cilk_for
+                // load balancing), not raw vertex counts.
+                let in_degrees: Vec<u32> =
+                    (0..n).map(|v| g.in_degree(v as polymer_graph::VId) as u32).collect();
+                let chunks = polymer_graph::edge_balanced_ranges(&in_degrees, threads);
+                sim.run_phase("gather-pull", |tid, ctx| {
+                    for t in chunks[tid].clone() {
+                        let lo = topo.in_off.get(ctx, t) as usize;
+                        let hi = topo.in_off.get(ctx, t + 1) as usize;
+                        let mut acc = identity;
+                        let mut any = false;
+                        for e in lo..hi {
+                            let s = topo.in_src.get(ctx, e);
+                            if all_active || bits.test(ctx, s as usize) {
+                                let w = match &topo.in_w {
+                                    Some(ws) => ws.get(ctx, e),
+                                    None => 1,
+                                };
+                                let sv = curr.load(ctx, s as usize);
+                                let deg = topo.in_src_deg.get(ctx, e);
+                                acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
+                                ctx.charge_cycles(sc);
+                                any = true;
+                            }
+                        }
+                        if any {
+                            next.store(ctx, t, acc);
+                            updated.set(ctx, t);
+                        }
+                    }
+                });
+                _converted = fr;
+            } else {
+                let fr = frontier.into_sparse();
+                let items: Vec<VId> = fr.as_sparse().expect("sparse after conversion").to_vec();
+                let chunks = degree_balanced_chunks(&items, |v| g.out_degree(v), threads);
+                sim.run_phase("scatter-push", |tid, ctx| {
+                    for &s in &items[chunks[tid].clone()] {
+                        let si = s as usize;
+                        let lo = topo.out_off.get(ctx, si) as usize;
+                        let hi = topo.out_off.get(ctx, si + 1) as usize;
+                        let sv = curr.load(ctx, si);
+                        let deg = (hi - lo) as u32;
+                        for e in lo..hi {
+                            let t = topo.out_dst.get(ctx, e) as usize;
+                            let w = match &topo.out_w {
+                                Some(ws) => ws.get(ctx, e),
+                                None => 1,
+                            };
+                            atomic_combine(prog, &next, ctx, t, prog.scatter(s, sv, w, deg));
+                            ctx.charge_cycles(sc);
+                            if updated.set(ctx, t) {
+                                queues.push(ctx, t as VId);
+                            }
+                        }
+                    }
+                });
+                _converted = fr;
+            }
+            sim.charge_barrier();
+
+            // Apply phase over the updated set; collect the new frontier.
+            let mut alive_count = vec![0u64; threads];
+            let mut alive_degree = vec![0u64; threads];
+            if use_pull {
+                let chunks = even_chunks(n, threads);
+                sim.run_phase("apply", |tid, ctx| {
+                    for t in chunks[tid].clone() {
+                        if !updated.test(ctx, t) {
+                            continue;
+                        }
+                        let acc = next.load(ctx, t);
+                        let cv = curr.load(ctx, t);
+                        let (val, alive) = prog.apply(t as VId, acc, cv);
+                        curr.store(ctx, t, val);
+                        next.store(ctx, t, identity);
+                        if alive {
+                            queues.push(ctx, t as VId);
+                            alive_count[tid] += 1;
+                            alive_degree[tid] += topo.out_deg.get(ctx, t) as u64;
+                        }
+                    }
+                });
+            } else {
+                let items = queues.drain_merged();
+                let chunks = even_chunks(items.len(), threads);
+                sim.run_phase("apply", |tid, ctx| {
+                    for &t in &items[chunks[tid].clone()] {
+                        let ti = t as usize;
+                        let acc = next.load(ctx, ti);
+                        let cv = curr.load(ctx, ti);
+                        let (val, alive) = prog.apply(t, acc, cv);
+                        curr.store(ctx, ti, val);
+                        next.store(ctx, ti, identity);
+                        if alive {
+                            queues.push(ctx, t);
+                            alive_count[tid] += 1;
+                            alive_degree[tid] += topo.out_deg.get(ctx, ti) as u64;
+                        }
+                    }
+                });
+            }
+            sim.charge_barrier();
+
+            // Build the next frontier and pick its representation.
+            let alive: u64 = alive_count.iter().sum();
+            let degree: u64 = alive_degree.iter().sum();
+            let items = queues.drain_merged();
+            debug_assert_eq!(items.len() as u64, alive);
+            frontier = if !self.force_push && should_densify(alive, degree, m as u64) {
+                let bits = DenseBitmap::new(machine, "stat/frontier", n, AllocPolicy::Centralized);
+                for &v in &items {
+                    bits.set_unaccounted(v as usize);
+                }
+                Frontier::dense(bits, items.len())
+            } else {
+                Frontier::sparse(items)
+            };
+            iters += 1;
+        }
+
+        let memory = MemoryReport::from_machine(machine);
+        RunResult {
+            values: curr.snapshot(),
+            iterations: iters,
+            clock: sim.clock().clone(),
+            memory,
+            threads,
+            sockets: sim.num_sockets(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymer_algos::{run_reference, Bfs, ConnectedComponents, PageRank, SpMV, Sssp};
+    use polymer_graph::gen;
+    use polymer_numa::MachineSpec;
+
+    fn check_exact<P: Program>(g: &Graph, prog: &P)
+    where
+        P::Val: Eq,
+    {
+        let m = Machine::new(MachineSpec::test2());
+        let got = LigraEngine::new().run(&m, 4, g, prog);
+        let (want, _) = run_reference(g, prog);
+        assert_eq!(got.values, want);
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_rmat() {
+        let el = gen::rmat(10, 8_000, gen::RMAT_GRAPH500, 11);
+        let g = Graph::from_edges(&el);
+        check_exact(&g, &Bfs::new(0));
+    }
+
+    #[test]
+    fn sssp_matches_reference_on_road() {
+        let el = gen::road_grid(16, 16, 0.6, 3);
+        let g = Graph::from_edges(&el);
+        check_exact(&g, &Sssp::new(0));
+    }
+
+    #[test]
+    fn cc_matches_reference() {
+        let mut el = gen::uniform(300, 500, 7);
+        el.symmetrize();
+        let g = Graph::from_edges(&el);
+        check_exact(&g, &ConnectedComponents::new());
+    }
+
+    #[test]
+    fn pagerank_close_to_reference() {
+        let el = gen::rmat(9, 4_000, gen::RMAT_GRAPH500, 5);
+        let g = Graph::from_edges(&el);
+        let prog = PageRank::new(g.num_vertices());
+        let m = Machine::new(MachineSpec::test2());
+        let got = LigraEngine::new().run(&m, 4, &g, &prog);
+        let (want, _) = run_reference(&g, &prog);
+        let err = polymer_algos::reference::max_rel_error(&got.values, &want);
+        assert!(err < 1e-9, "max rel error {err}");
+    }
+
+    #[test]
+    fn spmv_close_to_reference() {
+        let el = gen::uniform(200, 2_000, 9);
+        let g = Graph::from_edges(&el);
+        let prog = SpMV::new();
+        let m = Machine::new(MachineSpec::test2());
+        let got = LigraEngine::new().run(&m, 2, &g, &prog);
+        let (want, _) = run_reference(&g, &prog);
+        let err = polymer_algos::reference::max_rel_error(&got.values, &want);
+        assert!(err < 1e-9, "max rel error {err}");
+    }
+
+    #[test]
+    fn push_only_matches_hybrid_results() {
+        let el = gen::rmat(9, 4_000, gen::RMAT_GRAPH500, 13);
+        let g = Graph::from_edges(&el);
+        let prog = Bfs::new(1);
+        let m1 = Machine::new(MachineSpec::test2());
+        let hybrid = LigraEngine::new().run(&m1, 4, &g, &prog);
+        let m2 = Machine::new(MachineSpec::test2());
+        let push = LigraEngine::new().push_only().run(&m2, 4, &g, &prog);
+        assert_eq!(hybrid.values, push.values);
+    }
+
+    #[test]
+    fn clock_advances_and_memory_reported() {
+        let el = gen::rmat(10, 8_000, gen::RMAT_GRAPH500, 2);
+        let g = Graph::from_edges(&el);
+        let prog = PageRank::new(g.num_vertices());
+        let m = Machine::new(MachineSpec::intel80());
+        let r = LigraEngine::new().run(&m, 80, &g, &prog);
+        assert!(r.seconds() > 0.0);
+        assert!(r.memory.peak_bytes > 0);
+        assert_eq!(r.iterations, 5);
+        assert!(
+            r.total_cost().count_remote > 0,
+            "interleaved layout must touch remote nodes"
+        );
+        assert_eq!(r.sockets, 8);
+    }
+}

@@ -1,0 +1,484 @@
+//! Instrumented arrays: real data whose every access is classified by the
+//! machine model.
+//!
+//! Two flavours mirror the paper's data-structure taxonomy (Section 2.1):
+//!
+//! * [`NumaArray<T>`] — read-mostly data (graph topology). Immutable after
+//!   construction; reads go through [`AccessCtx`] for classification.
+//! * [`NumaAtomicArray<T>`] — mutable shared data (application-defined
+//!   `curr`/`next` arrays, runtime-state bitmaps). Element cells are real
+//!   atomics, so the types are `Sync` and engine code written against them is
+//!   data-race free even under genuine multithreading.
+//!
+//! Both carry a [`Placement`] resolved from the [`crate::AllocPolicy`] they
+//! were allocated with; the destination node of each access is looked up from
+//! the byte offset at page granularity.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use crate::atomicf::{AtomicF32, AtomicF64};
+use crate::ctx::{AccessCtx, Rw};
+use crate::machine::{AllocId, Machine};
+use crate::policy::Placement;
+
+/// Scalar types that can live in a [`NumaAtomicArray`].
+pub trait Atom: Copy + Send + Sync + 'static {
+    /// The atomic cell type backing one element.
+    type Repr: Send + Sync + 'static;
+    /// The zero value used for default initialization.
+    fn zero() -> Self;
+    /// Wrap a value in its atomic cell.
+    fn new_atomic(v: Self) -> Self::Repr;
+    /// Relaxed load.
+    fn atom_load(r: &Self::Repr) -> Self;
+    /// Relaxed store.
+    fn atom_store(r: &Self::Repr, v: Self);
+    /// Atomic add, returning the previous value.
+    fn atom_add(r: &Self::Repr, v: Self) -> Self;
+    /// Atomic min, returning the previous value.
+    fn atom_min(r: &Self::Repr, v: Self) -> Self;
+    /// Atomic max, returning the previous value.
+    fn atom_max(r: &Self::Repr, v: Self) -> Self;
+    /// Atomic multiply, returning the previous value.
+    fn atom_mul(r: &Self::Repr, v: Self) -> Self;
+    /// Atomic bitwise OR, returning the previous value. Panics for floats.
+    fn atom_or(r: &Self::Repr, v: Self) -> Self;
+    /// Compare-and-swap; `Ok(previous)` on success, `Err(actual)` on failure.
+    fn atom_cas(r: &Self::Repr, cur: Self, new: Self) -> Result<Self, Self>;
+}
+
+macro_rules! int_atom {
+    ($ty:ty, $atomic:ty) => {
+        impl Atom for $ty {
+            type Repr = $atomic;
+            #[inline]
+            fn zero() -> Self {
+                0
+            }
+            #[inline]
+            fn new_atomic(v: Self) -> Self::Repr {
+                <$atomic>::new(v)
+            }
+            #[inline]
+            fn atom_load(r: &Self::Repr) -> Self {
+                r.load(Ordering::Relaxed)
+            }
+            #[inline]
+            fn atom_store(r: &Self::Repr, v: Self) {
+                r.store(v, Ordering::Relaxed)
+            }
+            #[inline]
+            fn atom_add(r: &Self::Repr, v: Self) -> Self {
+                r.fetch_add(v, Ordering::Relaxed)
+            }
+            #[inline]
+            fn atom_min(r: &Self::Repr, v: Self) -> Self {
+                r.fetch_min(v, Ordering::Relaxed)
+            }
+            #[inline]
+            fn atom_max(r: &Self::Repr, v: Self) -> Self {
+                r.fetch_max(v, Ordering::Relaxed)
+            }
+            #[inline]
+            fn atom_mul(r: &Self::Repr, v: Self) -> Self {
+                let mut cur = r.load(Ordering::Relaxed);
+                loop {
+                    match r.compare_exchange_weak(
+                        cur,
+                        cur.wrapping_mul(v),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(old) => return old,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+            #[inline]
+            fn atom_or(r: &Self::Repr, v: Self) -> Self {
+                r.fetch_or(v, Ordering::Relaxed)
+            }
+            #[inline]
+            fn atom_cas(r: &Self::Repr, cur: Self, new: Self) -> Result<Self, Self> {
+                r.compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            }
+        }
+    };
+}
+
+int_atom!(u32, AtomicU32);
+int_atom!(u64, AtomicU64);
+int_atom!(usize, AtomicUsize);
+
+macro_rules! float_atom {
+    ($ty:ty, $cell:ty, $bits:ty) => {
+        impl Atom for $ty {
+            type Repr = $cell;
+            #[inline]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline]
+            fn new_atomic(v: Self) -> Self::Repr {
+                <$cell>::new(v)
+            }
+            #[inline]
+            fn atom_load(r: &Self::Repr) -> Self {
+                r.load()
+            }
+            #[inline]
+            fn atom_store(r: &Self::Repr, v: Self) {
+                r.store(v)
+            }
+            #[inline]
+            fn atom_add(r: &Self::Repr, v: Self) -> Self {
+                r.fetch_add(v)
+            }
+            #[inline]
+            fn atom_min(r: &Self::Repr, v: Self) -> Self {
+                r.fetch_min(v)
+            }
+            #[inline]
+            fn atom_max(r: &Self::Repr, v: Self) -> Self {
+                r.fetch_max(v)
+            }
+            #[inline]
+            fn atom_mul(r: &Self::Repr, v: Self) -> Self {
+                r.fetch_mul(v)
+            }
+            #[inline]
+            fn atom_or(_r: &Self::Repr, _v: Self) -> Self {
+                unimplemented!("bitwise OR is not defined for float atomics")
+            }
+            #[inline]
+            fn atom_cas(r: &Self::Repr, cur: Self, new: Self) -> Result<Self, Self> {
+                // Bit-exact CAS through the underlying integer atomic.
+                let r_bits: &$bits = r.as_bits();
+                match r_bits.compare_exchange(
+                    cur.to_bits(),
+                    new.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(b) => Ok(<$ty>::from_bits(b)),
+                    Err(b) => Err(<$ty>::from_bits(b)),
+                }
+            }
+        }
+    };
+}
+
+float_atom!(f64, AtomicF64, AtomicU64);
+float_atom!(f32, AtomicF32, AtomicU32);
+
+/// Shared metadata of one instrumented allocation.
+#[derive(Clone)]
+pub(crate) struct ArrayMeta {
+    pub id: AllocId,
+    pub name: String,
+    pub placement: Placement,
+    pub elem: usize,
+    pub machine: Machine,
+}
+
+impl ArrayMeta {
+    #[inline]
+    fn record(&self, ctx: &mut AccessCtx, idx: usize, rw: Rw) {
+        let off = idx * self.elem;
+        let dst = self.placement.node_of(off);
+        ctx.record(self.id, off, self.elem, rw, dst);
+    }
+}
+
+/// A read-mostly instrumented array (graph topology data).
+pub struct NumaArray<T> {
+    data: Box<[T]>,
+    meta: ArrayMeta,
+}
+
+impl<T: Copy> NumaArray<T> {
+    pub(crate) fn new(machine: Machine, id: AllocId, placement: Placement, data: Box<[T]>) -> Self {
+        let name = machine.alloc_name(id);
+        NumaArray {
+            data,
+            meta: ArrayMeta {
+                id,
+                name,
+                placement,
+                elem: std::mem::size_of::<T>().max(1),
+                machine,
+            },
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Accounted read of element `i` by the simulated thread behind `ctx`.
+    #[inline]
+    pub fn get(&self, ctx: &mut AccessCtx, i: usize) -> T {
+        self.meta.record(ctx, i, Rw::Read);
+        self.data[i]
+    }
+
+    /// Unaccounted view of the data (construction, verification, tests).
+    #[inline]
+    pub fn raw(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Unaccounted mutable view, for the construction stage only.
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Home node of element `i`.
+    #[inline]
+    pub fn node_of(&self, i: usize) -> usize {
+        self.meta.placement.node_of(i * self.meta.elem)
+    }
+
+    /// The allocation id, which keys per-array access statistics.
+    #[inline]
+    pub fn alloc_id(&self) -> AllocId {
+        self.meta.id
+    }
+}
+
+impl<T> Drop for NumaArray<T> {
+    fn drop(&mut self) {
+        let bytes = (self.data.len() * self.meta.elem) as u64;
+        self.meta
+            .machine
+            .on_free(self.meta.id, &self.meta.name, bytes);
+    }
+}
+
+/// A mutable shared instrumented array (application data, runtime states).
+pub struct NumaAtomicArray<T: Atom> {
+    data: Box<[T::Repr]>,
+    meta: ArrayMeta,
+}
+
+impl<T: Atom> NumaAtomicArray<T> {
+    pub(crate) fn new(
+        machine: Machine,
+        id: AllocId,
+        placement: Placement,
+        data: Box<[T::Repr]>,
+    ) -> Self {
+        let name = machine.alloc_name(id);
+        NumaAtomicArray {
+            data,
+            meta: ArrayMeta {
+                id,
+                name,
+                placement,
+                elem: std::mem::size_of::<T>().max(1),
+                machine,
+            },
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Accounted relaxed load.
+    #[inline]
+    pub fn load(&self, ctx: &mut AccessCtx, i: usize) -> T {
+        self.meta.record(ctx, i, Rw::Read);
+        T::atom_load(&self.data[i])
+    }
+
+    /// Accounted relaxed store.
+    #[inline]
+    pub fn store(&self, ctx: &mut AccessCtx, i: usize, v: T) {
+        self.meta.record(ctx, i, Rw::Write);
+        T::atom_store(&self.data[i], v);
+    }
+
+    /// Accounted atomic add; the read-modify-write is charged as one write
+    /// transaction, matching how the paper counts accesses.
+    #[inline]
+    pub fn fetch_add(&self, ctx: &mut AccessCtx, i: usize, v: T) -> T {
+        self.meta.record(ctx, i, Rw::Write);
+        T::atom_add(&self.data[i], v)
+    }
+
+    /// Accounted atomic min.
+    #[inline]
+    pub fn fetch_min(&self, ctx: &mut AccessCtx, i: usize, v: T) -> T {
+        self.meta.record(ctx, i, Rw::Write);
+        T::atom_min(&self.data[i], v)
+    }
+
+    /// Accounted atomic max.
+    #[inline]
+    pub fn fetch_max(&self, ctx: &mut AccessCtx, i: usize, v: T) -> T {
+        self.meta.record(ctx, i, Rw::Write);
+        T::atom_max(&self.data[i], v)
+    }
+
+    /// Accounted atomic multiply.
+    #[inline]
+    pub fn fetch_mul(&self, ctx: &mut AccessCtx, i: usize, v: T) -> T {
+        self.meta.record(ctx, i, Rw::Write);
+        T::atom_mul(&self.data[i], v)
+    }
+
+    /// Accounted atomic bitwise OR (integers only).
+    #[inline]
+    pub fn fetch_or(&self, ctx: &mut AccessCtx, i: usize, v: T) -> T {
+        self.meta.record(ctx, i, Rw::Write);
+        T::atom_or(&self.data[i], v)
+    }
+
+    /// Accounted compare-and-swap.
+    #[inline]
+    pub fn cas(&self, ctx: &mut AccessCtx, i: usize, cur: T, new: T) -> Result<T, T> {
+        self.meta.record(ctx, i, Rw::Write);
+        T::atom_cas(&self.data[i], cur, new)
+    }
+
+    /// Unaccounted load (construction, verification, tests).
+    #[inline]
+    pub fn raw_load(&self, i: usize) -> T {
+        T::atom_load(&self.data[i])
+    }
+
+    /// Unaccounted store (construction stage).
+    #[inline]
+    pub fn raw_store(&self, i: usize, v: T) {
+        T::atom_store(&self.data[i], v)
+    }
+
+    /// Copy out all values, unaccounted.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.data.iter().map(T::atom_load).collect()
+    }
+
+    /// Home node of element `i`.
+    #[inline]
+    pub fn node_of(&self, i: usize) -> usize {
+        self.meta.placement.node_of(i * self.meta.elem)
+    }
+
+    /// The allocation id, which keys per-array access statistics.
+    #[inline]
+    pub fn alloc_id(&self) -> AllocId {
+        self.meta.id
+    }
+}
+
+impl<T: Atom> Drop for NumaAtomicArray<T> {
+    fn drop(&mut self) {
+        let bytes = (self.data.len() * self.meta.elem) as u64;
+        self.meta
+            .machine
+            .on_free(self.meta.id, &self.meta.name, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AllocPolicy;
+    use crate::topology::MachineSpec;
+
+    fn machine() -> Machine {
+        Machine::new(MachineSpec::test2())
+    }
+
+    #[test]
+    fn plain_array_reads_are_accounted() {
+        let m = machine();
+        let a = m.alloc_array_with("a", 1024, AllocPolicy::OnNode(0), |i| i as u64);
+        let mut ctx = AccessCtx::new(&m, 0);
+        assert_eq!(a.get(&mut ctx, 7), 7);
+        assert_eq!(a.get(&mut ctx, 8), 8);
+        let s = ctx.take_stats();
+        assert_eq!(s.total_count(), 2);
+        assert_eq!(s.total_bytes(), 16);
+    }
+
+    #[test]
+    fn atomic_array_ops() {
+        let m = machine();
+        let a = m.alloc_atomic::<u64>("x", 8, AllocPolicy::Interleaved);
+        let mut ctx = AccessCtx::new(&m, 0);
+        a.store(&mut ctx, 0, 5);
+        assert_eq!(a.fetch_add(&mut ctx, 0, 3), 5);
+        assert_eq!(a.load(&mut ctx, 0), 8);
+        assert_eq!(a.fetch_min(&mut ctx, 0, 2), 8);
+        assert_eq!(a.fetch_max(&mut ctx, 0, 100), 2);
+        assert_eq!(a.cas(&mut ctx, 0, 100, 1), Ok(100));
+        assert_eq!(a.cas(&mut ctx, 0, 100, 2), Err(1));
+        assert_eq!(a.raw_load(0), 1);
+    }
+
+    #[test]
+    fn float_atomic_array() {
+        let m = machine();
+        let a = m.alloc_atomic::<f64>("r", 4, AllocPolicy::OnNode(1));
+        let mut ctx = AccessCtx::new(&m, 0);
+        a.fetch_add(&mut ctx, 2, 1.5);
+        a.fetch_add(&mut ctx, 2, 1.5);
+        assert_eq!(a.load(&mut ctx, 2), 3.0);
+        a.fetch_mul(&mut ctx, 2, 2.0);
+        assert_eq!(a.raw_load(2), 6.0);
+        assert_eq!(a.cas(&mut ctx, 2, 6.0, 0.5), Ok(6.0));
+    }
+
+    #[test]
+    fn node_of_follows_placement() {
+        let m = machine();
+        // 1024 u64 = 2 pages: page 0 -> node 0, page 1 -> node 1.
+        let a = m.alloc_array::<u64>("p", 1024, AllocPolicy::Interleaved);
+        assert_eq!(a.node_of(0), 0);
+        assert_eq!(a.node_of(511), 0);
+        assert_eq!(a.node_of(512), 1);
+    }
+
+    #[test]
+    fn snapshot_copies_values() {
+        let m = machine();
+        let a = m.alloc_atomic_with::<u32>("s", 3, AllocPolicy::OnNode(0), |i| i as u32 * 10);
+        assert_eq!(a.snapshot(), vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn atomic_array_is_sync_under_real_threads() {
+        let m = machine();
+        let a = m.alloc_atomic::<u64>("c", 1, AllocPolicy::OnNode(0));
+        crossbeam::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        u64::atom_add(&a.data[0], 1);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(a.raw_load(0), 4000);
+    }
+}

@@ -1,0 +1,565 @@
+//! The simulated-time cost model.
+//!
+//! Converts the classified access statistics of one bulk-synchronous phase
+//! into simulated time. The model is deliberately simple and fully
+//! documented, because its purpose is to reproduce the *shape* of the paper's
+//! results from the mechanisms the paper identifies, not absolute numbers:
+//!
+//! 1. **Single-stream time.** Each thread's bytes are divided by the paper's
+//!    measured bandwidth for their (pattern, distance) bucket (Figure 4) —
+//!    this is where sequential-remote beating random-local (2.92×–6.85×)
+//!    enters. A per-access CPU cost floor models instruction overhead.
+//! 2. **Cache model.** Per (node, array), an analytic last-level-cache hit
+//!    rate `min(max_hit, resident × reuse)` is applied: `resident` is the
+//!    fraction of the node's touched footprint that fits in its LLC, and
+//!    `reuse` is the fraction of accesses that revisit a line — 1 for arrays
+//!    warm from an earlier phase, `1 − footprint/bytes` within a cold phase.
+//!    Hits are charged at LLC bandwidth instead of DRAM. Smaller per-node
+//!    partitions at higher socket counts thus stay warm across iterations —
+//!    the source of Polymer's super-linear PageRank scaling (Section 6.3).
+//! 3. **Congestion.** Total DRAM bytes served by each node and total bytes
+//!    crossing each interconnect link are divided by aggregate capacities;
+//!    the phase cannot finish faster than its most congested resource
+//!    (paper Sections 3.1 and 6.8: centralized/interleaved allocation and
+//!    imbalance both amplify through congestion).
+//!
+//! Phase time = max(slowest thread, most congested memory controller, most
+//! congested link). Barrier costs between phases come from
+//! [`BarrierKind::cost_us`], calibrated to the paper's Figure 10(a).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ctx::AccessStats;
+use crate::machine::Machine;
+use crate::topology::{NodeId, MAX_NODES};
+
+/// Tunable constants of the cost model. Defaults are documented estimates for
+/// the paper's Intel machine; only ratios matter for the reproduced shapes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostConfig {
+    /// Aggregate DRAM bandwidth of one node's memory controller, MB/s.
+    /// Roughly 4× the single-stream sequential bandwidth — ten cores cannot
+    /// each get the full single-stream rate.
+    pub node_dram_mbs: f64,
+    /// Aggregate bandwidth of one interconnect link (QPI/HT), MB/s.
+    pub link_mbs: f64,
+    /// Bandwidth of sequential accesses that hit in the LLC, MB/s.
+    pub llc_seq_mbs: f64,
+    /// Bandwidth of random accesses that hit in the LLC, MB/s.
+    pub llc_rand_mbs: f64,
+    /// Cap on the analytic LLC hit rate (cold misses always remain).
+    pub max_hit_rate: f64,
+    /// CPU cycles charged per access as an instruction-overhead floor.
+    pub cpu_cycles_per_access: f64,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        CostConfig {
+            node_dram_mbs: 12_800.0,
+            link_mbs: 6_400.0,
+            llc_seq_mbs: 20_000.0,
+            llc_rand_mbs: 6_000.0,
+            max_hit_rate: 0.95,
+            cpu_cycles_per_access: 1.0,
+        }
+    }
+}
+
+/// The integrated cost of one phase.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Simulated phase time in microseconds.
+    pub time_us: f64,
+    /// Time of the slowest thread (before congestion), µs.
+    pub max_thread_us: f64,
+    /// Time dictated by the most congested memory controller, µs.
+    pub dram_bound_us: f64,
+    /// Time dictated by the most congested interconnect link, µs.
+    pub link_bound_us: f64,
+    /// Per-thread compute+memory times, µs.
+    pub per_thread_us: Vec<f64>,
+    /// Local / remote transaction counts.
+    pub count_local: u64,
+    /// Remote transaction count.
+    pub count_remote: u64,
+    /// Local / remote bytes moved (before cache filtering).
+    pub bytes_local: u64,
+    /// Remote bytes moved.
+    pub bytes_remote: u64,
+    /// DRAM (LLC-miss) bytes attributed to local accesses.
+    pub miss_bytes_local: f64,
+    /// DRAM (LLC-miss) bytes attributed to remote accesses.
+    pub miss_bytes_remote: f64,
+    /// Estimated LLC-missing transactions attributed to local accesses.
+    pub miss_count_local: f64,
+    /// Estimated LLC-missing transactions attributed to remote accesses.
+    pub miss_count_remote: f64,
+    /// Transaction counts split `[Pattern::index()][is_remote as usize]` —
+    /// verifies the paper's Figure 2/6 access-pattern labels directly
+    /// (Polymer's remote traffic is sequential, Ligra's is random).
+    pub count_by_pattern: [[u64; 2]; 2],
+}
+
+impl PhaseCost {
+    /// Fold another phase's cost into an accumulating total. `time_us` and
+    /// the bound fields become sums; counters add.
+    pub fn accumulate(&mut self, other: &PhaseCost) {
+        self.time_us += other.time_us;
+        self.max_thread_us += other.max_thread_us;
+        self.dram_bound_us += other.dram_bound_us;
+        self.link_bound_us += other.link_bound_us;
+        if self.per_thread_us.len() < other.per_thread_us.len() {
+            self.per_thread_us.resize(other.per_thread_us.len(), 0.0);
+        }
+        for (a, b) in self.per_thread_us.iter_mut().zip(&other.per_thread_us) {
+            *a += *b;
+        }
+        self.count_local += other.count_local;
+        self.count_remote += other.count_remote;
+        self.bytes_local += other.bytes_local;
+        self.bytes_remote += other.bytes_remote;
+        self.miss_bytes_local += other.miss_bytes_local;
+        self.miss_bytes_remote += other.miss_bytes_remote;
+        self.miss_count_local += other.miss_count_local;
+        self.miss_count_remote += other.miss_count_remote;
+        for pat in 0..2 {
+            for loc in 0..2 {
+                self.count_by_pattern[pat][loc] += other.count_by_pattern[pat][loc];
+            }
+        }
+    }
+}
+
+/// Barrier families of the paper's Section 5 / Figure 10(a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BarrierKind {
+    /// `pthread_barrier`: flat, traps into the kernel.
+    Pthread,
+    /// Hierarchical barrier built from `pthread_barrier` per group.
+    Hierarchical,
+    /// Polymer's hierarchical sense-reversing user-level barrier.
+    SenseNuma,
+}
+
+impl BarrierKind {
+    /// Synchronization cost in µs for `sockets` participating sockets,
+    /// calibrated to the paper's measured endpoints: pthread 30 µs intra /
+    /// 570 µs at two sockets / 6182 µs at eight; hierarchical 612 µs at
+    /// eight; sense-reversing 8 µs at eight.
+    pub fn cost_us(self, sockets: usize) -> f64 {
+        let s = sockets.max(1) as f64;
+        match self {
+            BarrierKind::Pthread => 30.0 + 483.5 * (s - 1.0) + 56.5 * (s - 1.0) * (s - 1.0),
+            BarrierKind::Hierarchical => 30.0 + 83.14 * (s - 1.0),
+            BarrierKind::SenseNuma => s,
+        }
+    }
+}
+
+/// The cost model bound to one machine. Stateful: it remembers which
+/// (node, array) pairs are *warm* — touched in an earlier phase — so that
+/// re-streamed data whose footprint fits in the LLC hits across iterations.
+/// This cross-iteration reuse is what produces the paper's super-linear
+/// PageRank scaling when per-node partitions shrink into cache.
+pub struct CostModel {
+    machine: Machine,
+    config: CostConfig,
+    /// `warm[node * stride + alloc]` — the node's LLC has seen this array.
+    warm: Vec<bool>,
+    warm_stride: usize,
+}
+
+impl CostModel {
+    /// Build a model for a machine with the given constants.
+    pub fn new(machine: &Machine, config: CostConfig) -> Self {
+        CostModel {
+            machine: machine.clone(),
+            config,
+            warm: Vec::new(),
+            warm_stride: 0,
+        }
+    }
+
+    /// The model's constants.
+    pub fn config(&self) -> &CostConfig {
+        &self.config
+    }
+
+    /// Forget all cache warmth (e.g. between independent experiment runs).
+    pub fn reset_warmth(&mut self) {
+        self.warm.clear();
+        self.warm_stride = 0;
+    }
+
+    fn warm_slot(&mut self, nnodes: usize, nallocs: usize) {
+        if self.warm_stride < nallocs {
+            // Re-grow with a larger stride, preserving old flags.
+            let old_stride = self.warm_stride;
+            let mut fresh = vec![false; nnodes * nallocs];
+            for n in 0..nnodes {
+                for a in 0..old_stride {
+                    if self.warm.get(n * old_stride + a).copied().unwrap_or(false) {
+                        fresh[n * nallocs + a] = true;
+                    }
+                }
+            }
+            self.warm = fresh;
+            self.warm_stride = nallocs;
+        }
+    }
+
+    /// Integrate one phase: `threads` pairs each thread's home node with its
+    /// access statistics for the phase.
+    // Index loops here traverse several parallel arrays at once; iterator
+    // chains would obscure the bucket arithmetic.
+    #[allow(clippy::needless_range_loop)]
+    pub fn phase_cost(&mut self, threads: &[(NodeId, AccessStats)]) -> PhaseCost {
+        let machine = self.machine.clone();
+        let topo = machine.topology();
+        let spec = machine.spec();
+        let nnodes = topo.num_nodes();
+        let llc = topo.llc_bytes() as f64;
+        let max_hit = self.config.max_hit_rate;
+
+        // Snapshot allocation sizes once (avoids per-access locking).
+        let nallocs = machine.num_allocs();
+        let alloc_bytes: Vec<u64> =
+            (0..nallocs as u32).map(|i| machine.alloc_bytes(i)).collect();
+        self.warm_slot(nnodes, nallocs);
+        let cfg = &self.config;
+
+        // Pass 1 — per (node, array): bytes accessed, cache-line footprint
+        // (sequential streams occupy their byte span; each random access
+        // occupies one 64-byte line), and from those an analytic hit rate:
+        //   resident = min(1, LLC / node total footprint)
+        //   reuse    = 1 if warm from an earlier phase, else the fraction of
+        //              accesses that revisit a resident line (1 - fp/bytes)
+        //   hit      = min(max_hit, resident * reuse)
+        let mut acc_bytes = vec![0u64; nnodes * nallocs];
+        let mut seq_bytes = vec![0u64; nnodes * nallocs];
+        let mut rand_cnt = vec![0u64; nnodes * nallocs];
+        for (node, stats) in threads {
+            for (a, s) in stats.iter_arrays() {
+                let k = *node * nallocs + a as usize;
+                for rw in 0..2 {
+                    for dst in 0..nnodes {
+                        acc_bytes[k] += s.bytes[rw][0][dst] + s.bytes[rw][1][dst];
+                        seq_bytes[k] += s.bytes[rw][0][dst];
+                        rand_cnt[k] += s.count[rw][1][dst];
+                    }
+                }
+            }
+        }
+        let mut footprint = vec![0u64; nnodes * nallocs];
+        let mut node_fp = vec![0u64; nnodes];
+        for n in 0..nnodes {
+            for a in 0..nallocs {
+                let k = n * nallocs + a;
+                if acc_bytes[k] == 0 {
+                    continue;
+                }
+                footprint[k] = (seq_bytes[k] + 64 * rand_cnt[k]).min(alloc_bytes[a]);
+                node_fp[n] += footprint[k];
+            }
+        }
+        // LLC capacity is allocated greedily by access density (accesses
+        // per footprint byte): hot small arrays — state bitmaps, value
+        // arrays — stay resident ahead of huge cold edge streams, as an LRU
+        // cache would keep them. Each array's resident fraction is the share
+        // of its footprint that fits in what remains of the node's LLC.
+        let mut hit_rate = vec![0.0f64; nnodes * nallocs];
+        for n in 0..nnodes {
+            if node_fp[n] == 0 {
+                continue;
+            }
+            let mut order: Vec<usize> = (0..nallocs)
+                .filter(|&a| acc_bytes[n * nallocs + a] > 0)
+                .collect();
+            order.sort_by(|&a, &b| {
+                let ka = n * nallocs + a;
+                let kb = n * nallocs + b;
+                let da = acc_bytes[ka] as f64 / footprint[ka].max(1) as f64;
+                let db = acc_bytes[kb] as f64 / footprint[kb].max(1) as f64;
+                db.partial_cmp(&da).unwrap()
+            });
+            let mut free = llc;
+            for a in order {
+                let k = n * nallocs + a;
+                let fp = footprint[k] as f64;
+                let resident = if fp <= free { 1.0 } else { (free / fp).max(0.0) };
+                free = (free - fp).max(0.0);
+                let reuse = if self.warm[k] {
+                    1.0
+                } else {
+                    (1.0 - fp / acc_bytes[k] as f64).max(0.0)
+                };
+                hit_rate[k] = (resident * reuse).min(max_hit);
+            }
+        }
+
+        let cycles_to_us = 1.0 / (spec.ghz * 1000.0);
+        let mut cost = PhaseCost {
+            per_thread_us: vec![0.0; threads.len()],
+            ..Default::default()
+        };
+        let mut dram_bytes = vec![0.0f64; nnodes];
+        let mut link_bytes = vec![[0.0f64; MAX_NODES]; MAX_NODES];
+
+        for (t, (node, stats)) in threads.iter().enumerate() {
+            let node = *node;
+            let mut time = stats.extra_cycles * cycles_to_us;
+            for (a, s) in stats.iter_arrays() {
+                let hit = hit_rate[node * nallocs + a as usize];
+                for rw in 0..2 {
+                    for pat in 0..2 {
+                        let seq = pat == 0;
+                        for dst in 0..nnodes {
+                            let b = s.bytes[rw][pat][dst] as f64;
+                            if b == 0.0 {
+                                continue;
+                            }
+                            let c = s.count[rw][pat][dst];
+                            let dist = topo.dist(node, dst);
+                            let miss_b = b * (1.0 - hit);
+                            let hit_b = b * hit;
+                            let dram_bw = spec.bandwidth.bw(seq, dist);
+                            let llc_bw = if seq { cfg.llc_seq_mbs } else { cfg.llc_rand_mbs };
+                            // 1 MB/s = 1 byte/µs.
+                            time += miss_b / dram_bw + hit_b / llc_bw;
+                            time += c as f64 * cfg.cpu_cycles_per_access * cycles_to_us;
+                            dram_bytes[dst] += miss_b;
+                            cost.count_by_pattern[pat][dist.is_remote() as usize] += c;
+                            if dist.is_remote() {
+                                let (lo, hi) = (node.min(dst), node.max(dst));
+                                link_bytes[lo][hi] += miss_b;
+                                cost.count_remote += c;
+                                cost.bytes_remote += b as u64;
+                                cost.miss_bytes_remote += miss_b;
+                                cost.miss_count_remote += c as f64 * (1.0 - hit);
+                            } else {
+                                cost.count_local += c;
+                                cost.bytes_local += b as u64;
+                                cost.miss_bytes_local += miss_b;
+                                cost.miss_count_local += c as f64 * (1.0 - hit);
+                            }
+                        }
+                    }
+                }
+            }
+            cost.per_thread_us[t] = time;
+        }
+
+        // Arrays touched this phase are warm for the next one; how much of a
+        // warm array actually survives in cache is the greedy residency
+        // fraction computed above, so no explicit eviction pass is needed.
+        for n in 0..nnodes {
+            for a in 0..nallocs {
+                let k = n * nallocs + a;
+                if acc_bytes[k] > 0 {
+                    self.warm[k] = true;
+                }
+            }
+        }
+
+        // Debugging aid: POLYMER_COST_DEBUG=1 dumps per-array classified
+        // transaction counts for this phase to stderr.
+        if std::env::var_os("POLYMER_COST_DEBUG").is_some() {
+            let mut per: std::collections::HashMap<String, [[u64; 2]; 2]> = Default::default();
+            for (node, stats) in threads {
+                for (a, st) in stats.iter_arrays() {
+                    let e = per.entry(machine.alloc_name(a)).or_default();
+                    for rw in 0..2 {
+                        for pat in 0..2 {
+                            for dst in 0..nnodes {
+                                let loc = topo.dist(*node, dst).is_remote() as usize;
+                                e[pat][loc] += st.count[rw][pat][dst];
+                            }
+                        }
+                    }
+                }
+            }
+            let mut rows: Vec<_> = per.into_iter().collect();
+            rows.sort_by_key(|(_, c)| std::cmp::Reverse(c[1][1]));
+            for (name, c) in rows {
+                eprintln!(
+                    "[cost] {name:24} seqL {:>9} seqR {:>9} randL {:>9} randR {:>9}",
+                    c[0][0], c[0][1], c[1][0], c[1][1]
+                );
+            }
+        }
+
+        cost.max_thread_us = cost.per_thread_us.iter().cloned().fold(0.0, f64::max);
+        cost.dram_bound_us = dram_bytes
+            .iter()
+            .map(|b| b / cfg.node_dram_mbs)
+            .fold(0.0, f64::max);
+        cost.link_bound_us = link_bytes
+            .iter()
+            .flatten()
+            .map(|b| b / cfg.link_mbs)
+            .fold(0.0, f64::max);
+        cost.time_us = cost
+            .max_thread_us
+            .max(cost.dram_bound_us)
+            .max(cost.link_bound_us);
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::AccessCtx;
+    use crate::policy::AllocPolicy;
+    use crate::topology::MachineSpec;
+
+    fn stats_for(
+        m: &Machine,
+        core: usize,
+        f: impl FnOnce(&mut AccessCtx),
+    ) -> (NodeId, AccessStats) {
+        let mut ctx = AccessCtx::new(m, core);
+        f(&mut ctx);
+        (ctx.node(), ctx.take_stats())
+    }
+
+    #[test]
+    fn barrier_costs_match_paper_endpoints() {
+        assert!((BarrierKind::Pthread.cost_us(1) - 30.0).abs() < 1.0);
+        assert!((BarrierKind::Pthread.cost_us(2) - 570.0).abs() < 5.0);
+        assert!((BarrierKind::Pthread.cost_us(8) - 6182.0).abs() < 20.0);
+        assert!((BarrierKind::Hierarchical.cost_us(8) - 612.0).abs() < 5.0);
+        assert!((BarrierKind::SenseNuma.cost_us(8) - 8.0).abs() < 0.5);
+        // Ordering: N < H < P at every socket count above one.
+        for s in 2..=8 {
+            assert!(BarrierKind::SenseNuma.cost_us(s) < BarrierKind::Hierarchical.cost_us(s));
+            assert!(BarrierKind::Hierarchical.cost_us(s) < BarrierKind::Pthread.cost_us(s));
+        }
+    }
+
+    #[test]
+    fn local_sequential_cheaper_than_remote_random() {
+        let m = Machine::new(MachineSpec::test2());
+        // Big arrays so the LLC hit rate stays low and DRAM dominates.
+        let local = m.alloc_array::<u64>("l", 1 << 20, AllocPolicy::OnNode(0));
+        let remote = m.alloc_array::<u64>("r", 1 << 20, AllocPolicy::OnNode(1));
+        let mut model = CostModel::new(&m, CostConfig::default());
+
+        let seq_local = stats_for(&m, 0, |ctx| {
+            for i in 0..100_000 {
+                local.get(ctx, i);
+            }
+        });
+        let rand_remote = stats_for(&m, 0, |ctx| {
+            let mut i = 1usize;
+            for _ in 0..100_000 {
+                i = (i.wrapping_mul(2862933555777941757).wrapping_add(3037000493)) % (1 << 20);
+                remote.get(ctx, i);
+            }
+        });
+        let c1 = model.phase_cost(&[seq_local]);
+        let c2 = model.phase_cost(&[rand_remote]);
+        assert!(c1.time_us > 0.0);
+        // Same byte volume; random remote must be several times slower.
+        assert!(c2.time_us > 3.0 * c1.time_us, "{} vs {}", c2.time_us, c1.time_us);
+        assert!(c2.count_remote > 90_000);
+        assert_eq!(c2.count_local, 0);
+    }
+
+    #[test]
+    fn sequential_remote_beats_random_local() {
+        // The paper's key insight, reproduced by the model end-to-end.
+        let m = Machine::new(MachineSpec::test2());
+        let local = m.alloc_array::<u64>("l", 1 << 21, AllocPolicy::OnNode(0));
+        let remote = m.alloc_array::<u64>("r", 1 << 21, AllocPolicy::OnNode(1));
+        let mut model = CostModel::new(&m, CostConfig::default());
+        let n = 200_000;
+        let seq_remote = stats_for(&m, 0, |ctx| {
+            for i in 0..n {
+                remote.get(ctx, i);
+            }
+        });
+        let rand_local = stats_for(&m, 0, |ctx| {
+            let mut i = 1usize;
+            for _ in 0..n {
+                i = (i.wrapping_mul(2862933555777941757).wrapping_add(3037000493)) % (1 << 21);
+                local.get(ctx, i);
+            }
+        });
+        let c_sr = model.phase_cost(&[seq_remote]);
+        let c_rl = model.phase_cost(&[rand_local]);
+        assert!(
+            c_rl.time_us > 1.5 * c_sr.time_us,
+            "random local {} should exceed sequential remote {}",
+            c_rl.time_us,
+            c_sr.time_us
+        );
+    }
+
+    #[test]
+    fn congestion_binds_when_all_threads_hammer_one_node() {
+        let m = Machine::new(MachineSpec::intel80());
+        let central = m.alloc_array::<u64>("c", 1 << 22, AllocPolicy::Centralized);
+        let mut model = CostModel::new(&m, CostConfig::default());
+        let mut threads = Vec::new();
+        for core in 0..80 {
+            threads.push(stats_for(&m, core, |ctx| {
+                for i in 0..50_000 {
+                    central.get(ctx, i);
+                }
+            }));
+        }
+        let c = model.phase_cost(&threads);
+        // All traffic funnels into node 0's controller.
+        assert!(c.dram_bound_us > c.max_thread_us);
+        assert_eq!(c.time_us, c.dram_bound_us.max(c.link_bound_us));
+    }
+
+    #[test]
+    fn small_working_set_hits_in_llc() {
+        let m = Machine::new(MachineSpec::intel80());
+        let tiny = m.alloc_array::<u64>("t", 1024, AllocPolicy::OnNode(0));
+        let huge = m.alloc_array::<u64>("h", 1 << 24, AllocPolicy::OnNode(0));
+        let mut model = CostModel::new(&m, CostConfig::default());
+        let n = 100_000;
+        let hot = stats_for(&m, 0, |ctx| {
+            let mut i = 1usize;
+            for _ in 0..n {
+                i = (i * 31 + 7) % 1024;
+                tiny.get(ctx, i);
+            }
+        });
+        let cold = stats_for(&m, 0, |ctx| {
+            let mut i = 1usize;
+            for _ in 0..n {
+                i = (i.wrapping_mul(2862933555777941757).wrapping_add(3037000493)) % (1 << 24);
+                huge.get(ctx, i);
+            }
+        });
+        let c_hot = model.phase_cost(&[hot]);
+        let c_cold = model.phase_cost(&[cold]);
+        assert!(c_cold.time_us > 2.0 * c_hot.time_us);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut a = PhaseCost {
+            time_us: 1.0,
+            per_thread_us: vec![1.0],
+            count_local: 5,
+            ..Default::default()
+        };
+        let b = PhaseCost {
+            time_us: 2.0,
+            per_thread_us: vec![2.0, 3.0],
+            count_remote: 7,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.time_us, 3.0);
+        assert_eq!(a.per_thread_us, vec![3.0, 3.0]);
+        assert_eq!(a.count_local, 5);
+        assert_eq!(a.count_remote, 7);
+    }
+}

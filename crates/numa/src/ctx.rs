@@ -1,0 +1,421 @@
+//! Per-simulated-thread access context and access statistics.
+//!
+//! Every instrumented array access is classified along the three dimensions
+//! the paper's Figure 2 uses to label execution flows:
+//!
+//! * **pattern** — sequential ([`Pattern::Seq`]) when the access continues a
+//!   forward stream on the same array (within two cache lines of the previous
+//!   access's end), random ([`Pattern::Rand`]) otherwise;
+//! * **direction** — read or write ([`Rw`]); read-modify-writes are charged
+//!   as one write transaction;
+//! * **destination node** — the home node of the touched page, from which
+//!   local/remote and the hop distance follow.
+//!
+//! Statistics are kept per allocation so the cost model can apply its cache
+//! model per array and the reports can attribute traffic to graph topology,
+//! application data, and runtime state separately.
+
+use crate::machine::{AllocId, Machine};
+use crate::topology::{NodeId, NumaTopology, MAX_NODES};
+
+/// Access pattern: sequential stream vs. random.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Continues a forward stream on the same array.
+    Seq,
+    /// Anything else, including the first touch of an array in a phase.
+    Rand,
+}
+
+impl Pattern {
+    /// Index into per-pattern tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Pattern::Seq => 0,
+            Pattern::Rand => 1,
+        }
+    }
+}
+
+/// Read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rw {
+    /// A load.
+    Read,
+    /// A store or read-modify-write.
+    Write,
+}
+
+impl Rw {
+    /// Index into per-direction tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Rw::Read => 0,
+            Rw::Write => 1,
+        }
+    }
+}
+
+/// How far ahead of the previous access's end an access may land and still
+/// count as sequential (two cache lines).
+const SEQ_WINDOW_FWD: u64 = 128;
+/// How far *behind* the previous end an access may start and still count as
+/// sequential (re-touching the current cache line).
+const SEQ_WINDOW_BACK: u64 = 64;
+
+/// Access counters of one allocation: `bytes[rw][pattern][dst_node]` and the
+/// matching transaction counts.
+#[derive(Clone, Debug)]
+pub struct ArrStat {
+    /// Bytes moved, indexed by `[Rw::index()][Pattern::index()][dst node]`.
+    pub bytes: [[[u64; MAX_NODES]; 2]; 2],
+    /// Transactions, same indexing.
+    pub count: [[[u64; MAX_NODES]; 2]; 2],
+}
+
+impl Default for ArrStat {
+    fn default() -> Self {
+        ArrStat {
+            bytes: [[[0; MAX_NODES]; 2]; 2],
+            count: [[[0; MAX_NODES]; 2]; 2],
+        }
+    }
+}
+
+impl ArrStat {
+    fn merge(&mut self, other: &ArrStat) {
+        for rw in 0..2 {
+            for pat in 0..2 {
+                for n in 0..MAX_NODES {
+                    self.bytes[rw][pat][n] += other.bytes[rw][pat][n];
+                    self.count[rw][pat][n] += other.count[rw][pat][n];
+                }
+            }
+        }
+    }
+
+    /// Total bytes over all buckets.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().flatten().flatten().sum()
+    }
+
+    /// Total transactions over all buckets.
+    pub fn total_count(&self) -> u64 {
+        self.count.iter().flatten().flatten().sum()
+    }
+}
+
+/// Classified access statistics of one simulated thread (or a merge of
+/// several), keyed by allocation.
+#[derive(Clone, Debug, Default)]
+pub struct AccessStats {
+    per: Vec<Option<Box<ArrStat>>>,
+    /// Extra CPU cycles charged via [`AccessCtx::charge_cycles`]
+    /// (per-edge arithmetic beyond the memory accesses).
+    pub extra_cycles: f64,
+}
+
+impl AccessStats {
+    #[inline]
+    fn slot(&mut self, alloc: AllocId) -> &mut ArrStat {
+        let i = alloc as usize;
+        if i >= self.per.len() {
+            self.per.resize_with(i + 1, || None);
+        }
+        self.per[i].get_or_insert_with(Default::default)
+    }
+
+    #[inline]
+    pub(crate) fn add(&mut self, alloc: AllocId, rw: Rw, pat: Pattern, dst: NodeId, bytes: u64) {
+        let s = self.slot(alloc);
+        s.bytes[rw.index()][pat.index()][dst] += bytes;
+        s.count[rw.index()][pat.index()][dst] += 1;
+    }
+
+    /// Merge another stats object into this one.
+    pub fn merge(&mut self, other: &AccessStats) {
+        if other.per.len() > self.per.len() {
+            self.per.resize_with(other.per.len(), || None);
+        }
+        for (i, o) in other.per.iter().enumerate() {
+            if let Some(o) = o {
+                self.per[i].get_or_insert_with(Default::default).merge(o);
+            }
+        }
+        self.extra_cycles += other.extra_cycles;
+    }
+
+    /// Iterate over the allocations with any recorded accesses.
+    pub fn iter_arrays(&self) -> impl Iterator<Item = (AllocId, &ArrStat)> {
+        self.per
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_deref().map(|s| (i as AllocId, s)))
+    }
+
+    /// Total transactions.
+    pub fn total_count(&self) -> u64 {
+        self.iter_arrays().map(|(_, s)| s.total_count()).sum()
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.iter_arrays().map(|(_, s)| s.total_bytes()).sum()
+    }
+
+    /// Transactions whose destination differs from `from` under `topo`.
+    pub fn remote_count(&self, topo: &NumaTopology, from: NodeId) -> u64 {
+        self.iter_arrays()
+            .map(|(_, s)| {
+                let mut c = 0;
+                for rw in 0..2 {
+                    for pat in 0..2 {
+                        for dst in 0..topo.num_nodes() {
+                            if dst != from {
+                                c += s.count[rw][pat][dst];
+                            }
+                        }
+                    }
+                }
+                c
+            })
+            .sum()
+    }
+
+    /// Bytes moved per `(pattern, dst)` summed over read/write, for one
+    /// allocation. Returns `None` when the allocation was never touched.
+    pub fn array_bytes(&self, alloc: AllocId) -> Option<&ArrStat> {
+        self.per.get(alloc as usize).and_then(|s| s.as_deref())
+    }
+
+    /// True when no accesses were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.per.iter().all(|s| s.is_none())
+    }
+}
+
+/// The execution context of one simulated thread: which core it is bound to,
+/// and the classified statistics of everything it has touched since the last
+/// [`AccessCtx::take_stats`].
+pub struct AccessCtx {
+    tid: usize,
+    core: usize,
+    node: NodeId,
+    num_threads: usize,
+    stats: AccessStats,
+    /// Per-allocation end offset of the previous access (`u64::MAX` = never
+    /// touched), for sequential-stream detection.
+    last_end: Vec<u64>,
+}
+
+impl AccessCtx {
+    /// A context bound to `core` of `machine`, with thread id = core id.
+    pub fn new(machine: &Machine, core: usize) -> Self {
+        let topo = machine.topology();
+        AccessCtx {
+            tid: core,
+            core,
+            node: topo.node_of_core(core),
+            num_threads: topo.total_cores(),
+            stats: AccessStats::default(),
+            last_end: Vec::new(),
+        }
+    }
+
+    pub(crate) fn with_threads(machine: &Machine, tid: usize, core: usize, n: usize) -> Self {
+        let mut c = Self::new(machine, core);
+        c.tid = tid;
+        c.num_threads = n;
+        c
+    }
+
+    /// Simulated thread id within the executor.
+    #[inline]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The core this thread is bound to.
+    #[inline]
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// The memory node of the bound core.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of simulated threads in the current executor.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Record one classified access (called by the instrumented arrays).
+    #[inline]
+    pub(crate) fn record(&mut self, alloc: AllocId, off: usize, len: usize, rw: Rw, dst: NodeId) {
+        let i = alloc as usize;
+        if i >= self.last_end.len() {
+            self.last_end.resize(i + 1, u64::MAX);
+        }
+        let off = off as u64;
+        let last = self.last_end[i];
+        let pat = if last != u64::MAX
+            && off + SEQ_WINDOW_BACK >= last
+            && off <= last + SEQ_WINDOW_FWD
+        {
+            Pattern::Seq
+        } else {
+            Pattern::Rand
+        };
+        self.last_end[i] = off + len as u64;
+        self.stats.add(alloc, rw, pat, dst, len as u64);
+    }
+
+    /// Charge extra CPU cycles (per-edge arithmetic) to this thread's
+    /// current phase.
+    #[inline]
+    pub fn charge_cycles(&mut self, cycles: f64) {
+        self.stats.extra_cycles += cycles;
+    }
+
+    /// Take and reset the accumulated statistics; also resets the
+    /// sequential-stream trackers (a new phase starts new streams).
+    pub fn take_stats(&mut self) -> AccessStats {
+        self.last_end.clear();
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Peek at the statistics without resetting.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AllocPolicy;
+    use crate::topology::MachineSpec;
+
+    fn setup() -> (Machine, AccessCtx) {
+        let m = Machine::new(MachineSpec::test2());
+        let ctx = AccessCtx::new(&m, 0);
+        (m, ctx)
+    }
+
+    #[test]
+    fn streaming_is_sequential_after_first_touch() {
+        let (m, mut ctx) = setup();
+        let a = m.alloc_array_with("a", 4096, AllocPolicy::OnNode(0), |i| i as u64);
+        for i in 0..100 {
+            a.get(&mut ctx, i);
+        }
+        let s = ctx.take_stats();
+        let st = s.array_bytes(a.alloc_id()).unwrap();
+        // First access is cold (random); the rest stream sequentially.
+        assert_eq!(st.count[Rw::Read.index()][Pattern::Rand.index()][0], 1);
+        assert_eq!(st.count[Rw::Read.index()][Pattern::Seq.index()][0], 99);
+    }
+
+    #[test]
+    fn strided_access_is_random() {
+        let (m, mut ctx) = setup();
+        let a = m.alloc_array_with("a", 4096, AllocPolicy::OnNode(0), |i| i as u64);
+        for i in (0..4096).step_by(512) {
+            a.get(&mut ctx, i);
+        }
+        let s = ctx.take_stats();
+        let st = s.array_bytes(a.alloc_id()).unwrap();
+        assert_eq!(st.count[0][Pattern::Rand.index()][0], 8);
+        assert_eq!(st.count[0][Pattern::Seq.index()][0], 0);
+    }
+
+    #[test]
+    fn small_forward_gaps_stay_sequential() {
+        let (m, mut ctx) = setup();
+        let a = m.alloc_array_with("a", 4096, AllocPolicy::OnNode(0), |i| i as u64);
+        // Stride of 8 elements = 64 bytes: within the 128-byte window.
+        for i in (0..1024).step_by(8) {
+            a.get(&mut ctx, i);
+        }
+        let s = ctx.take_stats();
+        let st = s.array_bytes(a.alloc_id()).unwrap();
+        assert_eq!(st.count[0][Pattern::Seq.index()][0], 127);
+    }
+
+    #[test]
+    fn destination_node_follows_pages() {
+        let (m, mut ctx) = setup();
+        // Interleaved: elements 0..511 on node 0, 512..1023 on node 1.
+        let a = m.alloc_array::<u64>("a", 1024, AllocPolicy::Interleaved);
+        a.get(&mut ctx, 0);
+        a.get(&mut ctx, 600);
+        let s = ctx.take_stats();
+        let st = s.array_bytes(a.alloc_id()).unwrap();
+        let total_node0: u64 = (0..2).map(|p| st.count[0][p][0]).sum();
+        let total_node1: u64 = (0..2).map(|p| st.count[0][p][1]).sum();
+        assert_eq!(total_node0, 1);
+        assert_eq!(total_node1, 1);
+        assert_eq!(s.remote_count(m.topology(), 0), 1);
+    }
+
+    #[test]
+    fn take_stats_resets_streams() {
+        let (m, mut ctx) = setup();
+        let a = m.alloc_array::<u64>("a", 64, AllocPolicy::OnNode(0));
+        a.get(&mut ctx, 0);
+        a.get(&mut ctx, 1);
+        let s1 = ctx.take_stats();
+        assert_eq!(s1.total_count(), 2);
+        // After reset the next access is cold again.
+        a.get(&mut ctx, 2);
+        let s2 = ctx.take_stats();
+        let st = s2.array_bytes(a.alloc_id()).unwrap();
+        assert_eq!(st.count[0][Pattern::Rand.index()][0], 1);
+    }
+
+    #[test]
+    fn ctx_accessors_reflect_binding() {
+        let m = Machine::new(MachineSpec::test2());
+        let ctx = AccessCtx::new(&m, 3);
+        assert_eq!(ctx.core(), 3);
+        assert_eq!(ctx.node(), 1);
+        assert_eq!(ctx.tid(), 3);
+        assert_eq!(ctx.num_threads(), 4);
+    }
+
+    #[test]
+    fn charge_cycles_accumulates_and_merges() {
+        let m = Machine::new(MachineSpec::test2());
+        let mut ctx = AccessCtx::new(&m, 0);
+        ctx.charge_cycles(10.0);
+        ctx.charge_cycles(5.5);
+        let s1 = ctx.take_stats();
+        assert_eq!(s1.extra_cycles, 15.5);
+        ctx.charge_cycles(1.0);
+        let mut total = AccessStats::default();
+        total.merge(&s1);
+        total.merge(&ctx.take_stats());
+        assert_eq!(total.extra_cycles, 16.5);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let (m, mut ctx) = setup();
+        let a = m.alloc_array::<u64>("a", 64, AllocPolicy::OnNode(0));
+        a.get(&mut ctx, 0);
+        let mut total = AccessStats::default();
+        total.merge(&ctx.take_stats());
+        a.get(&mut ctx, 1);
+        a.get(&mut ctx, 2);
+        total.merge(&ctx.take_stats());
+        assert_eq!(total.total_count(), 3);
+        assert_eq!(total.total_bytes(), 24);
+        assert!(!total.is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! The simulated machine: topology + allocation registry + memory accounting.
+//!
+//! A [`Machine`] is a cheaply clonable handle (an `Arc` internally). Arrays
+//! allocated from it register their size and placement, so the experiment
+//! harness can report peak memory consumption per system and per tag exactly
+//! as the paper's Table 5 does (total, with the agent-replica share shown
+//! separately).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::array::{Atom, NumaArray, NumaAtomicArray};
+use crate::policy::{AllocPolicy, Placement};
+use crate::topology::{MachineSpec, NumaTopology};
+
+/// Identifier of one allocation within a machine; indexes per-array access
+/// statistics.
+pub type AllocId = u32;
+
+/// Live/peak byte counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemUsage {
+    /// Bytes currently allocated.
+    pub live: u64,
+    /// High-water mark of `live` since the last reset.
+    pub peak: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct AllocInfo {
+    pub name: String,
+    pub bytes: u64,
+    pub live: bool,
+}
+
+pub(crate) struct MachineInner {
+    spec: MachineSpec,
+    topology: NumaTopology,
+    pub(crate) allocs: Mutex<Vec<AllocInfo>>,
+    live_bytes: AtomicU64,
+    peak_bytes: AtomicU64,
+    /// Per-tag (live, peak) bytes; the tag is the allocation name's prefix up
+    /// to the first `'/'`, so `"agents/out"` and `"agents/in"` share a tag.
+    tags: Mutex<HashMap<String, MemUsage>>,
+}
+
+/// Handle to a simulated NUMA machine. Clones share all state.
+#[derive(Clone)]
+pub struct Machine {
+    pub(crate) inner: Arc<MachineInner>,
+}
+
+impl Machine {
+    /// Build a machine from a spec.
+    pub fn new(spec: MachineSpec) -> Self {
+        let topology = spec.topology();
+        Machine {
+            inner: Arc::new(MachineInner {
+                spec,
+                topology,
+                allocs: Mutex::new(Vec::new()),
+                live_bytes: AtomicU64::new(0),
+                peak_bytes: AtomicU64::new(0),
+                tags: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> &NumaTopology {
+        &self.inner.topology
+    }
+
+    /// The spec the machine was built from.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.inner.spec
+    }
+
+    /// Allocate a zero-initialized plain (read-mostly) array.
+    pub fn alloc_array<T: Copy + Default>(
+        &self,
+        name: &str,
+        len: usize,
+        policy: AllocPolicy,
+    ) -> NumaArray<T> {
+        self.alloc_array_with(name, len, policy, |_| T::default())
+    }
+
+    /// Allocate a plain array initialized element-by-element. Initialization
+    /// models the construction stage and is not charged to simulated time.
+    pub fn alloc_array_with<T: Copy>(
+        &self,
+        name: &str,
+        len: usize,
+        policy: AllocPolicy,
+        mut init: impl FnMut(usize) -> T,
+    ) -> NumaArray<T> {
+        let (id, placement) = self.register::<T>(name, len, &policy);
+        let data: Box<[T]> = (0..len).map(&mut init).collect();
+        NumaArray::new(self.clone(), id, placement, data)
+    }
+
+    /// Allocate an atomic array (mutable shared data such as the `next`
+    /// application-data array or runtime-state bitmaps), zero-initialized.
+    pub fn alloc_atomic<T: Atom>(
+        &self,
+        name: &str,
+        len: usize,
+        policy: AllocPolicy,
+    ) -> NumaAtomicArray<T> {
+        self.alloc_atomic_with(name, len, policy, |_| T::zero())
+    }
+
+    /// Allocate an atomic array initialized element-by-element.
+    pub fn alloc_atomic_with<T: Atom>(
+        &self,
+        name: &str,
+        len: usize,
+        policy: AllocPolicy,
+        mut init: impl FnMut(usize) -> T,
+    ) -> NumaAtomicArray<T> {
+        let (id, placement) = self.register::<T>(name, len, &policy);
+        let data: Box<[T::Repr]> = (0..len).map(|i| T::new_atomic(init(i))).collect();
+        NumaAtomicArray::new(self.clone(), id, placement, data)
+    }
+
+    fn register<T>(&self, name: &str, len: usize, policy: &AllocPolicy) -> (AllocId, Placement) {
+        let elem = std::mem::size_of::<T>();
+        let placement = Placement::resolve_paged(
+            policy,
+            len,
+            elem.max(1),
+            self.topology().num_nodes(),
+            self.inner.spec.page_bytes,
+        );
+        let bytes = (len * elem) as u64;
+        let mut allocs = self.inner.allocs.lock();
+        let id = allocs.len() as AllocId;
+        allocs.push(AllocInfo {
+            name: name.to_string(),
+            bytes,
+            live: true,
+        });
+        drop(allocs);
+        self.on_alloc(name, bytes);
+        (id, placement)
+    }
+
+    pub(crate) fn on_alloc(&self, name: &str, bytes: u64) {
+        let live = self.inner.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.peak_bytes.fetch_max(live, Ordering::Relaxed);
+        let tag = Self::tag_of(name);
+        let mut tags = self.inner.tags.lock();
+        let u = tags.entry(tag).or_default();
+        u.live += bytes;
+        u.peak = u.peak.max(u.live);
+    }
+
+    pub(crate) fn on_free(&self, id: AllocId, name: &str, bytes: u64) {
+        self.inner.live_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        if let Some(info) = self.inner.allocs.lock().get_mut(id as usize) {
+            info.live = false;
+        }
+        let tag = Self::tag_of(name);
+        if let Some(u) = self.inner.tags.lock().get_mut(&tag) {
+            u.live = u.live.saturating_sub(bytes);
+        }
+    }
+
+    fn tag_of(name: &str) -> String {
+        name.split('/').next().unwrap_or(name).to_string()
+    }
+
+    /// Total live and peak bytes across all allocations.
+    pub fn mem_usage(&self) -> MemUsage {
+        MemUsage {
+            live: self.inner.live_bytes.load(Ordering::Relaxed),
+            peak: self.inner.peak_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live/peak bytes of one tag (allocation-name prefix before `'/'`).
+    pub fn tag_usage(&self, tag: &str) -> MemUsage {
+        self.inner.tags.lock().get(tag).copied().unwrap_or_default()
+    }
+
+    /// All tags with their usage, sorted by tag name.
+    pub fn tag_usages(&self) -> Vec<(String, MemUsage)> {
+        let mut v: Vec<_> = self
+            .inner
+            .tags
+            .lock()
+            .iter()
+            .map(|(k, u)| (k.clone(), *u))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Reset the peak trackers to the current live values (used between
+    /// experiment runs that share a machine).
+    pub fn reset_peak(&self) {
+        let live = self.inner.live_bytes.load(Ordering::Relaxed);
+        self.inner.peak_bytes.store(live, Ordering::Relaxed);
+        for u in self.inner.tags.lock().values_mut() {
+            u.peak = u.live;
+        }
+    }
+
+    /// Number of allocations ever registered (live or freed).
+    pub fn num_allocs(&self) -> usize {
+        self.inner.allocs.lock().len()
+    }
+
+    /// Size in bytes of an allocation (live or freed).
+    pub fn alloc_bytes(&self, id: AllocId) -> u64 {
+        self.inner.allocs.lock()[id as usize].bytes
+    }
+
+    /// Name of an allocation.
+    pub fn alloc_name(&self, id: AllocId) -> String {
+        self.inner.allocs.lock()[id as usize].name.clone()
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("spec", &self.inner.spec.name)
+            .field("nodes", &self.topology().num_nodes())
+            .field("cores", &self.topology().total_cores())
+            .field("mem", &self.mem_usage())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::MachineSpec;
+
+    #[test]
+    fn alloc_tracks_live_and_peak() {
+        let m = Machine::new(MachineSpec::test2());
+        let a = m.alloc_array::<u64>("a", 1000, AllocPolicy::Interleaved);
+        assert_eq!(m.mem_usage().live, 8000);
+        let b = m.alloc_array::<u32>("b", 1000, AllocPolicy::Centralized);
+        assert_eq!(m.mem_usage().live, 12000);
+        assert_eq!(m.mem_usage().peak, 12000);
+        drop(a);
+        assert_eq!(m.mem_usage().live, 4000);
+        assert_eq!(m.mem_usage().peak, 12000);
+        drop(b);
+        assert_eq!(m.mem_usage().live, 0);
+    }
+
+    #[test]
+    fn tag_accounting_groups_by_prefix() {
+        let m = Machine::new(MachineSpec::test2());
+        let _a = m.alloc_array::<u64>("agents/out", 100, AllocPolicy::OnNode(0));
+        let _b = m.alloc_array::<u64>("agents/in", 100, AllocPolicy::OnNode(1));
+        let _c = m.alloc_array::<u64>("topo/vertices", 100, AllocPolicy::OnNode(0));
+        assert_eq!(m.tag_usage("agents").live, 1600);
+        assert_eq!(m.tag_usage("topo").live, 800);
+        assert_eq!(m.tag_usage("missing"), MemUsage::default());
+    }
+
+    #[test]
+    fn reset_peak_rebases_to_live() {
+        let m = Machine::new(MachineSpec::test2());
+        {
+            let _big = m.alloc_array::<u64>("big", 10_000, AllocPolicy::Interleaved);
+        }
+        assert_eq!(m.mem_usage().peak, 80_000);
+        m.reset_peak();
+        assert_eq!(m.mem_usage().peak, 0);
+    }
+
+    #[test]
+    fn alloc_with_initializer() {
+        let m = Machine::new(MachineSpec::test2());
+        let a = m.alloc_array_with("sq", 10, AllocPolicy::OnNode(0), |i| (i * i) as u64);
+        assert_eq!(a.raw()[3], 9);
+        assert_eq!(m.alloc_name(0), "sq");
+        assert_eq!(m.alloc_bytes(0), 80);
+    }
+}

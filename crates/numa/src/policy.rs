@@ -1,0 +1,219 @@
+//! Allocation policies: how the pages of an allocation map to memory nodes.
+//!
+//! These model the placement options discussed in Sections 3.1 and 4.2 of the
+//! paper: Linux's default first-touch binding, interleaved allocation,
+//! centralized allocation by a main thread, explicit binding to one node, and
+//! Polymer's *contiguous-virtual / distributed-physical* layout in which one
+//! contiguous array has its page ranges homed on the nodes that own the
+//! corresponding vertex partitions.
+
+use std::sync::Arc;
+
+use crate::topology::{NodeId, PAGE_SIZE};
+
+/// Placement intent supplied when allocating a [`crate::NumaArray`].
+#[derive(Clone, Debug)]
+pub enum AllocPolicy {
+    /// Linux first-touch: all pages bound to the node of the thread that
+    /// allocates (and is assumed to initialize) the array. The allocating
+    /// node is supplied at allocation time.
+    FirstTouch(NodeId),
+    /// All pages on node 0, as when a main thread allocates and initializes
+    /// short-term runtime state each iteration (Section 3.1).
+    Centralized,
+    /// Pages round-robin across all nodes of the machine (numactl
+    /// `--interleave=all`).
+    Interleaved,
+    /// All pages bound to one explicit node (libnuma `numa_alloc_onnode`).
+    OnNode(NodeId),
+    /// Polymer's application-data layout: the array is one contiguous
+    /// virtual range, but element range `i` (with the given length) is
+    /// physically homed on the given node. Ranges are in element counts and
+    /// must sum to the array length.
+    ChunkedElems(Vec<(usize, NodeId)>),
+}
+
+/// Resolved page→node mapping of one allocation. Cheap to clone and lookup.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    kind: PlacementKind,
+    /// Page size in bytes (power of two). 4 KiB models normal pages; 2 MiB
+    /// models transparent huge pages, whose coarse placement granularity can
+    /// hurt on NUMA (Gaud et al., USENIX ATC'14 — cited by the paper).
+    page_shift: u32,
+}
+
+/// The mapping shape.
+#[derive(Clone, Debug)]
+enum PlacementKind {
+    /// Every page on one node.
+    OnNode(NodeId),
+    /// Page `p` lives on node `p % nodes`.
+    Interleaved { nodes: usize },
+    /// Explicit per-page home nodes.
+    Pages(Arc<[u8]>),
+}
+
+impl Placement {
+    /// Resolve a policy for an allocation of `len` elements of `elem_size`
+    /// bytes on a machine with `nodes` memory nodes and 4 KiB pages.
+    pub fn resolve(
+        policy: &AllocPolicy,
+        len: usize,
+        elem_size: usize,
+        nodes: usize,
+    ) -> Placement {
+        Self::resolve_paged(policy, len, elem_size, nodes, PAGE_SIZE)
+    }
+
+    /// Like [`Placement::resolve`] with an explicit page size (must be a
+    /// power of two).
+    pub fn resolve_paged(
+        policy: &AllocPolicy,
+        len: usize,
+        elem_size: usize,
+        nodes: usize,
+        page_bytes: usize,
+    ) -> Placement {
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        let page_shift = page_bytes.trailing_zeros();
+        let check = |n: NodeId| {
+            assert!(n < nodes, "placement node {n} out of range (machine has {nodes})");
+            n
+        };
+        let kind = match policy {
+            AllocPolicy::FirstTouch(n) | AllocPolicy::OnNode(n) => {
+                PlacementKind::OnNode(check(*n))
+            }
+            AllocPolicy::Centralized => PlacementKind::OnNode(0),
+            AllocPolicy::Interleaved => PlacementKind::Interleaved { nodes },
+            AllocPolicy::ChunkedElems(ranges) => {
+                let total: usize = ranges.iter().map(|(c, _)| *c).sum();
+                assert_eq!(
+                    total, len,
+                    "chunked placement ranges must cover the array exactly"
+                );
+                let bytes = len * elem_size;
+                let pages = bytes.div_ceil(page_bytes).max(1);
+                let mut map = vec![0u8; pages];
+                let mut elem = 0usize;
+                for (count, node) in ranges {
+                    check(*node);
+                    if *count == 0 {
+                        continue;
+                    }
+                    let start_page = elem * elem_size / page_bytes;
+                    let end_elem = elem + count;
+                    let end_page =
+                        (end_elem * elem_size).div_ceil(page_bytes).max(start_page + 1);
+                    map[start_page..end_page.min(pages)].fill(*node as u8);
+                    elem = end_elem;
+                }
+                PlacementKind::Pages(map.into())
+            }
+        };
+        Placement { kind, page_shift }
+    }
+
+    /// Home node of the page containing byte offset `byte_off`.
+    #[inline]
+    pub fn node_of(&self, byte_off: usize) -> NodeId {
+        let page = byte_off >> self.page_shift;
+        match &self.kind {
+            PlacementKind::OnNode(n) => *n,
+            PlacementKind::Interleaved { nodes } => page % nodes,
+            PlacementKind::Pages(map) => map[page.min(map.len() - 1)] as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_node_and_centralized() {
+        let p = Placement::resolve(&AllocPolicy::OnNode(3), 1000, 8, 8);
+        assert_eq!(p.node_of(0), 3);
+        assert_eq!(p.node_of(7999), 3);
+        let c = Placement::resolve(&AllocPolicy::Centralized, 1000, 8, 8);
+        assert_eq!(c.node_of(4097), 0);
+    }
+
+    #[test]
+    fn interleaved_round_robin() {
+        let p = Placement::resolve(&AllocPolicy::Interleaved, 10_000, 8, 4);
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(PAGE_SIZE), 1);
+        assert_eq!(p.node_of(4 * PAGE_SIZE), 0);
+        assert_eq!(p.node_of(5 * PAGE_SIZE + 17), 1);
+    }
+
+    #[test]
+    fn chunked_elems_maps_ranges_to_nodes() {
+        // 1024 u64 elements per node over 2 nodes: 8 KiB each = 2 pages each.
+        let p = Placement::resolve(
+            &AllocPolicy::ChunkedElems(vec![(1024, 0), (1024, 1)]),
+            2048,
+            8,
+            2,
+        );
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(8191), 0);
+        assert_eq!(p.node_of(8192), 1);
+        assert_eq!(p.node_of(16383), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover the array exactly")]
+    fn chunked_must_cover() {
+        Placement::resolve(&AllocPolicy::ChunkedElems(vec![(10, 0)]), 11, 8, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_out_of_range_rejected() {
+        Placement::resolve(&AllocPolicy::OnNode(9), 10, 8, 2);
+    }
+
+    #[test]
+    fn huge_pages_coarsen_placement() {
+        // 2048 u64 elements = 16 KiB: four 4 KiB pages interleave over two
+        // nodes, but a single 2 MiB huge page pins everything to node 0.
+        let small = Placement::resolve_paged(&AllocPolicy::Interleaved, 2048, 8, 2, 4096);
+        assert_eq!(small.node_of(0), 0);
+        assert_eq!(small.node_of(4096), 1);
+        let huge = Placement::resolve_paged(&AllocPolicy::Interleaved, 2048, 8, 2, 2 << 20);
+        assert_eq!(huge.node_of(0), 0);
+        assert_eq!(huge.node_of(4096), 0);
+        assert_eq!(huge.node_of(16383), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_page_rejected() {
+        Placement::resolve_paged(&AllocPolicy::Centralized, 8, 8, 2, 3000);
+    }
+
+    #[test]
+    fn chunked_skips_empty_ranges() {
+        let p = Placement::resolve(
+            &AllocPolicy::ChunkedElems(vec![(0, 1), (1024, 0), (0, 1), (1024, 1)]),
+            2048,
+            8,
+            2,
+        );
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(8192), 1);
+    }
+
+    #[test]
+    fn sub_page_allocation_has_one_page() {
+        let p = Placement::resolve(&AllocPolicy::ChunkedElems(vec![(3, 1)]), 3, 4, 2);
+        assert_eq!(p.node_of(0), 1);
+        assert_eq!(p.node_of(11), 1);
+    }
+}

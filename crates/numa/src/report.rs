@@ -1,0 +1,118 @@
+//! Experiment reports: remote-access profiles (paper Table 4) and memory
+//! consumption (paper Table 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::PhaseCost;
+use crate::machine::Machine;
+
+/// The three columns of the paper's Table 4 for one system/algorithm pair:
+/// the fraction of memory transactions that were remote, their absolute
+/// count, and the LLC miss rate attributable to remote accesses.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RemoteAccessReport {
+    /// Remote transactions / total transactions.
+    pub access_rate_remote: f64,
+    /// Absolute number of remote transactions.
+    pub num_accesses_remote: u64,
+    /// Estimated LLC-missing remote transactions / total transactions.
+    pub llc_miss_rate_remote: f64,
+}
+
+impl RemoteAccessReport {
+    /// Derive the report from an accumulated run cost.
+    pub fn from_cost(total: &PhaseCost) -> Self {
+        let all = (total.count_local + total.count_remote) as f64;
+        if all == 0.0 {
+            return RemoteAccessReport {
+                access_rate_remote: 0.0,
+                num_accesses_remote: 0,
+                llc_miss_rate_remote: 0.0,
+            };
+        }
+        RemoteAccessReport {
+            access_rate_remote: total.count_remote as f64 / all,
+            num_accesses_remote: total.count_remote,
+            llc_miss_rate_remote: total.miss_count_remote / all,
+        }
+    }
+}
+
+/// Peak memory consumption of one run, with per-tag attribution — the
+/// paper's Table 5 shows Polymer's agent share in brackets.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Peak bytes over the whole run.
+    pub peak_bytes: u64,
+    /// Peak bytes per allocation tag (name prefix before `'/'`).
+    pub tags: Vec<(String, u64)>,
+}
+
+impl MemoryReport {
+    /// Snapshot the peak counters of a machine.
+    pub fn from_machine(machine: &Machine) -> Self {
+        MemoryReport {
+            peak_bytes: machine.mem_usage().peak,
+            tags: machine
+                .tag_usages()
+                .into_iter()
+                .map(|(t, u)| (t, u.peak))
+                .collect(),
+        }
+    }
+
+    /// Peak bytes of one tag (0 when absent).
+    pub fn tag_peak(&self, tag: &str) -> u64 {
+        self.tags
+            .iter()
+            .find(|(t, _)| t == tag)
+            .map(|(_, b)| *b)
+            .unwrap_or(0)
+    }
+
+    /// Peak in GiB, as Table 5 reports.
+    pub fn peak_gib(&self) -> f64 {
+        self.peak_bytes as f64 / (1u64 << 30) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AllocPolicy;
+    use crate::topology::MachineSpec;
+
+    #[test]
+    fn remote_report_from_cost() {
+        let total = PhaseCost {
+            count_local: 75,
+            count_remote: 25,
+            miss_count_remote: 10.0,
+            ..Default::default()
+        };
+        let r = RemoteAccessReport::from_cost(&total);
+        assert!((r.access_rate_remote - 0.25).abs() < 1e-12);
+        assert_eq!(r.num_accesses_remote, 25);
+        assert!((r.llc_miss_rate_remote - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_report_empty_run() {
+        let r = RemoteAccessReport::from_cost(&PhaseCost::default());
+        assert_eq!(r.access_rate_remote, 0.0);
+        assert_eq!(r.num_accesses_remote, 0);
+    }
+
+    #[test]
+    fn memory_report_tags() {
+        let m = Machine::new(MachineSpec::test2());
+        let _a = m.alloc_array::<u64>("agents/x", 1000, AllocPolicy::OnNode(0));
+        let _t = m.alloc_array::<u64>("topo/v", 500, AllocPolicy::OnNode(1));
+        let r = MemoryReport::from_machine(&m);
+        assert_eq!(r.peak_bytes, 12_000);
+        assert_eq!(r.tag_peak("agents"), 8_000);
+        assert_eq!(r.tag_peak("topo"), 4_000);
+        assert_eq!(r.tag_peak("nope"), 0);
+        assert!(r.peak_gib() > 0.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! The deterministic bulk-synchronous executor.
+//!
+//! [`SimExecutor`] runs phases of per-simulated-thread tasks on the host,
+//! integrates their classified access streams through the [`CostModel`], and
+//! advances a simulated clock. Tasks run sequentially in thread-id order, so
+//! every experiment is exactly reproducible; the data structures they operate
+//! on are nonetheless real `Sync` types, so the same engine code is valid
+//! under genuine multithreading.
+
+use std::collections::HashMap;
+
+use crate::cost::{BarrierKind, CostConfig, CostModel, PhaseCost};
+use crate::ctx::{AccessCtx, AccessStats};
+use crate::machine::Machine;
+use crate::topology::NodeId;
+
+/// Category labels for phase-time breakdowns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Edge-parallel scatter work.
+    Scatter,
+    /// Vertex-parallel gather/apply work.
+    Gather,
+    /// Anything else.
+    Other,
+}
+
+/// One recorded phase or barrier interval on the simulated timeline.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Phase name, or `"barrier"`.
+    pub name: &'static str,
+    /// Simulated start time, µs.
+    pub start_us: f64,
+    /// Simulated duration, µs.
+    pub dur_us: f64,
+}
+
+/// The simulated run clock: accumulated phase costs, barrier time, and a
+/// per-phase-name time breakdown.
+#[derive(Clone, Debug, Default)]
+pub struct RunClock {
+    /// Accumulated cost over every phase so far (times are sums).
+    pub total: PhaseCost,
+    /// Simulated time spent in barriers, µs.
+    pub barrier_us: f64,
+    /// Number of barriers charged.
+    pub barriers: u64,
+    /// Per-phase-name accumulated (time µs, invocation count).
+    pub by_phase: HashMap<&'static str, (f64, u64)>,
+    /// Timeline of phases and barriers, when tracing is enabled
+    /// ([`SimExecutor::enable_trace`]).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl RunClock {
+    /// Total simulated time including barriers, in µs.
+    pub fn elapsed_us(&self) -> f64 {
+        self.total.time_us + self.barrier_us
+    }
+
+    /// Total simulated time in seconds.
+    pub fn elapsed_sec(&self) -> f64 {
+        self.elapsed_us() / 1e6
+    }
+
+    /// Serialize the recorded timeline as Chrome trace-event JSON (open in
+    /// `chrome://tracing` or Perfetto). Times are in microseconds, which is
+    /// the format's native unit. Empty unless tracing was enabled.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.trace.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":1}}",
+                e.name, e.start_us, e.dur_us
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Deterministic executor over `num_threads` simulated threads bound
+/// node-major to the machine's cores.
+pub struct SimExecutor {
+    machine: Machine,
+    model: CostModel,
+    barrier_kind: BarrierKind,
+    nodes: Vec<NodeId>,
+    ctxs: Vec<AccessCtx>,
+    clock: RunClock,
+    trace: bool,
+}
+
+impl SimExecutor {
+    /// An executor with the default cost model and the NUMA-aware barrier.
+    pub fn new(machine: &Machine, num_threads: usize) -> Self {
+        Self::with_config(machine, num_threads, CostConfig::default(), BarrierKind::SenseNuma)
+    }
+
+    /// An executor with explicit cost-model constants and barrier family.
+    pub fn with_config(
+        machine: &Machine,
+        num_threads: usize,
+        config: CostConfig,
+        barrier_kind: BarrierKind,
+    ) -> Self {
+        let topo = machine.topology();
+        assert!(
+            num_threads >= 1 && num_threads <= topo.total_cores(),
+            "thread count {num_threads} exceeds machine cores {}",
+            topo.total_cores()
+        );
+        let ctxs: Vec<AccessCtx> = (0..num_threads)
+            .map(|t| AccessCtx::with_threads(machine, t, t, num_threads))
+            .collect();
+        let nodes = ctxs.iter().map(|c| c.node()).collect();
+        SimExecutor {
+            machine: machine.clone(),
+            model: CostModel::new(machine, config),
+            barrier_kind,
+            nodes,
+            ctxs,
+            clock: RunClock::default(),
+            trace: false,
+        }
+    }
+
+    /// Record a phase/barrier timeline into the clock (see
+    /// [`RunClock::to_chrome_trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = true;
+    }
+
+    /// The machine this executor runs on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Number of simulated threads.
+    pub fn num_threads(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// Number of distinct sockets the threads span.
+    pub fn num_sockets(&self) -> usize {
+        let mut seen = [false; crate::topology::MAX_NODES];
+        let mut n = 0;
+        for &node in &self.nodes {
+            if !seen[node] {
+                seen[node] = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// The home node of simulated thread `tid`.
+    pub fn node_of_thread(&self, tid: usize) -> NodeId {
+        self.nodes[tid]
+    }
+
+    /// Threads (tids) bound to cores of `node`.
+    pub fn threads_on_node(&self, node: NodeId) -> Vec<usize> {
+        (0..self.ctxs.len()).filter(|&t| self.nodes[t] == node).collect()
+    }
+
+    /// Change the barrier family charged by [`SimExecutor::charge_barrier`]
+    /// (the Figure 10 ablation).
+    pub fn set_barrier_kind(&mut self, kind: BarrierKind) {
+        self.barrier_kind = kind;
+    }
+
+    /// The currently configured barrier family.
+    pub fn barrier_kind(&self) -> BarrierKind {
+        self.barrier_kind
+    }
+
+    /// Run one bulk-synchronous phase: `task(tid, ctx)` is invoked once per
+    /// simulated thread; the phase's simulated time is the cost-model maximum
+    /// over threads and congested resources. Returns the phase cost and
+    /// advances the clock.
+    pub fn run_phase(
+        &mut self,
+        name: &'static str,
+        mut task: impl FnMut(usize, &mut AccessCtx),
+    ) -> PhaseCost {
+        for (tid, ctx) in self.ctxs.iter_mut().enumerate() {
+            task(tid, ctx);
+        }
+        let threads: Vec<(NodeId, AccessStats)> = self
+            .ctxs
+            .iter_mut()
+            .enumerate()
+            .map(|(t, ctx)| (self.nodes[t], ctx.take_stats()))
+            .collect();
+        let cost = self.model.phase_cost(&threads);
+        if self.trace {
+            self.clock.trace.push(TraceEvent {
+                name,
+                start_us: self.clock.elapsed_us(),
+                dur_us: cost.time_us,
+            });
+        }
+        self.clock.total.accumulate(&cost);
+        let e = self.clock.by_phase.entry(name).or_insert((0.0, 0));
+        e.0 += cost.time_us;
+        e.1 += 1;
+        cost
+    }
+
+    /// Charge one global barrier at the configured family's cost, scaled by
+    /// the machine spec's `barrier_scale` (see [`crate::MachineSpec`]).
+    pub fn charge_barrier(&mut self) {
+        let us = self.barrier_kind.cost_us(self.num_sockets()) * self.machine.spec().barrier_scale;
+        if self.trace {
+            self.clock.trace.push(TraceEvent {
+                name: "barrier",
+                start_us: self.clock.elapsed_us(),
+                dur_us: us,
+            });
+        }
+        self.clock.barrier_us += us;
+        self.clock.barriers += 1;
+    }
+
+    /// The accumulated clock.
+    pub fn clock(&self) -> &RunClock {
+        &self.clock
+    }
+
+    /// Reset the clock (e.g. to exclude graph-construction phases from a
+    /// timed computation stage, as the paper does).
+    pub fn reset_clock(&mut self) {
+        self.clock = RunClock::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AllocPolicy;
+    use crate::topology::MachineSpec;
+
+    #[test]
+    fn phases_advance_clock_and_aggregate() {
+        let m = Machine::new(MachineSpec::test2());
+        let a = m.alloc_array::<u64>("a", 1 << 16, AllocPolicy::Interleaved);
+        let mut sim = SimExecutor::new(&m, 4);
+        assert_eq!(sim.num_threads(), 4);
+        assert_eq!(sim.num_sockets(), 2);
+        let c1 = sim.run_phase("scan", |tid, ctx| {
+            let per = a.len() / 4;
+            for i in tid * per..(tid + 1) * per {
+                a.get(ctx, i);
+            }
+        });
+        assert!(c1.time_us > 0.0);
+        sim.charge_barrier();
+        let c2 = sim.run_phase("scan", |_, _| {});
+        assert_eq!(c2.time_us, 0.0);
+        let clock = sim.clock();
+        assert_eq!(clock.barriers, 1);
+        assert!(clock.barrier_us > 0.0);
+        assert_eq!(clock.by_phase["scan"].1, 2);
+        assert!((clock.elapsed_us() - (c1.time_us + clock.barrier_us)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_to_node_binding_is_node_major() {
+        let m = Machine::new(MachineSpec::intel80());
+        let sim = SimExecutor::new(&m, 40);
+        assert_eq!(sim.node_of_thread(0), 0);
+        assert_eq!(sim.node_of_thread(10), 1);
+        assert_eq!(sim.node_of_thread(39), 3);
+        assert_eq!(sim.num_sockets(), 4);
+        assert_eq!(sim.threads_on_node(2), (20..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn barrier_kind_switch_changes_cost() {
+        let m = Machine::new(MachineSpec::intel80());
+        let mut sim = SimExecutor::new(&m, 80);
+        sim.charge_barrier();
+        let cheap = sim.clock().barrier_us;
+        sim.set_barrier_kind(BarrierKind::Pthread);
+        sim.charge_barrier();
+        let expensive = sim.clock().barrier_us - cheap;
+        assert!(expensive > 100.0 * cheap);
+    }
+
+    #[test]
+    fn reset_clock_clears_everything() {
+        let m = Machine::new(MachineSpec::test2());
+        let a = m.alloc_array::<u64>("a", 1024, AllocPolicy::Centralized);
+        let mut sim = SimExecutor::new(&m, 2);
+        sim.run_phase("x", |_, ctx| {
+            a.get(ctx, 0);
+        });
+        sim.charge_barrier();
+        sim.reset_clock();
+        assert_eq!(sim.clock().elapsed_us(), 0.0);
+        assert_eq!(sim.clock().barriers, 0);
+    }
+
+    #[test]
+    fn trace_records_timeline_and_exports_json() {
+        let m = Machine::new(MachineSpec::test2());
+        let a = m.alloc_array::<u64>("a", 4096, AllocPolicy::Centralized);
+        let mut sim = SimExecutor::new(&m, 2);
+        sim.enable_trace();
+        sim.run_phase("scan", |_, ctx| {
+            for i in 0..100 {
+                a.get(ctx, i);
+            }
+        });
+        sim.charge_barrier();
+        sim.run_phase("apply", |_, _| {});
+        let clock = sim.clock();
+        assert_eq!(clock.trace.len(), 3);
+        assert_eq!(clock.trace[0].name, "scan");
+        assert_eq!(clock.trace[1].name, "barrier");
+        // Events are contiguous on the simulated timeline.
+        let end0 = clock.trace[0].start_us + clock.trace[0].dur_us;
+        assert!((clock.trace[1].start_us - end0).abs() < 1e-9);
+        let json = clock.to_chrome_trace();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"scan\""));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let m = Machine::new(MachineSpec::test2());
+        let mut sim = SimExecutor::new(&m, 1);
+        sim.run_phase("x", |_, _| {});
+        assert!(sim.clock().trace.is_empty());
+        assert_eq!(sim.clock().to_chrome_trace(), "[]");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds machine cores")]
+    fn too_many_threads_rejected() {
+        let m = Machine::new(MachineSpec::test2());
+        SimExecutor::new(&m, 5);
+    }
+}

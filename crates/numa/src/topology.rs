@@ -1,0 +1,401 @@
+//! NUMA machine topologies.
+//!
+//! A topology describes the sockets (memory nodes), the cores attached to each
+//! node, and the hop distance between every pair of nodes. Two presets model
+//! the paper's evaluation machines:
+//!
+//! * [`MachineSpec::intel80`] — 8 sockets × 10 cores of Intel Xeon E7-8850
+//!   connected by QPI in a *twisted hypercube*, which bounds the distance
+//!   between any two sockets to two hops (paper Section 6).
+//! * [`MachineSpec::amd64`] — 4 sockets × 2 dies × 8 cores of AMD Opteron
+//!   connected by HyperTransport. Dies within a socket are one hop apart, and
+//!   only "primary" dies have direct links to other sockets, so some die
+//!   pairs are two hops apart (paper Sections 2.2 and 3.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::tables::{BandwidthTable, DistClass, LatencyTable};
+
+/// Identifier of a NUMA memory node (socket or die with its own controller).
+pub type NodeId = usize;
+
+/// Simulated page size in bytes, matching the Linux default of 4 KiB that the
+/// paper's first-touch discussion assumes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Upper bound on the number of memory nodes any topology may have. Access
+/// statistics use fixed-size per-node buckets of this width.
+pub const MAX_NODES: usize = 16;
+
+/// The interconnect family, which determines how hop distances are derived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interconnect {
+    /// Intel QPI arranged as a twisted hypercube: distance is the Hamming
+    /// distance between socket ids, clamped to two hops.
+    TwistedHypercube,
+    /// AMD HyperTransport with two dies per socket: intra-socket die pairs
+    /// are one hop; inter-socket links join primary (even) dies, so a pair of
+    /// nodes is one hop only if at least one endpoint is a primary die of its
+    /// socket and the other is the primary die of another socket.
+    HyperTransport,
+    /// Fully symmetric: every remote node is exactly one hop away. Useful for
+    /// unit tests and for modelling small SMP boxes.
+    FullMesh,
+}
+
+/// A complete description of a simulated NUMA machine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable machine name, e.g. `"intel80"`.
+    pub name: String,
+    /// Number of memory nodes (sockets, or dies on AMD).
+    pub nodes: usize,
+    /// Cores attached to each memory node.
+    pub cores_per_node: usize,
+    /// Interconnect family, from which hop distances are derived.
+    pub interconnect: Interconnect,
+    /// CPU frequency in GHz; converts cycle latencies to time.
+    pub ghz: f64,
+    /// Last-level cache per memory node, in bytes (Intel: 24 MiB, AMD: 16 MiB
+    /// per the paper's Section 6.3).
+    pub llc_bytes: usize,
+    /// Load/store latency per distance class.
+    pub latency: LatencyTable,
+    /// Sequential/random bandwidth per distance class.
+    pub bandwidth: BandwidthTable,
+    /// Multiplier on charged barrier costs. The experiment harness sets it
+    /// to `scaled edges / paper edges` so that synchronization overhead —
+    /// which does not shrink with the dataset — keeps the paper's
+    /// work-to-synchronization ratio on the scaled-down graphs. Figure
+    /// 10(a) reports the unscaled model.
+    #[serde(default = "default_barrier_scale")]
+    pub barrier_scale: f64,
+    /// Multiplier on the effective LLC capacity. The experiment harness sets
+    /// it to `scaled vertices / paper vertices`: a 24 MiB cache against a
+    /// 334 MB vertex array behaves like a proportionally smaller cache
+    /// against our scaled arrays, preserving the residency transitions that
+    /// drive the paper's super-linear socket scaling (Section 6.3).
+    #[serde(default = "default_barrier_scale")]
+    pub llc_scale: f64,
+    /// Page size in bytes (power of two). 4 KiB by default; set to 2 MiB to
+    /// model transparent huge pages (the "large pages may be harmful on
+    /// NUMA" study the paper cites).
+    #[serde(default = "default_page_bytes")]
+    pub page_bytes: usize,
+}
+
+fn default_page_bytes() -> usize {
+    PAGE_SIZE
+}
+
+fn default_barrier_scale() -> f64 {
+    1.0
+}
+
+impl MachineSpec {
+    /// The paper's 80-core Intel Xeon E7-8850 machine: 8 sockets × 10 cores,
+    /// 2.0 GHz, QPI twisted hypercube (max 2 hops), 24 MiB LLC per socket.
+    /// Latency and bandwidth values are the paper's Figure 3(b) and Figure 4
+    /// measurements.
+    pub fn intel80() -> Self {
+        MachineSpec {
+            name: "intel80".to_string(),
+            nodes: 8,
+            cores_per_node: 10,
+            interconnect: Interconnect::TwistedHypercube,
+            ghz: 2.0,
+            llc_bytes: 24 << 20,
+            latency: LatencyTable::intel80(),
+            bandwidth: BandwidthTable::intel80(),
+            barrier_scale: 1.0,
+            llc_scale: 1.0,
+            page_bytes: PAGE_SIZE,
+        }
+    }
+
+    /// The paper's 64-core AMD Opteron machine: 4 sockets × 2 dies × 8 cores,
+    /// 16 MiB LLC per die, HyperTransport interconnect. 8 memory nodes total.
+    pub fn amd64() -> Self {
+        MachineSpec {
+            name: "amd64".to_string(),
+            nodes: 8,
+            cores_per_node: 8,
+            interconnect: Interconnect::HyperTransport,
+            ghz: 2.1,
+            llc_bytes: 16 << 20,
+            latency: LatencyTable::amd64(),
+            bandwidth: BandwidthTable::amd64(),
+            barrier_scale: 1.0,
+            llc_scale: 1.0,
+            page_bytes: PAGE_SIZE,
+        }
+    }
+
+    /// A small 2-node machine useful for unit tests and doc examples.
+    pub fn test2() -> Self {
+        MachineSpec {
+            name: "test2".to_string(),
+            nodes: 2,
+            cores_per_node: 2,
+            interconnect: Interconnect::FullMesh,
+            ghz: 2.0,
+            llc_bytes: 1 << 20,
+            latency: LatencyTable::intel80(),
+            bandwidth: BandwidthTable::intel80(),
+            barrier_scale: 1.0,
+            llc_scale: 1.0,
+            page_bytes: PAGE_SIZE,
+        }
+    }
+
+    /// A copy of this spec restricted to the first `nodes` memory nodes and
+    /// `cores` cores per node, used by the socket-scaling experiments
+    /// (Figures 5, 7, 8, 9). Sockets are chosen with minimized total distance
+    /// exactly as the paper's footnote 5 describes — for the hypercube this is
+    /// the natural prefix of the id space.
+    pub fn subset(&self, nodes: usize, cores: usize) -> Self {
+        assert!(nodes >= 1 && nodes <= self.nodes, "node subset out of range");
+        assert!(
+            cores >= 1 && cores <= self.cores_per_node,
+            "core subset out of range"
+        );
+        let mut s = self.clone();
+        s.nodes = nodes;
+        s.cores_per_node = cores;
+        s
+    }
+
+    /// Build the concrete topology (hop matrix etc.) for this spec.
+    pub fn topology(&self) -> NumaTopology {
+        NumaTopology::from_spec(self)
+    }
+}
+
+/// The concrete topology of a [`MachineSpec`]: core→node mapping and the
+/// distance class between every pair of nodes.
+#[derive(Clone, Debug)]
+pub struct NumaTopology {
+    nodes: usize,
+    cores_per_node: usize,
+    ghz: f64,
+    llc_bytes: usize,
+    /// `dist[a * nodes + b]` — distance class between nodes `a` and `b`.
+    dist: Vec<DistClass>,
+}
+
+impl NumaTopology {
+    /// Derive the topology from a machine spec.
+    pub fn from_spec(spec: &MachineSpec) -> Self {
+        assert!(spec.nodes >= 1 && spec.nodes <= MAX_NODES, "node count");
+        assert!(spec.cores_per_node >= 1, "cores per node");
+        let n = spec.nodes;
+        let mut dist = vec![DistClass::Local; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                dist[a * n + b] = Self::class_for(spec.interconnect, a, b);
+            }
+        }
+        NumaTopology {
+            nodes: n,
+            cores_per_node: spec.cores_per_node,
+            ghz: spec.ghz,
+            llc_bytes: ((spec.llc_bytes as f64 * spec.llc_scale) as usize).max(1),
+            dist,
+        }
+    }
+
+    fn class_for(kind: Interconnect, a: NodeId, b: NodeId) -> DistClass {
+        if a == b {
+            return DistClass::Local;
+        }
+        match kind {
+            Interconnect::FullMesh => DistClass::OneHop,
+            Interconnect::TwistedHypercube => {
+                let h = (a ^ b).count_ones().min(2);
+                if h <= 1 {
+                    DistClass::OneHop
+                } else {
+                    DistClass::TwoHop
+                }
+            }
+            Interconnect::HyperTransport => {
+                let (sa, da) = (a / 2, a % 2);
+                let (sb, db) = (b / 2, b % 2);
+                if sa == sb {
+                    // Two dies of the same multi-chip module.
+                    DistClass::OneHopIntra
+                } else if da == 0 && db == 0 {
+                    // Primary dies have direct HT links to other sockets.
+                    DistClass::OneHop
+                } else {
+                    // Route through at least one primary die.
+                    DistClass::TwoHop
+                }
+            }
+        }
+    }
+
+    /// Number of memory nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Cores attached to each node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// Total core count of the machine.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// CPU frequency in GHz.
+    pub fn ghz(&self) -> f64 {
+        self.ghz
+    }
+
+    /// Last-level cache capacity of one node, in bytes.
+    pub fn llc_bytes(&self) -> usize {
+        self.llc_bytes
+    }
+
+    /// The memory node a core belongs to. Cores are numbered node-major:
+    /// cores `[n * cores_per_node, (n + 1) * cores_per_node)` sit on node `n`.
+    pub fn node_of_core(&self, core: usize) -> NodeId {
+        assert!(core < self.total_cores(), "core id out of range");
+        core / self.cores_per_node
+    }
+
+    /// Distance class between two memory nodes.
+    pub fn dist(&self, a: NodeId, b: NodeId) -> DistClass {
+        self.dist[a * self.nodes + b]
+    }
+
+    /// Hop count (0, 1 or 2) between two nodes, collapsing the AMD
+    /// intra/inter one-hop distinction.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        self.dist(a, b).hops()
+    }
+
+    /// Maximum hop distance present in this topology.
+    pub fn max_hops(&self) -> usize {
+        (0..self.nodes)
+            .flat_map(|a| (0..self.nodes).map(move |b| (a, b)))
+            .map(|(a, b)| self.hops(a, b))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intel80_shape() {
+        let t = MachineSpec::intel80().topology();
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.cores_per_node(), 10);
+        assert_eq!(t.total_cores(), 80);
+        assert_eq!(t.max_hops(), 2);
+    }
+
+    #[test]
+    fn intel80_twisted_hypercube_distances() {
+        let t = MachineSpec::intel80().topology();
+        assert_eq!(t.dist(0, 0), DistClass::Local);
+        assert_eq!(t.dist(0, 1), DistClass::OneHop);
+        assert_eq!(t.dist(0, 2), DistClass::OneHop);
+        assert_eq!(t.dist(0, 3), DistClass::TwoHop);
+        // The twist bounds 0b000 -> 0b111 to two hops.
+        assert_eq!(t.dist(0, 7), DistClass::TwoHop);
+        // Symmetry.
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(t.dist(a, b), t.dist(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn amd64_shape_and_die_classes() {
+        let t = MachineSpec::amd64().topology();
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.total_cores(), 64);
+        // Two dies of socket 0.
+        assert_eq!(t.dist(0, 1), DistClass::OneHopIntra);
+        // Primary die to primary die of another socket: direct HT link.
+        assert_eq!(t.dist(0, 2), DistClass::OneHop);
+        // Secondary die to secondary die of another socket: two hops.
+        assert_eq!(t.dist(1, 3), DistClass::TwoHop);
+        assert_eq!(t.max_hops(), 2);
+    }
+
+    #[test]
+    fn core_to_node_mapping_is_node_major() {
+        let t = MachineSpec::intel80().topology();
+        assert_eq!(t.node_of_core(0), 0);
+        assert_eq!(t.node_of_core(9), 0);
+        assert_eq!(t.node_of_core(10), 1);
+        assert_eq!(t.node_of_core(79), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "core id out of range")]
+    fn core_out_of_range_panics() {
+        let t = MachineSpec::test2().topology();
+        t.node_of_core(99);
+    }
+
+    #[test]
+    fn subset_restricts_nodes_and_cores() {
+        let s = MachineSpec::intel80().subset(4, 5);
+        let t = s.topology();
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.total_cores(), 20);
+        // Prefix sockets {0..3} of the hypercube stay within 2 hops.
+        assert!(t.max_hops() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "node subset out of range")]
+    fn subset_rejects_too_many_nodes() {
+        MachineSpec::test2().subset(3, 1);
+    }
+
+    #[test]
+    fn spec_serde_round_trip_with_defaults() {
+        let spec = MachineSpec::intel80();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: MachineSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.nodes, 8);
+        assert_eq!(back.page_bytes, PAGE_SIZE);
+        assert_eq!(back.barrier_scale, 1.0);
+        // Older specs without the scaling fields still deserialize.
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("barrier_scale");
+        obj.remove("llc_scale");
+        obj.remove("page_bytes");
+        let legacy: MachineSpec = serde_json::from_value(v).unwrap();
+        assert_eq!(legacy.llc_scale, 1.0);
+        assert_eq!(legacy.page_bytes, PAGE_SIZE);
+    }
+
+    #[test]
+    fn llc_scale_shrinks_effective_cache() {
+        let mut spec = MachineSpec::intel80();
+        spec.llc_scale = 0.5;
+        assert_eq!(spec.topology().llc_bytes(), 12 << 20);
+        spec.llc_scale = 1e-9;
+        assert!(spec.topology().llc_bytes() >= 1);
+    }
+
+    #[test]
+    fn full_mesh_all_one_hop() {
+        let t = MachineSpec::test2().topology();
+        assert_eq!(t.dist(0, 1), DistClass::OneHop);
+        assert_eq!(t.max_hops(), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! The three barrier families of the paper's Figure 10(a).
+//!
+//! * [`CondvarBarrier`] — the `pthread_barrier` analogue: a flat barrier
+//!   whose waiters block on a condition variable (trapping into the kernel).
+//! * [`SenseBarrier`] — a centralized sense-reversing spin barrier built on
+//!   atomic fetch-and-add (Mellor-Crummey & Scott, the paper's ref. 36); the
+//!   sense is carried by a generation counter so no per-thread state is
+//!   needed.
+//! * [`HierBarrier`] — Polymer's NUMA-aware barrier: threads synchronize
+//!   within their socket group on a per-group sense barrier; the last
+//!   arriver of each group crosses a top-level sense barrier over group
+//!   leaders, then releases its group. Cache-coherence traffic between
+//!   sockets is thus one line per group instead of one per thread.
+//!
+//! Memory ordering: arrivals publish with `AcqRel` fetch-and-add, releases
+//! publish the next generation with `Release`, and spinners acquire it, so
+//! everything before a `wait` happens-before everything after the matching
+//! release — the property the engines rely on between phases.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A flat kernel-assisted barrier (Mutex + Condvar), modelling
+/// `pthread_barrier`.
+pub struct CondvarBarrier {
+    n: usize,
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+}
+
+impl CondvarBarrier {
+    /// A barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier needs at least one participant");
+        CondvarBarrier {
+            n,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all `n` participants have arrived. Returns `true` for
+    /// exactly one participant per round (the "serial" thread).
+    pub fn wait(&self) -> bool {
+        let mut st = self.state.lock();
+        let gen = st.1;
+        st.0 += 1;
+        if st.0 == self.n {
+            st.0 = 0;
+            st.1 += 1;
+            self.cv.notify_all();
+            true
+        } else {
+            while st.1 == gen {
+                self.cv.wait(&mut st);
+            }
+            false
+        }
+    }
+}
+
+/// A centralized sense-reversing spin barrier on fetch-and-add. The
+/// "sense" is the generation word: a waiter records the generation at
+/// arrival and spins until it changes.
+pub struct SenseBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SenseBarrier {
+    /// A barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier needs at least one participant");
+        SenseBarrier {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Spin until all `n` participants have arrived. Returns `true` for the
+    /// last arriver of each round. Spins briefly, then yields to the OS so
+    /// oversubscribed hosts (more threads than cores) make progress.
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            spin_until(|| self.generation.load(Ordering::Acquire) != gen);
+            false
+        }
+    }
+}
+
+/// Spin-then-yield wait loop shared by the spin barriers.
+#[inline]
+fn spin_until(done: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !done() {
+        if spins < 128 {
+            std::hint::spin_loop();
+            spins += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+struct Group {
+    size: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    // Pad each group to its own cache line so spinning within one socket
+    // group does not bounce lines of another.
+    _pad: [u8; 40],
+}
+
+/// Polymer's hierarchical NUMA-aware barrier: per-group sense barriers plus
+/// a top-level sense barrier across group leaders.
+pub struct HierBarrier {
+    groups: Vec<Group>,
+    top: SenseBarrier,
+}
+
+impl HierBarrier {
+    /// A barrier over groups of the given sizes (one group per NUMA node;
+    /// sizes are the per-node thread counts). Empty groups are not allowed.
+    pub fn new(group_sizes: &[usize]) -> Self {
+        assert!(!group_sizes.is_empty(), "need at least one group");
+        assert!(
+            group_sizes.iter().all(|&s| s >= 1),
+            "every group needs at least one participant"
+        );
+        HierBarrier {
+            groups: group_sizes
+                .iter()
+                .map(|&size| Group {
+                    size,
+                    arrived: AtomicUsize::new(0),
+                    generation: AtomicUsize::new(0),
+                    _pad: [0; 40],
+                })
+                .collect(),
+            top: SenseBarrier::new(group_sizes.len()),
+        }
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Block (spin) until every participant of every group has arrived.
+    /// `group` is the caller's group index. Returns `true` for exactly one
+    /// participant overall per round.
+    pub fn wait(&self, group: usize) -> bool {
+        let g = &self.groups[group];
+        let gen = g.generation.load(Ordering::Acquire);
+        if g.arrived.fetch_add(1, Ordering::AcqRel) + 1 == g.size {
+            // Last arriver of the group becomes its leader and synchronizes
+            // with the other leaders before releasing its group.
+            let serial = self.top.wait();
+            g.arrived.store(0, Ordering::Relaxed);
+            g.generation.fetch_add(1, Ordering::Release);
+            serial
+        } else {
+            spin_until(|| g.generation.load(Ordering::Acquire) != gen);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Generic stress: `threads` threads cross the barrier `rounds` times,
+    /// each incrementing a per-round counter before waiting; after the wait
+    /// every thread must observe the full round's increments.
+    fn stress(threads: usize, rounds: usize, wait: impl Fn(usize) -> bool + Sync) {
+        let counters: Vec<AtomicU64> = (0..rounds).map(|_| AtomicU64::new(0)).collect();
+        let serials = AtomicU64::new(0);
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let counters = &counters;
+                let wait = &wait;
+                let serials = &serials;
+                s.spawn(move |_| {
+                    for (r, counter) in counters.iter().enumerate() {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        if wait(t) {
+                            serials.fetch_add(1, Ordering::Relaxed);
+                        }
+                        assert_eq!(
+                            counters[r].load(Ordering::Relaxed),
+                            threads as u64,
+                            "round {r} released early"
+                        );
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(serials.load(Ordering::Relaxed), rounds as u64);
+    }
+
+    #[test]
+    fn sense_barrier_releases_all_rounds() {
+        let b = SenseBarrier::new(4);
+        stress(4, 50, |_| b.wait());
+    }
+
+    #[test]
+    fn condvar_barrier_releases_all_rounds() {
+        let b = CondvarBarrier::new(4);
+        stress(4, 50, |_| b.wait());
+    }
+
+    #[test]
+    fn hier_barrier_releases_all_rounds() {
+        // 2 groups of 2 (a 2-node machine with 2 cores per node).
+        let b = HierBarrier::new(&[2, 2]);
+        stress(4, 50, |t| b.wait(t / 2));
+    }
+
+    #[test]
+    fn hier_barrier_uneven_groups() {
+        let b = HierBarrier::new(&[1, 3]);
+        stress(4, 30, |t| b.wait(if t == 0 { 0 } else { 1 }));
+    }
+
+    #[test]
+    fn single_thread_barriers_pass_through() {
+        assert!(SenseBarrier::new(1).wait());
+        assert!(CondvarBarrier::new(1).wait());
+        assert!(HierBarrier::new(&[1]).wait(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        SenseBarrier::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_group_rejected() {
+        HierBarrier::new(&[2, 0]);
+    }
+
+    #[test]
+    fn exactly_one_serial_thread_per_round() {
+        let b = SenseBarrier::new(3);
+        let serial_count = AtomicU64::new(0);
+        crossbeam::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|_| {
+                    for _ in 0..100 {
+                        if b.wait() {
+                            serial_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(serial_count.load(Ordering::Relaxed), 100);
+    }
+}

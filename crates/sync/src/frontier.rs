@@ -1,0 +1,306 @@
+//! Adaptive runtime states: dense bitmap ↔ sparse vertex queues.
+//!
+//! Most graph algorithms converge asymmetrically (paper Section 5, "Adaptive
+//! Data Structures"): early iterations have many active vertices (a bitmap
+//! is compact and contention-free to set), late iterations have few (bitmap
+//! scans waste a full pass over `V/64` words — the paper measures 92 ms per
+//! iteration for X-Stream's dense states on roadUS vs 0.032 ms for
+//! Polymer's queues). [`Frontier`] holds either representation;
+//! [`should_densify`] is Ligra's switching rule (total active degree vs.
+//! `|E| / 20`); [`ThreadQueues`] are the per-thread contention-free queues
+//! the sparse representation is built from.
+
+use parking_lot::Mutex;
+use polymer_numa::{AccessCtx, AllocPolicy, Machine, NumaAtomicArray};
+
+use crate::bitmap::DenseBitmap;
+
+/// Ligra's density threshold denominator: switch to the dense representation
+/// when `active + Σ out-degree(active) > |E| / DENSITY_DENOMINATOR`.
+pub const DENSITY_DENOMINATOR: u64 = 20;
+
+/// Ligra's representation-switching rule.
+#[inline]
+pub fn should_densify(active: u64, active_degree_sum: u64, num_edges: u64) -> bool {
+    active + active_degree_sum > num_edges / DENSITY_DENOMINATOR
+}
+
+/// An active-vertex set in either dense (bitmap) or sparse (vertex list)
+/// representation.
+pub enum Frontier {
+    /// Dense: one bit per vertex; `count` caches the population count.
+    Dense {
+        /// The bitmap.
+        bits: DenseBitmap,
+        /// Number of set bits.
+        count: usize,
+    },
+    /// Sparse: explicit vertex ids (unsorted, duplicate-free by
+    /// construction).
+    Sparse(Vec<u32>),
+}
+
+impl Frontier {
+    /// A sparse frontier from a vertex list.
+    pub fn sparse(items: Vec<u32>) -> Self {
+        Frontier::Sparse(items)
+    }
+
+    /// A dense frontier with every vertex in `0..n` active.
+    pub fn all(machine: &Machine, name: &str, n: usize, policy: AllocPolicy) -> Self {
+        let bits = DenseBitmap::new(machine, name, n, policy);
+        for v in 0..n {
+            bits.set_unaccounted(v);
+        }
+        Frontier::Dense { bits, count: n }
+    }
+
+    /// A dense frontier from an existing bitmap and its population count.
+    pub fn dense(bits: DenseBitmap, count: usize) -> Self {
+        Frontier::Dense { bits, count }
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            Frontier::Dense { count, .. } => *count,
+            Frontier::Sparse(v) => v.len(),
+        }
+    }
+
+    /// True when no vertex is active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for the dense representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, Frontier::Dense { .. })
+    }
+
+    /// The sparse vertex list, if sparse.
+    pub fn as_sparse(&self) -> Option<&[u32]> {
+        match self {
+            Frontier::Sparse(v) => Some(v),
+            Frontier::Dense { .. } => None,
+        }
+    }
+
+    /// The bitmap, if dense.
+    pub fn as_dense(&self) -> Option<&DenseBitmap> {
+        match self {
+            Frontier::Dense { bits, .. } => Some(bits),
+            Frontier::Sparse(_) => None,
+        }
+    }
+
+    /// Convert to the dense representation (no-op if already dense). The
+    /// conversion itself models the construction of the new state array and
+    /// is unaccounted, as the paper's switch cost is dominated by the scan
+    /// it avoids.
+    pub fn into_dense(self, machine: &Machine, name: &str, n: usize, policy: AllocPolicy) -> Self {
+        match self {
+            f @ Frontier::Dense { .. } => f,
+            Frontier::Sparse(items) => {
+                let bits = DenseBitmap::new(machine, name, n, policy);
+                for &v in &items {
+                    bits.set_unaccounted(v as usize);
+                }
+                Frontier::Dense {
+                    bits,
+                    count: items.len(),
+                }
+            }
+        }
+    }
+
+    /// Convert to the sparse representation (no-op if already sparse).
+    pub fn into_sparse(self) -> Self {
+        match self {
+            f @ Frontier::Sparse(_) => f,
+            Frontier::Dense { bits, .. } => {
+                Frontier::Sparse(bits.iter_set().map(|v| v as u32).collect())
+            }
+        }
+    }
+
+    /// Unaccounted membership test in either representation.
+    pub fn contains_unaccounted(&self, v: u32) -> bool {
+        match self {
+            Frontier::Dense { bits, .. } => bits.test_unaccounted(v as usize),
+            Frontier::Sparse(items) => items.contains(&v),
+        }
+    }
+
+    /// All active vertices, ascending, unaccounted (verification only).
+    pub fn to_sorted_vec(&self) -> Vec<u32> {
+        match self {
+            Frontier::Dense { bits, .. } => bits.iter_set().map(|v| v as u32).collect(),
+            Frontier::Sparse(items) => {
+                let mut v = items.clone();
+                v.sort_unstable();
+                v
+            }
+        }
+    }
+}
+
+/// Per-thread active-vertex queues: each simulated thread appends to its own
+/// queue without contention (paper Section 5: "each thread on different
+/// cores will allocate a private queue and append active vertex ID to it").
+///
+/// The queue payload lives on the host; each push additionally writes
+/// through a small per-thread NUMA-placed scratch ring so the (sequential,
+/// local) append traffic is charged by the machine model.
+pub struct ThreadQueues {
+    queues: Vec<Mutex<Vec<u32>>>,
+    scratch: Vec<NumaAtomicArray<u32>>,
+}
+
+const SCRATCH_RING: usize = 64;
+
+impl ThreadQueues {
+    /// Queues for `threads` simulated threads bound node-major to the
+    /// machine's cores (thread `t` on core `t`). Scratch rings are placed on
+    /// each thread's home node.
+    pub fn new(machine: &Machine, threads: usize) -> Self {
+        let topo = machine.topology();
+        ThreadQueues {
+            queues: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
+            scratch: (0..threads)
+                .map(|t| {
+                    machine.alloc_atomic::<u32>(
+                        "stat/queue",
+                        SCRATCH_RING,
+                        AllocPolicy::OnNode(topo.node_of_core(t)),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of queues.
+    pub fn num_threads(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Append `v` to the calling thread's queue (thread id from `ctx`),
+    /// charging one local sequential write.
+    pub fn push(&self, ctx: &mut AccessCtx, v: u32) {
+        let t = ctx.tid();
+        let mut q = self.queues[t].lock();
+        let pos = q.len() % SCRATCH_RING;
+        q.push(v);
+        drop(q);
+        self.scratch[t].store(ctx, pos, v);
+    }
+
+    /// Total queued entries across threads.
+    pub fn total_len(&self) -> usize {
+        self.queues.iter().map(|q| q.lock().len()).sum()
+    }
+
+    /// Drain all queues into one list (thread-id order) and clear them.
+    pub fn drain_merged(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.total_len());
+        for q in &self.queues {
+            out.append(&mut q.lock());
+        }
+        out
+    }
+
+    /// Drain one thread's queue.
+    pub fn drain_thread(&self, tid: usize) -> Vec<u32> {
+        std::mem::take(&mut self.queues[tid].lock())
+    }
+
+    /// Clear all queues.
+    pub fn clear(&self) {
+        for q in &self.queues {
+            q.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymer_numa::MachineSpec;
+
+    fn machine() -> Machine {
+        Machine::new(MachineSpec::test2())
+    }
+
+    #[test]
+    fn densify_threshold_matches_ligra() {
+        // |E| = 2000 -> threshold 100.
+        assert!(!should_densify(10, 80, 2000));
+        assert!(should_densify(10, 95, 2000));
+        assert!(should_densify(200, 0, 2000));
+    }
+
+    #[test]
+    fn frontier_conversions_preserve_members() {
+        let m = machine();
+        let f = Frontier::sparse(vec![3, 7, 100]);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_dense());
+        let f = f.into_dense(&m, "stat/f", 128, AllocPolicy::Interleaved);
+        assert!(f.is_dense());
+        assert_eq!(f.len(), 3);
+        assert!(f.contains_unaccounted(7));
+        assert!(!f.contains_unaccounted(8));
+        let f = f.into_sparse();
+        assert_eq!(f.to_sorted_vec(), vec![3, 7, 100]);
+    }
+
+    #[test]
+    fn frontier_all_is_full() {
+        let m = machine();
+        let f = Frontier::all(&m, "stat/all", 100, AllocPolicy::Centralized);
+        assert_eq!(f.len(), 100);
+        assert!(f.is_dense());
+        assert_eq!(f.to_sorted_vec().len(), 100);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn empty_frontier() {
+        let f = Frontier::sparse(vec![]);
+        assert!(f.is_empty());
+        assert_eq!(f.as_sparse().unwrap().len(), 0);
+        assert!(f.as_dense().is_none());
+    }
+
+    #[test]
+    fn thread_queues_accumulate_and_account() {
+        let m = machine();
+        let tq = ThreadQueues::new(&m, 2);
+        let mut ctx0 = AccessCtx::new(&m, 0);
+        let mut ctx1 = AccessCtx::new(&m, 1);
+        for v in 0..10 {
+            tq.push(&mut ctx0, v);
+        }
+        tq.push(&mut ctx1, 99);
+        assert_eq!(tq.total_len(), 11);
+        // Pushes were charged to the machine model.
+        assert_eq!(ctx0.stats().total_count(), 10);
+        let merged = tq.drain_merged();
+        assert_eq!(merged.len(), 11);
+        assert_eq!(merged[10], 99);
+        assert_eq!(tq.total_len(), 0);
+    }
+
+    #[test]
+    fn thread_queue_pushes_are_sequential_local() {
+        let m = machine();
+        let tq = ThreadQueues::new(&m, 1);
+        let mut ctx = AccessCtx::new(&m, 0);
+        for v in 0..20 {
+            tq.push(&mut ctx, v);
+        }
+        let stats = ctx.take_stats();
+        // All writes live on node 0 (local to core 0).
+        assert_eq!(stats.remote_count(m.topology(), 0), 0);
+    }
+}

@@ -1,0 +1,412 @@
+//! # polymer-xstream — the X-Stream-like edge-centric baseline
+//!
+//! A reimplementation of X-Stream's engine strategy (Roy, Mihailovic &
+//! Zwaenepoel, SOSP'13) over the simulated NUMA machine, with the execution
+//! flow of the paper's Figure 2:
+//!
+//! * **Streaming partitions**: the vertex space is split into one partition
+//!   per thread; each partition holds its edges (grouped by source), its
+//!   slice of the application data, and preallocated `Uout`/`Uin` update
+//!   buffers. Partition data is local to its processing thread's node
+//!   ("tiling"), so scatter and gather are local; only the shuffle crosses
+//!   nodes (`SEQ|W|G`).
+//! * **Scatter → shuffle → gather**: scatter streams *all* edges of the
+//!   partition sequentially, checks the source's state bit per edge, and
+//!   appends `(target, contribution)` updates to `Uout`; shuffle routes
+//!   updates to the target partition's `Uin`; gather folds them into `next`
+//!   and applies.
+//! * **No sparse frontier**: runtime states are always dense bitmaps, so
+//!   every iteration pays a full edge scan — the source of X-Stream's
+//!   pathological traversal times on high-diameter graphs (paper Table 3:
+//!   557 s for BFS on roadUS) and of its extra memory for stream buffers
+//!   (Table 5).
+
+use std::ops::Range;
+
+use polymer_api::{Engine, EngineKind, FrontierInit, Program, RunResult};
+use polymer_graph::{Graph, VId};
+use polymer_numa::{
+    AllocPolicy, BarrierKind, Machine, MemoryReport, NumaArray, NumaAtomicArray, SimExecutor,
+};
+use polymer_sync::DenseBitmap;
+
+/// One streaming partition's data.
+struct Part<V: polymer_numa::Atom> {
+    range: Range<usize>,
+    /// Edges with source in `range`, grouped by source.
+    e_src: NumaArray<u32>,
+    e_dst: NumaArray<u32>,
+    e_w: Option<NumaArray<u32>>,
+    /// Out-degrees of the partition's vertices (local indexing).
+    deg: NumaArray<u32>,
+    /// Application data slices (local indexing).
+    curr: NumaAtomicArray<V>,
+    next: NumaAtomicArray<V>,
+    /// Active-state bitmaps over the partition (local indexing).
+    state: DenseBitmap,
+    next_state: DenseBitmap,
+    updated: DenseBitmap,
+    /// Outgoing update buffer (capacity = partition's edge count).
+    uout_dst: NumaAtomicArray<u32>,
+    uout_val: NumaAtomicArray<V>,
+    /// Incoming update buffer (capacity = partition's in-edge count).
+    uin_dst: NumaAtomicArray<u32>,
+    uin_val: NumaAtomicArray<V>,
+}
+
+/// The X-Stream-like engine.
+#[derive(Clone, Debug, Default)]
+pub struct XStreamEngine;
+
+impl XStreamEngine {
+    /// A new engine.
+    pub fn new() -> Self {
+        XStreamEngine
+    }
+}
+
+impl Engine for XStreamEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::XStream
+    }
+
+    fn run<P: Program>(
+        &self,
+        machine: &Machine,
+        threads: usize,
+        g: &Graph,
+        prog: &P,
+    ) -> RunResult<P::Val> {
+        let n = g.num_vertices();
+        let identity = prog.next_identity();
+        let sc = prog.scatter_cycles();
+        let topo = machine.topology();
+
+        // Construction: one streaming partition per thread, all of its data
+        // bound to the processing thread's node (the tiling strategy).
+        let ranges = polymer_graph::vertex_balanced_ranges(n, threads);
+        let mut parts: Vec<Part<P::Val>> = Vec::with_capacity(threads);
+        for (p, range) in ranges.iter().enumerate() {
+            let node = topo.node_of_core(p);
+            let pol = || AllocPolicy::OnNode(node);
+            let len = range.len();
+            // Edges with source in this partition, in CSR order.
+            let mut src = Vec::new();
+            let mut dst = Vec::new();
+            let mut wts = Vec::new();
+            for v in range.clone() {
+                for (&t, &w) in g
+                    .out_neighbors(v as VId)
+                    .iter()
+                    .zip(g.out_weights(v as VId))
+                {
+                    src.push(v as u32);
+                    dst.push(t);
+                    wts.push(w);
+                }
+            }
+            let in_edges: usize = range.clone().map(|v| g.in_degree(v as VId)).sum();
+            let ecount = src.len();
+            parts.push(Part {
+                range: range.clone(),
+                e_src: machine.alloc_array_with("topo/e_src", ecount, pol(), |i| src[i]),
+                e_dst: machine.alloc_array_with("topo/e_dst", ecount, pol(), |i| dst[i]),
+                e_w: if prog.uses_weights() {
+                    Some(machine.alloc_array_with("topo/e_w", ecount, pol(), |i| wts[i]))
+                } else {
+                    None
+                },
+                deg: machine.alloc_array_with("topo/deg", len, pol(), |i| {
+                    g.out_degree((range.start + i) as VId) as u32
+                }),
+                curr: machine.alloc_atomic_with("data/curr", len, pol(), |i| {
+                    prog.init((range.start + i) as VId, g)
+                }),
+                next: machine.alloc_atomic_with("data/next", len, pol(), |_| identity),
+                state: DenseBitmap::new(machine, "stat/curr", len, pol()),
+                next_state: DenseBitmap::new(machine, "stat/next", len, pol()),
+                updated: DenseBitmap::new(machine, "stat/updated", len, pol()),
+                uout_dst: machine.alloc_atomic::<u32>("buf/uout_dst", ecount, pol()),
+                uout_val: machine.alloc_atomic::<P::Val>("buf/uout_val", ecount, pol()),
+                uin_dst: machine.alloc_atomic::<u32>("buf/uin_dst", in_edges, pol()),
+                uin_val: machine.alloc_atomic::<P::Val>("buf/uin_val", in_edges, pol()),
+            });
+        }
+        let part_of = |v: usize| -> usize {
+            // Balanced ranges are uniform; derive the partition arithmetically
+            // and fix up boundary rounding.
+            let mut p = (v * threads / n.max(1)).min(threads - 1);
+            while v < ranges[p].start {
+                p -= 1;
+            }
+            while v >= ranges[p].end {
+                p += 1;
+            }
+            p
+        };
+
+        // Initial states.
+        match prog.initial_frontier(g) {
+            FrontierInit::All => {
+                for part in &parts {
+                    for i in 0..part.range.len() {
+                        part.state.set_unaccounted(i);
+                    }
+                }
+            }
+            FrontierInit::Single(s) => {
+                let p = part_of(s as usize);
+                parts[p]
+                    .state
+                    .set_unaccounted(s as usize - parts[p].range.start);
+            }
+        }
+        let mut active: u64 = parts.iter().map(|p| p.state.count_ones() as u64).sum();
+
+        let mut sim =
+            SimExecutor::with_config(machine, threads, Default::default(), BarrierKind::Hierarchical);
+        let mut iters = 0usize;
+
+        // Host-side per-iteration bookkeeping.
+        let mut uout_len = vec![0usize; threads];
+        let mut uin_len = vec![0usize; threads];
+
+        while active > 0 && iters < prog.max_iters() {
+            // Scatter: stream ALL edges of each partition; active sources
+            // append updates to Uout.
+            let mut histograms = vec![vec![0usize; threads]; threads];
+            {
+                let hist = &mut histograms;
+                let uout_len = &mut uout_len;
+                sim.run_phase("scatter", |tid, ctx| {
+                    let part = &parts[tid];
+                    let mut count = 0usize;
+                    // Edges are grouped by source: the state check, value
+                    // and degree loads are cached across a source's run of
+                    // edges, as the real implementation's registers would.
+                    let mut cached_s = usize::MAX;
+                    let mut cached_active = false;
+                    let mut cached_sv = identity;
+                    let mut cached_deg = 0u32;
+                    for e in 0..part.e_src.len() {
+                        let s = part.e_src.get(ctx, e) as usize;
+                        if s != cached_s {
+                            cached_s = s;
+                            let li = s - part.range.start;
+                            cached_active = part.state.test(ctx, li);
+                            if cached_active {
+                                cached_sv = part.curr.load(ctx, li);
+                                cached_deg = part.deg.get(ctx, li);
+                            }
+                        }
+                        if !cached_active {
+                            continue;
+                        }
+                        let t = part.e_dst.get(ctx, e);
+                        let w = match &part.e_w {
+                            Some(ws) => ws.get(ctx, e),
+                            None => 1,
+                        };
+                        let c = prog.scatter(s as VId, cached_sv, w, cached_deg);
+                        ctx.charge_cycles(sc);
+                        part.uout_dst.store(ctx, count, t);
+                        part.uout_val.store(ctx, count, c);
+                        hist[tid][part_of(t as usize)] += 1;
+                        count += 1;
+                    }
+                    uout_len[tid] = count;
+                });
+            }
+            sim.charge_barrier();
+
+            // Shuffle: route Uout entries to the target partition's Uin.
+            // Reserved offset ranges come from the scatter histograms, so
+            // each (source, target) stream writes sequentially.
+            let mut cursors = vec![vec![0usize; threads]; threads]; // [src][dst]
+            for q in 0..threads {
+                let mut off = 0usize;
+                for (p, hist) in histograms.iter().enumerate() {
+                    cursors[p][q] = off;
+                    off += hist[q];
+                }
+                uin_len[q] = off;
+            }
+            {
+                let cursors = &mut cursors;
+                sim.run_phase("shuffle", |tid, ctx| {
+                    let part = &parts[tid];
+                    for i in 0..uout_len[tid] {
+                        let t = part.uout_dst.load(ctx, i);
+                        let v = part.uout_val.load(ctx, i);
+                        let q = part_of(t as usize);
+                        let slot = cursors[tid][q];
+                        cursors[tid][q] += 1;
+                        parts[q].uin_dst.store(ctx, slot, t);
+                        parts[q].uin_val.store(ctx, slot, v);
+                    }
+                });
+            }
+            sim.charge_barrier();
+
+            // Gather: fold Uin into next, then apply updated vertices.
+            let mut alive_count = vec![0u64; threads];
+            {
+                let alive_count = &mut alive_count;
+                sim.run_phase("gather", |tid, ctx| {
+                    let part = &parts[tid];
+                    for i in 0..uin_len[tid] {
+                        let t = part.uin_dst.load(ctx, i) as usize;
+                        let v = part.uin_val.load(ctx, i);
+                        let li = t - part.range.start;
+                        polymer_api::atomic_combine(prog, &part.next, ctx, li, v);
+                        part.updated.set(ctx, li);
+                    }
+                    // Apply pass over the partition's updated bits.
+                    for w in 0..part.updated.num_words() {
+                        let mut word = part.updated.word(ctx, w);
+                        while word != 0 {
+                            let b = word.trailing_zeros() as usize;
+                            word &= word - 1;
+                            let li = w * 64 + b;
+                            let acc = part.next.load(ctx, li);
+                            let cv = part.curr.load(ctx, li);
+                            let (val, alive) =
+                                prog.apply((part.range.start + li) as VId, acc, cv);
+                            part.curr.store(ctx, li, val);
+                            part.next.store(ctx, li, identity);
+                            if alive {
+                                part.next_state.set(ctx, li);
+                                alive_count[tid] += 1;
+                            }
+                        }
+                    }
+                });
+            }
+            sim.charge_barrier();
+
+            // Swap state bitmaps (buffer reuse, unaccounted maintenance).
+            for part in &mut parts {
+                std::mem::swap(&mut part.state, &mut part.next_state);
+                part.next_state.clear_unaccounted();
+                part.updated.clear_unaccounted();
+            }
+            active = alive_count.iter().sum();
+            iters += 1;
+        }
+
+        // Snapshot values in global order.
+        let mut values = Vec::with_capacity(n);
+        for part in &parts {
+            for i in 0..part.range.len() {
+                values.push(part.curr.raw_load(i));
+            }
+        }
+
+        let memory = MemoryReport::from_machine(machine);
+        RunResult {
+            values,
+            iterations: iters,
+            clock: sim.clock().clone(),
+            memory,
+            threads,
+            sockets: sim.num_sockets(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymer_algos::{run_reference, Bfs, ConnectedComponents, PageRank, SpMV, Sssp};
+    use polymer_graph::gen;
+    use polymer_numa::MachineSpec;
+
+    fn check_exact<P: Program>(g: &Graph, prog: &P)
+    where
+        P::Val: Eq,
+    {
+        let m = Machine::new(MachineSpec::test2());
+        let got = XStreamEngine::new().run(&m, 4, g, prog);
+        let (want, _) = run_reference(g, prog);
+        assert_eq!(got.values, want);
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let el = gen::rmat(10, 8_000, gen::RMAT_GRAPH500, 11);
+        let g = Graph::from_edges(&el);
+        check_exact(&g, &Bfs::new(0));
+    }
+
+    #[test]
+    fn sssp_matches_reference_on_road() {
+        let el = gen::road_grid(16, 16, 0.6, 3);
+        let g = Graph::from_edges(&el);
+        check_exact(&g, &Sssp::new(0));
+    }
+
+    #[test]
+    fn cc_matches_reference() {
+        let mut el = gen::uniform(300, 500, 7);
+        el.symmetrize();
+        let g = Graph::from_edges(&el);
+        check_exact(&g, &ConnectedComponents::new());
+    }
+
+    #[test]
+    fn pagerank_close_to_reference() {
+        let el = gen::rmat(9, 4_000, gen::RMAT_GRAPH500, 5);
+        let g = Graph::from_edges(&el);
+        let prog = PageRank::new(g.num_vertices());
+        let m = Machine::new(MachineSpec::test2());
+        let got = XStreamEngine::new().run(&m, 4, &g, &prog);
+        let (want, _) = run_reference(&g, &prog);
+        let err = polymer_algos::reference::max_rel_error(&got.values, &want);
+        assert!(err < 1e-9, "max rel error {err}");
+    }
+
+    #[test]
+    fn spmv_close_to_reference() {
+        let el = gen::uniform(200, 2_000, 9);
+        let g = Graph::from_edges(&el);
+        let prog = SpMV::new();
+        let m = Machine::new(MachineSpec::test2());
+        let got = XStreamEngine::new().run(&m, 2, &g, &prog);
+        let (want, _) = run_reference(&g, &prog);
+        let err = polymer_algos::reference::max_rel_error(&got.values, &want);
+        assert!(err < 1e-9, "max rel error {err}");
+    }
+
+    #[test]
+    fn uses_more_memory_than_graph_alone() {
+        // The stream buffers should dominate: Uout + Uin ≈ 2 extra copies of
+        // the edge data (paper Table 5: X-Stream consumes the most).
+        let el = gen::rmat(10, 16_000, gen::RMAT_GRAPH500, 2);
+        let g = Graph::from_edges(&el);
+        let prog = PageRank::new(g.num_vertices());
+        let m = Machine::new(MachineSpec::test2());
+        let r = XStreamEngine::new().run(&m, 4, &g, &prog);
+        let bufs = r.memory.tag_peak("buf");
+        assert!(bufs > 0);
+        let topo = r.memory.tag_peak("topo");
+        assert!(bufs as f64 > 0.8 * topo as f64, "bufs {bufs} topo {topo}");
+    }
+
+    #[test]
+    fn single_vertex_frontier_still_scans_all_edges() {
+        // The roadUS pathology: per-iteration cost is edge-bound even with
+        // one active vertex.
+        let el = gen::road_grid(24, 24, 0.6, 1);
+        let g = Graph::from_edges(&el);
+        let m = Machine::new(MachineSpec::test2());
+        let r = XStreamEngine::new().run(&m, 4, &g, &Bfs::new(0));
+        // Accesses must be at least edges × iterations (source-state checks).
+        let total = r.total_cost().count_local + r.total_cost().count_remote;
+        assert!(
+            total as usize > g.num_edges() * r.iterations / 2,
+            "total {total}, edges {} iters {}",
+            g.num_edges(),
+            r.iterations
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: run PageRank on the Polymer engine and compare it against the
+//! three baseline systems on the paper's 80-core Intel machine model.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use polymer::prelude::*;
+
+fn main() {
+    // A scaled-down twitter-like follower graph (deterministic R-MAT).
+    println!("generating a twitter-like graph ...");
+    let edges = polymer::graph::dataset(DatasetId::TwitterS, -2);
+    let graph = Graph::from_edges(&edges);
+    println!(
+        "  {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // The paper's 8-socket, 80-core Intel Xeon machine.
+    let spec = MachineSpec::intel80();
+    let prog = PageRank::new(graph.num_vertices());
+
+    println!("\nrunning 5 PageRank iterations with 80 threads on {}:", spec.name);
+    let mut times = Vec::new();
+    macro_rules! bench {
+        ($name:expr, $engine:expr) => {{
+            let machine = Machine::new(spec.clone());
+            let r = $engine.run(&machine, 80, &graph, &prog);
+            println!(
+                "  {:<9} {:>9.3} ms   remote accesses {:>5.1}%   peak mem {:>6.1} MiB",
+                $name,
+                r.micros() / 1000.0,
+                r.remote_report().access_rate_remote * 100.0,
+                r.memory.peak_bytes as f64 / (1 << 20) as f64,
+            );
+            times.push(($name, r.micros()));
+            r
+        }};
+    }
+    let polymer = bench!("Polymer", PolymerEngine::new());
+    bench!("Ligra", LigraEngine::new());
+    bench!("X-Stream", XStreamEngine::new());
+    bench!("Galois", GaloisEngine::new());
+
+    // Verify against the sequential oracle.
+    let (want, _) = run_reference(&graph, &prog);
+    let err = polymer::algos::reference::max_rel_error(&polymer.values, &want);
+    println!("\nPolymer result matches the sequential reference (max rel err {err:.2e})");
+
+    // Who won?
+    let best = times
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!("fastest system: {} — the paper's Table 3 expects Polymer here", best.0);
+
+    // The top-ranked vertices.
+    let mut ranked: Vec<(usize, f64)> = polymer.values.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\ntop 5 vertices by rank:");
+    for (v, r) in ranked.iter().take(5) {
+        println!(
+            "  vertex {v:>8}  rank {r:.3e}  (out-degree {})",
+            graph.out_degree(*v as u32)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Social-network influence analysis — the workload class the paper's
+//! introduction motivates (social computation on follower graphs).
+//!
+//! Pipeline on a skewed power-law graph:
+//! 1. connected components to find the giant community,
+//! 2. PageRank to rank influencers inside it,
+//! 3. BFS from the top influencer to measure how far influence reaches.
+//!
+//! All three stages run on the Polymer engine over the 8-socket Intel
+//! machine model; stage results feed each other.
+//!
+//! ```sh
+//! cargo run --release --example social_influence
+//! ```
+
+use std::collections::HashMap;
+
+use polymer::prelude::*;
+
+fn main() {
+    println!("generating a power-law social graph (Zipf 2.0) ...");
+    let mut edges = polymer::graph::dataset(DatasetId::PowerlawS, -3);
+    let directed = Graph::from_edges(&edges);
+    edges.symmetrize();
+    let undirected = Graph::from_edges(&edges);
+    println!(
+        "  {} users, {} follow edges",
+        directed.num_vertices(),
+        directed.num_edges()
+    );
+
+    let spec = MachineSpec::intel80();
+    let engine = PolymerEngine::new();
+
+    // Stage 1: communities (CC on the symmetrized graph).
+    let machine = Machine::new(spec.clone());
+    let cc = engine.run(&machine, 80, &undirected, &ConnectedComponents::new());
+    let mut sizes: HashMap<u32, usize> = HashMap::new();
+    for &label in &cc.values {
+        *sizes.entry(label).or_default() += 1;
+    }
+    let (&giant, &giant_size) = sizes.iter().max_by_key(|(_, &s)| s).unwrap();
+    println!(
+        "\ncommunities: {} total; giant community has {} users ({:.1}%)  [{:.2} ms simulated]",
+        sizes.len(),
+        giant_size,
+        100.0 * giant_size as f64 / directed.num_vertices() as f64,
+        cc.micros() / 1000.0
+    );
+
+    // Stage 2: influencer ranking (PageRank on the directed graph).
+    let machine = Machine::new(spec.clone());
+    let pr = engine.run(&machine, 80, &directed, &PageRank::new(directed.num_vertices()));
+    let mut ranked: Vec<(u32, f64)> = pr
+        .values
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(v, r)| (v as u32, r))
+        .filter(|(v, _)| cc.values[*v as usize] == giant)
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!(
+        "\ntop influencers in the giant community  [{:.2} ms simulated]:",
+        pr.micros() / 1000.0
+    );
+    for (v, r) in ranked.iter().take(5) {
+        println!(
+            "  user {v:>8}  rank {r:.3e}  followers(in) {:>5}  follows(out) {:>4}",
+            directed.in_degree(*v),
+            directed.out_degree(*v)
+        );
+    }
+
+    // Stage 3: influence reach (BFS from the top influencer, undirected).
+    let top = ranked[0].0;
+    let machine = Machine::new(spec);
+    let bfs = engine.run(&machine, 80, &undirected, &Bfs::new(top));
+    let mut by_level: HashMap<u32, usize> = HashMap::new();
+    for &lvl in &bfs.values {
+        if lvl != polymer::algos::UNVISITED {
+            *by_level.entry(lvl).or_default() += 1;
+        }
+    }
+    let reached: usize = by_level.values().sum();
+    let max_level = by_level.keys().max().copied().unwrap_or(0);
+    println!(
+        "\ninfluence reach from user {top}: {} users within {} hops  [{:.2} ms simulated]",
+        reached,
+        max_level,
+        bfs.micros() / 1000.0
+    );
+    for lvl in 0..=max_level.min(5) {
+        println!("  {:>7} users at distance {lvl}", by_level.get(&lvl).unwrap_or(&0));
+    }
+    assert_eq!(reached, giant_size, "BFS must cover exactly the giant community");
+    println!("\nreach check passed: BFS covered exactly the giant community");
+}

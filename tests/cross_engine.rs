@@ -1,0 +1,156 @@
+//! The correctness matrix: every engine × every algorithm × several graph
+//! families, checked against the sequential reference oracle. Integer-valued
+//! programs must match exactly; float-valued ones to tight relative error
+//! (summation order differs across engines).
+
+use polymer::algos::reference::max_rel_error;
+use polymer::graph::gen;
+use polymer::prelude::*;
+
+fn graphs() -> Vec<(&'static str, polymer::graph::EdgeList)> {
+    vec![
+        ("rmat", gen::rmat(10, 8_000, gen::RMAT_GRAPH500, 7)),
+        ("powerlaw", gen::powerlaw_zipf(1_500, 2.0, 6.0, 3)),
+        ("road", gen::road_grid(20, 20, 0.6, 5)),
+        ("uniform", gen::uniform(800, 4_000, 11)),
+    ]
+}
+
+fn machine() -> Machine {
+    Machine::new(MachineSpec::test2())
+}
+
+fn check_int<P: Program>(g: &Graph, prog: &P, label: &str)
+where
+    P::Val: Eq,
+{
+    let (want, _) = run_reference(g, prog);
+    macro_rules! chk {
+        ($name:expr, $engine:expr) => {
+            let got = $engine.run(&machine(), 4, g, prog);
+            assert_eq!(got.values, want, "{} diverged on {}", $name, label);
+        };
+    }
+    chk!("polymer", PolymerEngine::new());
+    chk!("ligra", LigraEngine::new());
+    chk!("xstream", XStreamEngine::new());
+    chk!("galois", GaloisEngine::new());
+}
+
+fn check_float<P: Program<Val = f64>>(g: &Graph, prog: &P, label: &str) {
+    let (want, _) = run_reference(g, prog);
+    macro_rules! chk {
+        ($name:expr, $engine:expr) => {
+            let got = $engine.run(&machine(), 4, g, prog);
+            let err = max_rel_error(&got.values, &want);
+            assert!(err < 1e-9, "{} err {err} on {}", $name, label);
+        };
+    }
+    chk!("polymer", PolymerEngine::new());
+    chk!("ligra", LigraEngine::new());
+    chk!("xstream", XStreamEngine::new());
+    chk!("galois", GaloisEngine::new());
+}
+
+#[test]
+fn pagerank_matches_everywhere() {
+    for (label, el) in graphs() {
+        let g = Graph::from_edges(&el);
+        check_float(&g, &PageRank::new(g.num_vertices()), label);
+    }
+}
+
+#[test]
+fn spmv_matches_everywhere() {
+    for (label, el) in graphs() {
+        let g = Graph::from_edges(&el);
+        check_float(&g, &SpMV::new(), label);
+    }
+}
+
+#[test]
+fn bp_matches_everywhere() {
+    for (label, el) in graphs() {
+        let g = Graph::from_edges(&el);
+        check_float(&g, &BeliefPropagation::new(), label);
+    }
+}
+
+#[test]
+fn bfs_matches_everywhere() {
+    for (label, el) in graphs() {
+        let g = Graph::from_edges(&el);
+        let source = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| g.out_degree(v))
+            .unwrap();
+        check_int(&g, &Bfs::new(source), label);
+    }
+}
+
+#[test]
+fn cc_matches_everywhere() {
+    for (label, mut el) in graphs() {
+        el.symmetrize();
+        let g = Graph::from_edges(&el);
+        check_int(&g, &ConnectedComponents::new(), label);
+    }
+}
+
+#[test]
+fn sssp_matches_everywhere() {
+    for (label, el) in graphs() {
+        let g = Graph::from_edges(&el);
+        let source = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| g.out_degree(v))
+            .unwrap();
+        check_int(&g, &Sssp::new(source), label);
+    }
+}
+
+#[test]
+fn engines_agree_on_intel80_full_scale_threads() {
+    // Thread/socket counts must not change results.
+    let el = gen::rmat(10, 8_000, gen::RMAT_GRAPH500, 19);
+    let g = Graph::from_edges(&el);
+    let prog = Bfs::new(0);
+    let (want, _) = run_reference(&g, &prog);
+    for threads in [1, 7, 40, 80] {
+        let m = Machine::new(MachineSpec::intel80());
+        let got = PolymerEngine::new().run(&m, threads, &g, &prog);
+        assert_eq!(got.values, want, "polymer diverged at {threads} threads");
+        let m = Machine::new(MachineSpec::intel80());
+        let got = LigraEngine::new().run(&m, threads, &g, &prog);
+        assert_eq!(got.values, want, "ligra diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn empty_frontier_terminates_immediately() {
+    // A source with no out-edges: one iteration, nothing else visited.
+    let el = polymer::graph::EdgeList::from_pairs(5, [(1, 2)]);
+    let g = Graph::from_edges(&el);
+    let prog = Bfs::new(0);
+    let m = machine();
+    let r = PolymerEngine::new().run(&m, 2, &g, &prog);
+    assert_eq!(r.values[0], 0);
+    assert!(r.values[1..].iter().all(|&v| v == polymer::algos::UNVISITED));
+}
+
+#[test]
+fn single_vertex_graph_works() {
+    let el = polymer::graph::EdgeList::new(1);
+    let g = Graph::from_edges(&el);
+    for_all_engines(&g, &PageRank::new(1));
+}
+
+fn for_all_engines<P: Program<Val = f64>>(g: &Graph, prog: &P) {
+    let (want, _) = run_reference(g, prog);
+    let got = PolymerEngine::new().run(&machine(), 2, g, prog);
+    assert_eq!(got.values.len(), want.len());
+    let got = LigraEngine::new().run(&machine(), 2, g, prog);
+    assert_eq!(got.values.len(), want.len());
+    let got = XStreamEngine::new().run(&machine(), 2, g, prog);
+    assert_eq!(got.values.len(), want.len());
+    let got = GaloisEngine::new().run(&machine(), 2, g, prog);
+    assert_eq!(got.values.len(), want.len());
+}

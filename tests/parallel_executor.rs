@@ -1,0 +1,91 @@
+//! The real-threads executor (`polymer_api::run_parallel`) must agree with
+//! the sequential reference under genuine concurrency: exactly for
+//! min-combining programs, ε-close for floating-point accumulation. This is
+//! the end-to-end data-race check on the shared atomic arrays, the
+//! hierarchical barrier, and the per-thread frontier machinery.
+
+use polymer::algos::reference::max_rel_error;
+use polymer::api::run_parallel;
+use polymer::graph::gen;
+use polymer::prelude::*;
+
+fn graphs() -> Vec<polymer::graph::EdgeList> {
+    vec![
+        gen::rmat(9, 4_000, gen::RMAT_GRAPH500, 3),
+        gen::road_grid(12, 12, 0.6, 5),
+        gen::uniform(400, 2_000, 8),
+    ]
+}
+
+#[test]
+fn parallel_bfs_matches_reference() {
+    for el in graphs() {
+        let g = Graph::from_edges(&el);
+        let src = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| g.out_degree(v))
+            .unwrap();
+        let prog = Bfs::new(src);
+        let (want, _) = run_reference(&g, &prog);
+        for threads in [1, 3, 4] {
+            let (got, _) = run_parallel(&g, &prog, threads, 2);
+            assert_eq!(got, want, "{threads} threads diverged");
+        }
+    }
+}
+
+#[test]
+fn parallel_sssp_matches_reference() {
+    for el in graphs() {
+        let g = Graph::from_edges(&el);
+        let src = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| g.out_degree(v))
+            .unwrap();
+        let prog = Sssp::new(src);
+        let (want, _) = run_reference(&g, &prog);
+        let (got, _) = run_parallel(&g, &prog, 4, 2);
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn parallel_cc_matches_reference() {
+    for mut el in graphs() {
+        el.symmetrize();
+        let g = Graph::from_edges(&el);
+        let prog = ConnectedComponents::new();
+        let (want, _) = run_reference(&g, &prog);
+        let (got, _) = run_parallel(&g, &prog, 4, 2);
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn parallel_pagerank_close_to_reference() {
+    for el in graphs() {
+        let g = Graph::from_edges(&el);
+        let prog = PageRank::new(g.num_vertices());
+        let (want, _) = run_reference(&g, &prog);
+        let (got, _) = run_parallel(&g, &prog, 4, 2);
+        let err = max_rel_error(&got, &want);
+        assert!(err < 1e-9, "max rel error {err}");
+    }
+}
+
+#[test]
+fn parallel_spmv_close_to_reference() {
+    let g = Graph::from_edges(&gen::uniform(300, 1_500, 4));
+    let prog = SpMV::new();
+    let (want, _) = run_reference(&g, &prog);
+    let (got, iters) = run_parallel(&g, &prog, 3, 3);
+    assert_eq!(iters, 5);
+    assert!(max_rel_error(&got, &want) < 1e-9);
+}
+
+#[test]
+fn parallel_bp_close_to_reference() {
+    let g = Graph::from_edges(&gen::rmat(8, 1_500, gen::RMAT_GRAPH500, 6));
+    let prog = BeliefPropagation::new();
+    let (want, _) = run_reference(&g, &prog);
+    let (got, _) = run_parallel(&g, &prog, 4, 2);
+    assert!(max_rel_error(&got, &want) < 1e-9);
+}

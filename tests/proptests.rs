@@ -1,0 +1,180 @@
+//! Property-based tests over the core data structures and the full engine
+//! stack: random graphs in, invariants out.
+
+use proptest::prelude::*;
+
+use polymer::algos::reference::max_rel_error;
+use polymer::graph::{edge_balanced_ranges, vertex_balanced_ranges, PartitionStats};
+use polymer::prelude::*;
+use polymer::sync::{DenseBitmap, Frontier};
+
+/// Strategy: a random edge list over up to `max_n` vertices.
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = EdgeList> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1..=100u32), 1..max_m).prop_map(
+            move |pairs| EdgeList {
+                num_vertices: n,
+                edges: pairs
+                    .into_iter()
+                    .map(|(s, d, w)| polymer::graph::Edge::weighted(s, d, w))
+                    .collect(),
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn csr_preserves_edge_multiset(el in arb_edges(64, 256)) {
+        let g = Graph::from_edges(&el);
+        prop_assert_eq!(g.num_edges(), el.num_edges());
+        let mut want: Vec<(u32, u32, u32)> =
+            el.edges.iter().map(|e| (e.src, e.dst, e.weight)).collect();
+        let mut got: Vec<(u32, u32, u32)> = g.iter_edges().collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Degrees sum to edge count in both directions.
+        let dout: usize = (0..g.num_vertices()).map(|v| g.out_degree(v as u32)).sum();
+        let din: usize = (0..g.num_vertices()).map(|v| g.in_degree(v as u32)).sum();
+        prop_assert_eq!(dout, g.num_edges());
+        prop_assert_eq!(din, g.num_edges());
+    }
+
+    #[test]
+    fn partitions_cover_disjointly(degrees in proptest::collection::vec(0u32..50, 1..200),
+                                   parts in 1usize..9) {
+        for ranges in [
+            vertex_balanced_ranges(degrees.len(), parts),
+            edge_balanced_ranges(&degrees, parts),
+        ] {
+            prop_assert_eq!(ranges.len(), parts);
+            prop_assert_eq!(ranges[0].start, 0);
+            prop_assert_eq!(ranges[parts - 1].end, degrees.len());
+            for w in ranges.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+            let s = PartitionStats::compute(&degrees, &ranges);
+            let total: u64 = s.edges_per_part.iter().sum();
+            prop_assert_eq!(total, degrees.iter().map(|&d| d as u64).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn edge_balanced_never_worse_than_vertex_balanced(
+        degrees in proptest::collection::vec(0u32..100, 8..300)
+    ) {
+        // Over contiguous splits, the prefix-cut heuristic's max deviation
+        // should not exceed the naive split's by more than rounding slack.
+        let parts = 4;
+        let v = PartitionStats::compute(&degrees, &vertex_balanced_ranges(degrees.len(), parts));
+        let e = PartitionStats::compute(&degrees, &edge_balanced_ranges(&degrees, parts));
+        prop_assert!(e.max_abs_deviation() <= v.max_abs_deviation() + 1.0);
+    }
+
+    #[test]
+    fn bitmap_matches_reference_set(bits in proptest::collection::btree_set(0usize..500, 0..80)) {
+        let m = Machine::new(MachineSpec::test2());
+        let b = DenseBitmap::new(&m, "stat/prop", 500, AllocPolicy::Interleaved);
+        for &v in &bits {
+            b.set_unaccounted(v);
+        }
+        prop_assert_eq!(b.count_ones(), bits.len());
+        let got: Vec<usize> = b.iter_set().collect();
+        let want: Vec<usize> = bits.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        for v in 0..500 {
+            prop_assert_eq!(b.test_unaccounted(v), bits.contains(&v));
+        }
+    }
+
+    #[test]
+    fn frontier_round_trip(items in proptest::collection::btree_set(0u32..400, 0..60)) {
+        let m = Machine::new(MachineSpec::test2());
+        let items: Vec<u32> = items.into_iter().collect();
+        let f = Frontier::sparse(items.clone());
+        let f = f.into_dense(&m, "stat/rt", 400, AllocPolicy::Centralized);
+        prop_assert_eq!(f.len(), items.len());
+        let f = f.into_sparse();
+        prop_assert_eq!(f.to_sorted_vec(), items);
+    }
+
+    #[test]
+    fn bfs_engines_match_reference_on_random_graphs(el in arb_edges(48, 160)) {
+        let g = Graph::from_edges(&el);
+        let src = el.edges[0].src;
+        let prog = Bfs::new(src);
+        let (want, _) = run_reference(&g, &prog);
+        let m = Machine::new(MachineSpec::test2());
+        let got = PolymerEngine::new().run(&m, 4, &g, &prog);
+        prop_assert_eq!(&got.values, &want);
+        let m = Machine::new(MachineSpec::test2());
+        let got = XStreamEngine::new().run(&m, 3, &g, &prog);
+        prop_assert_eq!(&got.values, &want);
+        let m = Machine::new(MachineSpec::test2());
+        let got = GaloisEngine::new().run(&m, 2, &g, &prog);
+        prop_assert_eq!(&got.values, &want);
+    }
+
+    #[test]
+    fn sssp_triangle_inequality(el in arb_edges(40, 120)) {
+        let g = Graph::from_edges(&el);
+        let src = el.edges[0].src;
+        let m = Machine::new(MachineSpec::test2());
+        let dist = PolymerEngine::new().run(&m, 4, &g, &Sssp::new(src)).values;
+        prop_assert_eq!(dist[src as usize], 0);
+        // Relaxed fixed point: no edge can still improve its target.
+        for (s, t, w) in g.iter_edges() {
+            if dist[s as usize] != polymer::algos::UNREACHED {
+                prop_assert!(dist[t as usize] <= dist[s as usize] + w as u64,
+                    "edge ({s},{t},{w}) violates relaxation");
+            }
+        }
+    }
+
+    #[test]
+    fn cc_labels_are_consistent(el in arb_edges(40, 120)) {
+        let mut el = el;
+        el.symmetrize();
+        let g = Graph::from_edges(&el);
+        let m = Machine::new(MachineSpec::test2());
+        let labels = PolymerEngine::new()
+            .run(&m, 4, &g, &ConnectedComponents::new())
+            .values;
+        // Connected vertices share labels; labels are component minima.
+        for (s, t, _) in g.iter_edges() {
+            prop_assert_eq!(labels[s as usize], labels[t as usize]);
+        }
+        for (v, &l) in labels.iter().enumerate() {
+            prop_assert!(l as usize <= v);
+            prop_assert_eq!(labels[l as usize], l, "label {} must be its own root", l);
+        }
+    }
+
+    #[test]
+    fn pagerank_ranks_are_positive_and_bounded(el in arb_edges(40, 160)) {
+        let g = Graph::from_edges(&el);
+        let prog = PageRank::new(g.num_vertices());
+        let m = Machine::new(MachineSpec::test2());
+        let r = LigraEngine::new().run(&m, 4, &g, &prog).values;
+        for &x in &r {
+            prop_assert!(x > 0.0 && x < 1.0 + 1e-9);
+        }
+        let (want, _) = run_reference(&g, &prog);
+        prop_assert!(max_rel_error(&r, &want) < 1e-9);
+    }
+
+    #[test]
+    fn io_round_trip(el in arb_edges(64, 200)) {
+        let mut buf = Vec::new();
+        polymer::graph::io::write_binary(&el, &mut buf).unwrap();
+        let back = polymer::graph::io::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(back, el.clone());
+        let mut buf = Vec::new();
+        polymer::graph::io::write_text(&el, &mut buf).unwrap();
+        let back = polymer::graph::io::read_text(&buf[..]).unwrap();
+        prop_assert_eq!(back.edges, el.edges);
+    }
+}

@@ -1,0 +1,175 @@
+//! End-to-end simulation-behaviour tests: the qualitative claims of the
+//! paper must hold on the simulated machine (orderings and trends, not
+//! absolute numbers).
+
+use polymer::graph::gen;
+use polymer::prelude::*;
+
+fn twitterish() -> Graph {
+    Graph::from_edges(&gen::rmat(12, 65_536, gen::RMAT_GRAPH500, 21))
+}
+
+/// Machine with resources scaled to the test graph, as the harness does.
+fn scaled_intel(g: &Graph) -> MachineSpec {
+    let mut s = MachineSpec::intel80();
+    s.llc_scale = g.num_vertices() as f64 / 41.7e6;
+    s.barrier_scale = g.num_edges() as f64 / 1.47e9;
+    s
+}
+
+#[test]
+fn polymer_beats_ligra_on_pagerank_at_full_scale() {
+    let g = twitterish();
+    let prog = PageRank::new(g.num_vertices());
+    let spec = scaled_intel(&g);
+    let poly = PolymerEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+    let ligra = LigraEngine::new().run(&Machine::new(spec), 80, &g, &prog);
+    assert!(
+        poly.seconds() < ligra.seconds(),
+        "polymer {} ligra {}",
+        poly.seconds(),
+        ligra.seconds()
+    );
+    // And with a much lower remote-access rate (Table 4's ordering).
+    assert!(
+        poly.remote_report().access_rate_remote
+            < 0.6 * ligra.remote_report().access_rate_remote
+    );
+}
+
+#[test]
+fn polymer_scales_better_with_sockets_than_ligra() {
+    let g = twitterish();
+    let prog = PageRank::new(g.num_vertices());
+    let base = scaled_intel(&g);
+    let speedup = |mk: &dyn Fn(&Machine, usize) -> f64| {
+        let spec1 = base.subset(1, 10);
+        let t1 = mk(&Machine::new(spec1), 10);
+        let spec8 = base.subset(8, 10);
+        let t8 = mk(&Machine::new(spec8), 80);
+        t1 / t8
+    };
+    let poly = speedup(&|m, t| PolymerEngine::new().run(m, t, &g, &prog).seconds());
+    let ligra = speedup(&|m, t| LigraEngine::new().run(m, t, &g, &prog).seconds());
+    assert!(
+        poly > 1.2 * ligra,
+        "polymer speedup {poly:.2} should beat ligra {ligra:.2}"
+    );
+}
+
+#[test]
+fn xstream_is_pathological_on_high_diameter_traversal() {
+    // Figure 2 / Table 3: X-Stream scans all edges every iteration.
+    let el = gen::road_grid(48, 48, 0.6, 9);
+    let g = Graph::from_edges(&el);
+    let src = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap();
+    let prog = Bfs::new(src);
+    let spec = {
+        let mut s = MachineSpec::intel80();
+        s.llc_scale = g.num_vertices() as f64 / 23.9e6;
+        s.barrier_scale = g.num_edges() as f64 / 58e6;
+        s
+    };
+    let poly = PolymerEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+    let xs = XStreamEngine::new().run(&Machine::new(spec), 80, &g, &prog);
+    assert_eq!(poly.values, xs.values);
+    assert!(
+        xs.seconds() > 5.0 * poly.seconds(),
+        "xstream {} polymer {}",
+        xs.seconds(),
+        poly.seconds()
+    );
+}
+
+#[test]
+fn galois_union_find_wins_cc_on_road_networks() {
+    // Table 3's roadUS CC row: Galois's union-find vs label propagation.
+    let mut el = gen::road_grid(48, 48, 0.6, 9);
+    el.symmetrize();
+    let g = Graph::from_edges(&el);
+    let prog = ConnectedComponents::new();
+    let spec = MachineSpec::intel80();
+    let galois = GaloisEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+    let poly = PolymerEngine::new().run(&Machine::new(spec), 80, &g, &prog);
+    assert_eq!(galois.values, poly.values);
+    assert!(
+        galois.seconds() < poly.seconds(),
+        "galois {} polymer {}",
+        galois.seconds(),
+        poly.seconds()
+    );
+}
+
+#[test]
+fn xstream_uses_most_memory() {
+    // Table 5's ordering: X-Stream's stream buffers dominate.
+    let g = twitterish();
+    let prog = PageRank::new(g.num_vertices());
+    let spec = MachineSpec::intel80();
+    let xs = XStreamEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+    let ligra = LigraEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+    let poly = PolymerEngine::new().run(&Machine::new(spec), 80, &g, &prog);
+    assert!(xs.memory.peak_bytes > ligra.memory.peak_bytes);
+    assert!(xs.memory.peak_bytes > poly.memory.peak_bytes);
+    // Polymer's agent overhead is present but bounded (paper: < ~40%).
+    let agents = poly.memory.tag_peak("agents");
+    assert!(agents > 0);
+    assert!((agents as f64) < 0.5 * poly.memory.peak_bytes as f64);
+}
+
+#[test]
+fn numa_barrier_matters_on_high_diameter_graphs() {
+    // Figure 10(b): thousands of iterations amplify barrier cost.
+    let el = gen::road_grid(48, 48, 0.6, 9);
+    let g = Graph::from_edges(&el);
+    let src = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap();
+    let prog = Bfs::new(src);
+    let spec = MachineSpec::intel80(); // unscaled barriers: full effect
+    let with = PolymerEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+    let without = PolymerEngine::new()
+        .with_barrier(BarrierKind::Pthread)
+        .run(&Machine::new(spec), 80, &g, &prog);
+    assert_eq!(with.values, without.values);
+    assert!(
+        without.seconds() > 10.0 * with.seconds(),
+        "w/o {} w/ {}",
+        without.seconds(),
+        with.seconds()
+    );
+}
+
+#[test]
+fn balanced_partitioning_helps_on_skewed_graphs() {
+    // Table 6(b): edge-balanced partitioning on the twitter-like graph.
+    let g = twitterish();
+    let prog = PageRank::new(g.num_vertices());
+    let spec = scaled_intel(&g);
+    let with = PolymerEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+    let without = PolymerEngine::new()
+        .without_balanced_partitioning()
+        .run(&Machine::new(spec), 80, &g, &prog);
+    let err = polymer::algos::reference::max_rel_error(&with.values, &without.values);
+    assert!(err < 1e-9);
+    assert!(
+        without.seconds() > 1.15 * with.seconds(),
+        "w/o {} w/ {}",
+        without.seconds(),
+        with.seconds()
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let g = twitterish();
+    let prog = PageRank::new(g.num_vertices());
+    let spec = scaled_intel(&g);
+    let a = PolymerEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+    let b = PolymerEngine::new().run(&Machine::new(spec), 80, &g, &prog);
+    assert_eq!(a.values, b.values);
+    assert_eq!(a.seconds(), b.seconds());
+    assert_eq!(a.clock.barriers, b.clock.barriers);
+}
