@@ -19,6 +19,8 @@
 //! against it (exact for integer-valued programs, ε-close for floats whose
 //! summation order differs).
 
+#![deny(unsafe_code)]
+
 pub mod bfs;
 pub mod bp;
 pub mod cc;

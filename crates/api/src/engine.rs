@@ -1,5 +1,6 @@
 //! The engine entry point shared by Polymer and the three baselines.
 
+use polymer_faults::{panic_with, PolymerError, PolymerResult};
 use polymer_graph::Graph;
 use polymer_numa::Machine;
 
@@ -41,16 +42,70 @@ pub trait Engine {
     /// Which system this engine models.
     fn kind(&self) -> EngineKind;
 
-    /// Execute `prog` to completion and return the result. Graph
+    /// Execute `prog` to completion, surfacing every failure — invalid
+    /// configuration, injected faults, divergence, a panicking engine body —
+    /// as a typed [`PolymerError`] instead of a panic. Graph
     /// construction/loading time is excluded from the result's clock, as in
     /// the paper's methodology.
+    fn try_run<P: Program>(
+        &self,
+        machine: &Machine,
+        threads: usize,
+        graph: &Graph,
+        prog: &P,
+    ) -> PolymerResult<RunResult<P::Val>>;
+
+    /// Infallible convenience wrapper over [`Engine::try_run`] for bench
+    /// binaries and examples: panics (with the typed error as payload, see
+    /// [`polymer_faults::panic_with`]) on any failure.
     fn run<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         graph: &Graph,
         prog: &P,
-    ) -> RunResult<P::Val>;
+    ) -> RunResult<P::Val> {
+        self.try_run(machine, threads, graph, prog)
+            .unwrap_or_else(|e| panic_with(e))
+    }
+}
+
+/// Validate the configuration shared by every engine: the thread count and
+/// (for single-source programs) the source vertex. Engines call this before
+/// allocating anything so a bad parameter is a typed
+/// [`PolymerError::InvalidConfig`], not a panic.
+pub fn validate_run_config<P: Program>(
+    threads: usize,
+    g: &Graph,
+    prog: &P,
+) -> PolymerResult<()> {
+    if threads == 0 {
+        return Err(PolymerError::InvalidConfig(
+            "threads must be >= 1".to_string(),
+        ));
+    }
+    if let crate::program::FrontierInit::Single(s) = prog.initial_frontier(g) {
+        let n = g.num_vertices();
+        if s as usize >= n {
+            return Err(PolymerError::InvalidConfig(format!(
+                "source vertex {s} out of range (graph has {n} vertices)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Run an engine body, converting any panic that escapes it into a typed
+/// [`PolymerError`] (an engine bug or an injected fault surfacing through
+/// infallible code paths). Engines wrap their `try_run` bodies in this so
+/// `try_run` upholds its no-panic contract even over legacy internals.
+pub fn catch_engine_faults<T>(
+    f: impl FnOnce() -> PolymerResult<T>,
+) -> PolymerResult<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(PolymerError::from_panic(payload)),
+    }
 }
 
 #[cfg(test)]

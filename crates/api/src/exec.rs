@@ -4,10 +4,34 @@
 
 use std::ops::Range;
 
+use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
-use polymer_numa::{AccessCtx, AllocPolicy, Machine, NumaArray, NumaAtomicArray};
+use polymer_numa::{AccessCtx, AllocPolicy, Atom, Machine, NumaArray, NumaAtomicArray};
 
 use crate::program::{Combine, Program};
+
+/// Per-iteration divergence scan: a no-op for integer value types, and for
+/// float types ([`Atom::CHECK_FINITE`]) an unaccounted sweep of `curr` that
+/// turns the first NaN/±inf into [`PolymerError::Divergence`] instead of
+/// letting a diverging computation iterate to its cap. `iteration` only
+/// labels the error.
+pub fn check_divergence<T: Atom>(
+    curr: &NumaAtomicArray<T>,
+    iteration: usize,
+) -> PolymerResult<()> {
+    if !T::CHECK_FINITE {
+        return Ok(());
+    }
+    for v in 0..curr.len() {
+        if !curr.raw_load(v).finite() {
+            return Err(PolymerError::Divergence {
+                vertex: v,
+                iteration,
+            });
+        }
+    }
+    Ok(())
+}
 
 /// The flat CSR/CSC topology arrays of Figure 1, placed by a per-array
 /// policy. Used by the NUMA-oblivious baselines; the Polymer engine builds

@@ -24,14 +24,19 @@
 //! final vertex values plus everything the experiment harness needs
 //! (simulated time, access profile, memory report).
 
+#![deny(unsafe_code)]
+
 pub mod engine;
 pub mod exec;
 pub mod parallel;
 pub mod program;
 pub mod result;
 
-pub use engine::{Engine, EngineKind};
-pub use exec::{atomic_combine, degree_balanced_chunks, even_chunks, init_values, TopoArrays};
-pub use parallel::run_parallel;
+pub use engine::{catch_engine_faults, validate_run_config, Engine, EngineKind};
+pub use exec::{
+    atomic_combine, check_divergence, degree_balanced_chunks, even_chunks, init_values, TopoArrays,
+};
+pub use parallel::{run_parallel, try_run_parallel};
+pub use polymer_faults::{FaultPlan, PolymerError, PolymerResult};
 pub use program::{Combine, FrontierInit, Program};
 pub use result::RunResult;

@@ -15,27 +15,76 @@
 //! hardware: replace the plain arrays with `mbind`-placed memory and pin the
 //! threads, and the loop below is the Polymer push engine.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
+use polymer_faults::{panic_with, FaultPlan, PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
 use polymer_numa::Atom;
 use polymer_sync::HierBarrier;
 
 use crate::program::{Combine, FrontierInit, Program};
 
+/// Default bound on a single barrier wait: generous enough that no healthy
+/// run on an oversubscribed host ever hits it, small enough that a dead
+/// sibling turns into an error rather than an eternal hang.
+const DEFAULT_BARRIER_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Record `err` as the run's failure unless a more informative error is
+/// already recorded. `BarrierPoisoned` is the *consequence* of a sibling's
+/// failure, so any other error replaces it; the first cause otherwise wins.
+fn record_error(slot: &parking_lot::Mutex<Option<PolymerError>>, err: PolymerError) {
+    let mut slot = slot.lock();
+    let replace = match &*slot {
+        None => true,
+        Some(PolymerError::BarrierPoisoned) => {
+            !matches!(err, PolymerError::BarrierPoisoned)
+        }
+        Some(_) => false,
+    };
+    if replace {
+        *slot = Some(err);
+    }
+}
+
 /// Run `prog` on `g` with `threads` real OS threads grouped into
 /// `groups` barrier groups (modelling sockets). Returns the final values
-/// and the iteration count.
+/// and the iteration count. Panics (with a typed [`PolymerError`] payload)
+/// on invalid configuration or worker failure; fallible callers should use
+/// [`try_run_parallel`].
 pub fn run_parallel<P: Program>(
     g: &Graph,
     prog: &P,
     threads: usize,
     groups: usize,
 ) -> (Vec<P::Val>, usize) {
-    assert!(threads >= 1, "need at least one thread");
+    try_run_parallel(g, prog, threads, groups, &FaultPlan::default())
+        .unwrap_or_else(|e| panic_with(e))
+}
+
+/// Fallible [`run_parallel`]: validates the configuration up front, honors
+/// the fault `plan` (stragglers, injected worker panics, barrier deadlines),
+/// and converts every worker failure — a panic, a poisoned barrier, a
+/// timeout — into a typed [`PolymerError`] with no thread left behind
+/// spinning. The first *causal* error wins; the `BarrierPoisoned` cascade it
+/// triggers in sibling workers is not reported over it.
+pub fn try_run_parallel<P: Program>(
+    g: &Graph,
+    prog: &P,
+    threads: usize,
+    groups: usize,
+    plan: &FaultPlan,
+) -> PolymerResult<(Vec<P::Val>, usize)> {
+    if threads == 0 {
+        return Err(PolymerError::InvalidConfig(
+            "threads must be >= 1".to_string(),
+        ));
+    }
     let groups = groups.clamp(1, threads);
     let n = g.num_vertices();
     let identity = prog.next_identity();
+    let barrier_timeout = plan.barrier_deadline().unwrap_or(DEFAULT_BARRIER_TIMEOUT);
 
     // Shared state: atomic value arrays and per-iteration bookkeeping.
     let curr: Vec<<P::Val as Atom>::Repr> = (0..n)
@@ -53,20 +102,24 @@ pub fn run_parallel<P: Program>(
     let group_of = |tid: usize| tid % groups;
 
     // The frontier for the upcoming iteration, rebuilt by the serial thread.
-    let frontier: parking_lot::RwLock<Vec<VId>> = parking_lot::RwLock::new(match prog
-        .initial_frontier(g)
-    {
+    let initial_frontier = match prog.initial_frontier(g) {
         FrontierInit::All => (0..n as VId).collect(),
         FrontierInit::Single(s) => {
-            assert!((s as usize) < n, "source out of range");
+            if s as usize >= n {
+                return Err(PolymerError::InvalidConfig(format!(
+                    "source vertex {s} out of range (graph has {n} vertices)"
+                )));
+            }
             vec![s]
         }
-    });
+    };
+    let frontier: parking_lot::RwLock<Vec<VId>> = parking_lot::RwLock::new(initial_frontier);
     let next_frontier: parking_lot::Mutex<Vec<VId>> = parking_lot::Mutex::new(Vec::new());
     let iterations = AtomicU64::new(0);
     let done = std::sync::atomic::AtomicBool::new(false);
+    let first_error: parking_lot::Mutex<Option<PolymerError>> = parking_lot::Mutex::new(None);
 
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for tid in 0..threads {
             let curr = &curr;
             let next = &next;
@@ -76,90 +129,137 @@ pub fn run_parallel<P: Program>(
             let next_frontier = &next_frontier;
             let iterations = &iterations;
             let done = &done;
+            let first_error = &first_error;
             scope.spawn(move |_| {
                 let group = group_of(tid);
-                let mut local_updates: Vec<VId> = Vec::new();
-                let mut local_alive: Vec<VId> = Vec::new();
-                loop {
-                    if done.load(Ordering::Acquire) {
-                        break;
-                    }
-                    // --- Scatter phase: chunk the frontier by thread.
-                    {
-                        let fr = frontier.read();
-                        let chunk = fr.len().div_ceil(threads);
-                        let lo = (tid * chunk).min(fr.len());
-                        let hi = ((tid + 1) * chunk).min(fr.len());
-                        for &s in &fr[lo..hi] {
-                            let sv = P::Val::atom_load(&curr[s as usize]);
-                            let deg = g.out_degree(s) as u32;
-                            for (&t, &w) in
-                                g.out_neighbors(s).iter().zip(g.out_weights(s))
-                            {
-                                let c = prog.scatter(s, sv, w, deg);
-                                let cell = &next[t as usize];
-                                match prog.combine() {
-                                    Combine::Add => {
-                                        P::Val::atom_add(cell, c);
+                // Every barrier crossing is bounded: a sibling that died
+                // before arriving turns into a timeout + poison instead of
+                // an eternal spin.
+                let sync = |group: usize| -> PolymerResult<bool> {
+                    barrier.wait_deadline(group, Instant::now() + barrier_timeout)
+                };
+                let body = || -> PolymerResult<()> {
+                    let mut local_updates: Vec<VId> = Vec::new();
+                    let mut local_alive: Vec<VId> = Vec::new();
+                    let mut iter = 0usize;
+                    loop {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // --- Fault-plan injection points.
+                        if let Some(delay) = plan.straggle_delay(tid, iter) {
+                            std::thread::sleep(delay);
+                        }
+                        if plan.should_panic_worker(tid, iter) {
+                            panic!("injected worker panic");
+                        }
+                        // --- Scatter phase: chunk the frontier by thread.
+                        {
+                            let fr = frontier.read();
+                            let chunk = fr.len().div_ceil(threads);
+                            let lo = (tid * chunk).min(fr.len());
+                            let hi = ((tid + 1) * chunk).min(fr.len());
+                            for &s in &fr[lo..hi] {
+                                let sv = P::Val::atom_load(&curr[s as usize]);
+                                let deg = g.out_degree(s) as u32;
+                                for (&t, &w) in
+                                    g.out_neighbors(s).iter().zip(g.out_weights(s))
+                                {
+                                    let c = prog.scatter(s, sv, w, deg);
+                                    let cell = &next[t as usize];
+                                    match prog.combine() {
+                                        Combine::Add => {
+                                            P::Val::atom_add(cell, c);
+                                        }
+                                        Combine::Min => {
+                                            P::Val::atom_min(cell, c);
+                                        }
+                                        Combine::Mul => {
+                                            P::Val::atom_mul(cell, c);
+                                        }
                                     }
-                                    Combine::Min => {
-                                        P::Val::atom_min(cell, c);
+                                    let bit = 1u64 << (t % 64);
+                                    let prev = updated[t as usize / 64]
+                                        .fetch_or(bit, Ordering::AcqRel);
+                                    if prev & bit == 0 {
+                                        local_updates.push(t);
                                     }
-                                    Combine::Mul => {
-                                        P::Val::atom_mul(cell, c);
-                                    }
-                                }
-                                let bit = 1u64 << (t % 64);
-                                let prev = updated[t as usize / 64]
-                                    .fetch_or(bit, Ordering::AcqRel);
-                                if prev & bit == 0 {
-                                    local_updates.push(t);
                                 }
                             }
                         }
-                    }
-                    barrier.wait(group);
+                        sync(group)?;
 
-                    // --- Apply phase: each thread applies the targets it
-                    // claimed (exactly-once by the fetch_or above).
-                    for &t in &local_updates {
-                        let ti = t as usize;
-                        let acc = P::Val::atom_load(&next[ti]);
-                        let cv = P::Val::atom_load(&curr[ti]);
-                        let (val, alive) = prog.apply(t, acc, cv);
-                        P::Val::atom_store(&curr[ti], val);
-                        P::Val::atom_store(&next[ti], identity);
-                        updated[ti / 64].store(0, Ordering::Relaxed);
-                        if alive {
-                            local_alive.push(t);
+                        // --- Apply phase: each thread applies the targets it
+                        // claimed (exactly-once by the fetch_or above).
+                        for &t in &local_updates {
+                            let ti = t as usize;
+                            let acc = P::Val::atom_load(&next[ti]);
+                            let cv = P::Val::atom_load(&curr[ti]);
+                            let (val, alive) = prog.apply(t, acc, cv);
+                            P::Val::atom_store(&curr[ti], val);
+                            P::Val::atom_store(&next[ti], identity);
+                            updated[ti / 64].store(0, Ordering::Relaxed);
+                            if alive {
+                                local_alive.push(t);
+                            }
                         }
-                    }
-                    local_updates.clear();
-                    if !local_alive.is_empty() {
-                        next_frontier.lock().append(&mut local_alive);
-                    }
+                        local_updates.clear();
+                        if !local_alive.is_empty() {
+                            next_frontier.lock().append(&mut local_alive);
+                        }
 
-                    // --- Frontier swap by the serial thread.
-                    if barrier.wait(group) {
-                        let mut nf = next_frontier.lock();
-                        let mut fr = frontier.write();
-                        std::mem::swap(&mut *fr, &mut *nf);
-                        nf.clear();
-                        fr.sort_unstable();
-                        let iters = iterations.fetch_add(1, Ordering::AcqRel) + 1;
-                        if fr.is_empty() || iters as usize >= prog.max_iters() {
-                            done.store(true, Ordering::Release);
+                        // --- Frontier swap by the serial thread.
+                        if sync(group)? {
+                            let mut nf = next_frontier.lock();
+                            let mut fr = frontier.write();
+                            std::mem::swap(&mut *fr, &mut *nf);
+                            nf.clear();
+                            fr.sort_unstable();
+                            let iters = iterations.fetch_add(1, Ordering::AcqRel) + 1;
+                            if fr.is_empty() || iters as usize >= prog.max_iters() {
+                                done.store(true, Ordering::Release);
+                            }
                         }
+                        sync(group)?;
+                        iter += 1;
                     }
-                    barrier.wait(group);
+                    Ok(())
+                };
+                match catch_unwind(AssertUnwindSafe(body)) {
+                    Ok(Ok(())) => {}
+                    Ok(Err(err)) => {
+                        // A barrier error (poison/timeout) already poisoned
+                        // the barrier; make sure siblings at the loop top
+                        // stop too, then record the cause.
+                        done.store(true, Ordering::Release);
+                        record_error(first_error, err);
+                    }
+                    Err(payload) => {
+                        // The worker died mid-iteration: poison the barrier
+                        // so siblings waiting on it error out instead of
+                        // deadlocking.
+                        barrier.poison();
+                        done.store(true, Ordering::Release);
+                        record_error(
+                            first_error,
+                            PolymerError::from_worker_panic(tid, payload),
+                        );
+                    }
                 }
             });
         }
-    })
-    .expect("parallel executor threads panicked");
+    });
+    // Workers never unwind out of the scope (each body is caught above), but
+    // stay panic-free even if crossbeam itself reports one.
+    if let Err(payload) = scope_result {
+        record_error(&first_error, PolymerError::from_panic(payload));
+    }
+    if let Some(err) = first_error.lock().take() {
+        return Err(err);
+    }
 
     let values = curr.iter().map(P::Val::atom_load).collect();
-    (values, iterations.load(Ordering::Acquire) as usize)
+    Ok((values, iterations.load(Ordering::Acquire) as usize))
 }
 
 #[cfg(test)]
@@ -241,5 +341,48 @@ mod tests {
         let g = ring(8);
         let (vals, _) = run_parallel(&g, &Levels { src: 0 }, 2, 8);
         assert_eq!(vals[7], 7);
+    }
+
+    #[test]
+    fn zero_threads_is_a_typed_error() {
+        let g = ring(8);
+        let err = try_run_parallel(&g, &Levels { src: 0 }, 0, 1, &FaultPlan::default())
+            .unwrap_err();
+        assert!(matches!(err, PolymerError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn out_of_range_source_is_a_typed_error() {
+        let g = ring(8);
+        let err = try_run_parallel(&g, &Levels { src: 99 }, 2, 1, &FaultPlan::default())
+            .unwrap_err();
+        match err {
+            PolymerError::InvalidConfig(msg) => assert!(msg.contains("99"), "{msg}"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_worker_panic_becomes_typed_error_without_deadlock() {
+        let g = ring(64);
+        let plan = FaultPlan::new()
+            .panic_worker_at(1, 2)
+            .barrier_timeout(Duration::from_secs(5));
+        let err = try_run_parallel(&g, &Levels { src: 0 }, 4, 2, &plan).unwrap_err();
+        match err {
+            PolymerError::WorkerPanicked { worker, ref detail } => {
+                assert_eq!(worker, 1);
+                assert!(detail.contains("injected"), "{detail}");
+            }
+            ref other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straggler_delays_but_still_completes() {
+        let g = ring(16);
+        let plan = FaultPlan::new().delay_worker(0, 1, Duration::from_millis(5));
+        let (vals, _) = try_run_parallel(&g, &Levels { src: 0 }, 2, 1, &plan).unwrap();
+        assert_eq!(vals[15], 15);
     }
 }

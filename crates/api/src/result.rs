@@ -71,6 +71,7 @@ mod tests {
             clock,
             memory: MemoryReport {
                 peak_bytes: 1 << 30,
+                spilled_pages: 0,
                 tags: vec![],
             },
             threads: 4,

@@ -14,6 +14,8 @@
 //! * `--out <dir>` — where to write the JSON result files (default
 //!   `results/`).
 
+#![deny(unsafe_code)]
+
 pub mod cli;
 pub mod report;
 pub mod runner;

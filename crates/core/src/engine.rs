@@ -1,8 +1,10 @@
 //! The Polymer execution engine (paper Sections 4.3 and 5).
 
 use polymer_api::{
-    atomic_combine, even_chunks, Engine, EngineKind, FrontierInit, Program, RunResult,
+    atomic_combine, catch_engine_faults, check_divergence, even_chunks, validate_run_config,
+    Engine, EngineKind, FrontierInit, Program, RunResult,
 };
+use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
 use polymer_numa::{
     AccessCtx, BarrierKind, Machine, MemoryReport, SimExecutor,
@@ -162,13 +164,26 @@ impl Engine for PolymerEngine {
         EngineKind::Polymer
     }
 
-    fn run<P: Program>(
+    fn try_run<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
-    ) -> RunResult<P::Val> {
+    ) -> PolymerResult<RunResult<P::Val>> {
+        validate_run_config(threads, g, prog)?;
+        catch_engine_faults(|| self.run_inner(machine, threads, g, prog))
+    }
+}
+
+impl PolymerEngine {
+    fn run_inner<P: Program>(
+        &self,
+        machine: &Machine,
+        threads: usize,
+        g: &Graph,
+        prog: &P,
+    ) -> PolymerResult<RunResult<P::Val>> {
         let n = g.num_vertices();
         let m = g.num_edges();
         let identity = prog.next_identity();
@@ -211,8 +226,8 @@ impl Engine for PolymerEngine {
 
         let mut frontier = match prog.initial_frontier(g) {
             FrontierInit::All => PFrontier::all(machine, &layout, n),
+            // The source is validated by `validate_run_config`.
             FrontierInit::Single(s) => {
-                assert!((s as usize) < n, "source out of range");
                 if self.config.adaptive_states {
                     PFrontier::Sparse(vec![s])
                 } else {
@@ -222,8 +237,16 @@ impl Engine for PolymerEngine {
         };
 
         let queues = ThreadQueues::new(machine, threads);
+        // Safety cap for synchronous engines: no program that converges
+        // needs more iterations than vertices (BFS/SSSP level counts are
+        // bounded by the diameter < n); a frontier still alive past this is
+        // oscillating, not converging.
+        let iter_cap = 2 * n + 64;
         let mut iters = 0usize;
         while frontier.len() > 0 && iters < prog.max_iters() {
+            if iters >= iter_cap {
+                return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
+            }
             let frontier_degree: u64 = match &frontier {
                 PFrontier::Sparse(items) => {
                     items.iter().map(|&v| g.out_degree(v) as u64).sum()
@@ -478,18 +501,19 @@ impl Engine for PolymerEngine {
             } else {
                 PFrontier::densify(machine, &layout, &items)
             };
+            check_divergence(&curr, iters)?;
             iters += 1;
         }
 
         let memory = MemoryReport::from_machine(machine);
-        RunResult {
+        Ok(RunResult {
             values: curr.snapshot(),
             iterations: iters,
             clock: sim.clock().clone(),
             memory,
             threads,
             sockets: spanned,
-        }
+        })
     }
 }
 
@@ -603,6 +627,24 @@ mod tests {
             oblivious.remote_report().access_rate_remote,
             aware.remote_report().access_rate_remote
         );
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error_not_a_panic() {
+        let el = gen::uniform(50, 100, 3);
+        let g = Graph::from_edges(&el);
+        let m = Machine::new(MachineSpec::test2());
+        let engine = PolymerEngine::new();
+        let err = engine
+            .try_run(&m, 0, &g, &Bfs::new(0))
+            .map(|r| r.iterations)
+            .unwrap_err();
+        assert!(matches!(err, polymer_numa::PolymerError::InvalidConfig(_)));
+        let err = engine
+            .try_run(&m, 4, &g, &Bfs::new(999))
+            .map(|r| r.iterations)
+            .unwrap_err();
+        assert!(matches!(err, polymer_numa::PolymerError::InvalidConfig(_)));
     }
 
     #[test]

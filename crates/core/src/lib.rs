@@ -25,6 +25,8 @@
 //!   adaptive runtime states — each independently toggleable for the
 //!   paper's ablation experiments (Figure 10(b), Table 6).
 
+#![deny(unsafe_code)]
+
 pub mod engine;
 pub mod layout;
 

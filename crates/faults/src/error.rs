@@ -1,0 +1,305 @@
+//! The workspace-wide error taxonomy.
+
+use std::any::Any;
+use std::fmt;
+use std::time::Duration;
+
+/// Shorthand for `Result<T, PolymerError>`.
+pub type PolymerResult<T> = Result<T, PolymerError>;
+
+/// Every way a Polymer run can fail, from input validation to injected
+/// hardware faults. Variants are coarse enough to match on and carry the
+/// context a caller needs to degrade gracefully or report precisely.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolymerError {
+    /// A caller-supplied parameter was rejected (thread count, source vertex,
+    /// group sizes, ...). The string names the parameter and the constraint.
+    InvalidConfig(String),
+    /// A worker thread of the real executor panicked; siblings observed the
+    /// poisoned barrier and unwound instead of deadlocking.
+    WorkerPanicked {
+        /// Thread id of the first worker that panicked.
+        worker: usize,
+        /// Stringified panic payload.
+        detail: String,
+    },
+    /// An engine body panicked outside any worker thread (allocation,
+    /// layout construction, ...).
+    EnginePanicked {
+        /// Stringified panic payload.
+        detail: String,
+    },
+    /// A barrier was poisoned by another participant (panic or timeout);
+    /// this participant unwound instead of spinning forever.
+    BarrierPoisoned,
+    /// A barrier wait exceeded its deadline; the waiter poisoned the barrier
+    /// so every sibling errors out too.
+    BarrierTimeout {
+        /// How long the participant waited before giving up.
+        waited: Duration,
+    },
+    /// An allocation was failed by a [`crate::FaultPlan`] (nth-allocation
+    /// injection) — the simulated analogue of `mmap` returning `ENOMEM`.
+    AllocFailed {
+        /// Allocation name (the machine's tag/name string).
+        name: String,
+        /// Zero-based index of the allocation within its machine.
+        index: u64,
+    },
+    /// An allocation did not fit on its requested node and the machine's
+    /// spill policy was `Fail` (or every node was full).
+    NodeCapacityExceeded {
+        /// The node the allocation was bound to.
+        node: usize,
+        /// Bytes the allocation needed on that node.
+        requested_bytes: u64,
+        /// The node's configured capacity in bytes.
+        capacity_bytes: u64,
+        /// Allocation name.
+        name: String,
+    },
+    /// A per-vertex value became non-finite (NaN/±inf) — the computation
+    /// diverged instead of converging.
+    Divergence {
+        /// First vertex observed with a non-finite value.
+        vertex: usize,
+        /// Iteration at which it was detected (0-based).
+        iteration: usize,
+    },
+    /// The engine's iteration safety cap was exceeded while the frontier was
+    /// still non-empty — the program is not converging.
+    IterationCapExceeded {
+        /// The cap that was hit.
+        cap: usize,
+    },
+    /// An I/O error (graph loading). The original `std::io::Error` is
+    /// flattened to its kind and message so the error stays `Clone + Eq`.
+    Io {
+        /// The `std::io::ErrorKind` of the underlying error.
+        kind: std::io::ErrorKind,
+        /// The underlying error's message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PolymerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolymerError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PolymerError::WorkerPanicked { worker, detail } => {
+                write!(f, "worker thread {worker} panicked: {detail}")
+            }
+            PolymerError::EnginePanicked { detail } => {
+                write!(f, "engine panicked: {detail}")
+            }
+            PolymerError::BarrierPoisoned => {
+                write!(f, "barrier poisoned by a failed participant")
+            }
+            PolymerError::BarrierTimeout { waited } => {
+                write!(f, "barrier wait timed out after {waited:?}")
+            }
+            PolymerError::AllocFailed { name, index } => {
+                write!(f, "allocation {index} ({name:?}) failed (injected fault)")
+            }
+            PolymerError::NodeCapacityExceeded {
+                node,
+                requested_bytes,
+                capacity_bytes,
+                name,
+            } => write!(
+                f,
+                "allocation {name:?} needs {requested_bytes} bytes on node {node} \
+                 (capacity {capacity_bytes} bytes) and the spill policy is Fail"
+            ),
+            PolymerError::Divergence { vertex, iteration } => write!(
+                f,
+                "non-finite value at vertex {vertex} in iteration {iteration} (divergence)"
+            ),
+            PolymerError::IterationCapExceeded { cap } => {
+                write!(f, "iteration cap {cap} exceeded with a non-empty frontier")
+            }
+            PolymerError::Io { kind, detail } => write!(f, "i/o error ({kind:?}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PolymerError {}
+
+impl From<std::io::Error> for PolymerError {
+    fn from(e: std::io::Error) -> Self {
+        PolymerError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl PolymerError {
+    /// Recover a typed error from a panic payload (the other half of
+    /// [`panic_with`]). `PolymerError` payloads pass through unchanged;
+    /// `String`/`&str` payloads (plain `panic!`) become
+    /// [`PolymerError::EnginePanicked`]; anything else becomes an opaque
+    /// `EnginePanicked`.
+    pub fn from_panic(payload: Box<dyn Any + Send>) -> PolymerError {
+        match payload.downcast::<PolymerError>() {
+            Ok(e) => *e,
+            Err(payload) => PolymerError::EnginePanicked {
+                detail: panic_message(payload.as_ref()),
+            },
+        }
+    }
+
+    /// Like [`PolymerError::from_panic`] but attributes the panic to a worker
+    /// thread of the real executor.
+    pub fn from_worker_panic(worker: usize, payload: Box<dyn Any + Send>) -> PolymerError {
+        match payload.downcast::<PolymerError>() {
+            Ok(e) => *e,
+            Err(payload) => PolymerError::WorkerPanicked {
+                worker,
+                detail: panic_message(payload.as_ref()),
+            },
+        }
+    }
+}
+
+/// Stringify a panic payload (`&str`, `String`, or opaque).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Panic with a typed payload. Panicking wrappers over `try_` APIs use this
+/// so a downstream `catch_unwind` + [`PolymerError::from_panic`] recovers the
+/// original error instead of a stringified one.
+pub fn panic_with(err: PolymerError) -> ! {
+    std::panic::panic_any(err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<(PolymerError, &str)> = vec![
+            (
+                PolymerError::InvalidConfig("threads must be >= 1".into()),
+                "invalid configuration",
+            ),
+            (
+                PolymerError::WorkerPanicked {
+                    worker: 3,
+                    detail: "boom".into(),
+                },
+                "worker thread 3",
+            ),
+            (
+                PolymerError::EnginePanicked {
+                    detail: "boom".into(),
+                },
+                "engine panicked",
+            ),
+            (PolymerError::BarrierPoisoned, "poisoned"),
+            (
+                PolymerError::BarrierTimeout {
+                    waited: Duration::from_millis(50),
+                },
+                "timed out",
+            ),
+            (
+                PolymerError::AllocFailed {
+                    name: "data/curr".into(),
+                    index: 7,
+                },
+                "injected fault",
+            ),
+            (
+                PolymerError::NodeCapacityExceeded {
+                    node: 1,
+                    requested_bytes: 8192,
+                    capacity_bytes: 4096,
+                    name: "data/curr".into(),
+                },
+                "node 1",
+            ),
+            (
+                PolymerError::Divergence {
+                    vertex: 12,
+                    iteration: 4,
+                },
+                "non-finite",
+            ),
+            (
+                PolymerError::IterationCapExceeded { cap: 100 },
+                "iteration cap 100",
+            ),
+            (
+                PolymerError::Io {
+                    kind: std::io::ErrorKind::InvalidData,
+                    detail: "bad magic".into(),
+                },
+                "bad magic",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn from_panic_recovers_typed_payloads() {
+        let err = std::panic::catch_unwind(|| {
+            panic_with(PolymerError::BarrierPoisoned);
+        })
+        .map_err(PolymerError::from_panic)
+        .unwrap_err();
+        assert_eq!(err, PolymerError::BarrierPoisoned);
+    }
+
+    #[test]
+    fn from_panic_stringifies_plain_panics() {
+        let err = std::panic::catch_unwind(|| panic!("plain {}", 42))
+            .map_err(PolymerError::from_panic)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PolymerError::EnginePanicked {
+                detail: "plain 42".into()
+            }
+        );
+    }
+
+    #[test]
+    fn from_worker_panic_attributes_thread() {
+        let err = std::panic::catch_unwind(|| panic!("injected"))
+            .map_err(|p| PolymerError::from_worker_panic(5, p))
+            .unwrap_err();
+        match err {
+            PolymerError::WorkerPanicked { worker, detail } => {
+                assert_eq!(worker, 5);
+                assert_eq!(detail, "injected");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short");
+        let err: PolymerError = io.into();
+        match err {
+            PolymerError::Io { kind, ref detail } => {
+                assert_eq!(kind, std::io::ErrorKind::UnexpectedEof);
+                assert!(detail.contains("short"));
+            }
+            ref other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

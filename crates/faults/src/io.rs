@@ -1,0 +1,101 @@
+//! I/O fault injection: a reader that cuts the stream short.
+
+use std::io::{self, Read};
+
+use crate::FaultPlan;
+
+/// Wraps a reader and yields at most `limit` bytes; the next read past the
+/// limit fails with [`io::ErrorKind::UnexpectedEof`]. Models a truncated
+/// file or a connection dropped mid-transfer, for exercising loader
+/// hardening without crafting corrupt files by hand.
+pub struct ShortReader<R> {
+    inner: R,
+    remaining: u64,
+    tripped: bool,
+}
+
+impl<R: Read> ShortReader<R> {
+    /// Cut `inner` short after `limit` bytes.
+    pub fn new(inner: R, limit: u64) -> Self {
+        ShortReader {
+            inner,
+            remaining: limit,
+            tripped: false,
+        }
+    }
+
+    /// Build from a [`FaultPlan`]'s short-read limit; a plan without one
+    /// passes the stream through untouched (`u64::MAX` limit).
+    pub fn from_plan(inner: R, plan: &FaultPlan) -> Self {
+        ShortReader::new(inner, plan.short_read_limit().unwrap_or(u64::MAX))
+    }
+
+    /// True once the injected truncation has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+}
+
+impl<R: Read> Read for ShortReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            self.tripped = true;
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "injected short read (fault plan)",
+            ));
+        }
+        let cap = (buf.len() as u64).min(self.remaining) as usize;
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.remaining -= n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    #[test]
+    fn passes_through_under_limit() {
+        let data = b"hello world";
+        let mut r = ShortReader::new(&data[..], 64);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert!(!r.tripped());
+    }
+
+    #[test]
+    fn fails_past_limit() {
+        let data = vec![7u8; 100];
+        let mut r = ShortReader::new(&data[..], 10);
+        let mut out = vec![0u8; 100];
+        let mut got = 0usize;
+        let err = loop {
+            match r.read(&mut out[got..]) {
+                Ok(0) => panic!("should error before clean EOF"),
+                Ok(n) => got += n,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(got, 10);
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(r.tripped());
+    }
+
+    #[test]
+    fn from_plan_defaults_to_unbounded() {
+        let data = vec![1u8; 4096];
+        let mut r = ShortReader::from_plan(&data[..], &FaultPlan::new());
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 4096);
+
+        let plan = FaultPlan::new().short_read_after(8);
+        let mut r = ShortReader::from_plan(&data[..], &plan);
+        let mut out = Vec::new();
+        assert!(r.read_to_end(&mut out).is_err());
+    }
+}

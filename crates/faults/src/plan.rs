@@ -1,0 +1,233 @@
+//! Deterministic fault-injection plans.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic, seedable schedule of faults to inject into one run.
+///
+/// A plan is a cheap clone (an `Arc` internally); the machine, the barriers
+/// and the executor all hold clones of the same plan, so trigger counters
+/// (nth allocation, nth barrier crossing) are global to the run and the
+/// schedule is reproducible. A default plan injects nothing and costs one
+/// relaxed atomic load per potential trigger point.
+///
+/// ```
+/// use polymer_faults::FaultPlan;
+/// use std::time::Duration;
+///
+/// let plan = FaultPlan::new()
+///     .with_seed(42)
+///     .fail_nth_alloc(3)
+///     .panic_worker_at(1, 2)
+///     .barrier_timeout(Duration::from_secs(5));
+/// assert!(!plan.should_fail_alloc()); // allocation 0
+/// assert!(!plan.should_fail_alloc()); // allocation 1
+/// assert!(!plan.should_fail_alloc()); // allocation 2
+/// assert!(plan.should_fail_alloc()); // allocation 3 fails
+/// assert!(plan.should_panic_worker(1, 2));
+/// assert!(!plan.should_panic_worker(0, 2));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    inner: Arc<PlanInner>,
+}
+
+#[derive(Debug, Default)]
+struct PlanInner {
+    seed: u64,
+    /// Fail the allocation with this zero-based index.
+    fail_alloc_at: Option<u64>,
+    alloc_counter: AtomicU64,
+    /// Clamp every node's memory capacity to this many bytes (overrides any
+    /// larger spec capacity).
+    node_capacity_clamp: Option<u64>,
+    /// Delay worker `tid` by `delay` at the start of iteration `iteration`.
+    straggler: Option<(usize, usize, Duration)>,
+    /// Panic worker `tid` at the start of iteration `iteration`.
+    panic_worker: Option<(usize, usize)>,
+    /// Truncate injected I/O streams after this many bytes.
+    short_read_after: Option<u64>,
+    /// Deadline for every barrier wait of the run.
+    barrier_timeout: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    fn edit(self, f: impl FnOnce(&mut PlanInner)) -> Self {
+        // Builder methods are called before the plan is shared, so the Arc
+        // is unique; `unwrap` documents that invariant.
+        let mut inner = Arc::try_unwrap(self.inner)
+            .expect("FaultPlan builders must run before the plan is cloned");
+        f(&mut inner);
+        FaultPlan {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Set the seed used to derive per-worker jitter (see
+    /// [`FaultPlan::jitter_for`]).
+    pub fn with_seed(self, seed: u64) -> Self {
+        self.edit(|p| p.seed = seed)
+    }
+
+    /// Fail the `n`th allocation registered on the machine (zero-based),
+    /// modelling `mmap` returning `ENOMEM` mid-run.
+    pub fn fail_nth_alloc(self, n: u64) -> Self {
+        self.edit(|p| p.fail_alloc_at = Some(n))
+    }
+
+    /// Clamp every node's memory capacity to `bytes`, forcing the machine's
+    /// spill policy to engage (or fail) on node-bound allocations.
+    pub fn clamp_node_capacity(self, bytes: u64) -> Self {
+        self.edit(|p| p.node_capacity_clamp = Some(bytes))
+    }
+
+    /// Delay worker `tid` by `delay` at the start of iteration `iteration`
+    /// (a barrier straggler).
+    pub fn delay_worker(self, tid: usize, iteration: usize, delay: Duration) -> Self {
+        self.edit(|p| p.straggler = Some((tid, iteration, delay)))
+    }
+
+    /// Panic worker `tid` at the start of iteration `iteration`.
+    pub fn panic_worker_at(self, tid: usize, iteration: usize) -> Self {
+        self.edit(|p| p.panic_worker = Some((tid, iteration)))
+    }
+
+    /// Truncate streams wrapped in [`crate::ShortReader::from_plan`] after
+    /// `bytes` bytes.
+    pub fn short_read_after(self, bytes: u64) -> Self {
+        self.edit(|p| p.short_read_after = Some(bytes))
+    }
+
+    /// Bound every barrier wait of the run by `timeout`; an expired wait
+    /// poisons the barrier and surfaces as a typed error.
+    pub fn barrier_timeout(self, timeout: Duration) -> Self {
+        self.edit(|p| p.barrier_timeout = Some(timeout))
+    }
+
+    // --- Trigger queries (called by the injected-into layers) -----------
+
+    /// Count one allocation; true when this allocation must fail.
+    pub fn should_fail_alloc(&self) -> bool {
+        match self.inner.fail_alloc_at {
+            None => false,
+            Some(n) => self.inner.alloc_counter.fetch_add(1, Ordering::Relaxed) == n,
+        }
+    }
+
+    /// Index the next allocation would get (for error reporting). Only
+    /// meaningful after [`FaultPlan::should_fail_alloc`] returned true, when
+    /// it names the failed allocation.
+    pub fn failed_alloc_index(&self) -> u64 {
+        self.inner.fail_alloc_at.unwrap_or(0)
+    }
+
+    /// The per-node capacity clamp, if any.
+    pub fn node_capacity_clamp(&self) -> Option<u64> {
+        self.inner.node_capacity_clamp
+    }
+
+    /// The straggler delay for worker `tid` at `iteration`, if any.
+    pub fn straggle_delay(&self, tid: usize, iteration: usize) -> Option<Duration> {
+        match self.inner.straggler {
+            Some((t, i, d)) if t == tid && i == iteration => Some(d),
+            _ => None,
+        }
+    }
+
+    /// True when worker `tid` must panic at the start of `iteration`.
+    pub fn should_panic_worker(&self, tid: usize, iteration: usize) -> bool {
+        self.inner.panic_worker == Some((tid, iteration))
+    }
+
+    /// The configured short-read byte limit, if any.
+    pub fn short_read_limit(&self) -> Option<u64> {
+        self.inner.short_read_after
+    }
+
+    /// The configured barrier-wait deadline, if any.
+    pub fn barrier_deadline(&self) -> Option<Duration> {
+        self.inner.barrier_timeout
+    }
+
+    /// A deterministic pseudo-random jitter in `[0, max)` derived from the
+    /// plan's seed and a stream index (splitmix64) — lets tests spread
+    /// worker start times reproducibly without a RNG dependency.
+    pub fn jitter_for(&self, stream: u64, max: Duration) -> Duration {
+        let mut z = self
+            .inner
+            .seed
+            .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let nanos = max.as_nanos() as u64;
+        if nanos == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(z % nanos)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let p = FaultPlan::new();
+        for _ in 0..100 {
+            assert!(!p.should_fail_alloc());
+        }
+        assert_eq!(p.node_capacity_clamp(), None);
+        assert_eq!(p.straggle_delay(0, 0), None);
+        assert!(!p.should_panic_worker(0, 0));
+        assert_eq!(p.short_read_limit(), None);
+        assert_eq!(p.barrier_deadline(), None);
+    }
+
+    #[test]
+    fn nth_alloc_counter_is_shared_across_clones() {
+        let p = FaultPlan::new().fail_nth_alloc(2);
+        let q = p.clone();
+        assert!(!p.should_fail_alloc()); // 0
+        assert!(!q.should_fail_alloc()); // 1
+        assert!(p.should_fail_alloc()); // 2 — fails
+        assert!(!q.should_fail_alloc()); // 3
+        assert_eq!(p.failed_alloc_index(), 2);
+    }
+
+    #[test]
+    fn straggler_and_panic_match_exact_points() {
+        let p = FaultPlan::new()
+            .delay_worker(2, 5, Duration::from_millis(10))
+            .panic_worker_at(1, 3);
+        assert_eq!(p.straggle_delay(2, 5), Some(Duration::from_millis(10)));
+        assert_eq!(p.straggle_delay(2, 4), None);
+        assert_eq!(p.straggle_delay(1, 5), None);
+        assert!(p.should_panic_worker(1, 3));
+        assert!(!p.should_panic_worker(1, 2));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = FaultPlan::new().with_seed(7);
+        let q = FaultPlan::new().with_seed(7);
+        let max = Duration::from_millis(5);
+        for s in 0..32 {
+            let a = p.jitter_for(s, max);
+            assert_eq!(a, q.jitter_for(s, max));
+            assert!(a < max);
+        }
+        assert_eq!(p.jitter_for(3, Duration::ZERO), Duration::ZERO);
+        // Different seeds give different schedules (overwhelmingly likely).
+        let r = FaultPlan::new().with_seed(8);
+        assert!((0..32).any(|s| p.jitter_for(s, max) != r.jitter_for(s, max)));
+    }
+}

@@ -23,11 +23,15 @@
 //!   scatter-writes in pull mode, no per-iteration state reallocation), not
 //!   by tweaking the cost model.
 
+#![deny(unsafe_code)]
+
 use std::collections::BTreeMap;
 
 use polymer_api::{
-    even_chunks, init_values, Engine, EngineKind, FrontierInit, Program, RunResult, TopoArrays,
+    catch_engine_faults, check_divergence, even_chunks, init_values, validate_run_config, Engine,
+    EngineKind, FrontierInit, Program, RunResult, TopoArrays,
 };
+use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
 use polymer_api::Combine;
 use polymer_numa::{AllocPolicy, BarrierKind, Machine, MemoryReport, SimExecutor};
@@ -65,20 +69,23 @@ impl Engine for GaloisEngine {
         EngineKind::Galois
     }
 
-    fn run<P: Program>(
+    fn try_run<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
-    ) -> RunResult<P::Val> {
-        if prog.name() == "CC" && !self.no_union_find {
-            return run_union_find(machine, threads, g, prog);
-        }
-        match prog.combine() {
-            Combine::Min => run_async(machine, threads, g, prog),
-            _ => run_sync_pull(machine, threads, g, prog),
-        }
+    ) -> PolymerResult<RunResult<P::Val>> {
+        validate_run_config(threads, g, prog)?;
+        catch_engine_faults(|| {
+            if prog.name() == "CC" && !self.no_union_find {
+                return run_union_find(machine, threads, g, prog);
+            }
+            match prog.combine() {
+                Combine::Min => run_async(machine, threads, g, prog),
+                _ => run_sync_pull(machine, threads, g, prog),
+            }
+        })
     }
 }
 
@@ -88,7 +95,7 @@ fn run_async<P: Program>(
     threads: usize,
     g: &Graph,
     prog: &P,
-) -> RunResult<P::Val> {
+) -> PolymerResult<RunResult<P::Val>> {
     let sc = prog.scatter_cycles();
     let topo = TopoArrays::build(machine, g, prog.uses_weights(), |_| AllocPolicy::Interleaved);
     let (curr, _next) = init_values(
@@ -108,8 +115,8 @@ fn run_async<P: Program>(
         FrontierInit::All => {
             buckets.insert(0, (0..g.num_vertices() as VId).collect());
         }
+        // The source is validated by `validate_run_config`.
         FrontierInit::Single(s) => {
-            assert!((s as usize) < g.num_vertices(), "source out of range");
             buckets.insert(0, vec![s]);
         }
     }
@@ -157,14 +164,14 @@ fn run_async<P: Program>(
     }
 
     let memory = MemoryReport::from_machine(machine);
-    RunResult {
+    Ok(RunResult {
         values: curr.snapshot(),
         iterations: rounds,
         clock: sim.clock().clone(),
         memory,
         threads,
         sockets: sim.num_sockets(),
-    }
+    })
 }
 
 /// Synchronous pull-based execution for accumulating programs (PR/SpMV/BP).
@@ -173,7 +180,7 @@ fn run_sync_pull<P: Program>(
     threads: usize,
     g: &Graph,
     prog: &P,
-) -> RunResult<P::Val> {
+) -> PolymerResult<RunResult<P::Val>> {
     let n = g.num_vertices();
     let identity = prog.next_identity();
     let sc = prog.scatter_cycles();
@@ -204,6 +211,9 @@ fn run_sync_pull<P: Program>(
         FrontierInit::Single(_) => 1,
     };
 
+    // Safety cap: a converging synchronous program never needs more
+    // iterations than vertices.
+    let iter_cap = 2 * n + 64;
     let mut iters = 0usize;
     // Chunk vertices with balanced in-edge counts — Galois's work-stealing
     // scheduler equalizes edge work, which even vertex chunks would not on
@@ -215,6 +225,9 @@ fn run_sync_pull<P: Program>(
     // are disjoint vertex ranges, so a single vector suffices).
     let mut updated_host = vec![false; n];
     while active > 0 && iters < prog.max_iters() {
+        if iters >= iter_cap {
+            return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
+        }
         let mut alive_count = vec![0u64; threads];
         // Topology-driven shortcut: when every vertex is active, per-edge
         // state checks are semantically no-ops and Galois skips them.
@@ -279,18 +292,19 @@ fn run_sync_pull<P: Program>(
             state.raw_store_word(w, next_state.raw_word(w));
             next_state.raw_store_word(w, 0);
         }
+        check_divergence(&curr, iters)?;
         iters += 1;
     }
 
     let memory = MemoryReport::from_machine(machine);
-    RunResult {
+    Ok(RunResult {
         values: curr.snapshot(),
         iterations: iters,
         clock: sim.clock().clone(),
         memory,
         threads,
         sockets: sim.num_sockets(),
-    }
+    })
 }
 
 /// Union-find connected components (Galois's topology-driven algorithm).
@@ -301,7 +315,7 @@ fn run_union_find<P: Program>(
     threads: usize,
     g: &Graph,
     prog: &P,
-) -> RunResult<P::Val> {
+) -> PolymerResult<RunResult<P::Val>> {
     let n = g.num_vertices();
     let parent = machine.alloc_atomic_with::<u32>("data/parent", n, AllocPolicy::Interleaved, |v| {
         v as u32
@@ -378,7 +392,7 @@ fn run_union_find<P: Program>(
     }
 
     let memory = MemoryReport::from_machine(machine);
-    RunResult {
+    Ok(RunResult {
         values: labels
             .into_iter()
             .map(|l| prog.val_from_u64(l as u64))
@@ -388,7 +402,7 @@ fn run_union_find<P: Program>(
         memory,
         threads,
         sockets: sim.num_sockets(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -465,6 +479,18 @@ mod tests {
         let (want, _) = run_reference(&g, &prog);
         let err = polymer_algos::reference::max_rel_error(&got.values, &want);
         assert!(err < 1e-9, "max rel error {err}");
+    }
+
+    #[test]
+    fn out_of_range_source_is_typed_error() {
+        let el = gen::uniform(50, 100, 3);
+        let g = Graph::from_edges(&el);
+        let m = Machine::new(MachineSpec::test2());
+        let err = GaloisEngine::new()
+            .try_run(&m, 4, &g, &Bfs::new(1_000))
+            .map(|r| r.iterations)
+            .unwrap_err();
+        assert!(matches!(err, PolymerError::InvalidConfig(_)), "{err:?}");
     }
 
     #[test]

@@ -65,8 +65,32 @@ pub fn write_text(el: &EdgeList, w: impl Write) -> io::Result<()> {
     w.flush()
 }
 
+/// Preallocation ceiling for binary edge reads: a forged header claiming
+/// trillions of edges must not turn into a giant `Vec::with_capacity` before
+/// the stream proves it actually holds that many records.
+const PREALLOC_EDGE_CAP: usize = 1 << 20;
+
 /// Read the binary format.
-pub fn read_binary(mut r: impl Read) -> io::Result<EdgeList> {
+///
+/// Header counts are validated before anything is allocated: the vertex
+/// count must fit the 32-bit id space, and the edge count only seeds a
+/// capped preallocation — a header claiming more edges than the stream holds
+/// ends in `UnexpectedEof` after reading what is there, never in an
+/// out-of-memory abort. Use [`read_binary_sized`] when the source's byte
+/// length is known to reject inconsistent headers up front.
+pub fn read_binary(r: impl Read) -> io::Result<EdgeList> {
+    read_binary_impl(r, None)
+}
+
+/// Like [`read_binary`] for sources of known byte length (a file, a slice):
+/// a header whose edge count is inconsistent with `byte_len` is rejected
+/// before any edge data is read.
+pub fn read_binary_sized(r: impl Read, byte_len: u64) -> io::Result<EdgeList> {
+    read_binary_impl(r, Some(byte_len))
+}
+
+fn read_binary_impl(mut r: impl Read, byte_len: Option<u64>) -> io::Result<EdgeList> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -77,10 +101,25 @@ pub fn read_binary(mut r: impl Read) -> io::Result<EdgeList> {
     }
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
-    let n = u64::from_le_bytes(buf8) as usize;
+    let n = u64::from_le_bytes(buf8);
     r.read_exact(&mut buf8)?;
-    let m = u64::from_le_bytes(buf8) as usize;
-    let mut edges = Vec::with_capacity(m);
+    let m = u64::from_le_bytes(buf8);
+    if n > u32::MAX as u64 + 1 {
+        return Err(bad(format!(
+            "vertex count {n} exceeds the 32-bit id space"
+        )));
+    }
+    if let Some(len) = byte_len {
+        // Header (8 magic + 8 n + 8 m) plus 12 bytes per edge.
+        let expected = m.checked_mul(12).and_then(|b| b.checked_add(24));
+        if expected != Some(len) {
+            return Err(bad(format!(
+                "edge count {m} inconsistent with byte length {len}"
+            )));
+        }
+    }
+    let n = n as usize;
+    let mut edges = Vec::with_capacity((m as usize).min(PREALLOC_EDGE_CAP));
     let mut rec = [0u8; 12];
     for _ in 0..m {
         r.read_exact(&mut rec)?;
@@ -88,10 +127,9 @@ pub fn read_binary(mut r: impl Read) -> io::Result<EdgeList> {
         let dst = u32::from_le_bytes(rec[4..8].try_into().unwrap());
         let weight = u32::from_le_bytes(rec[8..12].try_into().unwrap());
         if src as usize >= n || dst as usize >= n {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("edge ({src}, {dst}) out of range for {n} vertices"),
-            ));
+            return Err(bad(format!(
+                "edge ({src}, {dst}) out of range for {n} vertices"
+            )));
         }
         edges.push(Edge { src, dst, weight });
     }
@@ -121,7 +159,10 @@ pub fn load(path: impl AsRef<Path>) -> io::Result<EdgeList> {
     let path = path.as_ref();
     let f = File::open(path)?;
     if path.extension().is_some_and(|e| e == "bin") {
-        read_binary(f)
+        // The file length is known, so an inconsistent header is rejected
+        // before any edge data is read.
+        let len = f.metadata()?.len();
+        read_binary_sized(f, len)
     } else {
         read_text(f)
     }
@@ -209,6 +250,68 @@ mod tests {
         buf.extend_from_slice(&1u32.to_le_bytes());
         let err = read_binary(&buf[..]).unwrap_err();
         assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn forged_huge_edge_count_does_not_preallocate() {
+        // Header claims ~10^12 edges with no data behind it: the reader must
+        // fail with a clean EOF (after its capped preallocation), not abort
+        // trying to reserve terabytes.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&100u64.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // With a known byte length the inconsistency is caught up front.
+        let err = read_binary_sized(&buf[..], buf.len() as u64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn vertex_count_beyond_u32_id_space_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(1u64 << 33).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("32-bit"));
+    }
+
+    #[test]
+    fn sized_read_accepts_exact_and_rejects_mismatched_lengths() {
+        let el = sample();
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        let back = read_binary_sized(&buf[..], buf.len() as u64).unwrap();
+        assert_eq!(back, el);
+        let err = read_binary_sized(&buf[..], buf.len() as u64 - 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn injected_short_read_surfaces_as_clean_io_error() {
+        let el = sample();
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        let plan = polymer_faults::FaultPlan::new().short_read_after(30);
+        let r = polymer_faults::ShortReader::from_plan(&buf[..], &plan);
+        let err = read_binary(r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn load_rejects_truncated_binary_file() {
+        let dir = std::env::temp_dir();
+        let p = dir.join("polymer_io_truncated.bin");
+        save(&sample(), &p).unwrap();
+        let full = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &full[..full.len() - 5]).unwrap();
+        let err = load(&p).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

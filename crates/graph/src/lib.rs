@@ -17,6 +17,8 @@
 //! * [`datasets`] — the scaled-down named datasets used by the experiment
 //!   harness, with the scale factors recorded in `EXPERIMENTS.md`.
 
+#![deny(unsafe_code)]
+
 pub mod csr;
 pub mod datasets;
 pub mod edgelist;

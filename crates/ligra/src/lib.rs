@@ -18,10 +18,14 @@
 //!   writes (`RAND|W|G`) and pull mode random global reads (`RAND|R|G`),
 //!   precisely the patterns Polymer eliminates.
 
+#![deny(unsafe_code)]
+
 use polymer_api::{
-    atomic_combine, degree_balanced_chunks, even_chunks, init_values, Engine, EngineKind,
-    FrontierInit, Program, RunResult, TopoArrays,
+    atomic_combine, catch_engine_faults, check_divergence, degree_balanced_chunks, even_chunks,
+    init_values, validate_run_config, Engine, EngineKind, FrontierInit, Program, RunResult,
+    TopoArrays,
 };
+use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
 use polymer_numa::{AllocPolicy, BarrierKind, Machine, MemoryReport, SimExecutor};
 use polymer_sync::{should_densify, DenseBitmap, Frontier, ThreadQueues};
@@ -51,13 +55,26 @@ impl Engine for LigraEngine {
         EngineKind::Ligra
     }
 
-    fn run<P: Program>(
+    fn try_run<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
-    ) -> RunResult<P::Val> {
+    ) -> PolymerResult<RunResult<P::Val>> {
+        validate_run_config(threads, g, prog)?;
+        catch_engine_faults(|| self.run_inner(machine, threads, g, prog))
+    }
+}
+
+impl LigraEngine {
+    fn run_inner<P: Program>(
+        &self,
+        machine: &Machine,
+        threads: usize,
+        g: &Graph,
+        prog: &P,
+    ) -> PolymerResult<RunResult<P::Val>> {
         let n = g.num_vertices();
         let m = g.num_edges();
         let identity = prog.next_identity();
@@ -84,8 +101,14 @@ impl Engine for LigraEngine {
         };
 
         let queues = ThreadQueues::new(machine, threads);
+        // Safety cap: a converging synchronous program never needs more
+        // iterations than vertices.
+        let iter_cap = 2 * n + 64;
         let mut iters = 0usize;
         while !frontier.is_empty() && iters < prog.max_iters() {
+            if iters >= iter_cap {
+                return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
+            }
             // Choose direction: dense frontiers pull, sparse ones push.
             let frontier_degree: u64 = match &frontier {
                 Frontier::Sparse(items) => {
@@ -229,18 +252,19 @@ impl Engine for LigraEngine {
             } else {
                 Frontier::sparse(items)
             };
+            check_divergence(&curr, iters)?;
             iters += 1;
         }
 
         let memory = MemoryReport::from_machine(machine);
-        RunResult {
+        Ok(RunResult {
             values: curr.snapshot(),
             iterations: iters,
             clock: sim.clock().clone(),
             memory,
             threads,
             sockets: sim.num_sockets(),
-        }
+        })
     }
 }
 
@@ -317,6 +341,18 @@ mod tests {
         let m2 = Machine::new(MachineSpec::test2());
         let push = LigraEngine::new().push_only().run(&m2, 4, &g, &prog);
         assert_eq!(hybrid.values, push.values);
+    }
+
+    #[test]
+    fn out_of_range_source_is_typed_error() {
+        let el = gen::uniform(50, 100, 3);
+        let g = Graph::from_edges(&el);
+        let m = Machine::new(MachineSpec::test2());
+        let err = LigraEngine::new()
+            .try_run(&m, 4, &g, &Bfs::new(1_000))
+            .map(|r| r.iterations)
+            .unwrap_err();
+        assert!(matches!(err, PolymerError::InvalidConfig(_)), "{err:?}");
     }
 
     #[test]

@@ -25,6 +25,15 @@ use crate::policy::Placement;
 pub trait Atom: Copy + Send + Sync + 'static {
     /// The atomic cell type backing one element.
     type Repr: Send + Sync + 'static;
+    /// True for types whose values can diverge to non-finite (floats);
+    /// engines gate their per-iteration divergence scan on this so integer
+    /// programs pay nothing.
+    const CHECK_FINITE: bool = false;
+    /// True when the value is finite. Always true for integers.
+    #[inline]
+    fn finite(self) -> bool {
+        true
+    }
     /// The zero value used for default initialization.
     fn zero() -> Self;
     /// Wrap a value in its atomic cell.
@@ -114,6 +123,11 @@ macro_rules! float_atom {
     ($ty:ty, $cell:ty, $bits:ty) => {
         impl Atom for $ty {
             type Repr = $cell;
+            const CHECK_FINITE: bool = true;
+            #[inline]
+            fn finite(self) -> bool {
+                self.is_finite()
+            }
             #[inline]
             fn zero() -> Self {
                 0.0
@@ -255,6 +269,15 @@ impl<T: Copy> NumaArray<T> {
     }
 }
 
+impl<T> std::fmt::Debug for NumaArray<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NumaArray")
+            .field("name", &self.meta.name)
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
 impl<T> Drop for NumaArray<T> {
     fn drop(&mut self) {
         let bytes = (self.data.len() * self.meta.elem) as u64;
@@ -386,6 +409,15 @@ impl<T: Atom> NumaAtomicArray<T> {
     #[inline]
     pub fn alloc_id(&self) -> AllocId {
         self.meta.id
+    }
+}
+
+impl<T: Atom> std::fmt::Debug for NumaAtomicArray<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NumaAtomicArray")
+            .field("name", &self.meta.name)
+            .field("len", &self.data.len())
+            .finish()
     }
 }
 

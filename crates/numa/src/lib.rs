@@ -48,6 +48,8 @@
 //! assert!(cost.time_us > 0.0);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod array;
 pub mod atomicf;
 pub mod cost;
@@ -63,7 +65,8 @@ pub use array::{Atom, NumaArray, NumaAtomicArray};
 pub use atomicf::{AtomicF32, AtomicF64};
 pub use cost::{BarrierKind, CostConfig, CostModel, PhaseCost};
 pub use ctx::{AccessCtx, AccessStats, Pattern, Rw};
-pub use machine::{AllocId, Machine, MemUsage};
+pub use machine::{AllocId, Machine, MemUsage, SpillPolicy};
+pub use polymer_faults::{FaultPlan, PolymerError, PolymerResult};
 pub use policy::AllocPolicy;
 pub use report::{MemoryReport, RemoteAccessReport};
 pub use sim::{PhaseKind, RunClock, SimExecutor, TraceEvent};

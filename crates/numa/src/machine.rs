@@ -11,14 +11,36 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use polymer_faults::{panic_with, FaultPlan, PolymerError, PolymerResult};
 
 use crate::array::{Atom, NumaArray, NumaAtomicArray};
 use crate::policy::{AllocPolicy, Placement};
-use crate::topology::{MachineSpec, NumaTopology};
+use crate::topology::{MachineSpec, NodeId, NumaTopology};
 
 /// Identifier of one allocation within a machine; indexes per-array access
 /// statistics.
 pub type AllocId = u32;
+
+/// What to do when a placement would overfill a capacity-limited node
+/// (spec [`MachineSpec::node_capacity_bytes`] or a fault-plan clamp).
+///
+/// Real `numa_alloc_onnode` falls back to other nodes under pressure unless
+/// strict binding is requested; these variants model that spectrum so
+/// Table-5-style reports can show graceful degradation instead of an OOM.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpillPolicy {
+    /// Strict binding: return [`PolymerError::NodeCapacityExceeded`] instead
+    /// of placing any page off its requested node.
+    Fail,
+    /// Place overflowing pages on the nearest node (by hop distance, ties
+    /// broken by node id) that still has room. Mirrors the kernel's zone
+    /// fallback order.
+    #[default]
+    NearestRemote,
+    /// Round-robin overflowing pages across all nodes with room, trading
+    /// locality for balance.
+    Interleave,
+}
 
 /// Live/peak byte counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -34,6 +56,9 @@ pub(crate) struct AllocInfo {
     pub name: String,
     pub bytes: u64,
     pub live: bool,
+    /// Page-granular bytes charged to each node by this allocation, so a
+    /// free returns exactly what was taken even after spilling.
+    pub node_bytes: Vec<u64>,
 }
 
 pub(crate) struct MachineInner {
@@ -45,6 +70,15 @@ pub(crate) struct MachineInner {
     /// Per-tag (live, peak) bytes; the tag is the allocation name's prefix up
     /// to the first `'/'`, so `"agents/out"` and `"agents/in"` share a tag.
     tags: Mutex<HashMap<String, MemUsage>>,
+    /// Page-granular live bytes per node (index = NodeId).
+    node_live: Mutex<Vec<u64>>,
+    /// Pages that landed off their requested node due to capacity pressure.
+    spilled_pages: AtomicU64,
+    /// Effective per-node capacity: the spec's limit tightened by any
+    /// fault-plan clamp. `None` = unbounded.
+    node_capacity: Option<u64>,
+    spill_policy: SpillPolicy,
+    plan: FaultPlan,
 }
 
 /// Handle to a simulated NUMA machine. Clones share all state.
@@ -54,9 +88,22 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Build a machine from a spec.
+    /// Build a machine from a spec, with the default spill policy and no
+    /// injected faults.
     pub fn new(spec: MachineSpec) -> Self {
+        Self::with_faults(spec, SpillPolicy::default(), FaultPlan::default())
+    }
+
+    /// Build a machine with an explicit spill policy and fault-injection
+    /// plan. The effective per-node capacity is the tighter of the spec's
+    /// [`MachineSpec::node_capacity_bytes`] and the plan's capacity clamp.
+    pub fn with_faults(spec: MachineSpec, spill_policy: SpillPolicy, plan: FaultPlan) -> Self {
         let topology = spec.topology();
+        let node_capacity = match (spec.node_capacity_bytes, plan.node_capacity_clamp()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let nodes = topology.num_nodes();
         Machine {
             inner: Arc::new(MachineInner {
                 spec,
@@ -65,6 +112,11 @@ impl Machine {
                 live_bytes: AtomicU64::new(0),
                 peak_bytes: AtomicU64::new(0),
                 tags: Mutex::new(HashMap::new()),
+                node_live: Mutex::new(vec![0; nodes]),
+                spilled_pages: AtomicU64::new(0),
+                node_capacity,
+                spill_policy,
+                plan,
             }),
         }
     }
@@ -79,14 +131,44 @@ impl Machine {
         &self.inner.spec
     }
 
-    /// Allocate a zero-initialized plain (read-mostly) array.
+    /// The fault-injection plan this machine honors.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.inner.plan
+    }
+
+    /// The policy applied when a node's capacity would be exceeded.
+    pub fn spill_policy(&self) -> SpillPolicy {
+        self.inner.spill_policy
+    }
+
+    /// Effective per-node capacity in bytes (spec limit tightened by any
+    /// fault-plan clamp); `None` means unbounded.
+    pub fn node_capacity_bytes(&self) -> Option<u64> {
+        self.inner.node_capacity
+    }
+
+    /// Page-granular live bytes currently charged to each node.
+    pub fn node_live_bytes(&self) -> Vec<u64> {
+        self.inner.node_live.lock().clone()
+    }
+
+    /// Number of pages that landed off their requested node because of
+    /// capacity pressure since the machine was built.
+    pub fn spilled_pages(&self) -> u64 {
+        self.inner.spilled_pages.load(Ordering::Relaxed)
+    }
+
+    /// Allocate a zero-initialized plain (read-mostly) array. Panics on
+    /// capacity exhaustion or injected faults; use
+    /// [`Machine::try_alloc_array`] on fallible paths.
     pub fn alloc_array<T: Copy + Default>(
         &self,
         name: &str,
         len: usize,
         policy: AllocPolicy,
     ) -> NumaArray<T> {
-        self.alloc_array_with(name, len, policy, |_| T::default())
+        self.try_alloc_array(name, len, policy)
+            .unwrap_or_else(|e| panic_with(e))
     }
 
     /// Allocate a plain array initialized element-by-element. Initialization
@@ -96,11 +178,10 @@ impl Machine {
         name: &str,
         len: usize,
         policy: AllocPolicy,
-        mut init: impl FnMut(usize) -> T,
+        init: impl FnMut(usize) -> T,
     ) -> NumaArray<T> {
-        let (id, placement) = self.register::<T>(name, len, &policy);
-        let data: Box<[T]> = (0..len).map(&mut init).collect();
-        NumaArray::new(self.clone(), id, placement, data)
+        self.try_alloc_array_with(name, len, policy, init)
+            .unwrap_or_else(|e| panic_with(e))
     }
 
     /// Allocate an atomic array (mutable shared data such as the `next`
@@ -111,7 +192,8 @@ impl Machine {
         len: usize,
         policy: AllocPolicy,
     ) -> NumaAtomicArray<T> {
-        self.alloc_atomic_with(name, len, policy, |_| T::zero())
+        self.try_alloc_atomic(name, len, policy)
+            .unwrap_or_else(|e| panic_with(e))
     }
 
     /// Allocate an atomic array initialized element-by-element.
@@ -120,14 +202,73 @@ impl Machine {
         name: &str,
         len: usize,
         policy: AllocPolicy,
-        mut init: impl FnMut(usize) -> T,
+        init: impl FnMut(usize) -> T,
     ) -> NumaAtomicArray<T> {
-        let (id, placement) = self.register::<T>(name, len, &policy);
-        let data: Box<[T::Repr]> = (0..len).map(|i| T::new_atomic(init(i))).collect();
-        NumaAtomicArray::new(self.clone(), id, placement, data)
+        self.try_alloc_atomic_with(name, len, policy, init)
+            .unwrap_or_else(|e| panic_with(e))
     }
 
-    fn register<T>(&self, name: &str, len: usize, policy: &AllocPolicy) -> (AllocId, Placement) {
+    /// Fallible counterpart of [`Machine::alloc_array`].
+    pub fn try_alloc_array<T: Copy + Default>(
+        &self,
+        name: &str,
+        len: usize,
+        policy: AllocPolicy,
+    ) -> PolymerResult<NumaArray<T>> {
+        self.try_alloc_array_with(name, len, policy, |_| T::default())
+    }
+
+    /// Fallible counterpart of [`Machine::alloc_array_with`]. Returns
+    /// [`PolymerError::AllocFailed`] when the fault plan fails this
+    /// allocation, or [`PolymerError::NodeCapacityExceeded`] when capacity
+    /// accounting cannot place every page.
+    pub fn try_alloc_array_with<T: Copy>(
+        &self,
+        name: &str,
+        len: usize,
+        policy: AllocPolicy,
+        mut init: impl FnMut(usize) -> T,
+    ) -> PolymerResult<NumaArray<T>> {
+        let (id, placement) = self.try_register::<T>(name, len, &policy)?;
+        let data: Box<[T]> = (0..len).map(&mut init).collect();
+        Ok(NumaArray::new(self.clone(), id, placement, data))
+    }
+
+    /// Fallible counterpart of [`Machine::alloc_atomic`].
+    pub fn try_alloc_atomic<T: Atom>(
+        &self,
+        name: &str,
+        len: usize,
+        policy: AllocPolicy,
+    ) -> PolymerResult<NumaAtomicArray<T>> {
+        self.try_alloc_atomic_with(name, len, policy, |_| T::zero())
+    }
+
+    /// Fallible counterpart of [`Machine::alloc_atomic_with`].
+    pub fn try_alloc_atomic_with<T: Atom>(
+        &self,
+        name: &str,
+        len: usize,
+        policy: AllocPolicy,
+        mut init: impl FnMut(usize) -> T,
+    ) -> PolymerResult<NumaAtomicArray<T>> {
+        let (id, placement) = self.try_register::<T>(name, len, &policy)?;
+        let data: Box<[T::Repr]> = (0..len).map(|i| T::new_atomic(init(i))).collect();
+        Ok(NumaAtomicArray::new(self.clone(), id, placement, data))
+    }
+
+    fn try_register<T>(
+        &self,
+        name: &str,
+        len: usize,
+        policy: &AllocPolicy,
+    ) -> PolymerResult<(AllocId, Placement)> {
+        if self.inner.plan.should_fail_alloc() {
+            return Err(PolymerError::AllocFailed {
+                name: name.to_string(),
+                index: self.inner.plan.failed_alloc_index(),
+            });
+        }
         let elem = std::mem::size_of::<T>();
         let placement = Placement::resolve_paged(
             policy,
@@ -137,16 +278,102 @@ impl Machine {
             self.inner.spec.page_bytes,
         );
         let bytes = (len * elem) as u64;
+        let (placement, node_bytes, spilled) = self.charge_nodes(name, bytes, placement)?;
+        if spilled > 0 {
+            self.inner.spilled_pages.fetch_add(spilled, Ordering::Relaxed);
+        }
         let mut allocs = self.inner.allocs.lock();
         let id = allocs.len() as AllocId;
         allocs.push(AllocInfo {
             name: name.to_string(),
             bytes,
             live: true,
+            node_bytes,
         });
         drop(allocs);
         self.on_alloc(name, bytes);
-        (id, placement)
+        Ok((id, placement))
+    }
+
+    /// Charge an allocation's pages against per-node capacity, spilling pages
+    /// to other nodes per the spill policy when the requested node is full.
+    /// All-or-nothing: on error, no page is charged. Returns the (possibly
+    /// rewritten) placement, the bytes charged per node, and the number of
+    /// pages that landed off their requested node.
+    fn charge_nodes(
+        &self,
+        name: &str,
+        bytes: u64,
+        placement: Placement,
+    ) -> PolymerResult<(Placement, Vec<u64>, u64)> {
+        let nodes = self.topology().num_nodes();
+        let page_bytes = placement.page_bytes() as u64;
+        let wanted = placement.page_nodes(bytes as usize);
+        let mut charged = vec![0u64; nodes];
+        let mut node_live = self.inner.node_live.lock();
+
+        let Some(cap) = self.inner.node_capacity else {
+            for &n in &wanted {
+                charged[n] += page_bytes;
+                node_live[n] += page_bytes;
+            }
+            return Ok((placement, charged, 0));
+        };
+
+        // Place page by page against a working copy so a failure midway
+        // leaves the shared accounting untouched.
+        let mut work = node_live.clone();
+        let mut map = Vec::with_capacity(wanted.len());
+        let mut spilled = 0u64;
+        let mut rr = 0usize;
+        for &want in &wanted {
+            let fits = |w: &[u64], n: NodeId| w[n] + page_bytes <= cap;
+            let chosen = if fits(&work, want) {
+                Some(want)
+            } else {
+                match self.inner.spill_policy {
+                    SpillPolicy::Fail => None,
+                    SpillPolicy::NearestRemote => {
+                        let mut cands: Vec<NodeId> = (0..nodes).filter(|&n| n != want).collect();
+                        cands.sort_by_key(|&n| (self.topology().hops(want, n), n));
+                        cands.into_iter().find(|&n| fits(&work, n))
+                    }
+                    SpillPolicy::Interleave => {
+                        let mut found = None;
+                        for k in 0..nodes {
+                            let n = (rr + k) % nodes;
+                            if fits(&work, n) {
+                                rr = (n + 1) % nodes;
+                                found = Some(n);
+                                break;
+                            }
+                        }
+                        found
+                    }
+                }
+            };
+            let Some(n) = chosen else {
+                return Err(PolymerError::NodeCapacityExceeded {
+                    node: want,
+                    requested_bytes: bytes,
+                    capacity_bytes: cap,
+                    name: name.to_string(),
+                });
+            };
+            work[n] += page_bytes;
+            charged[n] += page_bytes;
+            if n != want {
+                spilled += 1;
+            }
+            map.push(n as u8);
+        }
+        *node_live = work;
+        let placement = if spilled > 0 {
+            Placement::from_page_map(map, page_bytes.trailing_zeros())
+        } else {
+            placement
+        };
+        Ok((placement, charged, spilled))
     }
 
     pub(crate) fn on_alloc(&self, name: &str, bytes: u64) {
@@ -161,8 +388,16 @@ impl Machine {
 
     pub(crate) fn on_free(&self, id: AllocId, name: &str, bytes: u64) {
         self.inner.live_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        let mut freed_nodes = Vec::new();
         if let Some(info) = self.inner.allocs.lock().get_mut(id as usize) {
             info.live = false;
+            freed_nodes = std::mem::take(&mut info.node_bytes);
+        }
+        if !freed_nodes.is_empty() {
+            let mut node_live = self.inner.node_live.lock();
+            for (n, c) in freed_nodes.into_iter().enumerate() {
+                node_live[n] = node_live[n].saturating_sub(c);
+            }
         }
         let tag = Self::tag_of(name);
         if let Some(u) = self.inner.tags.lock().get_mut(&tag) {
@@ -286,5 +521,174 @@ mod tests {
         assert_eq!(a.raw()[3], 9);
         assert_eq!(m.alloc_name(0), "sq");
         assert_eq!(m.alloc_bytes(0), 80);
+    }
+
+    use crate::topology::PAGE_SIZE;
+    use polymer_faults::{FaultPlan, PolymerError};
+
+    const PAGE: u64 = PAGE_SIZE as u64;
+
+    fn capped(pages: u64, spill: SpillPolicy) -> Machine {
+        Machine::with_faults(
+            MachineSpec::test2().with_node_capacity(pages * PAGE),
+            spill,
+            FaultPlan::default(),
+        )
+    }
+
+    #[test]
+    fn fail_policy_rejects_overfull_node() {
+        let m = capped(2, SpillPolicy::Fail);
+        // 3 pages requested on node 0 against a 2-page cap.
+        let err = m
+            .try_alloc_array::<u8>("big", 3 * PAGE as usize, AllocPolicy::OnNode(0))
+            .unwrap_err();
+        match err {
+            PolymerError::NodeCapacityExceeded {
+                node,
+                capacity_bytes,
+                ..
+            } => {
+                assert_eq!(node, 0);
+                assert_eq!(capacity_bytes, 2 * PAGE);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // All-or-nothing: the failed allocation charged no node.
+        assert_eq!(m.node_live_bytes(), vec![0, 0]);
+        assert_eq!(m.spilled_pages(), 0);
+    }
+
+    #[test]
+    fn nearest_remote_spills_and_uncharges_on_free() {
+        let m = capped(2, SpillPolicy::NearestRemote);
+        let a = m
+            .try_alloc_array::<u8>("a", 4 * PAGE as usize, AllocPolicy::OnNode(0))
+            .unwrap();
+        // 2 pages fit on node 0; 2 spill to node 1.
+        assert_eq!(m.spilled_pages(), 2);
+        assert_eq!(m.node_live_bytes(), vec![2 * PAGE, 2 * PAGE]);
+        assert_eq!(a.node_of(0), 0);
+        assert_eq!(a.node_of((2 * PAGE) as usize), 1);
+        assert_eq!(a.node_of((3 * PAGE) as usize), 1);
+        drop(a);
+        assert_eq!(m.node_live_bytes(), vec![0, 0]);
+        // The spill counter is cumulative, not live.
+        assert_eq!(m.spilled_pages(), 2);
+    }
+
+    #[test]
+    fn spill_fails_when_no_node_has_room() {
+        let m = capped(2, SpillPolicy::NearestRemote);
+        // 5 pages cannot fit in 2 nodes × 2 pages.
+        let err = m
+            .try_alloc_array::<u8>("big", 5 * PAGE as usize, AllocPolicy::OnNode(0))
+            .unwrap_err();
+        assert!(matches!(err, PolymerError::NodeCapacityExceeded { .. }));
+        assert_eq!(m.node_live_bytes(), vec![0, 0]);
+    }
+
+    #[test]
+    fn interleave_spreads_spilled_pages() {
+        let spec = MachineSpec {
+            nodes: 4,
+            cores_per_node: 1,
+            ..MachineSpec::test2()
+        }
+        .with_node_capacity(2 * PAGE);
+        let m = Machine::with_faults(spec, SpillPolicy::Interleave, FaultPlan::default());
+        // 6 pages on node 0: 2 fit, 4 interleave over the other nodes.
+        let a = m
+            .try_alloc_array::<u8>("a", 6 * PAGE as usize, AllocPolicy::OnNode(0))
+            .unwrap();
+        assert_eq!(m.spilled_pages(), 4);
+        let live = m.node_live_bytes();
+        assert_eq!(live.iter().sum::<u64>(), 6 * PAGE);
+        assert_eq!(live[0], 2 * PAGE);
+        assert!(live[1..].iter().all(|&b| b <= 2 * PAGE));
+        drop(a);
+    }
+
+    #[test]
+    fn fault_plan_fails_nth_allocation() {
+        let plan = FaultPlan::new().fail_nth_alloc(1);
+        let m = Machine::with_faults(MachineSpec::test2(), SpillPolicy::default(), plan);
+        let _a = m
+            .try_alloc_array::<u64>("first", 16, AllocPolicy::Interleaved)
+            .unwrap();
+        let err = m
+            .try_alloc_array::<u64>("second", 16, AllocPolicy::Interleaved)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PolymerError::AllocFailed {
+                name: "second".to_string(),
+                index: 1
+            }
+        );
+        // Later allocations proceed normally.
+        let _c = m
+            .try_alloc_array::<u64>("third", 16, AllocPolicy::Interleaved)
+            .unwrap();
+    }
+
+    #[test]
+    fn capacity_clamp_comes_from_plan_or_spec() {
+        let plan = FaultPlan::new().clamp_node_capacity(3 * PAGE);
+        let spec = MachineSpec::test2().with_node_capacity(2 * PAGE);
+        let m = Machine::with_faults(spec, SpillPolicy::Fail, plan.clone());
+        assert_eq!(m.node_capacity_bytes(), Some(2 * PAGE));
+        let m = Machine::with_faults(MachineSpec::test2(), SpillPolicy::Fail, plan);
+        assert_eq!(m.node_capacity_bytes(), Some(3 * PAGE));
+        let m = Machine::new(MachineSpec::test2());
+        assert_eq!(m.node_capacity_bytes(), None);
+    }
+
+    #[test]
+    fn spill_accounting_invariants_hold_over_random_schedules() {
+        // Deterministic pseudo-random alloc/free schedule; checks after every
+        // step that (a) no node exceeds its cap, (b) per-node live bytes sum
+        // to the page footprint of the live allocations.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for policy in [SpillPolicy::NearestRemote, SpillPolicy::Interleave] {
+            let cap_pages = 8u64;
+            let m = capped(cap_pages, policy);
+            let mut live: Vec<(crate::NumaArray<u8>, u64)> = Vec::new();
+            let mut live_pages = 0u64;
+            for step in 0..200 {
+                let r = next();
+                if r % 3 != 0 || live.is_empty() {
+                    let pages = 1 + (r >> 8) % 4;
+                    let node = ((r >> 16) % 2) as usize;
+                    match m.try_alloc_array::<u8>(
+                        &format!("s{step}"),
+                        (pages * PAGE) as usize,
+                        AllocPolicy::OnNode(node),
+                    ) {
+                        Ok(a) => {
+                            live.push((a, pages));
+                            live_pages += pages;
+                        }
+                        Err(PolymerError::NodeCapacityExceeded { .. }) => {}
+                        Err(other) => panic!("unexpected error: {other:?}"),
+                    }
+                } else {
+                    let i = (r >> 24) as usize % live.len();
+                    let (a, pages) = live.swap_remove(i);
+                    drop(a);
+                    live_pages -= pages;
+                }
+                let by_node = m.node_live_bytes();
+                assert!(by_node.iter().all(|&b| b <= cap_pages * PAGE));
+                assert_eq!(by_node.iter().sum::<u64>(), live_pages * PAGE);
+            }
+        }
     }
 }

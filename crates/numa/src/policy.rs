@@ -128,6 +128,35 @@ impl Placement {
             PlacementKind::Pages(map) => map[page.min(map.len() - 1)] as usize,
         }
     }
+
+    /// Page size of this placement, in bytes.
+    #[inline]
+    pub fn page_bytes(&self) -> usize {
+        1usize << self.page_shift
+    }
+
+    /// Number of pages an allocation of `total_bytes` occupies under this
+    /// placement (at least one, matching how placements are resolved).
+    pub fn num_pages(&self, total_bytes: usize) -> usize {
+        total_bytes.div_ceil(self.page_bytes()).max(1)
+    }
+
+    /// Home node of every page of an allocation of `total_bytes`, in order.
+    pub fn page_nodes(&self, total_bytes: usize) -> Vec<NodeId> {
+        (0..self.num_pages(total_bytes))
+            .map(|p| self.node_of(p << self.page_shift))
+            .collect()
+    }
+
+    /// Build a placement from an explicit per-page node map, used when
+    /// capacity pressure forces pages away from their requested homes.
+    pub(crate) fn from_page_map(map: Vec<u8>, page_shift: u32) -> Placement {
+        assert!(!map.is_empty(), "page map must cover at least one page");
+        Placement {
+            kind: PlacementKind::Pages(map.into()),
+            page_shift,
+        }
+    }
 }
 
 #[cfg(test)]

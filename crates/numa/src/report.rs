@@ -46,6 +46,10 @@ pub struct MemoryReport {
     pub peak_bytes: u64,
     /// Peak bytes per allocation tag (name prefix before `'/'`).
     pub tags: Vec<(String, u64)>,
+    /// Pages placed off their requested node because a capacity-limited node
+    /// was full — the degradation column for capacity-pressure experiments.
+    #[serde(default)]
+    pub spilled_pages: u64,
 }
 
 impl MemoryReport {
@@ -58,6 +62,7 @@ impl MemoryReport {
                 .into_iter()
                 .map(|(t, u)| (t, u.peak))
                 .collect(),
+            spilled_pages: machine.spilled_pages(),
         }
     }
 

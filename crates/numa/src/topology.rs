@@ -82,6 +82,13 @@ pub struct MachineSpec {
     /// NUMA" study the paper cites).
     #[serde(default = "default_page_bytes")]
     pub page_bytes: usize,
+    /// Usable memory per node in bytes, page-granular. `None` (the default)
+    /// models unbounded node memory, which is what the paper's experiments
+    /// assume. When set, allocations whose placement would overfill a node
+    /// either spill to other nodes or fail, per the machine's
+    /// [`crate::SpillPolicy`].
+    #[serde(default)]
+    pub node_capacity_bytes: Option<u64>,
 }
 
 fn default_page_bytes() -> usize {
@@ -110,6 +117,7 @@ impl MachineSpec {
             barrier_scale: 1.0,
             llc_scale: 1.0,
             page_bytes: PAGE_SIZE,
+            node_capacity_bytes: None,
         }
     }
 
@@ -128,6 +136,7 @@ impl MachineSpec {
             barrier_scale: 1.0,
             llc_scale: 1.0,
             page_bytes: PAGE_SIZE,
+            node_capacity_bytes: None,
         }
     }
 
@@ -145,6 +154,7 @@ impl MachineSpec {
             barrier_scale: 1.0,
             llc_scale: 1.0,
             page_bytes: PAGE_SIZE,
+            node_capacity_bytes: None,
         }
     }
 
@@ -163,6 +173,13 @@ impl MachineSpec {
         s.nodes = nodes;
         s.cores_per_node = cores;
         s
+    }
+
+    /// A copy of this spec with each node's usable memory capped at `bytes`
+    /// (rounded down to whole pages when compared against allocations).
+    pub fn with_node_capacity(mut self, bytes: u64) -> Self {
+        self.node_capacity_bytes = Some(bytes);
+        self
     }
 
     /// Build the concrete topology (hop matrix etc.) for this spec.
@@ -378,9 +395,17 @@ mod tests {
         obj.remove("barrier_scale");
         obj.remove("llc_scale");
         obj.remove("page_bytes");
+        obj.remove("node_capacity_bytes");
         let legacy: MachineSpec = serde_json::from_value(v).unwrap();
         assert_eq!(legacy.llc_scale, 1.0);
         assert_eq!(legacy.page_bytes, PAGE_SIZE);
+        assert_eq!(legacy.node_capacity_bytes, None);
+    }
+
+    #[test]
+    fn with_node_capacity_sets_cap() {
+        let spec = MachineSpec::test2().with_node_capacity(1 << 20);
+        assert_eq!(spec.node_capacity_bytes, Some(1 << 20));
     }
 
     #[test]

@@ -16,10 +16,25 @@
 //! publish the next generation with `Release`, and spinners acquire it, so
 //! everything before a `wait` happens-before everything after the matching
 //! release — the property the engines rely on between phases.
+//!
+//! # Failure model
+//!
+//! The spin barriers can be **poisoned**: when a participant dies (panics)
+//! or a deadline expires, [`SenseBarrier::poison`] / [`HierBarrier::poison`]
+//! makes every current and future waiter return
+//! [`PolymerError::BarrierPoisoned`] instead of spinning forever on a
+//! generation that will never advance. The `wait_checked` / `wait_deadline`
+//! variants surface this as a `Result`; the plain `wait` methods keep their
+//! original infallible signature and propagate the typed error as a panic
+//! payload that executors can downcast (see [`polymer_faults`]).
+//! A poisoned barrier stays poisoned: its counters are no longer consistent
+//! once a waiter has bailed out, so it must not be reused.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+use polymer_faults::{panic_with, PolymerError, PolymerResult};
 
 /// A flat kernel-assisted barrier (Mutex + Condvar), modelling
 /// `pthread_barrier`.
@@ -67,6 +82,7 @@ pub struct SenseBarrier {
     n: usize,
     arrived: AtomicUsize,
     generation: AtomicUsize,
+    poisoned: AtomicBool,
 }
 
 impl SenseBarrier {
@@ -77,34 +93,107 @@ impl SenseBarrier {
             n,
             arrived: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
         }
+    }
+
+    /// Mark the barrier failed. Every current and future waiter returns
+    /// [`PolymerError::BarrierPoisoned`] (or panics with it, for plain
+    /// [`SenseBarrier::wait`]) instead of spinning on a generation that can
+    /// no longer advance.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// True once the barrier has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// Spin until all `n` participants have arrived. Returns `true` for the
     /// last arriver of each round. Spins briefly, then yields to the OS so
     /// oversubscribed hosts (more threads than cores) make progress.
+    /// Panics (with a typed payload) if the barrier is poisoned.
     pub fn wait(&self) -> bool {
+        self.wait_checked().unwrap_or_else(|e| panic_with(e))
+    }
+
+    /// Like [`SenseBarrier::wait`], surfacing poisoning as a typed error
+    /// instead of a panic.
+    pub fn wait_checked(&self) -> PolymerResult<bool> {
+        self.wait_inner(None)
+    }
+
+    /// Like [`SenseBarrier::wait_checked`] with a deadline: a waiter still
+    /// spinning at `deadline` poisons the barrier and returns
+    /// [`PolymerError::BarrierTimeout`], so its siblings error out rather
+    /// than deadlock on the missing participant.
+    pub fn wait_deadline(&self, deadline: Instant) -> PolymerResult<bool> {
+        self.wait_inner(Some(deadline))
+    }
+
+    fn wait_inner(&self, deadline: Option<Instant>) -> PolymerResult<bool> {
+        if self.is_poisoned() {
+            return Err(PolymerError::BarrierPoisoned);
+        }
+        let start = Instant::now();
         let gen = self.generation.load(Ordering::Acquire);
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
             self.arrived.store(0, Ordering::Relaxed);
             self.generation.fetch_add(1, Ordering::Release);
-            true
+            Ok(true)
         } else {
-            spin_until(|| self.generation.load(Ordering::Acquire) != gen);
-            false
+            match spin_wait(
+                || self.generation.load(Ordering::Acquire) != gen,
+                &self.poisoned,
+                deadline,
+            ) {
+                SpinOutcome::Done => Ok(false),
+                SpinOutcome::Poisoned => Err(PolymerError::BarrierPoisoned),
+                SpinOutcome::TimedOut => {
+                    self.poison();
+                    Err(PolymerError::BarrierTimeout {
+                        waited: start.elapsed(),
+                    })
+                }
+            }
         }
     }
 }
 
-/// Spin-then-yield wait loop shared by the spin barriers.
+enum SpinOutcome {
+    Done,
+    Poisoned,
+    TimedOut,
+}
+
+/// Spin-then-yield wait loop shared by the spin barriers; bails out when the
+/// poison flag rises or the optional deadline expires. The deadline is only
+/// checked on the yield path — the first ~128 iterations are pure spins whose
+/// elapsed time is negligible.
 #[inline]
-fn spin_until(done: impl Fn() -> bool) {
+fn spin_wait(
+    done: impl Fn() -> bool,
+    poisoned: &AtomicBool,
+    deadline: Option<Instant>,
+) -> SpinOutcome {
     let mut spins = 0u32;
-    while !done() {
+    loop {
+        if done() {
+            return SpinOutcome::Done;
+        }
+        if poisoned.load(Ordering::Acquire) {
+            return SpinOutcome::Poisoned;
+        }
         if spins < 128 {
             std::hint::spin_loop();
             spins += 1;
         } else {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return SpinOutcome::TimedOut;
+                }
+            }
             std::thread::yield_now();
         }
     }
@@ -124,6 +213,7 @@ struct Group {
 pub struct HierBarrier {
     groups: Vec<Group>,
     top: SenseBarrier,
+    poisoned: AtomicBool,
 }
 
 impl HierBarrier {
@@ -146,6 +236,7 @@ impl HierBarrier {
                 })
                 .collect(),
             top: SenseBarrier::new(group_sizes.len()),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -154,22 +245,82 @@ impl HierBarrier {
         self.groups.len()
     }
 
+    /// Mark the whole barrier (all groups and the top level) failed; every
+    /// current and future waiter errors out instead of deadlocking.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        self.top.poison();
+    }
+
+    /// True once the barrier has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
     /// Block (spin) until every participant of every group has arrived.
     /// `group` is the caller's group index. Returns `true` for exactly one
-    /// participant overall per round.
+    /// participant overall per round. Panics (with a typed payload) if the
+    /// barrier is poisoned.
     pub fn wait(&self, group: usize) -> bool {
+        self.wait_checked(group).unwrap_or_else(|e| panic_with(e))
+    }
+
+    /// Like [`HierBarrier::wait`], surfacing poisoning as a typed error
+    /// instead of a panic.
+    pub fn wait_checked(&self, group: usize) -> PolymerResult<bool> {
+        self.wait_inner(group, None)
+    }
+
+    /// Like [`HierBarrier::wait_checked`] with a deadline: a waiter still
+    /// spinning at `deadline` poisons the whole barrier and returns
+    /// [`PolymerError::BarrierTimeout`], so every sibling — in its own group
+    /// or another — errors out rather than deadlocks.
+    pub fn wait_deadline(&self, group: usize, deadline: Instant) -> PolymerResult<bool> {
+        self.wait_inner(group, Some(deadline))
+    }
+
+    fn wait_inner(&self, group: usize, deadline: Option<Instant>) -> PolymerResult<bool> {
+        if self.is_poisoned() {
+            return Err(PolymerError::BarrierPoisoned);
+        }
+        let start = Instant::now();
         let g = &self.groups[group];
         let gen = g.generation.load(Ordering::Acquire);
         if g.arrived.fetch_add(1, Ordering::AcqRel) + 1 == g.size {
             // Last arriver of the group becomes its leader and synchronizes
             // with the other leaders before releasing its group.
-            let serial = self.top.wait();
-            g.arrived.store(0, Ordering::Relaxed);
-            g.generation.fetch_add(1, Ordering::Release);
-            serial
+            let serial = match deadline {
+                Some(d) => self.top.wait_deadline(d),
+                None => self.top.wait_checked(),
+            };
+            match serial {
+                Ok(serial) => {
+                    g.arrived.store(0, Ordering::Relaxed);
+                    g.generation.fetch_add(1, Ordering::Release);
+                    Ok(serial)
+                }
+                Err(e) => {
+                    // The leader cannot release its group anymore; poison so
+                    // the group's spinners escape too.
+                    self.poison();
+                    Err(e)
+                }
+            }
         } else {
-            spin_until(|| g.generation.load(Ordering::Acquire) != gen);
-            false
+            match spin_wait(
+                || g.generation.load(Ordering::Acquire) != gen,
+                &self.poisoned,
+                deadline,
+            ) {
+                SpinOutcome::Done => Ok(false),
+                SpinOutcome::Poisoned => Err(PolymerError::BarrierPoisoned),
+                SpinOutcome::TimedOut => {
+                    self.poison();
+                    Err(PolymerError::BarrierTimeout {
+                        waited: start.elapsed(),
+                    })
+                }
+            }
         }
     }
 }
@@ -178,6 +329,7 @@ impl HierBarrier {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
 
     /// Generic stress: `threads` threads cross the barrier `rounds` times,
     /// each incrementing a per-round counter before waiting; after the wait
@@ -251,6 +403,97 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_group_rejected() {
         HierBarrier::new(&[2, 0]);
+    }
+
+    #[test]
+    fn poisoned_sense_barrier_rejects_waiters() {
+        let b = SenseBarrier::new(2);
+        b.poison();
+        assert!(b.is_poisoned());
+        assert!(matches!(
+            b.wait_checked(),
+            Err(PolymerError::BarrierPoisoned)
+        ));
+    }
+
+    #[test]
+    fn poison_releases_a_spinning_waiter() {
+        let b = SenseBarrier::new(2);
+        crossbeam::scope(|s| {
+            let spinner = s.spawn(|_| b.wait_checked());
+            // Never arrive; poison instead, as an executor does when a
+            // sibling worker dies.
+            std::thread::sleep(Duration::from_millis(20));
+            b.poison();
+            let got = spinner.join().unwrap();
+            assert!(matches!(got, Err(PolymerError::BarrierPoisoned)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn sense_barrier_deadline_times_out_and_poisons() {
+        let b = SenseBarrier::new(2);
+        let deadline = Instant::now() + Duration::from_millis(20);
+        // Only one of two participants arrives: it must time out, not hang.
+        let got = b.wait_deadline(deadline);
+        assert!(matches!(got, Err(PolymerError::BarrierTimeout { .. })));
+        assert!(b.is_poisoned());
+        assert!(matches!(
+            b.wait_checked(),
+            Err(PolymerError::BarrierPoisoned)
+        ));
+    }
+
+    #[test]
+    fn hier_barrier_deadline_poisons_all_groups() {
+        // Two groups of one: both callers go straight to the top barrier.
+        // One group never arrives, so the sole arriving leader times out and
+        // the poison must be visible to every group.
+        let b = HierBarrier::new(&[1, 1]);
+        let deadline = Instant::now() + Duration::from_millis(20);
+        let got = b.wait_deadline(0, deadline);
+        assert!(matches!(got, Err(PolymerError::BarrierTimeout { .. })));
+        assert!(b.is_poisoned());
+        assert!(matches!(
+            b.wait_checked(1),
+            Err(PolymerError::BarrierPoisoned)
+        ));
+    }
+
+    #[test]
+    fn hier_barrier_poison_releases_group_spinner() {
+        // Group 0 has two participants; one arrives and spins on the group
+        // generation. Poisoning must release it even though it is not
+        // waiting at the top barrier.
+        let b = HierBarrier::new(&[2, 1]);
+        crossbeam::scope(|s| {
+            let spinner = s.spawn(|_| b.wait_checked(0));
+            std::thread::sleep(Duration::from_millis(20));
+            b.poison();
+            let got = spinner.join().unwrap();
+            assert!(matches!(got, Err(PolymerError::BarrierPoisoned)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn hier_barrier_group_spinner_times_out_when_leader_never_comes() {
+        let b = HierBarrier::new(&[2]);
+        let deadline = Instant::now() + Duration::from_millis(20);
+        let got = b.wait_deadline(0, deadline);
+        assert!(matches!(got, Err(PolymerError::BarrierTimeout { .. })));
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    fn plain_wait_panics_with_typed_payload_when_poisoned() {
+        let b = SenseBarrier::new(2);
+        b.poison();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait()))
+            .expect_err("poisoned wait must panic");
+        let err = PolymerError::from_panic(payload);
+        assert!(matches!(err, PolymerError::BarrierPoisoned));
     }
 
     #[test]

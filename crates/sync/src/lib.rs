@@ -20,6 +20,8 @@
 //! All types here are genuinely `Sync` and are stress-tested under real
 //! multithreading (crossbeam scoped threads), independent of the simulator.
 
+#![deny(unsafe_code)]
+
 pub mod barrier;
 pub mod bitmap;
 pub mod frontier;

@@ -21,12 +21,17 @@
 //!   557 s for BFS on roadUS) and of its extra memory for stream buffers
 //!   (Table 5).
 
+#![deny(unsafe_code)]
+
 use std::ops::Range;
 
-use polymer_api::{Engine, EngineKind, FrontierInit, Program, RunResult};
+use polymer_api::{
+    catch_engine_faults, validate_run_config, Engine, EngineKind, FrontierInit, Program, RunResult,
+};
+use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
 use polymer_numa::{
-    AllocPolicy, BarrierKind, Machine, MemoryReport, NumaArray, NumaAtomicArray, SimExecutor,
+    AllocPolicy, Atom, BarrierKind, Machine, MemoryReport, NumaArray, NumaAtomicArray, SimExecutor,
 };
 use polymer_sync::DenseBitmap;
 
@@ -70,13 +75,26 @@ impl Engine for XStreamEngine {
         EngineKind::XStream
     }
 
-    fn run<P: Program>(
+    fn try_run<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
-    ) -> RunResult<P::Val> {
+    ) -> PolymerResult<RunResult<P::Val>> {
+        validate_run_config(threads, g, prog)?;
+        catch_engine_faults(|| self.run_inner(machine, threads, g, prog))
+    }
+}
+
+impl XStreamEngine {
+    fn run_inner<P: Program>(
+        &self,
+        machine: &Machine,
+        threads: usize,
+        g: &Graph,
+        prog: &P,
+    ) -> PolymerResult<RunResult<P::Val>> {
         let n = g.num_vertices();
         let identity = prog.next_identity();
         let sc = prog.scatter_cycles();
@@ -165,6 +183,9 @@ impl Engine for XStreamEngine {
 
         let mut sim =
             SimExecutor::with_config(machine, threads, Default::default(), BarrierKind::Hierarchical);
+        // Safety cap: a converging synchronous program never needs more
+        // iterations than vertices.
+        let iter_cap = 2 * n + 64;
         let mut iters = 0usize;
 
         // Host-side per-iteration bookkeeping.
@@ -172,6 +193,9 @@ impl Engine for XStreamEngine {
         let mut uin_len = vec![0usize; threads];
 
         while active > 0 && iters < prog.max_iters() {
+            if iters >= iter_cap {
+                return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
+            }
             // Scatter: stream ALL edges of each partition; active sources
             // append updates to Uout.
             let mut histograms = vec![vec![0usize; threads]; threads];
@@ -291,6 +315,19 @@ impl Engine for XStreamEngine {
                 part.updated.clear_unaccounted();
             }
             active = alive_count.iter().sum();
+            // Divergence scan over the partitioned value arrays.
+            if P::Val::CHECK_FINITE {
+                for part in &parts {
+                    for i in 0..part.range.len() {
+                        if !part.curr.raw_load(i).finite() {
+                            return Err(PolymerError::Divergence {
+                                vertex: part.range.start + i,
+                                iteration: iters,
+                            });
+                        }
+                    }
+                }
+            }
             iters += 1;
         }
 
@@ -303,14 +340,14 @@ impl Engine for XStreamEngine {
         }
 
         let memory = MemoryReport::from_machine(machine);
-        RunResult {
+        Ok(RunResult {
             values,
             iterations: iters,
             clock: sim.clock().clone(),
             memory,
             threads,
             sockets: sim.num_sockets(),
-        }
+        })
     }
 }
 
@@ -375,6 +412,18 @@ mod tests {
         let (want, _) = run_reference(&g, &prog);
         let err = polymer_algos::reference::max_rel_error(&got.values, &want);
         assert!(err < 1e-9, "max rel error {err}");
+    }
+
+    #[test]
+    fn out_of_range_source_is_typed_error() {
+        let el = gen::uniform(50, 100, 3);
+        let g = Graph::from_edges(&el);
+        let m = Machine::new(MachineSpec::test2());
+        let err = XStreamEngine::new()
+            .try_run(&m, 4, &g, &Bfs::new(1_000))
+            .map(|r| r.iterations)
+            .unwrap_err();
+        assert!(matches!(err, PolymerError::InvalidConfig(_)), "{err:?}");
     }
 
     #[test]

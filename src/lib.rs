@@ -41,9 +41,12 @@
 //! | [`baselines`] | `polymer-{ligra,xstream,galois}` | the three comparison systems |
 //! | [`algos`] | `polymer-algos` | PR, SpMV, BP, BFS, CC, SSSP + reference oracle |
 
+#![deny(unsafe_code)]
+
 pub use polymer_api as api;
 pub use polymer_algos as algos;
 pub use polymer_core as engine;
+pub use polymer_faults as faults;
 pub use polymer_graph as graph;
 pub use polymer_numa as numa;
 pub use polymer_sync as sync;
@@ -62,9 +65,10 @@ pub mod prelude {
     };
     pub use polymer_api::{Engine, EngineKind, Program, RunResult};
     pub use polymer_core::{PolymerConfig, PolymerEngine};
+    pub use polymer_faults::{FaultPlan, PolymerError, PolymerResult};
     pub use polymer_galois::GaloisEngine;
     pub use polymer_graph::{dataset, DatasetId, EdgeList, Graph};
     pub use polymer_ligra::LigraEngine;
-    pub use polymer_numa::{AllocPolicy, BarrierKind, Machine, MachineSpec};
+    pub use polymer_numa::{AllocPolicy, BarrierKind, Machine, MachineSpec, SpillPolicy};
     pub use polymer_xstream::XStreamEngine;
 }

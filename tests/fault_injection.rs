@@ -1,0 +1,189 @@
+//! End-to-end fault-injection scenarios: the acceptance criteria of the
+//! robustness milestone. Every failure here used to be a panic, a deadlock,
+//! or an OOM; each must now surface as a typed [`PolymerError`] (or, for
+//! capacity pressure under a spill policy, as a completed run with the
+//! degradation recorded in the run stats).
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use polymer::api::{try_run_parallel, Combine, FrontierInit};
+use polymer::graph::{gen, io, VId, Weight};
+use polymer::prelude::*;
+
+/// (a) A worker panicking mid-iteration must poison the barrier, wake its
+/// siblings, and come back as `Err(WorkerPanicked)` — not hang the run.
+/// The executor runs on a helper thread under a watchdog so that a
+/// regression to the old deadlock behaviour fails the test instead of
+/// wedging the suite.
+#[test]
+fn injected_worker_panic_is_a_typed_error_not_a_deadlock() {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let el = gen::rmat(8, 1_000, gen::RMAT_GRAPH500, 7);
+        let g = Graph::from_edges(&el);
+        let prog = PageRank::new(g.num_vertices());
+        let plan = FaultPlan::new()
+            .panic_worker_at(1, 2)
+            .barrier_timeout(Duration::from_secs(10));
+        let r = try_run_parallel(&g, &prog, 4, 2, &plan);
+        let _ = tx.send(r.map(|(_, iters)| iters));
+    });
+    let out = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("executor deadlocked after an injected worker panic");
+    match out {
+        Err(PolymerError::WorkerPanicked { worker, detail }) => {
+            assert_eq!(worker, 1);
+            assert!(detail.contains("injected"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+}
+
+/// (b) Clamping per-node memory capacity: under `SpillPolicy::NearestRemote`
+/// the run completes with the same answer and the overflow recorded as
+/// spilled pages; under `SpillPolicy::Fail` the same clamp is a typed error.
+///
+/// The X-Stream engine with two threads on the 8-socket machine binds every
+/// partition to node 0 (both cores live on socket 0), so a clamp below the
+/// footprint is guaranteed to hit that node while its neighbours stay empty.
+#[test]
+fn capacity_clamp_spills_or_fails_by_policy() {
+    let el = gen::rmat(9, 4_000, gen::RMAT_GRAPH500, 11);
+    let g = Graph::from_edges(&el);
+    let prog = PageRank::new(g.num_vertices());
+
+    // Baseline: unclamped, to learn the footprint and the right answer.
+    let m0 = Machine::new(MachineSpec::intel80());
+    let base = XStreamEngine::new()
+        .try_run(&m0, 2, &g, &prog)
+        .unwrap_or_else(|e| panic!("baseline run failed: {e}"));
+    assert_eq!(base.memory.spilled_pages, 0);
+
+    // Clamp every node to 3/4 of the whole-run peak: node 0 must overflow.
+    let clamp = base.memory.peak_bytes * 3 / 4;
+    let plan = FaultPlan::new().clamp_node_capacity(clamp);
+
+    let m1 = Machine::with_faults(
+        MachineSpec::intel80(),
+        SpillPolicy::NearestRemote,
+        plan.clone(),
+    );
+    let spilled = XStreamEngine::new()
+        .try_run(&m1, 2, &g, &prog)
+        .unwrap_or_else(|e| panic!("NearestRemote run failed: {e}"));
+    assert!(
+        spilled.memory.spilled_pages > 0,
+        "clamp to {clamp} bytes should have forced spills (peak {})",
+        base.memory.peak_bytes
+    );
+    assert_eq!(spilled.iterations, base.iterations);
+    for (a, b) in base.values.iter().zip(spilled.values.iter()) {
+        assert!((a - b).abs() < 1e-9, "spilled run changed the answer");
+    }
+
+    let m2 = Machine::with_faults(MachineSpec::intel80(), SpillPolicy::Fail, plan);
+    let err = XStreamEngine::new()
+        .try_run(&m2, 2, &g, &prog)
+        .map(|r| r.iterations)
+        .unwrap_err();
+    match err {
+        PolymerError::NodeCapacityExceeded { node, .. } => assert_eq!(node, 0),
+        other => panic!("expected NodeCapacityExceeded, got {other:?}"),
+    }
+}
+
+/// (c) Corrupt binary graphs come back as typed I/O errors without huge
+/// preallocations: bad magic, a forged header claiming 2^60 edges, and a
+/// file truncated mid-edge-list.
+#[test]
+fn corrupted_binary_graphs_yield_typed_errors() {
+    // A valid file to corrupt.
+    let el = gen::uniform(64, 256, 3);
+    let mut good = Vec::new();
+    io::write_binary(&el, &mut good).unwrap();
+    assert!(io::read_binary(&good[..]).is_ok());
+
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xFF;
+    let err = io::read_binary(&bad[..]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // Forged edge count: claims 2^60 edges. Must reject (or cap its
+    // preallocation and fail on the short read) rather than OOM.
+    let mut forged = good.clone();
+    forged[16..24].copy_from_slice(&(1u64 << 60).to_le_bytes());
+    assert!(io::read_binary(&forged[..]).is_err());
+    // With the byte length known up front the inconsistency is caught
+    // before a single edge is read.
+    let err = io::read_binary_sized(&forged[..], forged.len() as u64).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // Truncated mid-edge-list.
+    let cut = good.len() - 7;
+    let err = io::read_binary(&good[..cut]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    let err = io::read_binary_sized(&good[..cut], cut as u64).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // The typed error converts into the workspace hierarchy.
+    let e = PolymerError::from(io::read_binary(&bad[..]).unwrap_err());
+    assert!(matches!(e, PolymerError::Io { .. }));
+}
+
+/// A program whose scatter emits NaN: every engine iteration contaminates
+/// the value array, which the divergence check must catch.
+struct Explode;
+
+impl Program for Explode {
+    type Val = f64;
+
+    fn name(&self) -> &'static str {
+        "EXPLODE"
+    }
+    fn combine(&self) -> Combine {
+        Combine::Add
+    }
+    fn next_identity(&self) -> f64 {
+        0.0
+    }
+    fn init(&self, _v: VId, _g: &Graph) -> f64 {
+        1.0
+    }
+    fn scatter(&self, _src: VId, _val: f64, _w: Weight, _deg: u32) -> f64 {
+        f64::NAN
+    }
+    fn apply(&self, _v: VId, acc: f64, _curr: f64) -> (f64, bool) {
+        (acc, true)
+    }
+    fn initial_frontier(&self, _g: &Graph) -> FrontierInit {
+        FrontierInit::All
+    }
+    fn max_iters(&self) -> usize {
+        8
+    }
+    fn fold(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// (d) Numerical divergence is detected at the iteration boundary and
+/// reported with the offending vertex instead of silently propagating NaN
+/// through the remaining iterations.
+#[test]
+fn nan_values_are_reported_as_divergence() {
+    let el = gen::rmat(7, 600, gen::RMAT_GRAPH500, 5);
+    let g = Graph::from_edges(&el);
+    let m = Machine::new(MachineSpec::test2());
+    let err = PolymerEngine::new()
+        .try_run(&m, 2, &g, &Explode)
+        .map(|r| r.iterations)
+        .unwrap_err();
+    match err {
+        PolymerError::Divergence { iteration, .. } => assert_eq!(iteration, 0),
+        other => panic!("expected Divergence, got {other:?}"),
+    }
+}

@@ -178,3 +178,61 @@ proptest! {
         prop_assert_eq!(back.edges, el.edges);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Spill accounting under capacity pressure: whatever the alloc/free
+    // schedule and spill policy, no node ever holds more than its cap, the
+    // per-node live bytes always sum to the live allocations' footprint,
+    // and the spilled-pages counter only ever grows.
+    #[test]
+    fn spill_accounting_is_conserved(
+        schedule in proptest::collection::vec((0u8..4, 1usize..4, 0usize..2), 1..60),
+        cap_pages in 2u64..7,
+        nearest in 0u8..2,
+    ) {
+        use polymer::numa::PAGE_SIZE;
+        let page = PAGE_SIZE as u64;
+        let policy = if nearest == 1 { SpillPolicy::NearestRemote } else { SpillPolicy::Interleave };
+        let m = Machine::with_faults(
+            MachineSpec::test2().with_node_capacity(cap_pages * page),
+            policy,
+            FaultPlan::default(),
+        );
+        let mut live: Vec<(polymer::numa::NumaArray<u8>, u64)> = Vec::new();
+        let mut live_pages = 0u64;
+        let mut last_spilled = 0u64;
+        for (step, &(op, pages, node)) in schedule.iter().enumerate() {
+            if op == 0 && !live.is_empty() {
+                let (a, p) = live.swap_remove(step % live.len());
+                drop(a);
+                live_pages -= p;
+            } else {
+                let pages = pages as u64;
+                match m.try_alloc_array::<u8>(
+                    &format!("s{step}"),
+                    (pages * page) as usize,
+                    polymer::numa::AllocPolicy::OnNode(node),
+                ) {
+                    Ok(a) => {
+                        live.push((a, pages));
+                        live_pages += pages;
+                    }
+                    Err(PolymerError::NodeCapacityExceeded { node, capacity_bytes, .. }) => {
+                        // Only legal when the machine is genuinely full.
+                        prop_assert_eq!(capacity_bytes, cap_pages * page);
+                        prop_assert!(node < 2);
+                    }
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            }
+            let by_node = m.node_live_bytes();
+            prop_assert!(by_node.iter().all(|&b| b <= cap_pages * page));
+            prop_assert_eq!(by_node.iter().sum::<u64>(), live_pages * page);
+            let spilled = m.spilled_pages();
+            prop_assert!(spilled >= last_spilled, "spilled-page counter went backwards");
+            last_spilled = spilled;
+        }
+    }
+}
