@@ -139,10 +139,7 @@ mod tests {
     #[test]
     fn pagerank_mass_behaviour() {
         // A 4-cycle: symmetric, so ranks stay uniform at 1/n.
-        let g = Graph::from_edges(&EdgeList::from_pairs(
-            4,
-            [(0, 1), (1, 2), (2, 3), (3, 0)],
-        ));
+        let g = Graph::from_edges(&EdgeList::from_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]));
         let (ranks, iters) = run_reference(&g, &PageRank::new(4));
         for r in &ranks {
             assert!((r - 0.25).abs() < 1e-12);
@@ -164,10 +161,7 @@ mod tests {
     fn spmv_runs_fixed_iterations() {
         // A cycle keeps every vertex receiving contributions, so the run is
         // capped by the iteration limit rather than frontier exhaustion.
-        let g = Graph::from_edges(&EdgeList::from_pairs(
-            4,
-            [(0, 1), (1, 2), (2, 3), (3, 0)],
-        ));
+        let g = Graph::from_edges(&EdgeList::from_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]));
         let (vals, iters) = run_reference(&g, &SpMV::new());
         assert_eq!(iters, 5);
         assert!(vals.iter().all(|v| v.is_finite()));

@@ -47,13 +47,33 @@ pub trait Engine {
     /// as a typed [`PolymerError`] instead of a panic. Graph
     /// construction/loading time is excluded from the result's clock, as in
     /// the paper's methodology.
+    ///
+    /// With `traced == true` the engine records a span/counter timeline into
+    /// the result's [`polymer_numa::Tracer`] (reachable through
+    /// [`RunResult::trace`]): one span per bulk-synchronous phase and
+    /// barrier, stamped with the iteration, carrying per-socket counters.
+    /// Tracing must never change simulated time — the workspace test suite
+    /// pins traced and untraced runs to bit-identical clocks.
+    fn try_run_traced<P: Program>(
+        &self,
+        machine: &Machine,
+        threads: usize,
+        graph: &Graph,
+        prog: &P,
+        traced: bool,
+    ) -> PolymerResult<RunResult<P::Val>>;
+
+    /// [`Engine::try_run_traced`] with tracing off — the common, zero-cost
+    /// path.
     fn try_run<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         graph: &Graph,
         prog: &P,
-    ) -> PolymerResult<RunResult<P::Val>>;
+    ) -> PolymerResult<RunResult<P::Val>> {
+        self.try_run_traced(machine, threads, graph, prog, false)
+    }
 
     /// Infallible convenience wrapper over [`Engine::try_run`] for bench
     /// binaries and examples: panics (with the typed error as payload, see
@@ -68,17 +88,26 @@ pub trait Engine {
         self.try_run(machine, threads, graph, prog)
             .unwrap_or_else(|e| panic_with(e))
     }
+
+    /// Infallible wrapper over [`Engine::try_run_traced`], for harness code
+    /// that wants the timeline without error plumbing.
+    fn run_traced<P: Program>(
+        &self,
+        machine: &Machine,
+        threads: usize,
+        graph: &Graph,
+        prog: &P,
+    ) -> RunResult<P::Val> {
+        self.try_run_traced(machine, threads, graph, prog, true)
+            .unwrap_or_else(|e| panic_with(e))
+    }
 }
 
 /// Validate the configuration shared by every engine: the thread count and
 /// (for single-source programs) the source vertex. Engines call this before
 /// allocating anything so a bad parameter is a typed
 /// [`PolymerError::InvalidConfig`], not a panic.
-pub fn validate_run_config<P: Program>(
-    threads: usize,
-    g: &Graph,
-    prog: &P,
-) -> PolymerResult<()> {
+pub fn validate_run_config<P: Program>(threads: usize, g: &Graph, prog: &P) -> PolymerResult<()> {
     if threads == 0 {
         return Err(PolymerError::InvalidConfig(
             "threads must be >= 1".to_string(),
@@ -99,9 +128,7 @@ pub fn validate_run_config<P: Program>(
 /// [`PolymerError`] (an engine bug or an injected fault surfacing through
 /// infallible code paths). Engines wrap their `try_run` bodies in this so
 /// `try_run` upholds its no-panic contract even over legacy internals.
-pub fn catch_engine_faults<T>(
-    f: impl FnOnce() -> PolymerResult<T>,
-) -> PolymerResult<T> {
+pub fn catch_engine_faults<T>(f: impl FnOnce() -> PolymerResult<T>) -> PolymerResult<T> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(result) => result,
         Err(payload) => Err(PolymerError::from_panic(payload)),

@@ -15,10 +15,7 @@ use crate::program::{Combine, Program};
 /// turns the first NaN/±inf into [`PolymerError::Divergence`] instead of
 /// letting a diverging computation iterate to its cap. `iteration` only
 /// labels the error.
-pub fn check_divergence<T: Atom>(
-    curr: &NumaAtomicArray<T>,
-    iteration: usize,
-) -> PolymerResult<()> {
+pub fn check_divergence<T: Atom>(curr: &NumaAtomicArray<T>, iteration: usize) -> PolymerResult<()> {
     if !T::CHECK_FINITE {
         return Ok(());
     }
@@ -67,15 +64,14 @@ impl TopoArrays {
         policy: impl Fn(&str) -> AllocPolicy,
     ) -> Self {
         let n = g.num_vertices();
-        let out_off = machine.alloc_array_with("topo/out_off", n + 1, policy("topo/out_off"), |i| {
-            g.out_offsets()[i] as u64
-        });
-        let out_dst = machine.alloc_array_with(
-            "topo/out_dst",
-            g.num_edges(),
-            policy("topo/out_dst"),
-            |i| g.out_targets()[i],
-        );
+        let out_off =
+            machine.alloc_array_with("topo/out_off", n + 1, policy("topo/out_off"), |i| {
+                g.out_offsets()[i] as u64
+            });
+        let out_dst =
+            machine.alloc_array_with("topo/out_dst", g.num_edges(), policy("topo/out_dst"), |i| {
+                g.out_targets()[i]
+            });
         let in_off = machine.alloc_array_with("topo/in_off", n + 1, policy("topo/in_off"), |i| {
             g.in_offsets()[i] as u64
         });
@@ -134,9 +130,8 @@ pub fn init_values<P: Program>(
     next_policy: AllocPolicy,
 ) -> (NumaAtomicArray<P::Val>, NumaAtomicArray<P::Val>) {
     let n = g.num_vertices();
-    let curr = machine.alloc_atomic_with::<P::Val>("data/curr", n, curr_policy, |v| {
-        prog.init(v as VId, g)
-    });
+    let curr = machine
+        .alloc_atomic_with::<P::Val>("data/curr", n, curr_policy, |v| prog.init(v as VId, g));
     let identity = prog.next_identity();
     let next = machine.alloc_atomic_with::<P::Val>("data/next", n, next_policy, |_| identity);
     (curr, next)

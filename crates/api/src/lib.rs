@@ -36,7 +36,7 @@ pub use engine::{catch_engine_faults, validate_run_config, Engine, EngineKind};
 pub use exec::{
     atomic_combine, check_divergence, degree_balanced_chunks, even_chunks, init_values, TopoArrays,
 };
-pub use parallel::{run_parallel, try_run_parallel};
+pub use parallel::{run_parallel, try_run_parallel, try_run_parallel_traced};
 pub use polymer_faults::{FaultPlan, PolymerError, PolymerResult};
 pub use program::{Combine, FrontierInit, Program};
 pub use result::RunResult;

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use polymer_faults::{panic_with, FaultPlan, PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
-use polymer_numa::Atom;
+use polymer_numa::{Atom, SharedTracer, WorkerSpan};
 use polymer_sync::HierBarrier;
 
 use crate::program::{Combine, FrontierInit, Program};
@@ -38,9 +38,7 @@ fn record_error(slot: &parking_lot::Mutex<Option<PolymerError>>, err: PolymerErr
     let mut slot = slot.lock();
     let replace = match &*slot {
         None => true,
-        Some(PolymerError::BarrierPoisoned) => {
-            !matches!(err, PolymerError::BarrierPoisoned)
-        }
+        Some(PolymerError::BarrierPoisoned) => !matches!(err, PolymerError::BarrierPoisoned),
         Some(_) => false,
     };
     if replace {
@@ -76,6 +74,23 @@ pub fn try_run_parallel<P: Program>(
     groups: usize,
     plan: &FaultPlan,
 ) -> PolymerResult<(Vec<P::Val>, usize)> {
+    try_run_parallel_traced(g, prog, threads, groups, plan, None)
+}
+
+/// [`try_run_parallel`] with wall-clock tracing: when `tracer` is given,
+/// every worker records one `"iteration"` span per superstep and one
+/// `"barrier-wait"` span per barrier crossing into the shared buffer (times
+/// are µs since the tracer's epoch). If the run ends abnormally — injected
+/// panic, poisoned barrier, timeout — the buffer is flushed *truncated* but
+/// remains valid: everything recorded before the failure stays exportable.
+pub fn try_run_parallel_traced<P: Program>(
+    g: &Graph,
+    prog: &P,
+    threads: usize,
+    groups: usize,
+    plan: &FaultPlan,
+    tracer: Option<&SharedTracer>,
+) -> PolymerResult<(Vec<P::Val>, usize)> {
     if threads == 0 {
         return Err(PolymerError::InvalidConfig(
             "threads must be >= 1".to_string(),
@@ -90,9 +105,10 @@ pub fn try_run_parallel<P: Program>(
     let curr: Vec<<P::Val as Atom>::Repr> = (0..n)
         .map(|v| P::Val::new_atomic(prog.init(v as VId, g)))
         .collect();
-    let next: Vec<<P::Val as Atom>::Repr> =
-        (0..n).map(|_| P::Val::new_atomic(identity)).collect();
-    let updated: Vec<AtomicU64> = (0..n.div_ceil(64).max(1)).map(|_| AtomicU64::new(0)).collect();
+    let next: Vec<<P::Val as Atom>::Repr> = (0..n).map(|_| P::Val::new_atomic(identity)).collect();
+    let updated: Vec<AtomicU64> = (0..n.div_ceil(64).max(1))
+        .map(|_| AtomicU64::new(0))
+        .collect();
 
     // Group sizes: threads distributed round-major over groups.
     let sizes: Vec<usize> = (0..groups)
@@ -134,9 +150,21 @@ pub fn try_run_parallel<P: Program>(
                 let group = group_of(tid);
                 // Every barrier crossing is bounded: a sibling that died
                 // before arriving turns into a timeout + poison instead of
-                // an eternal spin.
-                let sync = |group: usize| -> PolymerResult<bool> {
-                    barrier.wait_deadline(group, Instant::now() + barrier_timeout)
+                // an eternal spin. When traced, the wall-clock wait becomes
+                // a per-worker "barrier-wait" span.
+                let sync = |group: usize, iter: usize| -> PolymerResult<bool> {
+                    let t0 = tracer.map(|tr| tr.now_us());
+                    let r = barrier.wait_deadline(group, Instant::now() + barrier_timeout);
+                    if let (Some(tr), Some(t0)) = (tracer, t0) {
+                        tr.push_worker_span(WorkerSpan {
+                            name: "barrier-wait",
+                            worker: tid,
+                            iteration: Some(iter as u64),
+                            start_us: t0,
+                            dur_us: tr.now_us() - t0,
+                        });
+                    }
+                    r
                 };
                 let body = || -> PolymerResult<()> {
                     let mut local_updates: Vec<VId> = Vec::new();
@@ -146,6 +174,7 @@ pub fn try_run_parallel<P: Program>(
                         if done.load(Ordering::Acquire) {
                             break;
                         }
+                        let iter_t0 = tracer.map(|tr| tr.now_us());
                         // --- Fault-plan injection points.
                         if let Some(delay) = plan.straggle_delay(tid, iter) {
                             std::thread::sleep(delay);
@@ -162,9 +191,7 @@ pub fn try_run_parallel<P: Program>(
                             for &s in &fr[lo..hi] {
                                 let sv = P::Val::atom_load(&curr[s as usize]);
                                 let deg = g.out_degree(s) as u32;
-                                for (&t, &w) in
-                                    g.out_neighbors(s).iter().zip(g.out_weights(s))
-                                {
+                                for (&t, &w) in g.out_neighbors(s).iter().zip(g.out_weights(s)) {
                                     let c = prog.scatter(s, sv, w, deg);
                                     let cell = &next[t as usize];
                                     match prog.combine() {
@@ -179,15 +206,15 @@ pub fn try_run_parallel<P: Program>(
                                         }
                                     }
                                     let bit = 1u64 << (t % 64);
-                                    let prev = updated[t as usize / 64]
-                                        .fetch_or(bit, Ordering::AcqRel);
+                                    let prev =
+                                        updated[t as usize / 64].fetch_or(bit, Ordering::AcqRel);
                                     if prev & bit == 0 {
                                         local_updates.push(t);
                                     }
                                 }
                             }
                         }
-                        sync(group)?;
+                        sync(group, iter)?;
 
                         // --- Apply phase: each thread applies the targets it
                         // claimed (exactly-once by the fetch_or above).
@@ -209,7 +236,7 @@ pub fn try_run_parallel<P: Program>(
                         }
 
                         // --- Frontier swap by the serial thread.
-                        if sync(group)? {
+                        if sync(group, iter)? {
                             let mut nf = next_frontier.lock();
                             let mut fr = frontier.write();
                             std::mem::swap(&mut *fr, &mut *nf);
@@ -220,7 +247,16 @@ pub fn try_run_parallel<P: Program>(
                                 done.store(true, Ordering::Release);
                             }
                         }
-                        sync(group)?;
+                        sync(group, iter)?;
+                        if let (Some(tr), Some(t0)) = (tracer, iter_t0) {
+                            tr.push_worker_span(WorkerSpan {
+                                name: "iteration",
+                                worker: tid,
+                                iteration: Some(iter as u64),
+                                start_us: t0,
+                                dur_us: tr.now_us() - t0,
+                            });
+                        }
                         iter += 1;
                     }
                     Ok(())
@@ -230,7 +266,11 @@ pub fn try_run_parallel<P: Program>(
                     Ok(Err(err)) => {
                         // A barrier error (poison/timeout) already poisoned
                         // the barrier; make sure siblings at the loop top
-                        // stop too, then record the cause.
+                        // stop too, then record the cause. The trace stays
+                        // valid — just truncated at the failure point.
+                        if let Some(tr) = tracer {
+                            tr.mark_truncated();
+                        }
                         done.store(true, Ordering::Release);
                         record_error(first_error, err);
                     }
@@ -238,12 +278,12 @@ pub fn try_run_parallel<P: Program>(
                         // The worker died mid-iteration: poison the barrier
                         // so siblings waiting on it error out instead of
                         // deadlocking.
+                        if let Some(tr) = tracer {
+                            tr.mark_truncated();
+                        }
                         barrier.poison();
                         done.store(true, Ordering::Release);
-                        record_error(
-                            first_error,
-                            PolymerError::from_worker_panic(tid, payload),
-                        );
+                        record_error(first_error, PolymerError::from_worker_panic(tid, payload));
                     }
                 }
             });
@@ -346,16 +386,16 @@ mod tests {
     #[test]
     fn zero_threads_is_a_typed_error() {
         let g = ring(8);
-        let err = try_run_parallel(&g, &Levels { src: 0 }, 0, 1, &FaultPlan::default())
-            .unwrap_err();
+        let err =
+            try_run_parallel(&g, &Levels { src: 0 }, 0, 1, &FaultPlan::default()).unwrap_err();
         assert!(matches!(err, PolymerError::InvalidConfig(_)));
     }
 
     #[test]
     fn out_of_range_source_is_a_typed_error() {
         let g = ring(8);
-        let err = try_run_parallel(&g, &Levels { src: 99 }, 2, 1, &FaultPlan::default())
-            .unwrap_err();
+        let err =
+            try_run_parallel(&g, &Levels { src: 99 }, 2, 1, &FaultPlan::default()).unwrap_err();
         match err {
             PolymerError::InvalidConfig(msg) => assert!(msg.contains("99"), "{msg}"),
             other => panic!("unexpected: {other:?}"),

@@ -1,6 +1,6 @@
 //! Run results: final values plus everything the experiment harness reports.
 
-use polymer_numa::{MemoryReport, PhaseCost, RemoteAccessReport, RunClock};
+use polymer_numa::{MemoryReport, PhaseCost, RemoteAccessReport, RunClock, TraceBuffer};
 
 /// The outcome of running a [`crate::Program`] on an [`crate::Engine`].
 pub struct RunResult<V> {
@@ -38,6 +38,13 @@ impl<V> RunResult<V> {
     /// Remote-access report (Table 4 columns).
     pub fn remote_report(&self) -> RemoteAccessReport {
         RemoteAccessReport::from_cost(&self.clock.total)
+    }
+
+    /// The recorded span/counter timeline, when the run was traced
+    /// ([`crate::Engine::try_run_traced`]); `None` otherwise. Export with
+    /// [`polymer_numa::chrome_trace_json`] or [`polymer_numa::phase_table`].
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.clock.trace.buffer()
     }
 
     /// Per-socket busy time in µs: the maximum accumulated per-thread time

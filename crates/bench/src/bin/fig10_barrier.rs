@@ -8,7 +8,7 @@ use polymer_bench::report::fmt_sec;
 use polymer_bench::{write_json, AlgoId, Args, SystemId, Table, Workload};
 use polymer_core::PolymerConfig;
 use polymer_graph::DatasetId;
-use polymer_numa::{BarrierKind, MachineSpec};
+use polymer_numa::{chrome_trace_json, phase_table, BarrierKind, MachineSpec};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -107,4 +107,32 @@ fn main() {
     );
     write_json(&args.out, "fig10a_barrier_cost", &points);
     write_json(&args.out, "fig10b_barrier_ablation", &rows);
+
+    // --trace <path>: export a Chrome-trace timeline of one traced Polymer
+    // PageRank run on the same workload. The per-socket "barrier-wait" spans
+    // in the `sockets` process sum (per lane) to the run's reported barrier
+    // cost — the breakdown behind Figure 10(a); see docs/OBSERVABILITY.md.
+    if let Some(path) = &args.trace {
+        eprintln!("[fig10] tracing Polymer PageRank for {}", path.display());
+        let (m, buf) =
+            polymer_bench::runner::run_traced(SystemId::Polymer, AlgoId::PR, &wl, &spec, 80);
+        std::fs::write(path, chrome_trace_json(&buf)).expect("write trace file");
+        println!(
+            "
+Traced Polymer PageRank on {} (phase breakdown):
+",
+            wl.id.name()
+        );
+        print!("{}", phase_table(&buf));
+        let per_socket = buf.barrier_wait_per_socket();
+        println!(
+            "
+Reported barrier cost: {:.1}µs; each of the {} socket lanes waits {:.1}µs.
+[trace written to {}]",
+            m.barrier_sec * 1e6,
+            per_socket.len(),
+            per_socket.first().copied().unwrap_or(0.0),
+            path.display()
+        );
+    }
 }

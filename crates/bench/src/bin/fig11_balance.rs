@@ -11,9 +11,7 @@
 use polymer_bench::runner::run_with_polymer_config;
 use polymer_bench::{write_json, AlgoId, Args, SystemId, Table, Workload};
 use polymer_core::PolymerConfig;
-use polymer_graph::{
-    edge_balanced_ranges, vertex_balanced_ranges, DatasetId, PartitionStats, VId,
-};
+use polymer_graph::{edge_balanced_ranges, vertex_balanced_ranges, DatasetId, PartitionStats, VId};
 use polymer_numa::MachineSpec;
 use serde::Serialize;
 

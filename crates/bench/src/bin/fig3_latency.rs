@@ -23,7 +23,10 @@ fn main() {
     let mut table = Table::new(&["Machine", "Inst.", "0-hop", "1-hop", "2-hop"]);
     for spec in [MachineSpec::intel80(), MachineSpec::amd64()] {
         for (inst, get) in [
-            ("Load", &(|d| spec.latency.load(d)) as &dyn Fn(DistClass) -> f64),
+            (
+                "Load",
+                &(|d| spec.latency.load(d)) as &dyn Fn(DistClass) -> f64,
+            ),
             ("Store", &|d| spec.latency.store(d)),
         ] {
             let (h0, h1, h2) = (

@@ -30,8 +30,7 @@ fn measure(spec: &MachineSpec, policy: AllocPolicy, sequential: bool) -> f64 {
         cpu_cycles_per_access: 0.0,
         ..CostConfig::default()
     };
-    let mut sim =
-        SimExecutor::with_config(&machine, 1, cfg, polymer_numa::BarrierKind::SenseNuma);
+    let mut sim = SimExecutor::with_config(&machine, 1, cfg, polymer_numa::BarrierKind::SenseNuma);
     let cost = sim.run_phase("sweep", |_tid, ctx| {
         if sequential {
             for i in 0..TOUCH {
@@ -40,7 +39,9 @@ fn measure(spec: &MachineSpec, policy: AllocPolicy, sequential: bool) -> f64 {
         } else {
             let mut i = 1usize;
             for _ in 0..TOUCH {
-                i = (i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+                i = (i
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407))
                     % ELEMS;
                 data.get(ctx, i);
             }

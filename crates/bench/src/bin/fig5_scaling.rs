@@ -73,23 +73,35 @@ fn main() {
 
     // (a) cores within one socket.
     let intel = MachineSpec::intel80();
-    let cores: Vec<(usize, MachineSpec, usize)> = (1..=10)
-        .map(|c| (c, intel.subset(1, c), c))
-        .collect();
-    sweep("(a) cores within one socket (Intel)", &wl, &cores, &mut points);
+    let cores: Vec<(usize, MachineSpec, usize)> =
+        (1..=10).map(|c| (c, intel.subset(1, c), c)).collect();
+    sweep(
+        "(a) cores within one socket (Intel)",
+        &wl,
+        &cores,
+        &mut points,
+    );
 
     // (b)/(c) sockets with 10 cores each.
-    let sockets: Vec<(usize, MachineSpec, usize)> = (1..=8)
-        .map(|s| (s, intel.subset(s, 10), s * 10))
-        .collect();
-    sweep("(b,c) sockets x 10 cores (Intel)", &wl, &sockets, &mut points);
+    let sockets: Vec<(usize, MachineSpec, usize)> =
+        (1..=8).map(|s| (s, intel.subset(s, 10), s * 10)).collect();
+    sweep(
+        "(b,c) sockets x 10 cores (Intel)",
+        &wl,
+        &sockets,
+        &mut points,
+    );
 
     // (d) AMD sockets with 8 cores each.
     let amd = MachineSpec::amd64();
-    let amd_sockets: Vec<(usize, MachineSpec, usize)> = (1..=8)
-        .map(|s| (s, amd.subset(s, 8), s * 8))
-        .collect();
-    sweep("(d) sockets x 8 cores (AMD)", &wl, &amd_sockets, &mut points);
+    let amd_sockets: Vec<(usize, MachineSpec, usize)> =
+        (1..=8).map(|s| (s, amd.subset(s, 8), s * 8)).collect();
+    sweep(
+        "(d) sockets x 8 cores (AMD)",
+        &wl,
+        &amd_sockets,
+        &mut points,
+    );
 
     println!(
         "Paper shape: within-socket scaling up to ~6.9x at 8-10 cores; socket\n\

@@ -57,9 +57,12 @@ fn main() {
     eprintln!("[layout_ablation] factoring only ...");
     run(
         "Polymer w/o NUMA placement",
-        PolymerEngine::new()
-            .without_numa_placement()
-            .run(&Machine::new(spec.clone()), 80, &wl.graph, &prog),
+        PolymerEngine::new().without_numa_placement().run(
+            &Machine::new(spec.clone()),
+            80,
+            &wl.graph,
+            &prog,
+        ),
     );
     eprintln!("[layout_ablation] ligra baseline ...");
     run(

@@ -2,11 +2,11 @@
 //! time breakdown of PageRank on the twitter dataset for Ligra, Galois and
 //! Polymer — useful when calibrating the cost model.
 
+use polymer_algos::PageRank;
+use polymer_api::Engine;
 use polymer_bench::{SystemId, Workload};
 use polymer_graph::DatasetId;
 use polymer_numa::{Machine, MachineSpec};
-use polymer_api::Engine;
-use polymer_algos::PageRank;
 
 fn main() {
     let wl = Workload::prepare(DatasetId::TwitterS, 0);
@@ -21,14 +21,24 @@ fn main() {
             SystemId::Polymer => polymer_core::PolymerEngine::new().run(&machine, 80, g, &prog),
             _ => unreachable!(),
         };
-        println!("== {:?}: total {:.1}ms barrier {:.1}ms iters {}", sys, r.clock.total.time_us/1000.0, r.clock.barrier_us/1000.0, r.iterations);
+        println!(
+            "== {:?}: total {:.1}ms barrier {:.1}ms iters {}",
+            sys,
+            r.clock.total.time_us / 1000.0,
+            r.clock.barrier_us / 1000.0,
+            r.iterations
+        );
         let mut phases: Vec<_> = r.clock.by_phase.iter().collect();
-        phases.sort_by(|a,b| b.1.0.partial_cmp(&a.1.0).unwrap());
-        for (name,(us,count)) in phases {
-            println!("   {name:20} {:8.1}ms  x{count}", us/1000.0);
+        phases.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).unwrap());
+        for (name, (us, count)) in phases {
+            println!("   {name:20} {:8.1}ms  x{count}", us / 1000.0);
         }
-        println!("   max_thread {:.1}ms dram {:.1}ms link {:.1}ms  remote rate {:.2}",
-            r.clock.total.max_thread_us/1000.0, r.clock.total.dram_bound_us/1000.0,
-            r.clock.total.link_bound_us/1000.0, r.remote_report().access_rate_remote);
+        println!(
+            "   max_thread {:.1}ms dram {:.1}ms link {:.1}ms  remote rate {:.2}",
+            r.clock.total.max_thread_us / 1000.0,
+            r.clock.total.dram_bound_us / 1000.0,
+            r.clock.total.link_bound_us / 1000.0,
+            r.remote_report().access_rate_remote
+        );
     }
 }

@@ -24,10 +24,7 @@ fn main() {
                 .iter()
                 .map(|&sys| run(sys, algo, &wl, &spec, threads))
                 .collect();
-            let best = row
-                .iter()
-                .map(|m| m.seconds)
-                .fold(f64::INFINITY, f64::min);
+            let best = row.iter().map(|m| m.seconds).fold(f64::INFINITY, f64::min);
             let mut cells = vec![algo.name().to_string(), ds.name().to_string()];
             for m in &row {
                 let mark = if m.seconds == best { "*" } else { "" };

@@ -27,23 +27,26 @@ fn main() {
             .collect();
         table.row(
             std::iter::once("Access Rate/R".to_string())
-                .chain(row.iter().map(|m| {
-                    format!("{:.1}%", m.remote.access_rate_remote * 100.0)
-                }))
+                .chain(
+                    row.iter()
+                        .map(|m| format!("{:.1}%", m.remote.access_rate_remote * 100.0)),
+                )
                 .collect(),
         );
         table.row(
             std::iter::once("Num. Accesses/R".to_string())
-                .chain(row.iter().map(|m| {
-                    format!("{:.1}M", m.remote.num_accesses_remote as f64 / 1e6)
-                }))
+                .chain(
+                    row.iter()
+                        .map(|m| format!("{:.1}M", m.remote.num_accesses_remote as f64 / 1e6)),
+                )
                 .collect(),
         );
         table.row(
             std::iter::once("LLC Miss Rate/R".to_string())
-                .chain(row.iter().map(|m| {
-                    format!("{:.2}%", m.remote.llc_miss_rate_remote * 100.0)
-                }))
+                .chain(
+                    row.iter()
+                        .map(|m| format!("{:.2}%", m.remote.llc_miss_rate_remote * 100.0)),
+                )
                 .collect(),
         );
         println!("({})", algo.name());

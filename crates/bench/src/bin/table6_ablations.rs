@@ -37,8 +37,7 @@ fn ablation(
     let mut table = Table::new(&["Algo", "w/o", "w/", "Speedup"]);
     for algo in AlgoId::ALL {
         eprintln!("[{experiment}] {} ...", algo.name());
-        let without =
-            run_with_polymer_config(SystemId::Polymer, algo, &wl, &spec, 80, without_cfg);
+        let without = run_with_polymer_config(SystemId::Polymer, algo, &wl, &spec, 80, without_cfg);
         let with = run_with_polymer_config(
             SystemId::Polymer,
             algo,

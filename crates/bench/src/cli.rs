@@ -10,6 +10,10 @@ pub struct Args {
     pub scale: i32,
     /// Output directory for JSON results.
     pub out: PathBuf,
+    /// Where to write a Chrome-trace JSON timeline of one representative
+    /// traced run (`--trace <path>`; load at `chrome://tracing` or
+    /// <https://ui.perfetto.dev>). `None` when the flag is absent.
+    pub trace: Option<PathBuf>,
 }
 
 impl Args {
@@ -27,25 +31,38 @@ impl Args {
         let mut out = Args {
             scale: default_scale,
             out: PathBuf::from("results"),
+            trace: None,
         };
         let mut it = args.peekable();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--scale" => {
-                    let v = it.next().unwrap_or_else(|| die(experiment, "--scale needs a value"));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| die(experiment, "--scale needs a value"));
                     out.scale = v
                         .parse()
                         .unwrap_or_else(|_| die(experiment, "--scale must be an integer"));
                 }
                 "--out" => {
-                    let v = it.next().unwrap_or_else(|| die(experiment, "--out needs a value"));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| die(experiment, "--out needs a value"));
                     out.out = PathBuf::from(v);
+                }
+                "--trace" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| die(experiment, "--trace needs a value"));
+                    out.trace = Some(PathBuf::from(v));
                 }
                 "--help" | "-h" => {
                     eprintln!(
                         "{experiment}: reproduces the corresponding table/figure of the paper.\n\
                          Flags: --scale <shift> (dataset size, default {default_scale}), \
-                         --out <dir> (JSON results, default results/)"
+                         --out <dir> (JSON results, default results/), \
+                         --trace <path> (Chrome-trace JSON of a traced run, \
+                         viewable at chrome://tracing or ui.perfetto.dev)"
                     );
                     std::process::exit(0);
                 }
@@ -71,11 +88,24 @@ mod tests {
         assert_eq!(a.scale, -2);
         assert_eq!(a.out, PathBuf::from("results"));
         let a = Args::parse_from(
-            ["--scale", "-4", "--out", "/tmp/x"].iter().map(|s| s.to_string()),
+            ["--scale", "-4", "--out", "/tmp/x"]
+                .iter()
+                .map(|s| s.to_string()),
             -2,
             "t",
         );
         assert_eq!(a.scale, -4);
         assert_eq!(a.out, PathBuf::from("/tmp/x"));
+        assert_eq!(a.trace, None);
+    }
+
+    #[test]
+    fn trace_flag_parses() {
+        let a = Args::parse_from(
+            ["--trace", "out.json"].iter().map(|s| s.to_string()),
+            0,
+            "t",
+        );
+        assert_eq!(a.trace, Some(PathBuf::from("out.json")));
     }
 }

@@ -1,4 +1,20 @@
 //! Table printing and JSON result output.
+//!
+//! Every experiment binary renders a human-readable [`Table`] mirroring the
+//! paper's layout and writes the underlying rows as JSON via [`write_json`]
+//! (one `<name>.json` per table/figure under `results/`, documented in
+//! `results/README.md`). Seconds are formatted with [`fmt_sec`] to match
+//! the paper's precision conventions.
+//!
+//! ```
+//! use polymer_bench::report::{fmt_sec, Table};
+//!
+//! let mut t = Table::new(&["Algo", "Polymer", "Ligra"]);
+//! t.row(vec!["PR".into(), fmt_sec(5.284), fmt_sec(13.069)]);
+//! let rendered = t.render();
+//! assert!(rendered.contains("5.28"));
+//! assert!(rendered.lines().count() == 3); // header, rule, one row
+//! ```
 
 use std::fs;
 use std::path::Path;

@@ -7,7 +7,7 @@ use polymer_core::{PolymerConfig, PolymerEngine};
 use polymer_galois::GaloisEngine;
 use polymer_graph::{dataset, DatasetId, Graph, VId};
 use polymer_ligra::LigraEngine;
-use polymer_numa::{Machine, MachineSpec, RemoteAccessReport};
+use polymer_numa::{Machine, MachineSpec, RemoteAccessReport, TraceBuffer};
 use polymer_xstream::XStreamEngine;
 use serde::Serialize;
 
@@ -176,6 +176,28 @@ impl Workload {
     }
 }
 
+/// One aggregated row of a run's per-phase breakdown, built from the
+/// engine's trace ([`polymer_api::RunResult::trace`]). These are the
+/// `phases` entries of every `BENCH_*`/figure/table JSON file — see
+/// `docs/OBSERVABILITY.md` for the field taxonomy.
+#[derive(Clone, Debug, Serialize)]
+pub struct PhaseSummary {
+    /// Phase name (`"scatter"`, `"gather"`, `"apply"`, `"barrier"`, ...).
+    pub name: String,
+    /// Number of spans aggregated under this name.
+    pub calls: u64,
+    /// Summed simulated time, seconds.
+    pub seconds: f64,
+    /// Bytes served from the issuing socket's own memory node.
+    pub local_bytes: u64,
+    /// Bytes served from other sockets' memory nodes.
+    pub remote_bytes: u64,
+    /// Byte-weighted last-level-cache hit fraction in `[0, 1]`.
+    pub llc_hit_rate: f64,
+    /// Pages spilled while these spans were open.
+    pub spilled_pages: u64,
+}
+
 /// Uniform result metrics for the reports.
 #[derive(Clone, Debug, Serialize)]
 pub struct Metrics {
@@ -203,6 +225,27 @@ pub struct Metrics {
     pub barrier_sec: f64,
     /// Per-socket busy time in seconds (Figure 11(b)).
     pub per_socket_sec: Vec<f64>,
+    /// Per-phase breakdown from the run's trace (empty when untraced).
+    pub phases: Vec<PhaseSummary>,
+    /// Simulated seconds charged to each iteration, index-aligned with the
+    /// iteration numbers the engine stamped (empty when untraced).
+    pub per_iteration_sec: Vec<f64>,
+}
+
+/// Build the per-phase summaries from a recorded trace.
+fn phase_summaries(buf: &TraceBuffer) -> Vec<PhaseSummary> {
+    buf.phase_rows()
+        .into_iter()
+        .map(|r| PhaseSummary {
+            name: r.name.to_string(),
+            calls: r.calls,
+            seconds: r.total_us / 1e6,
+            local_bytes: r.local_bytes,
+            remote_bytes: r.remote_bytes,
+            llc_hit_rate: r.llc_hit_ratio,
+            spilled_pages: r.spilled_pages,
+        })
+        .collect()
 }
 
 fn metrics<V>(
@@ -229,7 +272,16 @@ fn metrics<V>(
             .iter()
             .map(|us| us / 1e6)
             .collect(),
+        phases: r.trace().map(phase_summaries).unwrap_or_default(),
+        per_iteration_sec: r
+            .trace()
+            .map(|buf| buf.iteration_us().iter().map(|(_, us)| us / 1e6).collect())
+            .unwrap_or_default(),
     }
+}
+
+fn take_trace<V>(r: &polymer_api::RunResult<V>) -> TraceBuffer {
+    r.trace().cloned().unwrap_or_default()
 }
 
 /// Run one (system, algorithm) pair on a workload with a fresh machine of
@@ -244,6 +296,19 @@ pub fn run(
     run_with_polymer_config(system, algo, wl, spec, threads, PolymerConfig::default())
 }
 
+/// Like [`run`], returning the raw [`TraceBuffer`] alongside the metrics so
+/// callers can export a Chrome-trace timeline (`--trace <path>` in the
+/// experiment binaries) or print a [`polymer_numa::phase_table`].
+pub fn run_traced(
+    system: SystemId,
+    algo: AlgoId,
+    wl: &Workload,
+    spec: &MachineSpec,
+    threads: usize,
+) -> (Metrics, TraceBuffer) {
+    run_traced_with_polymer_config(system, algo, wl, spec, threads, PolymerConfig::default())
+}
+
 /// Like [`run`], with an explicit Polymer configuration (ablations).
 pub fn run_with_polymer_config(
     system: SystemId,
@@ -253,6 +318,18 @@ pub fn run_with_polymer_config(
     threads: usize,
     config: PolymerConfig,
 ) -> Metrics {
+    run_traced_with_polymer_config(system, algo, wl, spec, threads, config).0
+}
+
+/// [`run_traced`] with an explicit Polymer configuration.
+pub fn run_traced_with_polymer_config(
+    system: SystemId,
+    algo: AlgoId,
+    wl: &Workload,
+    spec: &MachineSpec,
+    threads: usize,
+    config: PolymerConfig,
+) -> (Metrics, TraceBuffer) {
     let g = wl.graph_for(algo);
     let machine = Machine::new(wl.scaled_spec(spec));
     let name = wl.id.name();
@@ -261,20 +338,21 @@ pub fn run_with_polymer_config(
             let prog = $prog;
             match system {
                 SystemId::Polymer => {
-                    let r = PolymerEngine::with_config(config).run(&machine, threads, g, &prog);
-                    metrics(system, algo, name, spec, &r)
+                    let r =
+                        PolymerEngine::with_config(config).run_traced(&machine, threads, g, &prog);
+                    (metrics(system, algo, name, spec, &r), take_trace(&r))
                 }
                 SystemId::Ligra => {
-                    let r = LigraEngine::new().run(&machine, threads, g, &prog);
-                    metrics(system, algo, name, spec, &r)
+                    let r = LigraEngine::new().run_traced(&machine, threads, g, &prog);
+                    (metrics(system, algo, name, spec, &r), take_trace(&r))
                 }
                 SystemId::XStream => {
-                    let r = XStreamEngine::new().run(&machine, threads, g, &prog);
-                    metrics(system, algo, name, spec, &r)
+                    let r = XStreamEngine::new().run_traced(&machine, threads, g, &prog);
+                    (metrics(system, algo, name, spec, &r), take_trace(&r))
                 }
                 SystemId::Galois => {
-                    let r = GaloisEngine::new().run(&machine, threads, g, &prog);
-                    metrics(system, algo, name, spec, &r)
+                    let r = GaloisEngine::new().run_traced(&machine, threads, g, &prog);
+                    (metrics(system, algo, name, spec, &r), take_trace(&r))
                 }
             }
         }};
@@ -319,8 +397,7 @@ mod tests {
         // The dispatcher must hand every system the same graph and source.
         let wl = Workload::prepare(DatasetId::Rmat24S, -8);
         let spec = MachineSpec::test2();
-        let (want, _) =
-            polymer_algos::run_reference(&wl.graph, &Bfs::new(wl.source));
+        let (want, _) = polymer_algos::run_reference(&wl.graph, &Bfs::new(wl.source));
         for sys in SystemId::ALL {
             let g = wl.graph_for(AlgoId::BFS);
             let machine = Machine::new(spec.clone());

@@ -6,9 +6,7 @@ use polymer_api::{
 };
 use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
-use polymer_numa::{
-    AccessCtx, BarrierKind, Machine, MemoryReport, SimExecutor,
-};
+use polymer_numa::{AccessCtx, BarrierKind, Machine, MemoryReport, SimExecutor};
 use polymer_sync::{should_densify, DenseBitmap, LookupTable, ThreadQueues};
 
 use crate::layout::PolymerLayout;
@@ -164,15 +162,16 @@ impl Engine for PolymerEngine {
         EngineKind::Polymer
     }
 
-    fn try_run<P: Program>(
+    fn try_run_traced<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
+        traced: bool,
     ) -> PolymerResult<RunResult<P::Val>> {
         validate_run_config(threads, g, prog)?;
-        catch_engine_faults(|| self.run_inner(machine, threads, g, prog))
+        catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced))
     }
 }
 
@@ -183,6 +182,7 @@ impl PolymerEngine {
         threads: usize,
         g: &Graph,
         prog: &P,
+        traced: bool,
     ) -> PolymerResult<RunResult<P::Val>> {
         let n = g.num_vertices();
         let m = g.num_edges();
@@ -191,6 +191,9 @@ impl PolymerEngine {
 
         let mut sim =
             SimExecutor::with_config(machine, threads, Default::default(), self.config.barrier);
+        if traced {
+            sim.enable_trace();
+        }
         let spanned = sim.num_sockets();
         let tpn: Vec<usize> = (0..spanned)
             .map(|node| sim.threads_on_node(node).len())
@@ -216,13 +219,13 @@ impl PolymerEngine {
         );
 
         // Application data: contiguous virtual, physically chunked by owner.
-        let curr = machine.alloc_atomic_with::<P::Val>("data/curr", n, layout.chunked_policy(), |v| {
-            prog.init(v as VId, g)
-        });
-        let next =
-            machine.alloc_atomic_with::<P::Val>("data/next", n, layout.chunked_policy(), |_| {
-                identity
+        let curr =
+            machine.alloc_atomic_with::<P::Val>("data/curr", n, layout.chunked_policy(), |v| {
+                prog.init(v as VId, g)
             });
+        let next =
+            machine
+                .alloc_atomic_with::<P::Val>("data/next", n, layout.chunked_policy(), |_| identity);
 
         let mut frontier = match prog.initial_frontier(g) {
             FrontierInit::All => PFrontier::all(machine, &layout, n),
@@ -247,10 +250,9 @@ impl PolymerEngine {
             if iters >= iter_cap {
                 return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
             }
+            sim.set_iteration(Some(iters as u64));
             let frontier_degree: u64 = match &frontier {
-                PFrontier::Sparse(items) => {
-                    items.iter().map(|&v| g.out_degree(v) as u64).sum()
-                }
+                PFrontier::Sparse(items) => items.iter().map(|&v| g.out_degree(v) as u64).sum(),
                 PFrontier::Dense { count, .. } => (m as u64) * (*count as u64) / (n.max(1) as u64),
             };
             let use_pull = use_pull_allowed
@@ -365,11 +367,7 @@ impl PolymerEngine {
                                         prog.scatter(s as VId, sv, w, deg),
                                     );
                                     ctx.charge_cycles(sc);
-                                    if updated
-                                        .get(node)
-                                        .unwrap()
-                                        .set(ctx, t - nl.range.start)
-                                    {
+                                    if updated.get(node).unwrap().set(ctx, t - nl.range.start) {
                                         queues.push(ctx, t as VId);
                                     }
                                 }
@@ -411,11 +409,7 @@ impl PolymerEngine {
                                         prog.scatter(s, sv, w, deg),
                                     );
                                     ctx.charge_cycles(sc);
-                                    if updated
-                                        .get(node)
-                                        .unwrap()
-                                        .set(ctx, t - nl.range.start)
-                                    {
+                                    if updated.get(node).unwrap().set(ctx, t - nl.range.start) {
                                         queues.push(ctx, t as VId);
                                     }
                                 }
@@ -494,9 +488,7 @@ impl PolymerEngine {
             let degree: u64 = alive_degree.iter().sum();
             let items = queues.drain_merged();
             debug_assert_eq!(items.len() as u64, alive);
-            frontier = if self.config.adaptive_states
-                && !should_densify(alive, degree, m as u64)
-            {
+            frontier = if self.config.adaptive_states && !should_densify(alive, degree, m as u64) {
                 PFrontier::Sparse(items)
             } else {
                 PFrontier::densify(machine, &layout, &items)
@@ -617,8 +609,7 @@ mod tests {
         let oblivious = PolymerEngine::new()
             .without_numa_placement()
             .run(&m2, 80, &g, &prog);
-        let err =
-            polymer_algos::reference::max_rel_error(&aware.values, &oblivious.values);
+        let err = polymer_algos::reference::max_rel_error(&aware.values, &oblivious.values);
         assert!(err < 1e-9, "placement must not change results: {err}");
         assert!(
             oblivious.remote_report().access_rate_remote

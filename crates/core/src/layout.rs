@@ -133,11 +133,11 @@ impl PolymerLayout {
             // sequence monotone (a partition may end up empty on extremely
             // skewed inputs, which the engine handles).
             let mut prev_end = 0usize;
-            for i in 0..nnodes - 1 {
-                let cut = ranges[i].end;
+            for range in ranges.iter_mut().take(nnodes - 1) {
+                let cut = range.end;
                 let rounded = ((cut + ALIGN / 2) / ALIGN * ALIGN).clamp(prev_end, n);
-                ranges[i].start = prev_end;
-                ranges[i].end = rounded;
+                range.start = prev_end;
+                range.end = rounded;
                 prev_end = rounded;
             }
             ranges[nnodes - 1].start = prev_end;
@@ -179,7 +179,11 @@ impl PolymerLayout {
         // virtual, physically chunked by owner (like `curr`/`next`).
         let deg_policy = if numa_aware {
             AllocPolicy::ChunkedElems(
-                ranges.iter().enumerate().map(|(i, r)| (r.len(), i)).collect(),
+                ranges
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (r.len(), i))
+                    .collect(),
             )
         } else {
             AllocPolicy::Interleaved
@@ -276,13 +280,24 @@ impl PolymerLayout {
         };
         let slices = slice_by_edges(&offs, threads_per_node);
         DirLayout {
-            agent_id: machine.alloc_array_with(&format!("agents/{dir}_id"), ids.len(), pol(), |i| {
-                ids[i]
-            }),
-            agent_deg: machine
-                .alloc_array_with(&format!("agents/{dir}_deg"), degs.len(), pol(), |i| degs[i]),
-            agent_off: machine
-                .alloc_array_with(&format!("agents/{dir}_off"), offs.len(), pol(), |i| offs[i]),
+            agent_id: machine.alloc_array_with(
+                &format!("agents/{dir}_id"),
+                ids.len(),
+                pol(),
+                |i| ids[i],
+            ),
+            agent_deg: machine.alloc_array_with(
+                &format!("agents/{dir}_deg"),
+                degs.len(),
+                pol(),
+                |i| degs[i],
+            ),
+            agent_off: machine.alloc_array_with(
+                &format!("agents/{dir}_off"),
+                offs.len(),
+                pol(),
+                |i| offs[i],
+            ),
             agent_idx,
             endpoint: machine.alloc_array_with(
                 &format!("topo/{dir}_edges"),

@@ -69,9 +69,9 @@ mod tests {
 
     #[test]
     fn fails_past_limit() {
-        let data = vec![7u8; 100];
+        let data = [7u8; 100];
         let mut r = ShortReader::new(&data[..], 10);
-        let mut out = vec![0u8; 100];
+        let mut out = [0u8; 100];
         let mut got = 0usize;
         let err = loop {
             match r.read(&mut out[got..]) {

@@ -27,13 +27,13 @@
 
 use std::collections::BTreeMap;
 
+use polymer_api::Combine;
 use polymer_api::{
     catch_engine_faults, check_divergence, even_chunks, init_values, validate_run_config, Engine,
     EngineKind, FrontierInit, Program, RunResult, TopoArrays,
 };
 use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
-use polymer_api::Combine;
 use polymer_numa::{AllocPolicy, BarrierKind, Machine, MemoryReport, SimExecutor};
 use polymer_sync::{DenseBitmap, ThreadQueues};
 
@@ -69,21 +69,22 @@ impl Engine for GaloisEngine {
         EngineKind::Galois
     }
 
-    fn try_run<P: Program>(
+    fn try_run_traced<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
+        traced: bool,
     ) -> PolymerResult<RunResult<P::Val>> {
         validate_run_config(threads, g, prog)?;
         catch_engine_faults(|| {
             if prog.name() == "CC" && !self.no_union_find {
-                return run_union_find(machine, threads, g, prog);
+                return run_union_find(machine, threads, g, prog, traced);
             }
             match prog.combine() {
-                Combine::Min => run_async(machine, threads, g, prog),
-                _ => run_sync_pull(machine, threads, g, prog),
+                Combine::Min => run_async(machine, threads, g, prog, traced),
+                _ => run_sync_pull(machine, threads, g, prog, traced),
             }
         })
     }
@@ -95,9 +96,12 @@ fn run_async<P: Program>(
     threads: usize,
     g: &Graph,
     prog: &P,
+    traced: bool,
 ) -> PolymerResult<RunResult<P::Val>> {
     let sc = prog.scatter_cycles();
-    let topo = TopoArrays::build(machine, g, prog.uses_weights(), |_| AllocPolicy::Interleaved);
+    let topo = TopoArrays::build(machine, g, prog.uses_weights(), |_| {
+        AllocPolicy::Interleaved
+    });
     let (curr, _next) = init_values(
         machine,
         g,
@@ -105,8 +109,15 @@ fn run_async<P: Program>(
         AllocPolicy::Interleaved,
         AllocPolicy::Interleaved,
     );
-    let mut sim =
-        SimExecutor::with_config(machine, threads, Default::default(), BarrierKind::Hierarchical);
+    let mut sim = SimExecutor::with_config(
+        machine,
+        threads,
+        Default::default(),
+        BarrierKind::Hierarchical,
+    );
+    if traced {
+        sim.enable_trace();
+    }
 
     // OBIM-style bucketed worklist, deterministic: each round drains a chunk
     // per thread from the lowest-priority bucket.
@@ -180,11 +191,14 @@ fn run_sync_pull<P: Program>(
     threads: usize,
     g: &Graph,
     prog: &P,
+    traced: bool,
 ) -> PolymerResult<RunResult<P::Val>> {
     let n = g.num_vertices();
     let identity = prog.next_identity();
     let sc = prog.scatter_cycles();
-    let topo = TopoArrays::build(machine, g, prog.uses_weights(), |_| AllocPolicy::Interleaved);
+    let topo = TopoArrays::build(machine, g, prog.uses_weights(), |_| {
+        AllocPolicy::Interleaved
+    });
     let (curr, next) = init_values(
         machine,
         g,
@@ -192,8 +206,15 @@ fn run_sync_pull<P: Program>(
         AllocPolicy::Interleaved,
         AllocPolicy::Interleaved,
     );
-    let mut sim =
-        SimExecutor::with_config(machine, threads, Default::default(), BarrierKind::Hierarchical);
+    let mut sim = SimExecutor::with_config(
+        machine,
+        threads,
+        Default::default(),
+        BarrierKind::Hierarchical,
+    );
+    if traced {
+        sim.enable_trace();
+    }
 
     // Persistent state bitmaps (Galois reuses memory between iterations).
     let state = DenseBitmap::new(machine, "stat/curr", n, AllocPolicy::Interleaved);
@@ -228,6 +249,7 @@ fn run_sync_pull<P: Program>(
         if iters >= iter_cap {
             return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
         }
+        sim.set_iteration(Some(iters as u64));
         let mut alive_count = vec![0u64; threads];
         // Topology-driven shortcut: when every vertex is active, per-edge
         // state checks are semantically no-ops and Galois skips them.
@@ -315,11 +337,11 @@ fn run_union_find<P: Program>(
     threads: usize,
     g: &Graph,
     prog: &P,
+    traced: bool,
 ) -> PolymerResult<RunResult<P::Val>> {
     let n = g.num_vertices();
-    let parent = machine.alloc_atomic_with::<u32>("data/parent", n, AllocPolicy::Interleaved, |v| {
-        v as u32
-    });
+    let parent =
+        machine.alloc_atomic_with::<u32>("data/parent", n, AllocPolicy::Interleaved, |v| v as u32);
     // Edge arrays, interleaved (Galois reads the CSR directly).
     let dst = machine.alloc_array_with(
         "topo/out_dst",
@@ -331,8 +353,15 @@ fn run_union_find<P: Program>(
         g.out_offsets()[i] as u64
     });
 
-    let mut sim =
-        SimExecutor::with_config(machine, threads, Default::default(), BarrierKind::Hierarchical);
+    let mut sim = SimExecutor::with_config(
+        machine,
+        threads,
+        Default::default(),
+        BarrierKind::Hierarchical,
+    );
+    if traced {
+        sim.enable_trace();
+    }
 
     // Accounted find with path compression. Executed sequentially by the
     // simulator, so plain load/store is race-free; a real deployment would
@@ -450,9 +479,10 @@ mod tests {
         el.symmetrize();
         let g = Graph::from_edges(&el);
         let m = Machine::new(MachineSpec::test2());
-        let got = GaloisEngine::new()
-            .without_union_find()
-            .run(&m, 4, &g, &ConnectedComponents::new());
+        let got =
+            GaloisEngine::new()
+                .without_union_find()
+                .run(&m, 4, &g, &ConnectedComponents::new());
         let (want, _) = run_reference(&g, &ConnectedComponents::new());
         assert_eq!(got.values, want);
     }

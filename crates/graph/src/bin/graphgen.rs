@@ -66,13 +66,19 @@ fn main() {
         }
         "powerlaw" => {
             let n: usize = parse("vertices", None).parse().unwrap_or_else(|_| usage());
-            let avg: f64 = parse("avg-degree", None).parse().unwrap_or_else(|_| usage());
-            let alpha: f64 = parse("alpha", Some("2.0")).parse().unwrap_or_else(|_| usage());
+            let avg: f64 = parse("avg-degree", None)
+                .parse()
+                .unwrap_or_else(|_| usage());
+            let alpha: f64 = parse("alpha", Some("2.0"))
+                .parse()
+                .unwrap_or_else(|_| usage());
             gen::powerlaw_zipf(n, alpha, avg, seed)
         }
         "road" => {
             let side: usize = parse("side", None).parse().unwrap_or_else(|_| usage());
-            let p: f64 = parse("p-bond", Some("0.6")).parse().unwrap_or_else(|_| usage());
+            let p: f64 = parse("p-bond", Some("0.6"))
+                .parse()
+                .unwrap_or_else(|_| usage());
             gen::road_grid(side, side, p, seed)
         }
         "uniform" => {
@@ -82,7 +88,9 @@ fn main() {
         }
         "dataset" => {
             let name = parse("name", None);
-            let shift: i32 = parse("shift", Some("0")).parse().unwrap_or_else(|_| usage());
+            let shift: i32 = parse("shift", Some("0"))
+                .parse()
+                .unwrap_or_else(|_| usage());
             let id = DatasetId::ALL
                 .into_iter()
                 .find(|d| d.name().eq_ignore_ascii_case(&name))

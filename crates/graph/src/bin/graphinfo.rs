@@ -40,7 +40,11 @@ fn main() {
     let mut buckets = [0usize; 24];
     for v in 0..g.num_vertices() {
         let d = g.out_degree(v as u32);
-        let b = if d == 0 { 0 } else { (d.ilog2() as usize + 1).min(23) };
+        let b = if d == 0 {
+            0
+        } else {
+            (d.ilog2() as usize + 1).min(23)
+        };
         buckets[b] += 1;
     }
     let top = buckets.iter().copied().max().unwrap_or(1).max(1);

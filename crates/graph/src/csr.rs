@@ -217,8 +217,7 @@ mod tests {
     #[test]
     fn csr_csc_agree_on_edge_multiset() {
         let g = sample();
-        let mut from_csr: Vec<(VId, VId)> =
-            g.iter_edges().map(|(s, d, _)| (s, d)).collect();
+        let mut from_csr: Vec<(VId, VId)> = g.iter_edges().map(|(s, d, _)| (s, d)).collect();
         let mut from_csc: Vec<(VId, VId)> = (0..g.num_vertices() as VId)
             .flat_map(|v| g.in_neighbors(v).iter().map(move |&s| (s, v)))
             .collect();

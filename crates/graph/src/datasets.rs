@@ -64,9 +64,7 @@ impl DatasetId {
 /// Generate a dataset at `scale_shift` relative to the defaults (see module
 /// docs). Deterministic: the same id and shift always produce the same graph.
 pub fn dataset(id: DatasetId, scale_shift: i32) -> EdgeList {
-    let sc = |base: i32| -> u32 {
-        (base + scale_shift).clamp(8, 27) as u32
-    };
+    let sc = |base: i32| -> u32 { (base + scale_shift).clamp(8, 27) as u32 };
     match id {
         DatasetId::TwitterS => {
             // Extra-skewed R-MAT approximating the twitter follower graph.

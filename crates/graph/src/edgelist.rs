@@ -23,10 +23,7 @@ impl EdgeList {
 
     /// Build from raw `(src, dst)` pairs with weight 1.
     pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (VId, VId)>) -> Self {
-        let edges = pairs
-            .into_iter()
-            .map(|(s, d)| Edge::new(s, d))
-            .collect();
+        let edges = pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect();
         let el = EdgeList {
             num_vertices: n,
             edges,

@@ -48,7 +48,11 @@ pub fn read_text(r: impl Read) -> io::Result<EdgeList> {
         max_v = max_v.max(src as u64).max(dst as u64);
         edges.push(Edge { src, dst, weight });
     }
-    let num_vertices = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    let num_vertices = if edges.is_empty() {
+        0
+    } else {
+        max_v as usize + 1
+    };
     Ok(EdgeList {
         num_vertices,
         edges,
@@ -58,7 +62,12 @@ pub fn read_text(r: impl Read) -> io::Result<EdgeList> {
 /// Write the text format.
 pub fn write_text(el: &EdgeList, w: impl Write) -> io::Result<()> {
     let mut w = BufWriter::new(w);
-    writeln!(w, "# polymer edge list: {} vertices, {} edges", el.num_vertices, el.num_edges())?;
+    writeln!(
+        w,
+        "# polymer edge list: {} vertices, {} edges",
+        el.num_vertices,
+        el.num_edges()
+    )?;
     for e in &el.edges {
         writeln!(w, "{} {} {}", e.src, e.dst, e.weight)?;
     }
@@ -105,9 +114,7 @@ fn read_binary_impl(mut r: impl Read, byte_len: Option<u64>) -> io::Result<EdgeL
     r.read_exact(&mut buf8)?;
     let m = u64::from_le_bytes(buf8);
     if n > u32::MAX as u64 + 1 {
-        return Err(bad(format!(
-            "vertex count {n} exceeds the 32-bit id space"
-        )));
+        return Err(bad(format!("vertex count {n} exceeds the 32-bit id space")));
     }
     if let Some(len) = byte_len {
         // Header (8 magic + 8 n + 8 m) plus 12 bytes per edge.

@@ -73,8 +73,8 @@ impl PartitionStats {
     /// Normalized per-part edge deviation `(edges_p − mean) / mean`, the
     /// quantity plotted in the paper's Figure 11(a).
     pub fn normalized_deviation(&self) -> Vec<f64> {
-        let mean = self.edges_per_part.iter().sum::<u64>() as f64
-            / self.edges_per_part.len() as f64;
+        let mean =
+            self.edges_per_part.iter().sum::<u64>() as f64 / self.edges_per_part.len() as f64;
         if mean == 0.0 {
             return vec![0.0; self.edges_per_part.len()];
         }

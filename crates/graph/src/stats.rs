@@ -68,10 +68,7 @@ mod tests {
 
     #[test]
     fn stats_on_small_graph() {
-        let g = Graph::from_edges(&EdgeList::from_pairs(
-            5,
-            [(0, 1), (0, 2), (0, 3), (1, 0)],
-        ));
+        let g = Graph::from_edges(&EdgeList::from_pairs(5, [(0, 1), (0, 2), (0, 3), (1, 0)]));
         let s = GraphStats::compute(&g);
         assert_eq!(s.num_vertices, 5);
         assert_eq!(s.num_edges, 4);

@@ -25,7 +25,11 @@ impl Edge {
     /// An unweighted (weight 1) edge.
     #[inline]
     pub fn new(src: VId, dst: VId) -> Self {
-        Edge { src, dst, weight: 1 }
+        Edge {
+            src,
+            dst,
+            weight: 1,
+        }
     }
 
     /// A weighted edge.

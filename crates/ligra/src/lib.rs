@@ -55,15 +55,16 @@ impl Engine for LigraEngine {
         EngineKind::Ligra
     }
 
-    fn try_run<P: Program>(
+    fn try_run_traced<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
+        traced: bool,
     ) -> PolymerResult<RunResult<P::Val>> {
         validate_run_config(threads, g, prog)?;
-        catch_engine_faults(|| self.run_inner(machine, threads, g, prog))
+        catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced))
     }
 }
 
@@ -74,6 +75,7 @@ impl LigraEngine {
         threads: usize,
         g: &Graph,
         prog: &P,
+        traced: bool,
     ) -> PolymerResult<RunResult<P::Val>> {
         let n = g.num_vertices();
         let m = g.num_edges();
@@ -82,7 +84,9 @@ impl LigraEngine {
 
         // Construction stage: interleaved layout everywhere (the paper's
         // observed outcome of first-touch with parallel constructors).
-        let topo = TopoArrays::build(machine, g, prog.uses_weights(), |_| AllocPolicy::Interleaved);
+        let topo = TopoArrays::build(machine, g, prog.uses_weights(), |_| {
+            AllocPolicy::Interleaved
+        });
         let (curr, next) = init_values(
             machine,
             g,
@@ -91,8 +95,15 @@ impl LigraEngine {
             AllocPolicy::Interleaved,
         );
 
-        let mut sim =
-            SimExecutor::with_config(machine, threads, Default::default(), BarrierKind::Hierarchical);
+        let mut sim = SimExecutor::with_config(
+            machine,
+            threads,
+            Default::default(),
+            BarrierKind::Hierarchical,
+        );
+        if traced {
+            sim.enable_trace();
+        }
         let mut frontier = match prog.initial_frontier(g) {
             FrontierInit::All => {
                 Frontier::all(machine, "stat/frontier", n, AllocPolicy::Centralized)
@@ -109,11 +120,10 @@ impl LigraEngine {
             if iters >= iter_cap {
                 return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
             }
+            sim.set_iteration(Some(iters as u64));
             // Choose direction: dense frontiers pull, sparse ones push.
             let frontier_degree: u64 = match &frontier {
-                Frontier::Sparse(items) => {
-                    items.iter().map(|&v| g.out_degree(v) as u64).sum()
-                }
+                Frontier::Sparse(items) => items.iter().map(|&v| g.out_degree(v) as u64).sum(),
                 Frontier::Dense { count, .. } => {
                     // Estimate: dense frontiers are near-full.
                     (m as u64) * (*count as u64) / (n.max(1) as u64)
@@ -130,14 +140,14 @@ impl LigraEngine {
             let updated = DenseBitmap::new(machine, "stat/updated", n, AllocPolicy::Centralized);
 
             if use_pull {
-                let fr =
-                    frontier.into_dense(machine, "stat/frontier", n, AllocPolicy::Centralized);
+                let fr = frontier.into_dense(machine, "stat/frontier", n, AllocPolicy::Centralized);
                 let bits = fr.as_dense().expect("dense after conversion");
                 let all_active = fr.len() == n;
                 // Balance pull chunks by in-edge counts (Ligra's cilk_for
                 // load balancing), not raw vertex counts.
-                let in_degrees: Vec<u32> =
-                    (0..n).map(|v| g.in_degree(v as polymer_graph::VId) as u32).collect();
+                let in_degrees: Vec<u32> = (0..n)
+                    .map(|v| g.in_degree(v as polymer_graph::VId) as u32)
+                    .collect();
                 let chunks = polymer_graph::edge_balanced_ranges(&in_degrees, threads);
                 sim.run_phase("gather-pull", |tid, ctx| {
                     for t in chunks[tid].clone() {

@@ -26,6 +26,42 @@
 //! Phase time = max(slowest thread, most congested memory controller, most
 //! congested link). Barrier costs between phases come from
 //! [`BarrierKind::cost_us`], calibrated to the paper's Figure 10(a).
+//!
+//! Every integrated phase yields a [`PhaseCost`]: the simulated time, its
+//! binding resource (thread / DRAM / link), and the full classified access
+//! census — including [`PhaseCost::per_socket`], the per-issuing-socket
+//! decomposition (pattern × hop distance) that the tracing layer turns into
+//! per-socket counter lanes. The decomposition is lossless: socket sums
+//! reproduce the aggregate fields exactly (pinned by a workspace property
+//! test).
+//!
+//! ```
+//! use polymer_numa::{BarrierKind, Machine, MachineSpec, SimExecutor};
+//!
+//! // Figure 10(a)'s calibration at eight sockets: each barrier family is
+//! // roughly an order of magnitude apart.
+//! let p = BarrierKind::Pthread.cost_us(8);
+//! let h = BarrierKind::Hierarchical.cost_us(8);
+//! let n = BarrierKind::SenseNuma.cost_us(8);
+//! assert!(p > 10.0 * h && h > 10.0 * n);
+//!
+//! // A phase's cost decomposes per socket without loss.
+//! let machine = Machine::new(MachineSpec::test2());
+//! let data = machine.alloc_array::<u64>("doc/cost", 1 << 14,
+//!     polymer_numa::AllocPolicy::Interleaved);
+//! let mut sim = SimExecutor::new(&machine, 2);
+//! let cost = sim.run_phase("scan", |_, ctx| {
+//!     for i in 0..data.len() {
+//!         data.get(ctx, i);
+//!     }
+//! });
+//! let per_socket: u64 = cost
+//!     .per_socket
+//!     .iter()
+//!     .map(|s| s.loads + s.stores)
+//!     .sum();
+//! assert_eq!(per_socket, cost.count_local + cost.count_remote);
+//! ```
 
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +135,54 @@ pub struct PhaseCost {
     /// verifies the paper's Figure 2/6 access-pattern labels directly
     /// (Polymer's remote traffic is sequential, Ligra's is random).
     pub count_by_pattern: [[u64; 2]; 2],
+    /// Counters attributed to the *issuing* socket (the home node of the
+    /// threads that performed the accesses), one entry per machine node.
+    /// Socket sums reproduce the aggregate fields exactly: summing
+    /// [`SocketCost::count`] over sockets with distance class 0 gives
+    /// `count_local`, classes 1–3 give `count_remote`, and likewise for
+    /// bytes and LLC-miss bytes (see the workspace property tests).
+    #[serde(default)]
+    pub per_socket: Vec<SocketCost>,
+}
+
+/// Per-socket slice of a [`PhaseCost`]: what one socket's threads did during
+/// the phase, split by access pattern × hop distance. Indices follow
+/// [`crate::Pattern::index`] (0 = sequential, 1 = random) and
+/// [`crate::DistClass::index`] (0 = local … 3 = two hops).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SocketCost {
+    /// Load (read) transactions issued by this socket's threads.
+    pub loads: u64,
+    /// Store (write) transactions issued by this socket's threads.
+    pub stores: u64,
+    /// Transactions by `[pattern][hop distance]`.
+    pub count: [[u64; 4]; 2],
+    /// Bytes moved by `[pattern][hop distance]` (before cache filtering).
+    pub bytes: [[u64; 4]; 2],
+    /// Bytes served from this socket's LLC.
+    pub llc_hit_bytes: f64,
+    /// Bytes that missed the LLC and went to DRAM.
+    pub llc_miss_bytes: f64,
+    /// Busy time of the socket's slowest thread, µs (sums over phases when
+    /// accumulated, like [`PhaseCost::time_us`]).
+    pub busy_us: f64,
+}
+
+impl SocketCost {
+    /// Fold another socket cost into this one (counters and times add).
+    pub fn accumulate(&mut self, other: &SocketCost) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        for p in 0..2 {
+            for d in 0..4 {
+                self.count[p][d] += other.count[p][d];
+                self.bytes[p][d] += other.bytes[p][d];
+            }
+        }
+        self.llc_hit_bytes += other.llc_hit_bytes;
+        self.llc_miss_bytes += other.llc_miss_bytes;
+        self.busy_us += other.busy_us;
+    }
 }
 
 impl PhaseCost {
@@ -127,6 +211,13 @@ impl PhaseCost {
             for loc in 0..2 {
                 self.count_by_pattern[pat][loc] += other.count_by_pattern[pat][loc];
             }
+        }
+        if self.per_socket.len() < other.per_socket.len() {
+            self.per_socket
+                .resize_with(other.per_socket.len(), SocketCost::default);
+        }
+        for (a, b) in self.per_socket.iter_mut().zip(&other.per_socket) {
+            a.accumulate(b);
         }
     }
 }
@@ -224,8 +315,9 @@ impl CostModel {
 
         // Snapshot allocation sizes once (avoids per-access locking).
         let nallocs = machine.num_allocs();
-        let alloc_bytes: Vec<u64> =
-            (0..nallocs as u32).map(|i| machine.alloc_bytes(i)).collect();
+        let alloc_bytes: Vec<u64> = (0..nallocs as u32)
+            .map(|i| machine.alloc_bytes(i))
+            .collect();
         self.warm_slot(nnodes, nallocs);
         let cfg = &self.config;
 
@@ -287,7 +379,11 @@ impl CostModel {
             for a in order {
                 let k = n * nallocs + a;
                 let fp = footprint[k] as f64;
-                let resident = if fp <= free { 1.0 } else { (free / fp).max(0.0) };
+                let resident = if fp <= free {
+                    1.0
+                } else {
+                    (free / fp).max(0.0)
+                };
                 free = (free - fp).max(0.0);
                 let reuse = if self.warm[k] {
                     1.0
@@ -301,6 +397,7 @@ impl CostModel {
         let cycles_to_us = 1.0 / (spec.ghz * 1000.0);
         let mut cost = PhaseCost {
             per_thread_us: vec![0.0; threads.len()],
+            per_socket: vec![SocketCost::default(); nnodes],
             ..Default::default()
         };
         let mut dram_bytes = vec![0.0f64; nnodes];
@@ -324,12 +421,26 @@ impl CostModel {
                             let miss_b = b * (1.0 - hit);
                             let hit_b = b * hit;
                             let dram_bw = spec.bandwidth.bw(seq, dist);
-                            let llc_bw = if seq { cfg.llc_seq_mbs } else { cfg.llc_rand_mbs };
+                            let llc_bw = if seq {
+                                cfg.llc_seq_mbs
+                            } else {
+                                cfg.llc_rand_mbs
+                            };
                             // 1 MB/s = 1 byte/µs.
                             time += miss_b / dram_bw + hit_b / llc_bw;
                             time += c as f64 * cfg.cpu_cycles_per_access * cycles_to_us;
                             dram_bytes[dst] += miss_b;
                             cost.count_by_pattern[pat][dist.is_remote() as usize] += c;
+                            let sc = &mut cost.per_socket[node];
+                            sc.count[pat][dist.index()] += c;
+                            sc.bytes[pat][dist.index()] += b as u64;
+                            sc.llc_hit_bytes += hit_b;
+                            sc.llc_miss_bytes += miss_b;
+                            if rw == 0 {
+                                sc.loads += c;
+                            } else {
+                                sc.stores += c;
+                            }
                             if dist.is_remote() {
                                 let (lo, hi) = (node.min(dst), node.max(dst));
                                 link_bytes[lo][hi] += miss_b;
@@ -348,6 +459,8 @@ impl CostModel {
                 }
             }
             cost.per_thread_us[t] = time;
+            let busy = &mut cost.per_socket[node].busy_us;
+            *busy = busy.max(time);
         }
 
         // Arrays touched this phase are warm for the next one; how much of a
@@ -462,7 +575,12 @@ mod tests {
         let c2 = model.phase_cost(&[rand_remote]);
         assert!(c1.time_us > 0.0);
         // Same byte volume; random remote must be several times slower.
-        assert!(c2.time_us > 3.0 * c1.time_us, "{} vs {}", c2.time_us, c1.time_us);
+        assert!(
+            c2.time_us > 3.0 * c1.time_us,
+            "{} vs {}",
+            c2.time_us,
+            c1.time_us
+        );
         assert!(c2.count_remote > 90_000);
         assert_eq!(c2.count_local, 0);
     }

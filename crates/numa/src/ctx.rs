@@ -264,14 +264,12 @@ impl AccessCtx {
         }
         let off = off as u64;
         let last = self.last_end[i];
-        let pat = if last != u64::MAX
-            && off + SEQ_WINDOW_BACK >= last
-            && off <= last + SEQ_WINDOW_FWD
-        {
-            Pattern::Seq
-        } else {
-            Pattern::Rand
-        };
+        let pat =
+            if last != u64::MAX && off + SEQ_WINDOW_BACK >= last && off <= last + SEQ_WINDOW_FWD {
+                Pattern::Seq
+            } else {
+                Pattern::Rand
+            };
         self.last_end[i] = off + len as u64;
         self.stats.add(alloc, rw, pat, dst, len as u64);
     }

@@ -63,12 +63,16 @@ pub mod topology;
 
 pub use array::{Atom, NumaArray, NumaAtomicArray};
 pub use atomicf::{AtomicF32, AtomicF64};
-pub use cost::{BarrierKind, CostConfig, CostModel, PhaseCost};
+pub use cost::{BarrierKind, CostConfig, CostModel, PhaseCost, SocketCost};
 pub use ctx::{AccessCtx, AccessStats, Pattern, Rw};
 pub use machine::{AllocId, Machine, MemUsage, SpillPolicy};
-pub use polymer_faults::{FaultPlan, PolymerError, PolymerResult};
 pub use policy::AllocPolicy;
+pub use polymer_faults::{FaultPlan, PolymerError, PolymerResult};
+pub use polymer_trace::{
+    chrome_trace_json, phase_table, BarrierSpan, PhaseSpan, SharedTracer, SocketSample,
+    TraceBuffer, Tracer, WorkerSpan,
+};
 pub use report::{MemoryReport, RemoteAccessReport};
-pub use sim::{PhaseKind, RunClock, SimExecutor, TraceEvent};
+pub use sim::{PhaseKind, RunClock, SimExecutor};
 pub use tables::{BandwidthTable, DistClass, LatencyTable};
 pub use topology::{MachineSpec, NodeId, NumaTopology, PAGE_SIZE};

@@ -280,7 +280,9 @@ impl Machine {
         let bytes = (len * elem) as u64;
         let (placement, node_bytes, spilled) = self.charge_nodes(name, bytes, placement)?;
         if spilled > 0 {
-            self.inner.spilled_pages.fetch_add(spilled, Ordering::Relaxed);
+            self.inner
+                .spilled_pages
+                .fetch_add(spilled, Ordering::Relaxed);
         }
         let mut allocs = self.inner.allocs.lock();
         let id = allocs.len() as AllocId;

@@ -57,12 +57,7 @@ enum PlacementKind {
 impl Placement {
     /// Resolve a policy for an allocation of `len` elements of `elem_size`
     /// bytes on a machine with `nodes` memory nodes and 4 KiB pages.
-    pub fn resolve(
-        policy: &AllocPolicy,
-        len: usize,
-        elem_size: usize,
-        nodes: usize,
-    ) -> Placement {
+    pub fn resolve(policy: &AllocPolicy, len: usize, elem_size: usize, nodes: usize) -> Placement {
         Self::resolve_paged(policy, len, elem_size, nodes, PAGE_SIZE)
     }
 
@@ -81,13 +76,14 @@ impl Placement {
         );
         let page_shift = page_bytes.trailing_zeros();
         let check = |n: NodeId| {
-            assert!(n < nodes, "placement node {n} out of range (machine has {nodes})");
+            assert!(
+                n < nodes,
+                "placement node {n} out of range (machine has {nodes})"
+            );
             n
         };
         let kind = match policy {
-            AllocPolicy::FirstTouch(n) | AllocPolicy::OnNode(n) => {
-                PlacementKind::OnNode(check(*n))
-            }
+            AllocPolicy::FirstTouch(n) | AllocPolicy::OnNode(n) => PlacementKind::OnNode(check(*n)),
             AllocPolicy::Centralized => PlacementKind::OnNode(0),
             AllocPolicy::Interleaved => PlacementKind::Interleaved { nodes },
             AllocPolicy::ChunkedElems(ranges) => {
@@ -107,8 +103,9 @@ impl Placement {
                     }
                     let start_page = elem * elem_size / page_bytes;
                     let end_elem = elem + count;
-                    let end_page =
-                        (end_elem * elem_size).div_ceil(page_bytes).max(start_page + 1);
+                    let end_page = (end_elem * elem_size)
+                        .div_ceil(page_bytes)
+                        .max(start_page + 1);
                     map[start_page..end_page.min(pages)].fill(*node as u8);
                     elem = end_elem;
                 }

@@ -1,5 +1,36 @@
 //! Experiment reports: remote-access profiles (paper Table 4) and memory
 //! consumption (paper Table 5).
+//!
+//! Both reports are pure views over state the substrate already tracks — a
+//! [`RemoteAccessReport`] is derived from an accumulated [`PhaseCost`], a
+//! [`MemoryReport`] snapshots a [`Machine`]'s peak counters — so harness
+//! code can produce them at any point without instrumenting the engines.
+//! They serialize with `serde` and appear verbatim in the `BENCH_*` /
+//! table JSON files under `results/` (field taxonomy in
+//! `docs/OBSERVABILITY.md`).
+//!
+//! ```
+//! use polymer_numa::{Machine, MachineSpec, AllocPolicy, MemoryReport,
+//!                    RemoteAccessReport, SimExecutor};
+//!
+//! let machine = Machine::new(MachineSpec::test2());
+//! let data = machine.alloc_array::<u64>("demo/data", 1 << 14, AllocPolicy::Centralized);
+//! let mut sim = SimExecutor::new(&machine, 4); // spans both of test2's nodes
+//! sim.run_phase("scan", |tid, ctx| {
+//!     let chunk = data.len() / 4;
+//!     for i in tid * chunk..(tid + 1) * chunk {
+//!         data.get(ctx, i);
+//!     }
+//! });
+//!
+//! // Table 4 view: centralized placement makes node 1's accesses remote.
+//! let remote = RemoteAccessReport::from_cost(&sim.clock().total);
+//! assert!(remote.access_rate_remote > 0.0 && remote.access_rate_remote < 1.0);
+//!
+//! // Table 5 view: the array dominates the peak, attributed to its tag.
+//! let mem = MemoryReport::from_machine(&machine);
+//! assert_eq!(mem.tag_peak("demo"), mem.peak_bytes);
+//! ```
 
 use serde::{Deserialize, Serialize};
 

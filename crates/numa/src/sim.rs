@@ -6,10 +6,36 @@
 //! every experiment is exactly reproducible; the data structures they operate
 //! on are nonetheless real `Sync` types, so the same engine code is valid
 //! under genuine multithreading.
+//!
+//! ## Tracing
+//!
+//! When [`SimExecutor::enable_trace`] is called, every phase and barrier is
+//! also recorded into a [`polymer_trace::TraceBuffer`] carried by the
+//! [`RunClock`] — spans on the simulated timeline, per-socket counters (from
+//! [`PhaseCost::per_socket`](crate::cost::PhaseCost)), page-spill events, and
+//! iteration stamps set through [`SimExecutor::set_iteration`]. Tracing never
+//! changes simulated time: the cost integration is identical either way, and
+//! an integration test pins traced and untraced runs to bit-identical clocks.
+//!
+//! ```
+//! use polymer_numa::{Machine, MachineSpec, SimExecutor};
+//!
+//! let machine = Machine::new(MachineSpec::test2());
+//! let mut sim = SimExecutor::new(&machine, 2);
+//! sim.enable_trace();
+//! sim.set_iteration(Some(0));
+//! sim.run_phase("noop", |_, _| {});
+//! sim.charge_barrier();
+//! let trace = sim.clock().trace.buffer().unwrap();
+//! assert_eq!(trace.phases.len(), 1);
+//! assert_eq!(trace.barriers[0].iteration, Some(0));
+//! ```
 
 use std::collections::HashMap;
 
-use crate::cost::{BarrierKind, CostConfig, CostModel, PhaseCost};
+use polymer_trace::{PhaseSpan, SocketSample, Tracer};
+
+use crate::cost::{BarrierKind, CostConfig, CostModel, PhaseCost, SocketCost};
 use crate::ctx::{AccessCtx, AccessStats};
 use crate::machine::Machine;
 use crate::topology::NodeId;
@@ -25,17 +51,6 @@ pub enum PhaseKind {
     Other,
 }
 
-/// One recorded phase or barrier interval on the simulated timeline.
-#[derive(Clone, Debug)]
-pub struct TraceEvent {
-    /// Phase name, or `"barrier"`.
-    pub name: &'static str,
-    /// Simulated start time, µs.
-    pub start_us: f64,
-    /// Simulated duration, µs.
-    pub dur_us: f64,
-}
-
 /// The simulated run clock: accumulated phase costs, barrier time, and a
 /// per-phase-name time breakdown.
 #[derive(Clone, Debug, Default)]
@@ -48,9 +63,11 @@ pub struct RunClock {
     pub barriers: u64,
     /// Per-phase-name accumulated (time µs, invocation count).
     pub by_phase: HashMap<&'static str, (f64, u64)>,
-    /// Timeline of phases and barriers, when tracing is enabled
-    /// ([`SimExecutor::enable_trace`]).
-    pub trace: Vec<TraceEvent>,
+    /// Timeline of phases, barriers, and per-socket counters, recorded when
+    /// tracing is enabled ([`SimExecutor::enable_trace`]); [`Tracer::Off`]
+    /// (and zero-cost) otherwise. Export with
+    /// [`polymer_trace::chrome_trace_json`] or [`polymer_trace::phase_table`].
+    pub trace: Tracer,
 }
 
 impl RunClock {
@@ -65,22 +82,31 @@ impl RunClock {
     }
 
     /// Serialize the recorded timeline as Chrome trace-event JSON (open in
-    /// `chrome://tracing` or Perfetto). Times are in microseconds, which is
-    /// the format's native unit. Empty unless tracing was enabled.
+    /// `chrome://tracing` or Perfetto). An empty-but-valid document unless
+    /// tracing was enabled.
     pub fn to_chrome_trace(&self) -> String {
-        let mut out = String::from("[");
-        for (i, e) in self.trace.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":1}}",
-                e.name, e.start_us, e.dur_us
-            ));
+        match self.trace.buffer() {
+            Some(buf) => polymer_trace::chrome_trace_json(buf),
+            None => polymer_trace::chrome_trace_json(&Default::default()),
         }
-        out.push(']');
-        out
     }
+}
+
+/// Convert the cost model's per-socket counters into trace samples (same
+/// layout; the types differ only so `polymer-trace` stays dependency-free).
+fn socket_samples(per_socket: &[SocketCost]) -> Vec<SocketSample> {
+    per_socket
+        .iter()
+        .map(|c| SocketSample {
+            loads: c.loads,
+            stores: c.stores,
+            count: c.count,
+            bytes: c.bytes,
+            llc_hit_bytes: c.llc_hit_bytes,
+            llc_miss_bytes: c.llc_miss_bytes,
+            busy_us: c.busy_us,
+        })
+        .collect()
 }
 
 /// Deterministic executor over `num_threads` simulated threads bound
@@ -92,13 +118,19 @@ pub struct SimExecutor {
     nodes: Vec<NodeId>,
     ctxs: Vec<AccessCtx>,
     clock: RunClock,
-    trace: bool,
+    /// Spill counter at the last trace checkpoint, for per-phase deltas.
+    spilled_seen: u64,
 }
 
 impl SimExecutor {
     /// An executor with the default cost model and the NUMA-aware barrier.
     pub fn new(machine: &Machine, num_threads: usize) -> Self {
-        Self::with_config(machine, num_threads, CostConfig::default(), BarrierKind::SenseNuma)
+        Self::with_config(
+            machine,
+            num_threads,
+            CostConfig::default(),
+            BarrierKind::SenseNuma,
+        )
     }
 
     /// An executor with explicit cost-model constants and barrier family.
@@ -125,14 +157,25 @@ impl SimExecutor {
             nodes,
             ctxs,
             clock: RunClock::default(),
-            trace: false,
+            spilled_seen: machine.spilled_pages(),
         }
     }
 
-    /// Record a phase/barrier timeline into the clock (see
-    /// [`RunClock::to_chrome_trace`]).
+    /// Record a phase/barrier timeline with per-socket counters into the
+    /// clock's [`Tracer`] (export via [`RunClock::to_chrome_trace`] or query
+    /// through [`polymer_trace::TraceBuffer`]). Tracing does not change
+    /// simulated time.
     pub fn enable_trace(&mut self) {
-        self.trace = true;
+        self.clock
+            .trace
+            .enable(self.num_sockets(), self.num_threads());
+        self.spilled_seen = self.machine.spilled_pages();
+    }
+
+    /// Stamp subsequently recorded spans with an iteration/superstep number
+    /// (no-op unless tracing is enabled).
+    pub fn set_iteration(&mut self, iteration: Option<u64>) {
+        self.clock.trace.set_iteration(iteration);
     }
 
     /// The machine this executor runs on.
@@ -165,7 +208,9 @@ impl SimExecutor {
 
     /// Threads (tids) bound to cores of `node`.
     pub fn threads_on_node(&self, node: NodeId) -> Vec<usize> {
-        (0..self.ctxs.len()).filter(|&t| self.nodes[t] == node).collect()
+        (0..self.ctxs.len())
+            .filter(|&t| self.nodes[t] == node)
+            .collect()
     }
 
     /// Change the barrier family charged by [`SimExecutor::charge_barrier`]
@@ -198,13 +243,24 @@ impl SimExecutor {
             .map(|(t, ctx)| (self.nodes[t], ctx.take_stats()))
             .collect();
         let cost = self.model.phase_cost(&threads);
-        if self.trace {
-            self.clock.trace.push(TraceEvent {
+        let start_us = self.clock.elapsed_us();
+        let spilled_now = self.machine.spilled_pages();
+        let spilled_delta = spilled_now - self.spilled_seen;
+        self.spilled_seen = spilled_now;
+        self.clock.trace.record(|buf| {
+            // Threads bind node-major, so the issuing sockets are exactly the
+            // first `buf.sockets` machine nodes — the buffer's lanes.
+            let lanes = buf.sockets.min(cost.per_socket.len());
+            buf.push_phase(PhaseSpan {
                 name,
-                start_us: self.clock.elapsed_us(),
+                iteration: buf.iteration(),
+                start_us,
                 dur_us: cost.time_us,
+                per_thread_us: cost.per_thread_us.clone(),
+                per_socket: socket_samples(&cost.per_socket[..lanes]),
+                spilled_pages: spilled_delta,
             });
-        }
+        });
         self.clock.total.accumulate(&cost);
         let e = self.clock.by_phase.entry(name).or_insert((0.0, 0));
         e.0 += cost.time_us;
@@ -216,13 +272,10 @@ impl SimExecutor {
     /// the machine spec's `barrier_scale` (see [`crate::MachineSpec`]).
     pub fn charge_barrier(&mut self) {
         let us = self.barrier_kind.cost_us(self.num_sockets()) * self.machine.spec().barrier_scale;
-        if self.trace {
-            self.clock.trace.push(TraceEvent {
-                name: "barrier",
-                start_us: self.clock.elapsed_us(),
-                dur_us: us,
-            });
-        }
+        let start_us = self.clock.elapsed_us();
+        self.clock
+            .trace
+            .record(|buf| buf.push_barrier(start_us, us));
         self.clock.barrier_us += us;
         self.clock.barriers += 1;
     }
@@ -233,9 +286,14 @@ impl SimExecutor {
     }
 
     /// Reset the clock (e.g. to exclude graph-construction phases from a
-    /// timed computation stage, as the paper does).
+    /// timed computation stage, as the paper does). Tracing remains enabled
+    /// if it was, recording into a fresh buffer.
     pub fn reset_clock(&mut self) {
+        let traced = self.clock.trace.is_enabled();
         self.clock = RunClock::default();
+        if traced {
+            self.enable_trace();
+        }
     }
 }
 
@@ -312,6 +370,7 @@ mod tests {
         let a = m.alloc_array::<u64>("a", 4096, AllocPolicy::Centralized);
         let mut sim = SimExecutor::new(&m, 2);
         sim.enable_trace();
+        sim.set_iteration(Some(4));
         sim.run_phase("scan", |_, ctx| {
             for i in 0..100 {
                 a.get(ctx, i);
@@ -320,16 +379,32 @@ mod tests {
         sim.charge_barrier();
         sim.run_phase("apply", |_, _| {});
         let clock = sim.clock();
-        assert_eq!(clock.trace.len(), 3);
-        assert_eq!(clock.trace[0].name, "scan");
-        assert_eq!(clock.trace[1].name, "barrier");
-        // Events are contiguous on the simulated timeline.
-        let end0 = clock.trace[0].start_us + clock.trace[0].dur_us;
-        assert!((clock.trace[1].start_us - end0).abs() < 1e-9);
+        let buf = clock.trace.buffer().expect("tracing enabled");
+        assert_eq!(buf.phases.len(), 2);
+        assert_eq!(buf.barriers.len(), 1);
+        assert_eq!(buf.phases[0].name, "scan");
+        assert_eq!(buf.phases[0].iteration, Some(4));
+        // Two threads bind node-major onto test2's first socket.
+        assert_eq!(buf.sockets, 1);
+        assert_eq!(buf.workers, 2);
+        // Spans are contiguous on the simulated timeline.
+        let end0 = buf.phases[0].start_us + buf.phases[0].dur_us;
+        assert!((buf.barriers[0].start_us - end0).abs() < 1e-9);
+        // The buffer's totals reproduce the clock's.
+        assert!((buf.total_barrier_us() - clock.barrier_us).abs() < 1e-9);
+        assert!((buf.total_phase_us() - clock.total.time_us).abs() < 1e-9);
+        // Per-socket counters rode along from the cost model: node 0 issued
+        // the accesses (thread 0 did all the work on a 2-thread test2 box).
+        let totals = buf.socket_totals();
+        assert_eq!(
+            totals.iter().map(|s| s.total_count()).sum::<u64>(),
+            clock.total.count_local + clock.total.count_remote
+        );
         let json = clock.to_chrome_trace();
-        assert!(json.starts_with('[') && json.ends_with(']'));
-        assert!(json.contains("\"name\":\"scan\""));
-        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"scan\""));
+        assert!(json.contains("\"barrier-wait\""));
+        assert!(json.contains("\"ph\":\"C\""));
     }
 
     #[test]
@@ -337,8 +412,27 @@ mod tests {
         let m = Machine::new(MachineSpec::test2());
         let mut sim = SimExecutor::new(&m, 1);
         sim.run_phase("x", |_, _| {});
-        assert!(sim.clock().trace.is_empty());
-        assert_eq!(sim.clock().to_chrome_trace(), "[]");
+        assert!(!sim.clock().trace.is_enabled());
+        assert!(sim.clock().trace.buffer().is_none());
+        // Still a valid (empty) chrome document.
+        assert!(sim.clock().to_chrome_trace().contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn reset_clock_keeps_tracing_enabled_with_fresh_buffer() {
+        let m = Machine::new(MachineSpec::test2());
+        let mut sim = SimExecutor::new(&m, 2);
+        sim.enable_trace();
+        sim.run_phase("construct", |_, _| {});
+        sim.charge_barrier();
+        sim.reset_clock();
+        let buf = sim.clock().trace.buffer().expect("still tracing");
+        assert!(buf.phases.is_empty() && buf.barriers.is_empty());
+        sim.run_phase("compute", |_, _| {});
+        assert_eq!(
+            sim.clock().trace.buffer().unwrap().phases[0].name,
+            "compute"
+        );
     }
 
     #[test]

@@ -164,7 +164,10 @@ impl MachineSpec {
     /// exactly as the paper's footnote 5 describes — for the hypercube this is
     /// the natural prefix of the id space.
     pub fn subset(&self, nodes: usize, cores: usize) -> Self {
-        assert!(nodes >= 1 && nodes <= self.nodes, "node subset out of range");
+        assert!(
+            nodes >= 1 && nodes <= self.nodes,
+            "node subset out of range"
+        );
         assert!(
             cores >= 1 && cores <= self.cores_per_node,
             "core subset out of range"

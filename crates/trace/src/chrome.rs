@@ -1,0 +1,256 @@
+//! Chrome trace-event JSON export (open in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev)).
+//!
+//! The exporter lays a [`TraceBuffer`] out as three processes:
+//!
+//! * **pid 1 — "run"**: the bulk-synchronous timeline — one `"X"` duration
+//!   event per phase (with its iteration stamp in `args`) and per barrier;
+//! * **pid 2 — "sockets"**: one lane per simulated socket, carrying a
+//!   `barrier-wait` span for every barrier (each socket waits out the full
+//!   synchronization cost, so each lane's spans sum to the run's barrier
+//!   time) and `"C"` counter events sampling cumulative per-socket bytes by
+//!   locality and LLC hit/miss bytes at every phase boundary;
+//! * **pid 3 — "workers"**: one lane per worker thread — per-phase busy
+//!   spans for simulated runs, raw recorded spans for real-thread runs.
+//!
+//! Everything is hand-serialized (this crate is dependency-free); timestamps
+//! are microseconds, the format's native unit.
+
+use crate::TraceBuffer;
+
+const PID_RUN: u32 = 1;
+const PID_SOCKETS: u32 = 2;
+const PID_WORKERS: u32 = 3;
+
+/// Serialize `buf` as a Chrome trace-event JSON object (the
+/// `{"traceEvents": [...]}` envelope Perfetto and `chrome://tracing` load).
+pub fn chrome_trace_json(buf: &TraceBuffer) -> String {
+    let mut w = Writer::new();
+
+    // Metadata: process and thread names for each lane.
+    w.meta_process(PID_RUN, "run");
+    w.meta_process(PID_SOCKETS, "sockets");
+    w.meta_process(PID_WORKERS, "workers");
+    w.meta_thread(PID_RUN, 0, "timeline");
+    for s in 0..buf.sockets {
+        w.meta_thread(PID_SOCKETS, s as u32, &format!("socket {s}"));
+    }
+    for t in 0..buf.workers {
+        w.meta_thread(PID_WORKERS, t as u32, &format!("worker {t}"));
+    }
+
+    // pid 1: the phase/barrier timeline.
+    for p in &buf.phases {
+        w.span(PID_RUN, 0, p.name, p.start_us, p.dur_us, p.iteration);
+    }
+    for b in &buf.barriers {
+        w.span(PID_RUN, 0, "barrier", b.start_us, b.dur_us, b.iteration);
+    }
+
+    // pid 2: per-socket barrier waits + cumulative counters.
+    for b in &buf.barriers {
+        for s in 0..buf.sockets {
+            w.span(
+                PID_SOCKETS,
+                s as u32,
+                "barrier-wait",
+                b.start_us,
+                b.dur_us,
+                b.iteration,
+            );
+        }
+    }
+    let mut cum = vec![crate::SocketSample::default(); buf.sockets];
+    for p in &buf.phases {
+        for (c, s) in cum.iter_mut().zip(&p.per_socket) {
+            c.merge(s);
+        }
+        let ts = p.start_us + p.dur_us;
+        for (s, c) in cum.iter().enumerate() {
+            w.counter(
+                PID_SOCKETS,
+                &format!("socket{s} bytes"),
+                ts,
+                &[
+                    ("local", c.local_bytes() as f64),
+                    ("remote", c.remote_bytes() as f64),
+                ],
+            );
+            w.counter(
+                PID_SOCKETS,
+                &format!("socket{s} llc"),
+                ts,
+                &[("hit", c.llc_hit_bytes), ("miss", c.llc_miss_bytes)],
+            );
+        }
+    }
+
+    // pid 3: worker busy spans.
+    for p in &buf.phases {
+        for (t, &us) in p.per_thread_us.iter().enumerate() {
+            if us > 0.0 {
+                w.span(PID_WORKERS, t as u32, p.name, p.start_us, us, p.iteration);
+            }
+        }
+    }
+    for s in &buf.worker_spans {
+        w.span(
+            PID_WORKERS,
+            s.worker as u32,
+            s.name,
+            s.start_us,
+            s.dur_us,
+            s.iteration,
+        );
+    }
+
+    let mut out = String::from("{\"traceEvents\":[");
+    out.push_str(&w.events.join(","));
+    out.push_str("],\"displayTimeUnit\":\"ms\"");
+    if buf.truncated {
+        out.push_str(",\"truncated\":true");
+    }
+    out.push('}');
+    out
+}
+
+struct Writer {
+    events: Vec<String>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { events: Vec::new() }
+    }
+
+    fn meta_process(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            json_str(name)
+        ));
+    }
+
+    fn meta_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            json_str(name)
+        ));
+    }
+
+    fn span(&mut self, pid: u32, tid: u32, name: &str, ts: f64, dur: f64, iteration: Option<u64>) {
+        let args = match iteration {
+            Some(it) => format!(",\"args\":{{\"iteration\":{it}}}"),
+            None => String::new(),
+        };
+        self.events.push(format!(
+            "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid}{args}}}",
+            json_str(name),
+            json_num(ts),
+            json_num(dur)
+        ));
+    }
+
+    fn counter(&mut self, pid: u32, name: &str, ts: f64, series: &[(&str, f64)]) {
+        let args: Vec<String> = series
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_str(k), json_num(*v)))
+            .collect();
+        self.events.push(format!(
+            "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":{pid},\"tid\":0,\
+             \"args\":{{{}}}}}",
+            json_str(name),
+            json_num(ts),
+            args.join(",")
+        ));
+    }
+}
+
+/// JSON number: finite floats in shortest-round-trip form, never `NaN`/`inf`
+/// (which JSON cannot carry — clamped to 0).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PhaseSpan, SocketSample, WorkerSpan};
+
+    #[test]
+    fn export_contains_all_three_processes() {
+        let mut buf = TraceBuffer::new(2, 2);
+        buf.set_iteration(Some(0));
+        buf.push_phase(PhaseSpan {
+            name: "scatter",
+            iteration: buf.iteration(),
+            start_us: 0.0,
+            dur_us: 10.0,
+            per_thread_us: vec![10.0, 8.0],
+            per_socket: vec![SocketSample::default(); 2],
+            spilled_pages: 0,
+        });
+        buf.push_barrier(10.0, 2.0);
+        buf.push_worker_span(WorkerSpan {
+            name: "barrier-wait",
+            worker: 1,
+            iteration: Some(0),
+            start_us: 10.0,
+            dur_us: 2.0,
+        });
+        let json = chrome_trace_json(&buf);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with('}'));
+        for needle in [
+            "\"process_name\"",
+            "\"socket 1\"",
+            "\"worker 1\"",
+            "\"scatter\"",
+            "\"barrier\"",
+            "\"barrier-wait\"",
+            "\"ph\":\"C\"",
+            "\"iteration\":0",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(!json.contains("truncated"));
+    }
+
+    #[test]
+    fn truncated_buffers_are_flagged() {
+        let mut buf = TraceBuffer::new(1, 1);
+        buf.mark_truncated();
+        assert!(chrome_trace_json(&buf).contains("\"truncated\":true"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_num(f64::NAN), "0.0");
+        assert_eq!(json_num(0.1), "0.1");
+    }
+}

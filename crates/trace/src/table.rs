@@ -1,0 +1,141 @@
+//! The compact per-phase text table — the third trace sink, printed by the
+//! `polymer-bench` binaries and the `numa_explorer` example.
+
+use crate::TraceBuffer;
+
+/// Render the per-phase breakdown of a recorded run as a right-aligned text
+/// table: calls, total time, share of the run, bytes by locality, and the
+/// byte-weighted LLC hit rate per phase name, with a barrier row and a total
+/// row.
+///
+/// ```
+/// use polymer_trace::{table::phase_table, PhaseSpan, SocketSample, TraceBuffer};
+///
+/// let mut buf = TraceBuffer::new(1, 1);
+/// buf.push_phase(PhaseSpan {
+///     name: "scatter",
+///     iteration: Some(0),
+///     start_us: 0.0,
+///     dur_us: 90.0,
+///     per_thread_us: vec![90.0],
+///     per_socket: vec![SocketSample::default()],
+///     spilled_pages: 0,
+/// });
+/// buf.push_barrier(90.0, 10.0);
+/// let rendered = phase_table(&buf);
+/// assert!(rendered.contains("scatter"));
+/// assert!(rendered.contains("90.0%"));   // scatter's share of the run
+/// assert!(rendered.contains("total"));
+/// ```
+pub fn phase_table(buf: &TraceBuffer) -> String {
+    let rows = buf.phase_rows();
+    let total_us = buf.total_phase_us() + buf.total_barrier_us();
+    let mut cells: Vec<[String; 7]> = vec![[
+        "phase".into(),
+        "calls".into(),
+        "time(ms)".into(),
+        "share".into(),
+        "local(MB)".into(),
+        "remote(MB)".into(),
+        "llc-hit".into(),
+    ]];
+    for r in &rows {
+        cells.push([
+            r.name.to_string(),
+            r.calls.to_string(),
+            format!("{:.3}", r.total_us / 1e3),
+            share(r.total_us, total_us),
+            format!("{:.2}", r.local_bytes as f64 / 1e6),
+            format!("{:.2}", r.remote_bytes as f64 / 1e6),
+            format!("{:.1}%", r.llc_hit_ratio * 100.0),
+        ]);
+    }
+    let (lb, rb): (u64, u64) = rows.iter().fold((0, 0), |(l, r), row| {
+        (l + row.local_bytes, r + row.remote_bytes)
+    });
+    cells.push([
+        "total".into(),
+        (buf.phases.len() + buf.barriers.len()).to_string(),
+        format!("{:.3}", total_us / 1e3),
+        "100.0%".into(),
+        format!("{:.2}", lb as f64 / 1e6),
+        format!("{:.2}", rb as f64 / 1e6),
+        String::new(),
+    ]);
+
+    let mut widths = [0usize; 7];
+    for row in &cells {
+        for (w, c) in widths.iter_mut().zip(row) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in cells.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        out.push_str(line.join("  ").trim_end());
+        out.push('\n');
+        if i == 0 || i + 2 == cells.len() {
+            let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            out.push_str(&dashes.join("  "));
+            out.push('\n');
+        }
+    }
+    if buf.truncated {
+        out.push_str("(trace truncated: the run ended abnormally)\n");
+    }
+    out
+}
+
+fn share(part: f64, total: f64) -> String {
+    if total == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", part / total * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PhaseSpan, SocketSample};
+
+    #[test]
+    fn table_lists_phases_barrier_and_total() {
+        let mut buf = TraceBuffer::new(1, 2);
+        let mut s = SocketSample::default();
+        s.bytes[0][0] = 2_000_000;
+        s.bytes[1][2] = 500_000;
+        for i in 0..2 {
+            buf.set_iteration(Some(i));
+            buf.push_phase(PhaseSpan {
+                name: "scatter",
+                iteration: Some(i),
+                start_us: i as f64 * 110.0,
+                dur_us: 100.0,
+                per_thread_us: vec![100.0, 80.0],
+                per_socket: vec![s.clone()],
+                spilled_pages: 0,
+            });
+            buf.push_barrier(i as f64 * 110.0 + 100.0, 10.0);
+        }
+        let t = phase_table(&buf);
+        assert!(t.contains("scatter"), "{t}");
+        assert!(t.contains("barrier"), "{t}");
+        assert!(t.contains("total"), "{t}");
+        assert!(t.contains("4.00"), "local MB column: {t}");
+        assert!(t.contains("90.9%"), "share column: {t}");
+        assert!(!t.contains("truncated"));
+        buf.mark_truncated();
+        assert!(phase_table(&buf).contains("truncated"));
+    }
+
+    #[test]
+    fn empty_buffer_renders_without_division_by_zero() {
+        let t = phase_table(&TraceBuffer::new(1, 1));
+        assert!(t.contains("total"));
+    }
+}

@@ -75,15 +75,16 @@ impl Engine for XStreamEngine {
         EngineKind::XStream
     }
 
-    fn try_run<P: Program>(
+    fn try_run_traced<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
+        traced: bool,
     ) -> PolymerResult<RunResult<P::Val>> {
         validate_run_config(threads, g, prog)?;
-        catch_engine_faults(|| self.run_inner(machine, threads, g, prog))
+        catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced))
     }
 }
 
@@ -94,6 +95,7 @@ impl XStreamEngine {
         threads: usize,
         g: &Graph,
         prog: &P,
+        traced: bool,
     ) -> PolymerResult<RunResult<P::Val>> {
         let n = g.num_vertices();
         let identity = prog.next_identity();
@@ -181,8 +183,15 @@ impl XStreamEngine {
         }
         let mut active: u64 = parts.iter().map(|p| p.state.count_ones() as u64).sum();
 
-        let mut sim =
-            SimExecutor::with_config(machine, threads, Default::default(), BarrierKind::Hierarchical);
+        let mut sim = SimExecutor::with_config(
+            machine,
+            threads,
+            Default::default(),
+            BarrierKind::Hierarchical,
+        );
+        if traced {
+            sim.enable_trace();
+        }
         // Safety cap: a converging synchronous program never needs more
         // iterations than vertices.
         let iter_cap = 2 * n + 64;
@@ -196,6 +205,7 @@ impl XStreamEngine {
             if iters >= iter_cap {
                 return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
             }
+            sim.set_iteration(Some(iters as u64));
             // Scatter: stream ALL edges of each partition; active sources
             // append updates to Uout.
             let mut histograms = vec![vec![0usize; threads]; threads];
@@ -294,8 +304,7 @@ impl XStreamEngine {
                             let li = w * 64 + b;
                             let acc = part.next.load(ctx, li);
                             let cv = part.curr.load(ctx, li);
-                            let (val, alive) =
-                                prog.apply((part.range.start + li) as VId, acc, cv);
+                            let (val, alive) = prog.apply((part.range.start + li) as VId, acc, cv);
                             part.curr.store(ctx, li, val);
                             part.next.store(ctx, li, identity);
                             if alive {

@@ -11,9 +11,7 @@
 //! cargo run --release --example numa_explorer
 //! ```
 
-use polymer::numa::{
-    AllocPolicy, CostConfig, DistClass, Machine, MachineSpec, SimExecutor,
-};
+use polymer::numa::{AllocPolicy, CostConfig, DistClass, Machine, MachineSpec, SimExecutor};
 
 const N: usize = 1 << 22;
 const TOUCH: usize = 300_000;
@@ -33,7 +31,10 @@ fn sweep(machine: &Machine, policy: AllocPolicy, sequential: bool) -> f64 {
         } else {
             let mut i = 1usize;
             for _ in 0..TOUCH {
-                i = (i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)) % N;
+                i = (i
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407))
+                    % N;
                 data.get(ctx, i);
             }
         }
@@ -88,7 +89,11 @@ fn main() {
         let far_node = 3; // two hops from node 0 on both machine models
         let cases = [
             ("sequential local", AllocPolicy::OnNode(0), true),
-            ("sequential 2-hop remote", AllocPolicy::OnNode(far_node), true),
+            (
+                "sequential 2-hop remote",
+                AllocPolicy::OnNode(far_node),
+                true,
+            ),
             ("random local", AllocPolicy::OnNode(0), false),
             ("random 2-hop remote", AllocPolicy::OnNode(far_node), false),
             ("sequential interleaved", AllocPolicy::Interleaved, true),
@@ -131,4 +136,33 @@ fn main() {
         );
     }
     println!("\ncentralized placement is controller-bound — the paper's Issue 1.");
+
+    // Tracing demo: record a two-phase BSP step and print the per-phase
+    // breakdown table the bench binaries emit (see docs/OBSERVABILITY.md).
+    println!("\n=== traced BSP step: per-phase breakdown ===\n");
+    let data = machine.alloc_array::<u64>("explorer/traced", N, AllocPolicy::Interleaved);
+    let mut sim = SimExecutor::new(&machine, 80);
+    sim.enable_trace();
+    sim.set_iteration(Some(0));
+    sim.run_phase("scatter", |tid, ctx| {
+        let chunk = N / 80;
+        for i in tid * chunk..(tid + 1) * chunk {
+            data.get(ctx, i);
+        }
+    });
+    sim.charge_barrier();
+    sim.run_phase("apply", |tid, ctx| {
+        let chunk = N / 800; // lighter vertex phase
+        for i in tid * chunk..(tid + 1) * chunk {
+            data.get(ctx, i);
+        }
+    });
+    sim.charge_barrier();
+    let buf = sim.clock().trace.buffer().expect("tracing enabled");
+    print!("{}", polymer::numa::phase_table(buf));
+    println!(
+        "\nexport the same buffer with polymer::numa::chrome_trace_json for\n\
+         chrome://tracing / ui.perfetto.dev, or pass --trace <path> to the\n\
+         polymer-bench binaries."
+    );
 }

@@ -14,12 +14,7 @@ use polymer::api::run_parallel;
 use polymer::prelude::*;
 
 fn main() {
-    let edges = polymer::graph::gen::rmat(
-        14,
-        260_000,
-        polymer::graph::gen::RMAT_GRAPH500,
-        7,
-    );
+    let edges = polymer::graph::gen::rmat(14, 260_000, polymer::graph::gen::RMAT_GRAPH500, 7);
     let graph = Graph::from_edges(&edges);
     println!(
         "graph: {} vertices, {} edges; running with real threads\n",
@@ -57,7 +52,10 @@ fn main() {
     );
     assert_eq!(got, want);
 
-    let reached = got.iter().filter(|&&l| l != polymer::algos::UNVISITED).count();
+    let reached = got
+        .iter()
+        .filter(|&&l| l != polymer::algos::UNVISITED)
+        .count();
     println!(
         "\n{} of {} vertices reachable from the top hub (vertex {src})",
         reached,

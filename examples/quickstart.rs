@@ -22,7 +22,10 @@ fn main() {
     let spec = MachineSpec::intel80();
     let prog = PageRank::new(graph.num_vertices());
 
-    println!("\nrunning 5 PageRank iterations with 80 threads on {}:", spec.name);
+    println!(
+        "\nrunning 5 PageRank iterations with 80 threads on {}:",
+        spec.name
+    );
     let mut times = Vec::new();
     macro_rules! bench {
         ($name:expr, $engine:expr) => {{
@@ -54,7 +57,10 @@ fn main() {
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap();
-    println!("fastest system: {} — the paper's Table 3 expects Polymer here", best.0);
+    println!(
+        "fastest system: {} — the paper's Table 3 expects Polymer here",
+        best.0
+    );
 
     // The top-ranked vertices.
     let mut ranked: Vec<(usize, f64)> = polymer.values.iter().copied().enumerate().collect();

@@ -63,9 +63,12 @@ fn main() {
     // Ablation: turn adaptive runtime states off (always-dense bitmaps) —
     // every sparse iteration now scans full state arrays (paper Table 6(a)).
     let machine = Machine::new(spec.clone());
-    let dense = PolymerEngine::new()
-        .without_adaptive_states()
-        .run(&machine, 80, &graph, &Sssp::new(source));
+    let dense = PolymerEngine::new().without_adaptive_states().run(
+        &machine,
+        80,
+        &graph,
+        &Sssp::new(source),
+    );
     println!(
         "\nadaptive-states ablation: {:.2} ms adaptive vs {:.2} ms always-dense ({:.1}x)\n\
          (the dense-state penalty grows with vertex count x diameter; run\n\
@@ -75,7 +78,10 @@ fn main() {
         dense.micros() / 1000.0,
         dense.micros() / fast.micros()
     );
-    assert_eq!(fast.values, dense.values, "ablation must not change results");
+    assert_eq!(
+        fast.values, dense.values,
+        "ablation must not change results"
+    );
 
     // Cross-check with the Galois-like engine's asynchronous delta-stepping.
     let machine = Machine::new(spec);

@@ -50,7 +50,12 @@ fn main() {
 
     // Stage 2: influencer ranking (PageRank on the directed graph).
     let machine = Machine::new(spec.clone());
-    let pr = engine.run(&machine, 80, &directed, &PageRank::new(directed.num_vertices()));
+    let pr = engine.run(
+        &machine,
+        80,
+        &directed,
+        &PageRank::new(directed.num_vertices()),
+    );
     let mut ranked: Vec<(u32, f64)> = pr
         .values
         .iter()
@@ -91,8 +96,14 @@ fn main() {
         bfs.micros() / 1000.0
     );
     for lvl in 0..=max_level.min(5) {
-        println!("  {:>7} users at distance {lvl}", by_level.get(&lvl).unwrap_or(&0));
+        println!(
+            "  {:>7} users at distance {lvl}",
+            by_level.get(&lvl).unwrap_or(&0)
+        );
     }
-    assert_eq!(reached, giant_size, "BFS must cover exactly the giant community");
+    assert_eq!(
+        reached, giant_size,
+        "BFS must cover exactly the giant community"
+    );
     println!("\nreach check passed: BFS covered exactly the giant community");
 }

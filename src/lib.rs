@@ -43,8 +43,8 @@
 
 #![deny(unsafe_code)]
 
-pub use polymer_api as api;
 pub use polymer_algos as algos;
+pub use polymer_api as api;
 pub use polymer_core as engine;
 pub use polymer_faults as faults;
 pub use polymer_graph as graph;

@@ -133,7 +133,9 @@ fn empty_frontier_terminates_immediately() {
     let m = machine();
     let r = PolymerEngine::new().run(&m, 2, &g, &prog);
     assert_eq!(r.values[0], 0);
-    assert!(r.values[1..].iter().all(|&v| v == polymer::algos::UNVISITED));
+    assert!(r.values[1..]
+        .iter()
+        .all(|&v| v == polymer::algos::UNVISITED));
 }
 
 #[test]

@@ -236,3 +236,78 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Per-socket counter attribution is a lossless decomposition of the
+    // aggregate phase cost: summing each socket's pattern × hop-distance
+    // counters over all sockets reproduces the aggregate local/remote
+    // transaction counts, bytes, LLC-miss bytes, and load/store split
+    // exactly (the invariant the trace sinks rely on).
+    #[test]
+    fn per_socket_counters_sum_to_aggregate_cost(
+        threads in 1usize..9,
+        len_shift in 8u32..14,
+        stride in 1usize..5,
+        interleave in 0u8..2,
+        writes in 0u8..2,
+    ) {
+        use polymer::numa::{AllocPolicy, Machine, MachineSpec, SimExecutor};
+        let machine = Machine::new(MachineSpec::intel80());
+        let n = 1usize << len_shift;
+        let policy = if interleave == 1 {
+            AllocPolicy::Interleaved
+        } else {
+            AllocPolicy::Centralized
+        };
+        let data = machine.alloc_atomic::<u64>("prop/trace", n, policy);
+        let mut sim = SimExecutor::new(&machine, threads);
+        let cost = sim.run_phase("mix", |tid, ctx| {
+            let chunk = n / ctx.num_threads();
+            let lo = tid * chunk;
+            for i in (lo..lo + chunk).step_by(stride) {
+                if writes == 1 && i % 3 == 0 {
+                    data.store(ctx, i, i as u64);
+                } else {
+                    data.load(ctx, i);
+                }
+            }
+        });
+
+        prop_assert_eq!(cost.per_socket.len(), 8);
+        let mut count_local = 0u64;
+        let mut count_remote = 0u64;
+        let mut bytes_local = 0u64;
+        let mut bytes_remote = 0u64;
+        let mut miss_bytes = 0.0f64;
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        for sc in &cost.per_socket {
+            for pat in 0..2 {
+                count_local += sc.count[pat][0];
+                bytes_local += sc.bytes[pat][0];
+                for dist in 1..4 {
+                    count_remote += sc.count[pat][dist];
+                    bytes_remote += sc.bytes[pat][dist];
+                }
+            }
+            miss_bytes += sc.llc_miss_bytes;
+            loads += sc.loads;
+            stores += sc.stores;
+        }
+        prop_assert_eq!(count_local, cost.count_local);
+        prop_assert_eq!(count_remote, cost.count_remote);
+        prop_assert_eq!(bytes_local, cost.bytes_local);
+        prop_assert_eq!(bytes_remote, cost.bytes_remote);
+        prop_assert_eq!(loads + stores, cost.count_local + cost.count_remote);
+        if writes == 0 {
+            prop_assert_eq!(stores, 0);
+        }
+        let miss_want = cost.miss_bytes_local + cost.miss_bytes_remote;
+        prop_assert!(
+            (miss_bytes - miss_want).abs() <= 1e-6 * miss_want.max(1.0),
+            "per-socket LLC-miss bytes {} vs aggregate {}", miss_bytes, miss_want
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! A minimal wall-clock harness with criterion's call shape: benchmark
+//! groups, `bench_function`, `Bencher::iter`, throughput annotations, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark runs a short
+//! warm-up, then a fixed measurement window, and prints mean time per
+//! iteration (plus throughput when declared). There is no statistical
+//! analysis, outlier rejection, or HTML report — numbers printed here are
+//! indicative only.
+
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work performed per iteration, used to print throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle passed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; this harness sizes runs by time alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the measurement window is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark and print its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let id = id.into();
+        if b.iters == 0 {
+            println!("bench {}/{id}: no iterations recorded", self.name);
+            return self;
+        }
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.3e} elem/s)", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.3e} B/s)", n as f64 / per_iter)
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {}/{id}: {:.3} us/iter over {} iters{rate}",
+            self.name,
+            per_iter * 1e6,
+            b.iters
+        );
+        self
+    }
+
+    /// End the group (printing happens per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Warm-up and measurement windows: long enough to be stable for coarse
+/// comparisons, short enough that `cargo bench` completes quickly.
+const WARM_UP: Duration = Duration::from_millis(30);
+const MEASURE: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Time repeated calls of `f` until the measurement window closes.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + WARM_UP;
+        while Instant::now() < warm_deadline {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let deadline = start + MEASURE;
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundle benchmark functions under one name for [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main()` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(1));
+        let mut acc = 0u64;
+        g.bench_function("wrapping_add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(3));
+                acc
+            })
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Provides only [`scope`] — scoped threads that may borrow from the calling
+//! stack frame — implemented over `std::thread::scope`. Matching crossbeam's
+//! contract, `scope` returns `Err(payload)` instead of unwinding when a
+//! spawned thread panics, which the parallel executor relies on to convert
+//! worker panics into typed errors.
+
+#![allow(clippy::all)]
+
+use std::panic::AssertUnwindSafe;
+
+/// Scope handle passed to the closure of [`scope`]; spawn threads with
+/// [`Scope::spawn`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Argument passed to every spawned closure (crossbeam passes a nested scope
+/// here; the workspace never uses it, so this is a placeholder).
+pub struct ScopeArg {
+    _private: (),
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish; `Err` carries the panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread scoped to the enclosing [`scope`] call.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&ScopeArg) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&ScopeArg { _private: () })),
+        }
+    }
+}
+
+/// Run `f` with a [`Scope`] whose spawned threads may borrow local state; all
+/// threads are joined before this returns. Returns `Err` with a panic payload
+/// if the closure or any unjoined spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let hits = AtomicUsize::new(0);
+        let r = super::scope(|s| {
+            for _ in 0..4 {
+                let hits = &hits;
+                s.spawn(move |_| hits.fetch_add(1, Ordering::Relaxed));
+            }
+            "done"
+        });
+        assert_eq!(r.unwrap(), "done");
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panicking_child_becomes_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("child dies"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let r = super::scope(|s| s.spawn(|_| 21 * 2).join().unwrap());
+        assert_eq!(r.unwrap(), 42);
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by walking
+//! the raw `proc_macro::TokenStream` directly — no `syn`/`quote`, so it
+//! builds with nothing but the compiler. Supported shapes are exactly what
+//! the workspace uses:
+//!
+//! * structs with named fields, optionally carrying `#[serde(default)]` or
+//!   `#[serde(default = "path::to::fn")]` on a field;
+//! * enums whose variants are all unit variants (discriminants allowed),
+//!   serialized as their name string.
+//!
+//! Anything else (tuple structs, generics, data-carrying variants, other
+//! serde attributes) is a compile error naming the unsupported construct.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Per-field `#[serde(...)]` configuration.
+enum FieldDefault {
+    /// Field is required.
+    None,
+    /// `#[serde(default)]` — use `Default::default()` when absent.
+    Std,
+    /// `#[serde(default = "path")]` — call `path()` when absent.
+    Path(String),
+}
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<(String, FieldDefault)>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<String>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for (f, _) in fields {
+                inserts.push_str(&format!(
+                    "__map.insert({f:?}, ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __map = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Obj(__map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derive(Serialize): generated code")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for (f, dflt) in fields {
+                let missing = match dflt {
+                    FieldDefault::None => format!(
+                        "return ::std::result::Result::Err(::serde::Error::custom(\
+                             concat!(\"missing field `\", {f:?}, \"` in {name}\")))"
+                    ),
+                    FieldDefault::Std => "::std::default::Default::default()".to_string(),
+                    FieldDefault::Path(p) => format!("{p}()"),
+                };
+                inits.push_str(&format!(
+                    "{f}: match __obj.get({f:?}) {{\n\
+                         ::std::option::Option::Some(__x) => \
+                             ::serde::Deserialize::from_value(__x)?,\n\
+                         ::std::option::Option::None => {missing},\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(concat!(\
+                                 \"expected object for {name}\")))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "::std::option::Option::Some({v:?}) => \
+                         ::std::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v.as_str() {{\n\
+                             {arms}\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::Error::custom(format!(\
+                                     \"unknown {name} variant: {{:?}}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derive(Deserialize): generated code")
+}
+
+/// Parse the derive input into the supported [`Shape`]s, panicking (a compile
+/// error at the derive site) on anything unsupported.
+fn parse_item(input: TokenStream) -> Shape {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes (doc comments arrive as #[doc = ...]) and
+    // visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    other => panic!("derive: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, found {other:?}"),
+    };
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("derive: generic type `{name}` is not supported by the vendored serde shim")
+        }
+        other => panic!(
+            "derive: `{name}` must be a braced struct or enum \
+             (tuple/unit bodies unsupported), found {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_unit_variants(body),
+        },
+        other => panic!("derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Parse `[attrs] [pub] name : Type ,` sequences.
+fn parse_named_fields(body: TokenStream) -> Vec<(String, FieldDefault)> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Attributes before the field.
+        let mut dflt = FieldDefault::None;
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    let group = match toks.next() {
+                        Some(TokenTree::Group(g)) => g,
+                        other => panic!("derive: malformed field attribute: {other:?}"),
+                    };
+                    if let Some(d) = parse_serde_attr(group.stream()) {
+                        dflt = d;
+                    }
+                }
+                _ => break,
+            }
+        }
+        match toks.peek() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => {}
+        }
+        let fname = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected field name, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "derive: field `{fname}` must be named (`name: Type`); \
+                 tuple structs are unsupported, found {other:?}"
+            ),
+        }
+        // Skip the type until a top-level comma. Generic arguments arrive
+        // as individual `<`/`>` puncts, so track nesting depth.
+        let mut depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    toks.next();
+                }
+                _ => {
+                    toks.next();
+                }
+            }
+        }
+        fields.push((fname, dflt));
+    }
+    fields
+}
+
+/// Parse `[attrs] Name [= disc] ,` sequences; payload-carrying variants are
+/// rejected.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip variant attributes (doc comments).
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let vname = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected variant name, found {other:?}"),
+        };
+        // Reject data-carrying variants; skip optional discriminant.
+        match toks.peek() {
+            Some(TokenTree::Group(_)) => panic!(
+                "derive: variant `{vname}` carries data; the vendored serde shim \
+                 supports unit variants only"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                toks.next();
+                // Discriminant expression runs to the next comma.
+                while let Some(t) = toks.peek() {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    toks.next();
+                }
+            }
+            _ => {}
+        }
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == ',' {
+                toks.next();
+            }
+        }
+        variants.push(vname);
+    }
+    variants
+}
+
+/// If the attribute body is `serde(...)`, extract the field default spec.
+fn parse_serde_attr(attr: TokenStream) -> Option<FieldDefault> {
+    let mut toks = attr.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None, // e.g. #[doc = "..."]
+    }
+    let inner = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("derive: malformed #[serde(...)] attribute: {other:?}"),
+    };
+    let mut toks = inner.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        other => panic!(
+            "derive: unsupported serde attribute {other:?}; the vendored shim \
+             supports only `default` and `default = \"path\"`"
+        ),
+    }
+    match toks.next() {
+        None => Some(FieldDefault::Std),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            let lit = match toks.next() {
+                Some(TokenTree::Literal(l)) => l.to_string(),
+                other => panic!("derive: expected string after `default =`, found {other:?}"),
+            };
+            let path = lit.trim_matches('"').to_string();
+            Some(FieldDefault::Path(path))
+        }
+        other => panic!("derive: malformed serde default attribute: {other:?}"),
+    }
+}
