@@ -1,0 +1,98 @@
+//! Hot-path accounting benchmark: wall-clock of the simulator itself with
+//! the run-coalesced bulk accounting fast path enabled vs. disabled.
+//!
+//! Unlike every other binary here, this one measures *host* wall-clock, not
+//! simulated seconds: the subject is the reproduction's own hot loop (see
+//! `docs/PERFORMANCE.md`), and the simulated results are required to be
+//! bit-identical between the two modes — the run aborts with a non-zero
+//! exit if any metric field differs, which the CI smoke job relies on.
+//!
+//! The committed `results/BENCH_hotpath.json` was produced with the
+//! defaults (`--scale 0`: 2^17 vertices, 2^21 edges, PageRank, 80 simulated
+//! threads on the Intel machine).
+
+use std::time::Instant;
+
+use polymer_bench::{write_json, AlgoId, Args, SystemId, Table, Workload};
+use polymer_graph::DatasetId;
+use polymer_numa::{set_bulk_accounting, MachineSpec};
+use serde::Serialize;
+
+/// Wall-clock outcome of one system under both accounting modes.
+#[derive(Serialize)]
+struct HotpathRow {
+    system: String,
+    /// Best-of-N host seconds with per-element (scalar) accounting.
+    wall_scalar_sec: f64,
+    /// Best-of-N host seconds with run-coalesced (bulk) accounting.
+    wall_bulk_sec: f64,
+    /// `wall_scalar_sec / wall_bulk_sec`.
+    speedup: f64,
+    /// Simulated seconds (identical in both modes by construction).
+    sim_seconds: f64,
+    iterations: usize,
+    /// True when every metric field matched bit-for-bit across modes.
+    identical: bool,
+}
+
+fn main() {
+    let args = Args::parse(0, "bench_hotpath");
+    let wl = Workload::prepare(DatasetId::Rmat24S, args.scale);
+    let spec = MachineSpec::intel80();
+    const REPS: usize = 2;
+
+    println!(
+        "Hot-path accounting: PageRank on rmat24 (scale {}), 80 threads, Intel\n",
+        args.scale
+    );
+    let mut table = Table::new(&["System", "Scalar(s)", "Bulk(s)", "Speedup", "Identical"]);
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    for sys in SystemId::ALL {
+        eprintln!("[hotpath] {} ...", sys.name());
+        let mut wall = [f64::MAX; 2]; // [scalar, bulk]
+        let mut metrics: Vec<String> = Vec::new();
+        let mut last = None;
+        for (slot, bulk) in [(0, false), (1, true)] {
+            set_bulk_accounting(bulk);
+            for _ in 0..REPS {
+                let t = Instant::now();
+                let m = polymer_bench::runner::run(sys, AlgoId::PR, &wl, &spec, 80);
+                wall[slot] = wall[slot].min(t.elapsed().as_secs_f64());
+                if metrics.len() == slot {
+                    // Serialized metrics are wall-clock free: every field is
+                    // simulated and deterministic, so string equality is a
+                    // bit-identity check across accounting modes.
+                    metrics.push(serde_json::to_string(&m).expect("serialize metrics"));
+                }
+                last = Some(m);
+            }
+        }
+        set_bulk_accounting(true);
+        let identical = metrics[0] == metrics[1];
+        all_identical &= identical;
+        let m = last.expect("at least one run");
+        table.row(vec![
+            sys.name().to_string(),
+            format!("{:.3}", wall[0]),
+            format!("{:.3}", wall[1]),
+            format!("{:.2}x", wall[0] / wall[1]),
+            identical.to_string(),
+        ]);
+        rows.push(HotpathRow {
+            system: sys.name().to_string(),
+            wall_scalar_sec: wall[0],
+            wall_bulk_sec: wall[1],
+            speedup: wall[0] / wall[1],
+            sim_seconds: m.seconds,
+            iterations: m.iterations,
+            identical,
+        });
+    }
+    table.print();
+    write_json(&args.out, "BENCH_hotpath", &rows);
+    if !all_identical {
+        eprintln!("[hotpath] FAIL: simulated metrics diverged between accounting modes");
+        std::process::exit(1);
+    }
+}

@@ -303,13 +303,20 @@ impl PolymerEngine {
                     let own_bits = table.get(node).unwrap();
                     for off in rolling(my.len(), pivot) {
                         let a = my.start + off;
+                        // Agent id / offset pair reads stay scalar: the
+                        // offsets re-read the previous agent's end, and the
+                        // rolling order wraps once mid-scan.
                         let t = dir.agent_id.get(ctx, a) as usize;
                         let lo = dir.agent_off.get(ctx, a) as usize;
                         let hi = dir.agent_off.get(ctx, a + 1) as usize;
                         let mut acc = identity;
                         let mut any = false;
-                        for e in lo..hi {
-                            let s = dir.endpoint.get(ctx, e) as usize;
+                        // Source endpoints are scanned unconditionally —
+                        // bulk stream. Everything inside the frontier test
+                        // (weight, value, degree, bitmap word) is gated or
+                        // vertex-indexed (random) and stays scalar.
+                        for (e, s) in (lo..hi).zip(dir.endpoint.iter_seq(ctx, lo..hi)) {
+                            let s = s as usize;
                             // Sources are local to this node by layout.
                             if own_bits.test(ctx, s - nl.range.start) {
                                 let w = match &dir.weight {
@@ -344,21 +351,35 @@ impl PolymerEngine {
                             let nl = &layout.nodes[node];
                             let dir = &nl.push;
                             let my = &dir.slices[tin[tid]];
-                            for a in my.clone() {
-                                let s = dir.agent_id.get(ctx, a) as usize;
+                            // Agent ids are scanned unconditionally in slice
+                            // order — bulk stream. Everything below the
+                            // frontier test only happens for active agents
+                            // and stays scalar.
+                            let id_it = dir.agent_id.iter_seq(ctx, my.clone());
+                            for (a, sid) in my.clone().zip(id_it) {
+                                let s = sid as usize;
                                 if !PFrontier::test_dense(table, &layout, ctx, s) {
                                     continue;
                                 }
                                 let deg = dir.agent_deg.get(ctx, a);
+                                // Source value is vertex-indexed — scalar.
                                 let sv = curr.load(ctx, s);
                                 let lo = dir.agent_off.get(ctx, a) as usize;
                                 let hi = dir.agent_off.get(ctx, a + 1) as usize;
-                                for e in lo..hi {
-                                    let t = dir.endpoint.get(ctx, e) as usize;
-                                    let w = match &dir.weight {
-                                        Some(ws) => ws.get(ctx, e),
+                                // Every out-edge of an active agent is
+                                // consumed — the edge-aligned arrays stream
+                                // in bulk. Combine targets / updated bits /
+                                // queue pushes are destination-indexed
+                                // (random) and stay scalar.
+                                let dst_it = dir.endpoint.iter_seq(ctx, lo..hi);
+                                let mut w_it =
+                                    dir.weight.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                                for t in dst_it {
+                                    let w = match &mut w_it {
+                                        Some(it) => it.next().expect("weight stream aligned"),
                                         None => 1,
                                     };
+                                    let t = t as usize;
                                     atomic_combine(
                                         prog,
                                         &next,
@@ -392,15 +413,23 @@ impl PolymerEngine {
                                 }
                                 let a = (slot - 1) as usize;
                                 let deg = dir.agent_deg.get(ctx, a);
+                                // Source value is vertex-indexed — scalar.
                                 let sv = curr.load(ctx, s as usize);
                                 let lo = dir.agent_off.get(ctx, a) as usize;
                                 let hi = dir.agent_off.get(ctx, a + 1) as usize;
-                                for e in lo..hi {
-                                    let t = dir.endpoint.get(ctx, e) as usize;
-                                    let w = match &dir.weight {
-                                        Some(ws) => ws.get(ctx, e),
+                                // Every out-edge of an active agent is
+                                // consumed — the edge-aligned arrays stream
+                                // in bulk; destination-indexed accesses
+                                // stay scalar.
+                                let dst_it = dir.endpoint.iter_seq(ctx, lo..hi);
+                                let mut w_it =
+                                    dir.weight.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                                for t in dst_it {
+                                    let w = match &mut w_it {
+                                        Some(it) => it.next().expect("weight stream aligned"),
                                         None => 1,
                                     };
+                                    let t = t as usize;
                                     atomic_combine(
                                         prog,
                                         &next,
@@ -432,8 +461,12 @@ impl PolymerEngine {
                     let nl = &layout.nodes[node];
                     let bits = updated.get(node).unwrap();
                     let words = even_chunks(bits.num_words(), tpn[node]);
-                    for w in words[tin[tid]].clone() {
-                        let mut word = bits.word(ctx, w);
+                    let wr = words[tin[tid]].clone();
+                    // The updated bitmap's words are scanned sequentially —
+                    // bulk stream. The per-bit value accesses below are
+                    // vertex-indexed within the word and stay scalar.
+                    let word_stream = bits.words_seq(ctx, wr.clone());
+                    for (w, mut word) in wr.clone().zip(word_stream) {
                         while word != 0 {
                             let b = word.trailing_zeros() as usize;
                             word &= word - 1;

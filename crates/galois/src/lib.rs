@@ -144,18 +144,25 @@ fn run_async<P: Program>(
             sim.run_phase("async-relax", |tid, ctx| {
                 for &s in &batch[chunks[tid].clone()] {
                     let si = s as usize;
+                    // Vertex-indexed source value and offset pair are random
+                    // for a worklist batch — scalar path.
                     let sv = curr.load(ctx, si);
                     let lo = topo.out_off.get(ctx, si) as usize;
                     let hi = topo.out_off.get(ctx, si + 1) as usize;
                     let deg = (hi - lo) as u32;
-                    for e in lo..hi {
-                        let t = topo.out_dst.get(ctx, e) as usize;
-                        let w = match &topo.out_w {
-                            Some(ws) => ws.get(ctx, e),
+                    // Every out-edge of a relaxed vertex is consumed, so the
+                    // edge-aligned arrays stream in bulk.
+                    let dst_it = topo.out_dst.iter_seq(ctx, lo..hi);
+                    let mut w_it = topo.out_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                    for t in dst_it {
+                        let w = match &mut w_it {
+                            Some(it) => it.next().expect("weight stream aligned"),
                             None => 1,
                         };
+                        let t = t as usize;
                         let cand = prog.scatter(s, sv, w, deg);
                         ctx.charge_cycles(sc);
+                        // Destination-indexed relaxation — random, scalar.
                         let old = curr.load(ctx, t);
                         let (val, alive) = prog.apply(t as VId, cand, old);
                         if alive {
@@ -258,22 +265,46 @@ fn run_sync_pull<P: Program>(
             let updated_host = &mut updated_host;
             sim.run_phase("pull", |tid, ctx| {
                 for t in chunks[tid].clone() {
+                    // Offset pairs re-read the previous vertex's end — they
+                    // stay on the scalar path to keep that access pattern.
                     let lo = topo.in_off.get(ctx, t) as usize;
                     let hi = topo.in_off.get(ctx, t + 1) as usize;
                     let mut acc = identity;
                     let mut any = false;
-                    for e in lo..hi {
-                        let s = topo.in_src.get(ctx, e);
-                        if all_active || state.test(ctx, s as usize) {
-                            let w = match &topo.in_w {
-                                Some(ws) => ws.get(ctx, e),
+                    if all_active {
+                        // Dense sweep: every in-edge is consumed, so the
+                        // edge-aligned arrays stream in bulk.
+                        let src_it = topo.in_src.iter_seq(ctx, lo..hi);
+                        let deg_it = topo.in_src_deg.iter_seq(ctx, lo..hi);
+                        let mut w_it = topo.in_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                        for (s, deg) in src_it.zip(deg_it) {
+                            let w = match &mut w_it {
+                                Some(it) => it.next().expect("weight stream aligned"),
                                 None => 1,
                             };
+                            // Source values are vertex-indexed — random,
+                            // scalar path.
                             let sv = curr.load(ctx, s as usize);
-                            let deg = topo.in_src_deg.get(ctx, e);
                             acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
                             ctx.charge_cycles(sc);
                             any = true;
+                        }
+                    } else {
+                        // State-gated: downstream reads depend on the
+                        // per-source bitmap test — scalar path.
+                        for e in lo..hi {
+                            let s = topo.in_src.get(ctx, e);
+                            if state.test(ctx, s as usize) {
+                                let w = match &topo.in_w {
+                                    Some(ws) => ws.get(ctx, e),
+                                    None => 1,
+                                };
+                                let sv = curr.load(ctx, s as usize);
+                                let deg = topo.in_src_deg.get(ctx, e);
+                                acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
+                                ctx.charge_cycles(sc);
+                                any = true;
+                            }
                         }
                     }
                     if any {
@@ -388,10 +419,13 @@ fn run_union_find<P: Program>(
     let chunks = even_chunks(n, threads);
     sim.run_phase("union-find", |tid, ctx| {
         for v in chunks[tid].clone() {
+            // Offset pairs re-read the previous vertex's end — scalar path.
             let lo = off.get(ctx, v) as usize;
             let hi = off.get(ctx, v + 1) as usize;
-            for e in lo..hi {
-                let t = dst.get(ctx, e);
+            // The CSR targets are scanned unconditionally — bulk stream.
+            // The `find` chains below walk the parent array by id (random),
+            // so they stay scalar.
+            for t in dst.iter_seq(ctx, lo..hi) {
                 // Union by minimum root.
                 let mut a = find(&parent, ctx, v as u32);
                 let mut b = find(&parent, ctx, t);

@@ -151,22 +151,47 @@ impl LigraEngine {
                 let chunks = polymer_graph::edge_balanced_ranges(&in_degrees, threads);
                 sim.run_phase("gather-pull", |tid, ctx| {
                     for t in chunks[tid].clone() {
+                        // Offset pairs re-read the previous vertex's end —
+                        // the bulk path charges ranges once, so they stay
+                        // on the scalar path to keep that access pattern.
                         let lo = topo.in_off.get(ctx, t) as usize;
                         let hi = topo.in_off.get(ctx, t + 1) as usize;
                         let mut acc = identity;
                         let mut any = false;
-                        for e in lo..hi {
-                            let s = topo.in_src.get(ctx, e);
-                            if all_active || bits.test(ctx, s as usize) {
-                                let w = match &topo.in_w {
-                                    Some(ws) => ws.get(ctx, e),
+                        if all_active {
+                            // Dense sweep: every in-edge is consumed, so
+                            // the edge-aligned arrays stream in bulk.
+                            let src_it = topo.in_src.iter_seq(ctx, lo..hi);
+                            let deg_it = topo.in_src_deg.iter_seq(ctx, lo..hi);
+                            let mut w_it = topo.in_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                            for (s, deg) in src_it.zip(deg_it) {
+                                let w = match &mut w_it {
+                                    Some(it) => it.next().expect("weight stream aligned"),
                                     None => 1,
                                 };
+                                // Source values are indexed by vertex id —
+                                // random, scalar path.
                                 let sv = curr.load(ctx, s as usize);
-                                let deg = topo.in_src_deg.get(ctx, e);
                                 acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
                                 ctx.charge_cycles(sc);
                                 any = true;
+                            }
+                        } else {
+                            // Frontier-gated: weight/value/degree reads
+                            // depend on the per-source bitmap test — scalar.
+                            for e in lo..hi {
+                                let s = topo.in_src.get(ctx, e);
+                                if bits.test(ctx, s as usize) {
+                                    let w = match &topo.in_w {
+                                        Some(ws) => ws.get(ctx, e),
+                                        None => 1,
+                                    };
+                                    let sv = curr.load(ctx, s as usize);
+                                    let deg = topo.in_src_deg.get(ctx, e);
+                                    acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
+                                    ctx.charge_cycles(sc);
+                                    any = true;
+                                }
                             }
                         }
                         if any {
@@ -183,16 +208,24 @@ impl LigraEngine {
                 sim.run_phase("scatter-push", |tid, ctx| {
                     for &s in &items[chunks[tid].clone()] {
                         let si = s as usize;
+                        // Offset pair + source value are indexed by vertex
+                        // id (random for a sparse frontier) — scalar path.
                         let lo = topo.out_off.get(ctx, si) as usize;
                         let hi = topo.out_off.get(ctx, si + 1) as usize;
                         let sv = curr.load(ctx, si);
                         let deg = (hi - lo) as u32;
-                        for e in lo..hi {
-                            let t = topo.out_dst.get(ctx, e) as usize;
-                            let w = match &topo.out_w {
-                                Some(ws) => ws.get(ctx, e),
+                        // Every out-edge of an active source is consumed, so
+                        // the edge-aligned arrays stream in bulk.
+                        let dst_it = topo.out_dst.iter_seq(ctx, lo..hi);
+                        let mut w_it = topo.out_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                        for t in dst_it {
+                            let w = match &mut w_it {
+                                Some(it) => it.next().expect("weight stream aligned"),
                                 None => 1,
                             };
+                            let t = t as usize;
+                            // Combine target / updated bit / queue push are
+                            // destination-indexed (random) — scalar path.
                             atomic_combine(prog, &next, ctx, t, prog.scatter(s, sv, w, deg));
                             ctx.charge_cycles(sc);
                             if updated.set(ctx, t) {

@@ -14,10 +14,11 @@
 //! were allocated with; the destination node of each access is looked up from
 //! the byte offset at page granularity.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use crate::atomicf::{AtomicF32, AtomicF64};
-use crate::ctx::{AccessCtx, Rw};
+use crate::ctx::{bulk_accounting, AccessCtx, Rw};
 use crate::machine::{AllocId, Machine};
 use crate::policy::Placement;
 
@@ -198,9 +199,21 @@ pub(crate) struct ArrayMeta {
 impl ArrayMeta {
     #[inline]
     fn record(&self, ctx: &mut AccessCtx, idx: usize, rw: Rw) {
-        let off = idx * self.elem;
-        let dst = self.placement.node_of(off);
-        ctx.record(self.id, off, self.elem, rw, dst);
+        ctx.record(self.id, &self.placement, idx * self.elem, self.elem, rw);
+    }
+
+    /// Charge a contiguous element range `[start, start + n)` as one
+    /// coalesced run (or per element when the fast path is disabled).
+    #[inline]
+    fn record_run(&self, ctx: &mut AccessCtx, start: usize, n: usize, rw: Rw) {
+        ctx.record_run(
+            self.id,
+            &self.placement,
+            start * self.elem,
+            self.elem,
+            n,
+            rw,
+        );
     }
 }
 
@@ -242,6 +255,26 @@ impl<T: Copy> NumaArray<T> {
     pub fn get(&self, ctx: &mut AccessCtx, i: usize) -> T {
         self.meta.record(ctx, i, Rw::Read);
         self.data[i]
+    }
+
+    /// Accounted read of the element range `r`, charged as one coalesced
+    /// sequential run (identical statistics to calling [`NumaArray::get`]
+    /// once per element, classified once per page-run instead). Returns the
+    /// backing slice, so the caller's data walk pays no per-element
+    /// dispatch either.
+    #[inline]
+    pub fn load_range(&self, ctx: &mut AccessCtx, r: Range<usize>) -> &[T] {
+        assert!(r.end <= self.data.len(), "load_range out of bounds");
+        self.meta.record_run(ctx, r.start, r.len(), Rw::Read);
+        // The assert above makes this slice operation check-free.
+        &self.data[r]
+    }
+
+    /// Accounted sequential iteration over the element range `r`; equivalent
+    /// to [`NumaArray::load_range`] but yielding elements by value.
+    #[inline]
+    pub fn iter_seq(&self, ctx: &mut AccessCtx, r: Range<usize>) -> impl Iterator<Item = T> + '_ {
+        self.load_range(ctx, r).iter().copied()
     }
 
     /// Unaccounted view of the data (construction, verification, tests).
@@ -382,6 +415,74 @@ impl<T: Atom> NumaAtomicArray<T> {
         T::atom_cas(&self.data[i], cur, new)
     }
 
+    /// Accounted sequential iteration over the element range `r`, charged as
+    /// one coalesced run — identical statistics to calling
+    /// [`NumaAtomicArray::load`] once per element.
+    #[inline]
+    pub fn iter_seq(&self, ctx: &mut AccessCtx, r: Range<usize>) -> impl Iterator<Item = T> + '_ {
+        assert!(r.end <= self.data.len(), "iter_seq out of bounds");
+        self.meta.record_run(ctx, r.start, r.len(), Rw::Read);
+        // The assert above makes this slice operation check-free.
+        self.data[r].iter().map(T::atom_load)
+    }
+
+    /// Accounted sequential store sweep: `arr[i] = f(i)` for `i` in `r`,
+    /// charged as one coalesced write run.
+    #[inline]
+    pub fn store_seq(&self, ctx: &mut AccessCtx, r: Range<usize>, mut f: impl FnMut(usize) -> T) {
+        assert!(r.end <= self.data.len(), "store_seq out of bounds");
+        self.meta.record_run(ctx, r.start, r.len(), Rw::Write);
+        let start = r.start;
+        for (k, cell) in self.data[r].iter().enumerate() {
+            T::atom_store(cell, f(start + k));
+        }
+    }
+
+    /// Accounted fill of the element range `r` with `v`, charged as one
+    /// coalesced write run.
+    #[inline]
+    pub fn fill(&self, ctx: &mut AccessCtx, r: Range<usize>, v: T) {
+        assert!(r.end <= self.data.len(), "fill out of bounds");
+        self.meta.record_run(ctx, r.start, r.len(), Rw::Write);
+        for cell in &self.data[r] {
+            T::atom_store(cell, v);
+        }
+    }
+
+    /// Accounted sequential read-modify-write sweep for degree/delta
+    /// updates: atomically adds `f(i)` to `arr[i]` for `i` in `r`, charged
+    /// as one coalesced run of write transactions (read-modify-writes count
+    /// as writes, as in the scalar [`NumaAtomicArray::fetch_add`]).
+    #[inline]
+    pub fn fetch_add_seq(
+        &self,
+        ctx: &mut AccessCtx,
+        r: Range<usize>,
+        mut f: impl FnMut(usize) -> T,
+    ) {
+        assert!(r.end <= self.data.len(), "fetch_add_seq out of bounds");
+        self.meta.record_run(ctx, r.start, r.len(), Rw::Write);
+        let start = r.start;
+        for (k, cell) in self.data[r].iter().enumerate() {
+            T::atom_add(cell, f(start + k));
+        }
+    }
+
+    /// A sequential append cursor starting at `start`: consecutive
+    /// [`SeqWriter::push`] calls store to consecutive slots, and the
+    /// accounting is coalesced into page-runs when the writer is flushed.
+    /// Call [`SeqWriter::flush`] before the phase ends — unflushed pushes
+    /// are stored but not yet charged (with the fast path disabled, every
+    /// push charges immediately and flush is a no-op).
+    #[inline]
+    pub fn seq_writer(&self, start: usize) -> SeqWriter<'_, T> {
+        SeqWriter {
+            arr: self,
+            run_start: start,
+            pos: start,
+        }
+    }
+
     /// Unaccounted load (construction, verification, tests).
     #[inline]
     pub fn raw_load(&self, i: usize) -> T {
@@ -409,6 +510,49 @@ impl<T: Atom> NumaAtomicArray<T> {
     #[inline]
     pub fn alloc_id(&self) -> AllocId {
         self.meta.id
+    }
+}
+
+/// Sequential append cursor over a [`NumaAtomicArray`], for streams whose
+/// length is not known up front (X-Stream's update buffers). Stores land
+/// immediately; accounting for the contiguous run accumulates until
+/// [`SeqWriter::flush`], which charges it as one coalesced write run —
+/// bit-identical to per-push accounting because the slots are consecutive
+/// and nothing else touches the array between pushes.
+pub struct SeqWriter<'a, T: Atom> {
+    arr: &'a NumaAtomicArray<T>,
+    run_start: usize,
+    pos: usize,
+}
+
+impl<T: Atom> SeqWriter<'_, T> {
+    /// Store `v` at the cursor and advance.
+    #[inline]
+    pub fn push(&mut self, ctx: &mut AccessCtx, v: T) {
+        if !bulk_accounting() {
+            // Scalar oracle: charge each append individually.
+            self.arr.meta.record(ctx, self.pos, Rw::Write);
+            self.run_start = self.pos + 1;
+        }
+        T::atom_store(&self.arr.data[self.pos], v);
+        self.pos += 1;
+    }
+
+    /// Charge the pending run of pushes as one coalesced write run.
+    #[inline]
+    pub fn flush(&mut self, ctx: &mut AccessCtx) {
+        let n = self.pos - self.run_start;
+        if n > 0 {
+            self.arr.meta.record_run(ctx, self.run_start, n, Rw::Write);
+        }
+        self.run_start = self.pos;
+    }
+
+    /// The next slot to be written (= number of elements written when the
+    /// cursor started at 0).
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
     }
 }
 
@@ -495,6 +639,98 @@ mod tests {
         let m = machine();
         let a = m.alloc_atomic_with::<u32>("s", 3, AllocPolicy::OnNode(0), |i| i as u32 * 10);
         assert_eq!(a.snapshot(), vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn load_range_matches_per_element_gets() {
+        let m = machine();
+        let a = m.alloc_array_with("lr", 2048, AllocPolicy::Interleaved, |i| i as u64);
+        // Same walk through both paths on twin contexts.
+        let mut c_bulk = AccessCtx::new(&m, 0);
+        let mut c_scalar = AccessCtx::new(&m, 0);
+        let slice = a.load_range(&mut c_bulk, 100..1500);
+        assert_eq!(slice[0], 100);
+        for i in 100..1500 {
+            assert_eq!(a.get(&mut c_scalar, i), i as u64);
+        }
+        let (b, s) = (c_bulk.take_stats(), c_scalar.take_stats());
+        assert_eq!(format!("{:?}", b), format!("{:?}", s));
+    }
+
+    #[test]
+    fn store_seq_fill_fetch_add_seq_store_values_and_account_like_scalar() {
+        let m = machine();
+        let a = m.alloc_atomic::<u64>("sw", 1024, AllocPolicy::Interleaved);
+        let b = m.alloc_atomic::<u64>("sw2", 1024, AllocPolicy::Interleaved);
+        let mut ca = AccessCtx::new(&m, 0);
+        let mut cb = AccessCtx::new(&m, 0);
+        a.store_seq(&mut ca, 10..600, |i| i as u64);
+        a.fill(&mut ca, 600..700, 7);
+        a.fetch_add_seq(&mut ca, 0..1024, |i| (i % 3) as u64);
+        for i in 10..600 {
+            b.store(&mut cb, i, i as u64);
+        }
+        for i in 600..700 {
+            b.store(&mut cb, i, 7);
+        }
+        for i in 0..1024 {
+            b.fetch_add(&mut cb, i, (i % 3) as u64);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        // Allocation ids differ, but the per-array counters must match.
+        let (sa, sb) = (ca.take_stats(), cb.take_stats());
+        assert_eq!(
+            format!("{:?}", sa.array_bytes(a.alloc_id()).unwrap()),
+            format!("{:?}", sb.array_bytes(b.alloc_id()).unwrap())
+        );
+    }
+
+    #[test]
+    fn seq_writer_defers_coalesced_accounting_until_flush() {
+        let m = machine();
+        let a = m.alloc_atomic::<u64>("w", 512, AllocPolicy::OnNode(0));
+        let mut ctx = AccessCtx::new(&m, 0);
+        let mut w = a.seq_writer(5);
+        for k in 0..40u64 {
+            w.push(&mut ctx, k);
+        }
+        // Stores land immediately; charges wait for the flush.
+        assert_eq!(a.raw_load(5), 0);
+        assert_eq!(a.raw_load(44), 39);
+        assert_eq!(ctx.take_stats().total_count(), 0);
+        w.flush(&mut ctx);
+        assert_eq!(w.pos(), 45);
+        let s = ctx.take_stats();
+        assert_eq!(s.total_count(), 40);
+        assert_eq!(s.total_bytes(), 320);
+        // A second flush with nothing pending charges nothing.
+        w.flush(&mut ctx);
+        assert_eq!(ctx.take_stats().total_count(), 0);
+    }
+
+    #[test]
+    fn atomic_iter_seq_reads_values_and_charges_reads() {
+        let m = machine();
+        let a = m.alloc_atomic_with::<u64>("it", 256, AllocPolicy::Interleaved, |i| i as u64 * 2);
+        let mut ctx = AccessCtx::new(&m, 0);
+        let got: Vec<u64> = a.iter_seq(&mut ctx, 8..16).collect();
+        assert_eq!(got, (8..16).map(|i| i * 2).collect::<Vec<u64>>());
+        let s = ctx.take_stats();
+        let st = s.array_bytes(a.alloc_id()).unwrap();
+        assert_eq!(
+            st.count[crate::Rw::Read.index()]
+                .iter()
+                .flatten()
+                .sum::<u64>(),
+            8
+        );
+        assert_eq!(
+            st.count[crate::Rw::Write.index()]
+                .iter()
+                .flatten()
+                .sum::<u64>(),
+            0
+        );
     }
 
     #[test]

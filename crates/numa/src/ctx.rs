@@ -15,8 +15,30 @@
 //! model per array and the reports can attribute traffic to graph topology,
 //! application data, and runtime state separately.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::machine::{AllocId, Machine};
+use crate::policy::Placement;
 use crate::topology::{NodeId, NumaTopology, MAX_NODES};
+
+/// Global switch for the run-coalesced accounting fast path. On (the
+/// default), bulk accessors charge whole page-runs with one classification;
+/// off, they fall back to per-element [`AccessCtx`] recording — the scalar
+/// oracle the equivalence tests and `bench_hotpath` compare against. Both
+/// paths produce bit-identical [`AccessStats`], so flipping this mid-run
+/// changes wall-clock only, never simulated results.
+static BULK_ACCOUNTING: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the run-coalesced accounting fast path.
+pub fn set_bulk_accounting(enabled: bool) {
+    BULK_ACCOUNTING.store(enabled, Ordering::SeqCst);
+}
+
+/// True when the run-coalesced fast path is active.
+#[inline]
+pub fn bulk_accounting() -> bool {
+    BULK_ACCOUNTING.load(Ordering::Relaxed)
+}
 
 /// Access pattern: sequential stream vs. random.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -118,22 +140,6 @@ pub struct AccessStats {
 }
 
 impl AccessStats {
-    #[inline]
-    fn slot(&mut self, alloc: AllocId) -> &mut ArrStat {
-        let i = alloc as usize;
-        if i >= self.per.len() {
-            self.per.resize_with(i + 1, || None);
-        }
-        self.per[i].get_or_insert_with(Default::default)
-    }
-
-    #[inline]
-    pub(crate) fn add(&mut self, alloc: AllocId, rw: Rw, pat: Pattern, dst: NodeId, bytes: u64) {
-        let s = self.slot(alloc);
-        s.bytes[rw.index()][pat.index()][dst] += bytes;
-        s.count[rw.index()][pat.index()][dst] += 1;
-    }
-
     /// Merge another stats object into this one.
     pub fn merge(&mut self, other: &AccessStats) {
         if other.per.len() > self.per.len() {
@@ -196,6 +202,40 @@ impl AccessStats {
     }
 }
 
+/// Per-allocation scratch of one context: the sequential-stream tracker, a
+/// one-entry page→home-node cache, and the allocation's counters — all in
+/// one struct so the hot [`AccessCtx::record`] path resolves everything it
+/// needs with a single indexed lookup. The page cache is safe to keep across
+/// phases because allocation ids are never reused and placements are
+/// immutable.
+#[derive(Clone)]
+struct AllocState {
+    /// End offset of the previous access (`u64::MAX` = never touched).
+    last_end: u64,
+    /// Last resolved page (`u64::MAX` = nothing cached).
+    page: u64,
+    /// Home node of `page`.
+    node: NodeId,
+    /// Whether any access landed since the last [`AccessCtx::take_stats`];
+    /// gates which allocations materialize in the harvested stats.
+    touched: bool,
+    /// The counters themselves, inline (no box, no option) so the hot path
+    /// is lookup → classify → two adds.
+    stat: ArrStat,
+}
+
+impl AllocState {
+    fn cold() -> AllocState {
+        AllocState {
+            last_end: u64::MAX,
+            page: u64::MAX,
+            node: 0,
+            touched: false,
+            stat: ArrStat::default(),
+        }
+    }
+}
+
 /// The execution context of one simulated thread: which core it is bound to,
 /// and the classified statistics of everything it has touched since the last
 /// [`AccessCtx::take_stats`].
@@ -204,10 +244,10 @@ pub struct AccessCtx {
     core: usize,
     node: NodeId,
     num_threads: usize,
-    stats: AccessStats,
-    /// Per-allocation end offset of the previous access (`u64::MAX` = never
-    /// touched), for sequential-stream detection.
-    last_end: Vec<u64>,
+    /// Extra CPU cycles charged via [`AccessCtx::charge_cycles`].
+    extra_cycles: f64,
+    /// Per-allocation trackers + counters, indexed by [`AllocId`].
+    per: Vec<AllocState>,
 }
 
 impl AccessCtx {
@@ -219,8 +259,8 @@ impl AccessCtx {
             core,
             node: topo.node_of_core(core),
             num_threads: topo.total_cores(),
-            stats: AccessStats::default(),
-            last_end: Vec::new(),
+            extra_cycles: 0.0,
+            per: Vec::new(),
         }
     }
 
@@ -255,42 +295,174 @@ impl AccessCtx {
         self.num_threads
     }
 
-    /// Record one classified access (called by the instrumented arrays).
+    /// The combined tracker + counters of one allocation. The grow path is
+    /// out-of-line: after the first touch of each allocation the hot path is
+    /// one predictable bounds check.
     #[inline]
-    pub(crate) fn record(&mut self, alloc: AllocId, off: usize, len: usize, rw: Rw, dst: NodeId) {
+    fn alloc_state(&mut self, alloc: AllocId) -> &mut AllocState {
         let i = alloc as usize;
-        if i >= self.last_end.len() {
-            self.last_end.resize(i + 1, u64::MAX);
+        if i >= self.per.len() {
+            self.grow(i);
         }
-        let off = off as u64;
-        let last = self.last_end[i];
-        let pat =
-            if last != u64::MAX && off + SEQ_WINDOW_BACK >= last && off <= last + SEQ_WINDOW_FWD {
-                Pattern::Seq
-            } else {
-                Pattern::Rand
-            };
-        self.last_end[i] = off + len as u64;
-        self.stats.add(alloc, rw, pat, dst, len as u64);
+        &mut self.per[i]
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn grow(&mut self, i: usize) {
+        self.per.resize_with(i + 1, AllocState::cold);
+    }
+
+    /// Sequential-window classification against a stream's previous end.
+    #[inline]
+    fn classify(last: u64, off: u64) -> Pattern {
+        if last != u64::MAX && off + SEQ_WINDOW_BACK >= last && off <= last + SEQ_WINDOW_FWD {
+            Pattern::Seq
+        } else {
+            Pattern::Rand
+        }
+    }
+
+    /// Record one classified access (called by the instrumented arrays).
+    /// Destination-node resolution goes through the per-allocation page
+    /// cache, so repeated touches of the same page skip the placement-table
+    /// lookup entirely.
+    #[inline]
+    pub(crate) fn record(
+        &mut self,
+        alloc: AllocId,
+        placement: &Placement,
+        off: usize,
+        len: usize,
+        rw: Rw,
+    ) {
+        let off64 = off as u64;
+        let page = (off >> placement.page_shift()) as u64;
+        let st = self.alloc_state(alloc);
+        let pat = Self::classify(st.last_end, off64);
+        st.last_end = off64 + len as u64;
+        let dst = if st.page == page {
+            st.node
+        } else {
+            let n = placement.node_of(off);
+            st.page = page;
+            st.node = n;
+            n
+        };
+        st.touched = true;
+        st.stat.bytes[rw.index()][pat.index()][dst] += len as u64;
+        st.stat.count[rw.index()][pat.index()][dst] += 1;
+    }
+
+    /// Record a contiguous forward run of `n` elements of `elem` bytes
+    /// starting at byte offset `off` — the coalesced equivalent of calling
+    /// [`AccessCtx::record`] once per element, charged with one
+    /// classification per page-run instead.
+    ///
+    /// Bit-identical to the per-element path by construction: the first
+    /// element is classified against the stream tracker exactly as the
+    /// scalar path would, and every subsequent element of a contiguous
+    /// forward run is sequential by the window rule (`off_next == last_end`
+    /// always satisfies both window bounds). Destination nodes follow each
+    /// element's start byte, so runs split precisely where the per-element
+    /// walk would switch pages. With [`bulk_accounting`] disabled this
+    /// *is* the per-element loop, which is what the equivalence proptest
+    /// exercises.
+    #[inline]
+    pub(crate) fn record_run(
+        &mut self,
+        alloc: AllocId,
+        placement: &Placement,
+        off: usize,
+        elem: usize,
+        n: usize,
+        rw: Rw,
+    ) {
+        if n == 0 {
+            return;
+        }
+        if !bulk_accounting() {
+            for k in 0..n {
+                self.record(alloc, placement, off + k * elem, elem, rw);
+            }
+            return;
+        }
+        let off64 = off as u64;
+        let elem64 = elem as u64;
+        let st = self.alloc_state(alloc);
+        let first_pat = Self::classify(st.last_end, off64);
+        st.last_end = off64 + elem64 * n as u64;
+        // Leave the page cache where the scalar walk would have left it:
+        // at the run's final element.
+        let last_off = off + (n - 1) * elem;
+        st.page = (last_off >> placement.page_shift()) as u64;
+        st.node = placement.node_of(last_off);
+        st.touched = true;
+        let s = &mut st.stat;
+        let rwi = rw.index();
+        let seqi = Pattern::Seq.index();
+        let mut first = Some(first_pat.index());
+        placement.for_each_elem_run(off, elem, n, |node, cnt| {
+            let mut seq_cnt = cnt as u64;
+            if let Some(pi) = first.take() {
+                // The run's head keeps its stream-dependent classification.
+                s.bytes[rwi][pi][node] += elem64;
+                s.count[rwi][pi][node] += 1;
+                seq_cnt -= 1;
+            }
+            if seq_cnt > 0 {
+                s.bytes[rwi][seqi][node] += seq_cnt * elem64;
+                s.count[rwi][seqi][node] += seq_cnt;
+            }
+        });
     }
 
     /// Charge extra CPU cycles (per-edge arithmetic) to this thread's
     /// current phase.
     #[inline]
     pub fn charge_cycles(&mut self, cycles: f64) {
-        self.stats.extra_cycles += cycles;
+        self.extra_cycles += cycles;
     }
 
     /// Take and reset the accumulated statistics; also resets the
-    /// sequential-stream trackers (a new phase starts new streams).
+    /// sequential-stream trackers (a new phase starts new streams). The
+    /// page→node caches survive: placements are immutable and allocation
+    /// ids never reused, so cached resolutions stay valid across phases.
     pub fn take_stats(&mut self) -> AccessStats {
-        self.last_end.clear();
-        std::mem::take(&mut self.stats)
+        let mut out = AccessStats {
+            extra_cycles: self.extra_cycles,
+            ..AccessStats::default()
+        };
+        self.extra_cycles = 0.0;
+        for (i, st) in self.per.iter_mut().enumerate() {
+            st.last_end = u64::MAX;
+            if st.touched {
+                if out.per.len() <= i {
+                    out.per.resize_with(i + 1, || None);
+                }
+                out.per[i] = Some(Box::new(std::mem::take(&mut st.stat)));
+                st.touched = false;
+            }
+        }
+        out
     }
 
-    /// Peek at the statistics without resetting.
-    pub fn stats(&self) -> &AccessStats {
-        &self.stats
+    /// Snapshot the statistics accumulated since the last
+    /// [`AccessCtx::take_stats`], without resetting anything.
+    pub fn stats(&self) -> AccessStats {
+        let mut out = AccessStats {
+            extra_cycles: self.extra_cycles,
+            ..AccessStats::default()
+        };
+        for (i, st) in self.per.iter().enumerate() {
+            if st.touched {
+                if out.per.len() <= i {
+                    out.per.resize_with(i + 1, || None);
+                }
+                out.per[i] = Some(Box::new(st.stat.clone()));
+            }
+        }
+        out
     }
 }
 

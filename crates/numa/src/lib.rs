@@ -61,10 +61,10 @@ pub mod sim;
 pub mod tables;
 pub mod topology;
 
-pub use array::{Atom, NumaArray, NumaAtomicArray};
+pub use array::{Atom, NumaArray, NumaAtomicArray, SeqWriter};
 pub use atomicf::{AtomicF32, AtomicF64};
 pub use cost::{BarrierKind, CostConfig, CostModel, PhaseCost, SocketCost};
-pub use ctx::{AccessCtx, AccessStats, Pattern, Rw};
+pub use ctx::{bulk_accounting, set_bulk_accounting, AccessCtx, AccessStats, Pattern, Rw};
 pub use machine::{AllocId, Machine, MemUsage, SpillPolicy};
 pub use policy::AllocPolicy;
 pub use polymer_faults::{FaultPlan, PolymerError, PolymerResult};

@@ -126,6 +126,54 @@ impl Placement {
         }
     }
 
+    /// log2 of the page size in bytes.
+    #[inline]
+    pub(crate) fn page_shift(&self) -> u32 {
+        self.page_shift
+    }
+
+    /// Walk the home-node runs of `n` elements of `elem` bytes starting at
+    /// byte offset `off`: calls `f(node, count)` once per maximal run of
+    /// consecutive elements whose *start bytes* share a home node. This is
+    /// the coalesced counterpart of calling [`Placement::node_of`] per
+    /// element — element membership follows the start byte, so elements
+    /// straddling a page boundary are attributed exactly as the per-element
+    /// path attributes them. Cost is one table lookup per page-run, not per
+    /// element.
+    #[inline]
+    pub(crate) fn for_each_elem_run(
+        &self,
+        off: usize,
+        elem: usize,
+        n: usize,
+        mut f: impl FnMut(NodeId, usize),
+    ) {
+        if n == 0 {
+            return;
+        }
+        if let PlacementKind::OnNode(node) = &self.kind {
+            // Single-home allocations are one run regardless of pages.
+            f(*node, n);
+            return;
+        }
+        let last_start = off + (n - 1) * elem;
+        let mut k = 0usize;
+        let mut cur = off;
+        while k < n {
+            let node = self.node_of(cur);
+            // Extend the run across consecutive pages with the same home.
+            let mut boundary = ((cur >> self.page_shift) + 1) << self.page_shift;
+            while last_start >= boundary && self.node_of(boundary) == node {
+                boundary = ((boundary >> self.page_shift) + 1) << self.page_shift;
+            }
+            // Elements whose start byte falls below the boundary.
+            let cnt = (boundary - cur).div_ceil(elem).min(n - k);
+            f(node, cnt);
+            k += cnt;
+            cur += cnt * elem;
+        }
+    }
+
     /// Page size of this placement, in bytes.
     #[inline]
     pub fn page_bytes(&self) -> usize {
@@ -234,6 +282,50 @@ mod tests {
         );
         assert_eq!(p.node_of(0), 0);
         assert_eq!(p.node_of(8192), 1);
+    }
+
+    /// Reference for [`Placement::for_each_elem_run`]: one `node_of` per
+    /// element start byte.
+    fn runs_by_element(p: &Placement, off: usize, elem: usize, n: usize) -> Vec<(NodeId, usize)> {
+        let mut out: Vec<(NodeId, usize)> = Vec::new();
+        for k in 0..n {
+            let node = p.node_of(off + k * elem);
+            match out.last_mut() {
+                Some((ln, c)) if *ln == node => *c += 1,
+                _ => out.push((node, 1)),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn elem_runs_match_per_element_walk() {
+        // Mixed shapes: straddling elements, runs spanning multiple pages,
+        // single-node placements, interleaving.
+        let cases = [
+            (Placement::resolve(&AllocPolicy::Interleaved, 4096, 8, 4), 8),
+            (Placement::resolve(&AllocPolicy::OnNode(2), 4096, 8, 4), 8),
+            (
+                Placement::resolve(
+                    &AllocPolicy::ChunkedElems(vec![(700, 1), (1348, 0)]),
+                    2048,
+                    12,
+                    2,
+                ),
+                12,
+            ),
+        ];
+        for (p, elem) in &cases {
+            for (off, n) in [(0, 1), (4090, 3), (16, 2000), (4096, 513), (123, 700)] {
+                let mut got = Vec::new();
+                p.for_each_elem_run(off, *elem, n, |node, cnt| got.push((node, cnt)));
+                assert_eq!(
+                    got,
+                    runs_by_element(p, off, *elem, n),
+                    "off={off} n={n} elem={elem}"
+                );
+            }
+        }
     }
 
     #[test]

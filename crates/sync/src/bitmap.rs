@@ -63,6 +63,18 @@ impl DenseBitmap {
         self.bits.load(ctx, w)
     }
 
+    /// Accounted sequential scan of the backing words `r`, charged through
+    /// the run-coalesced bulk path — bit-identical statistics to calling
+    /// [`DenseBitmap::word`] once per word.
+    #[inline]
+    pub fn words_seq(
+        &self,
+        ctx: &mut AccessCtx,
+        r: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = u64> + '_ {
+        self.bits.iter_seq(ctx, r)
+    }
+
     /// Unaccounted set, for initialization.
     #[inline]
     pub fn set_unaccounted(&self, v: usize) {

@@ -214,41 +214,47 @@ impl XStreamEngine {
                 let uout_len = &mut uout_len;
                 sim.run_phase("scatter", |tid, ctx| {
                     let part = &parts[tid];
-                    let mut count = 0usize;
-                    // Edges are grouped by source: the state check, value
-                    // and degree loads are cached across a source's run of
-                    // edges, as the real implementation's registers would.
-                    let mut cached_s = usize::MAX;
-                    let mut cached_active = false;
-                    let mut cached_sv = identity;
-                    let mut cached_deg = 0u32;
-                    for e in 0..part.e_src.len() {
-                        let s = part.e_src.get(ctx, e) as usize;
-                        if s != cached_s {
-                            cached_s = s;
-                            let li = s - part.range.start;
-                            cached_active = part.state.test(ctx, li);
-                            if cached_active {
-                                cached_sv = part.curr.load(ctx, li);
-                                cached_deg = part.deg.get(ctx, li);
-                            }
-                        }
-                        if !cached_active {
-                            continue;
-                        }
-                        let t = part.e_dst.get(ctx, e);
-                        let w = match &part.e_w {
-                            Some(ws) => ws.get(ctx, e),
+                    let ecount = part.e_src.len();
+                    // X-Stream streams whole edge *records* — source, target
+                    // and weight are read for every edge regardless of the
+                    // source's state (the stream is oblivious to the
+                    // frontier; that obliviousness is exactly what makes
+                    // sparse-frontier iterations pathological). The
+                    // unconditional full-range sweeps go through the bulk
+                    // accounting path.
+                    let src_it = part.e_src.iter_seq(ctx, 0..ecount);
+                    let dst_it = part.e_dst.iter_seq(ctx, 0..ecount);
+                    let mut w_it = part.e_w.as_ref().map(|ws| ws.iter_seq(ctx, 0..ecount));
+                    // Updates append to Uout at a run-coalesced cursor.
+                    let mut uout_d = part.uout_dst.seq_writer(0);
+                    let mut uout_v = part.uout_val.seq_writer(0);
+                    // X-Stream's edge list is unordered (it never sorts or
+                    // groups edges — that is the system's core design
+                    // trade-off), so the source-state lookup and, for active
+                    // sources, the value/degree loads happen per edge
+                    // record; nothing can be register-cached across edges.
+                    // These are frontier-dependent vertex-indexed accesses —
+                    // scalar path.
+                    for (s, t) in src_it.zip(dst_it) {
+                        let w = match &mut w_it {
+                            Some(it) => it.next().expect("weight stream aligned"),
                             None => 1,
                         };
-                        let c = prog.scatter(s as VId, cached_sv, w, cached_deg);
+                        let li = s as usize - part.range.start;
+                        if !part.state.test(ctx, li) {
+                            continue;
+                        }
+                        let sv = part.curr.load(ctx, li);
+                        let deg = part.deg.get(ctx, li);
+                        let c = prog.scatter(s as VId, sv, w, deg);
                         ctx.charge_cycles(sc);
-                        part.uout_dst.store(ctx, count, t);
-                        part.uout_val.store(ctx, count, c);
+                        uout_d.push(ctx, t);
+                        uout_v.push(ctx, c);
                         hist[tid][part_of(t as usize)] += 1;
-                        count += 1;
                     }
-                    uout_len[tid] = count;
+                    uout_d.flush(ctx);
+                    uout_v.flush(ctx);
+                    uout_len[tid] = uout_d.pos();
                 });
             }
             sim.charge_barrier();
@@ -269,14 +275,27 @@ impl XStreamEngine {
                 let cursors = &mut cursors;
                 sim.run_phase("shuffle", |tid, ctx| {
                     let part = &parts[tid];
-                    for i in 0..uout_len[tid] {
-                        let t = part.uout_dst.load(ctx, i);
-                        let v = part.uout_val.load(ctx, i);
+                    // Uout drains front to back — a bulk sequential read.
+                    let t_it = part.uout_dst.iter_seq(ctx, 0..uout_len[tid]);
+                    let v_it = part.uout_val.iter_seq(ctx, 0..uout_len[tid]);
+                    // Each (source, target-partition) stream writes its
+                    // reserved Uin slots sequentially: one coalesced append
+                    // cursor per target.
+                    let mut uin_d: Vec<_> = (0..threads)
+                        .map(|q| parts[q].uin_dst.seq_writer(cursors[tid][q]))
+                        .collect();
+                    let mut uin_v: Vec<_> = (0..threads)
+                        .map(|q| parts[q].uin_val.seq_writer(cursors[tid][q]))
+                        .collect();
+                    for (t, v) in t_it.zip(v_it) {
                         let q = part_of(t as usize);
-                        let slot = cursors[tid][q];
-                        cursors[tid][q] += 1;
-                        parts[q].uin_dst.store(ctx, slot, t);
-                        parts[q].uin_val.store(ctx, slot, v);
+                        uin_d[q].push(ctx, t);
+                        uin_v[q].push(ctx, v);
+                    }
+                    for q in 0..threads {
+                        uin_d[q].flush(ctx);
+                        uin_v[q].flush(ctx);
+                        cursors[tid][q] = uin_d[q].pos();
                     }
                 });
             }
@@ -288,16 +307,22 @@ impl XStreamEngine {
                 let alive_count = &mut alive_count;
                 sim.run_phase("gather", |tid, ctx| {
                     let part = &parts[tid];
-                    for i in 0..uin_len[tid] {
-                        let t = part.uin_dst.load(ctx, i) as usize;
-                        let v = part.uin_val.load(ctx, i);
-                        let li = t - part.range.start;
+                    // Uin drains front to back — a bulk sequential read.
+                    let t_it = part.uin_dst.iter_seq(ctx, 0..uin_len[tid]);
+                    let v_it = part.uin_val.iter_seq(ctx, 0..uin_len[tid]);
+                    for (t, v) in t_it.zip(v_it) {
+                        let li = t as usize - part.range.start;
+                        // Combine/state targets arrive in update order, not
+                        // sequentially — scalar path.
                         polymer_api::atomic_combine(prog, &part.next, ctx, li, v);
                         part.updated.set(ctx, li);
                     }
-                    // Apply pass over the partition's updated bits.
-                    for w in 0..part.updated.num_words() {
-                        let mut word = part.updated.word(ctx, w);
+                    // Apply pass: the word scan is a dense sequential sweep
+                    // (bulk); the per-bit value accesses depend on which
+                    // bits are set — scalar.
+                    let nwords = part.updated.num_words();
+                    for (w, word) in part.updated.words_seq(ctx, 0..nwords).enumerate() {
+                        let mut word = word;
                         while word != 0 {
                             let b = word.trailing_zeros() as usize;
                             word &= word - 1;

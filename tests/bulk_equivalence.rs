@@ -1,0 +1,326 @@
+//! Equivalence of the run-coalesced bulk accounting fast path and the
+//! per-element scalar path: identical `AccessStats`, `PhaseCost`, simulated
+//! seconds, and Chrome traces, over random placements and random
+//! interleavings of scalar and bulk accesses as well as full engine runs.
+//!
+//! The `set_bulk_accounting` switch is process-global, so every test that
+//! flips it serializes on [`FLAG_LOCK`] and restores the default via a drop
+//! guard (tests in this binary run concurrently).
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use polymer::numa::{
+    set_bulk_accounting, AllocPolicy, Machine, MachineSpec, PhaseCost, SimExecutor,
+};
+use polymer::prelude::*;
+
+static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the flag lock and restores the bulk default on drop (even on a
+/// failed assertion, so later tests never inherit scalar mode).
+struct BulkGuard<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl<'a> BulkGuard<'a> {
+    fn lock() -> BulkGuard<'a> {
+        BulkGuard(FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl Drop for BulkGuard<'_> {
+    fn drop(&mut self) {
+        set_bulk_accounting(true);
+    }
+}
+
+/// One step of a random access script, over a plain array (`arr`), an
+/// atomic array (`atom`), and a writer-only array (`wo`).
+#[derive(Clone, Debug)]
+enum Op {
+    /// Scalar read of `arr[i]`.
+    Get(usize),
+    /// Bulk read of an `arr` range.
+    LoadRange(usize, usize),
+    /// Scalar atomic load / store / fetch_add on `atom`.
+    Load(usize),
+    Store(usize),
+    FetchAdd(usize),
+    /// Bulk sweeps over an `atom` range.
+    IterSeq(usize, usize),
+    StoreSeq(usize, usize),
+    Fill(usize, usize),
+    FetchAddSeq(usize, usize),
+    /// `k` consecutive appends at `start` on `wo`, then flush.
+    Writer(usize, usize),
+}
+
+/// The vendored proptest shim has no `prop_oneof`, so ops are drawn as
+/// `(kind, start, len)` tuples and decoded here.
+fn decode_op(n: usize, (kind, a, l): (u8, usize, usize)) -> Op {
+    let s = a % n;
+    let l = 1 + l % 16;
+    match kind % 10 {
+        0 => Op::Get(s),
+        1 => Op::LoadRange(s, l),
+        2 => Op::Load(s),
+        3 => Op::Store(s),
+        4 => Op::FetchAdd(s),
+        5 => Op::IterSeq(s, l),
+        6 => Op::StoreSeq(s, l),
+        7 => Op::Fill(s, l),
+        8 => Op::FetchAddSeq(s, l),
+        _ => Op::Writer(s, l),
+    }
+}
+
+/// Placement policies, drawn as `(kind, cut)` and decoded over `n` elements.
+fn decode_policy(n: usize, (kind, cut): (u8, usize)) -> AllocPolicy {
+    match kind % 4 {
+        0 => AllocPolicy::Centralized,
+        1 => AllocPolicy::Interleaved,
+        2 => AllocPolicy::OnNode(cut % 8),
+        _ => {
+            let cut = 1 + cut % (n - 1);
+            AllocPolicy::ChunkedElems(vec![(cut, 3), (n - cut, 5)])
+        }
+    }
+}
+
+/// Run the script on a fresh machine and return everything observable:
+/// per-phase costs, final array contents, and the Chrome trace.
+fn run_script(
+    n: usize,
+    threads: usize,
+    ops: &[Op],
+    pol: &[AllocPolicy; 3],
+) -> (Vec<PhaseCost>, Vec<u64>, String) {
+    let machine = Machine::new(MachineSpec::intel80());
+    let arr = machine.alloc_array_with("eq/arr", n, pol[0].clone(), |i| i as u64);
+    let atom = machine.alloc_atomic::<u64>("eq/atom", n, pol[1].clone());
+    let wo = machine.alloc_atomic::<u64>("eq/wo", n + 16, pol[2].clone());
+    let mut sim = SimExecutor::new(&machine, threads);
+    sim.enable_trace();
+    // Two phases so stream-tracker resets at phase boundaries are covered.
+    let mut costs = Vec::new();
+    let mid = ops.len() / 2;
+    for (name, slice) in [("eq-a", &ops[..mid]), ("eq-b", &ops[mid..])] {
+        let cost = sim.run_phase(name, |tid, ctx| {
+            if tid != 0 {
+                return;
+            }
+            let mut sink = 0u64;
+            for op in slice {
+                match *op {
+                    Op::Get(i) => sink ^= arr.get(ctx, i),
+                    Op::LoadRange(s, l) => {
+                        let e = (s + l).min(n);
+                        sink ^= arr.load_range(ctx, s..e).iter().sum::<u64>();
+                    }
+                    Op::Load(i) => sink ^= atom.load(ctx, i),
+                    Op::Store(i) => atom.store(ctx, i, sink),
+                    Op::FetchAdd(i) => {
+                        atom.fetch_add(ctx, i, 1);
+                    }
+                    Op::IterSeq(s, l) => {
+                        let e = (s + l).min(n);
+                        sink ^= atom.iter_seq(ctx, s..e).sum::<u64>();
+                    }
+                    Op::StoreSeq(s, l) => {
+                        let e = (s + l).min(n);
+                        atom.store_seq(ctx, s..e, |i| i as u64 ^ sink);
+                    }
+                    Op::Fill(s, l) => {
+                        let e = (s + l).min(n);
+                        atom.fill(ctx, s..e, sink);
+                    }
+                    Op::FetchAddSeq(s, l) => {
+                        let e = (s + l).min(n);
+                        atom.fetch_add_seq(ctx, s..e, |i| i as u64);
+                    }
+                    Op::Writer(s, k) => {
+                        let mut w = wo.seq_writer(s);
+                        for j in 0..k {
+                            w.push(ctx, (s + j) as u64);
+                        }
+                        w.flush(ctx);
+                    }
+                }
+            }
+            std::hint::black_box(sink);
+        });
+        sim.charge_barrier();
+        costs.push(cost);
+    }
+    let mut values = atom.snapshot();
+    values.extend(wo.snapshot());
+    (costs, values, sim.clock().to_chrome_trace())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Random interleavings of scalar and bulk accesses over random
+    // placements: the scalar oracle and the coalesced fast path must agree
+    // bit-for-bit on every phase cost, every counter, the simulated clock,
+    // and the exported trace.
+    #[test]
+    fn bulk_and_scalar_accounting_are_bit_identical(
+        raw_ops in proptest::collection::vec((0u8..10, 0usize..192, 0usize..16), 1..60),
+        raw_pol in ((0u8..4, 0usize..192), (0u8..4, 0usize..192), (0u8..4, 0usize..208)),
+        threads in 1usize..5,
+    ) {
+        let ops: Vec<Op> = raw_ops.into_iter().map(|t| decode_op(192, t)).collect();
+        let pol = [
+            decode_policy(192, raw_pol.0),
+            decode_policy(192, raw_pol.1),
+            decode_policy(208, raw_pol.2),
+        ];
+        let _guard = BulkGuard::lock();
+        set_bulk_accounting(true);
+        let (bulk_costs, bulk_vals, bulk_trace) = run_script(192, threads, &ops, &pol);
+        set_bulk_accounting(false);
+        let (scalar_costs, scalar_vals, scalar_trace) = run_script(192, threads, &ops, &pol);
+        prop_assert_eq!(bulk_vals, scalar_vals);
+        prop_assert_eq!(bulk_costs.len(), scalar_costs.len());
+        for (b, s) in bulk_costs.iter().zip(&scalar_costs) {
+            prop_assert_eq!(format!("{b:?}"), format!("{s:?}"));
+        }
+        prop_assert_eq!(bulk_trace, scalar_trace);
+    }
+}
+
+/// Full engine runs agree across accounting modes: identical values,
+/// simulated seconds, barrier counts, and aggregate phase cost for all four
+/// engines (the per-engine acceptance check of the bulk fast path).
+#[test]
+fn engines_are_bit_identical_across_accounting_modes() {
+    let _guard = BulkGuard::lock();
+    let g = Graph::from_edges(&polymer::graph::gen::rmat(
+        10,
+        16_384,
+        polymer::graph::gen::RMAT_GRAPH500,
+        7,
+    ));
+    let prog = PageRank::new(g.num_vertices());
+    let spec = MachineSpec::intel80();
+    let run_all = || {
+        let mut out = Vec::new();
+        let r = PolymerEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+        out.push((
+            r.values.clone(),
+            r.seconds(),
+            r.clock.barriers,
+            format!("{:?}", r.total_cost()),
+        ));
+        let r = LigraEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+        out.push((
+            r.values.clone(),
+            r.seconds(),
+            r.clock.barriers,
+            format!("{:?}", r.total_cost()),
+        ));
+        let r = XStreamEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+        out.push((
+            r.values.clone(),
+            r.seconds(),
+            r.clock.barriers,
+            format!("{:?}", r.total_cost()),
+        ));
+        let r = GaloisEngine::new().run(&Machine::new(spec.clone()), 80, &g, &prog);
+        out.push((
+            r.values.clone(),
+            r.seconds(),
+            r.clock.barriers,
+            format!("{:?}", r.total_cost()),
+        ));
+        out
+    };
+    set_bulk_accounting(true);
+    let bulk = run_all();
+    set_bulk_accounting(false);
+    let scalar = run_all();
+    for (engine, (b, s)) in ["polymer", "ligra", "xstream", "galois"]
+        .iter()
+        .zip(bulk.iter().zip(&scalar))
+    {
+        assert_eq!(b.0, s.0, "{engine}: values diverged");
+        assert_eq!(b.1, s.1, "{engine}: simulated seconds diverged");
+        assert_eq!(b.2, s.2, "{engine}: barrier count diverged");
+        assert_eq!(b.3, s.3, "{engine}: aggregate phase cost diverged");
+    }
+}
+
+/// BFS exercises the frontier-gated (sparse) paths the PageRank test never
+/// reaches; those must also agree across accounting modes.
+#[test]
+fn bfs_sparse_paths_are_bit_identical_across_accounting_modes() {
+    let _guard = BulkGuard::lock();
+    let el = polymer::graph::gen::road_grid(24, 24, 0.6, 3);
+    let g = Graph::from_edges(&el);
+    let prog = Bfs::new(0);
+    let spec = MachineSpec::intel80();
+    let mut runs = Vec::new();
+    for bulk in [true, false] {
+        set_bulk_accounting(bulk);
+        let mut per_engine = Vec::new();
+        let r = PolymerEngine::new().run(&Machine::new(spec.clone()), 40, &g, &prog);
+        per_engine.push((
+            r.values.clone(),
+            r.seconds(),
+            format!("{:?}", r.total_cost()),
+        ));
+        let r = XStreamEngine::new().run(&Machine::new(spec.clone()), 40, &g, &prog);
+        per_engine.push((
+            r.values.clone(),
+            r.seconds(),
+            format!("{:?}", r.total_cost()),
+        ));
+        let r = GaloisEngine::new().run(&Machine::new(spec.clone()), 40, &g, &prog);
+        per_engine.push((
+            r.values.clone(),
+            r.seconds(),
+            format!("{:?}", r.total_cost()),
+        ));
+        runs.push(per_engine);
+    }
+    assert_eq!(runs[0], runs[1]);
+}
+
+/// Satellite check: a disabled tracer records nothing and — more
+/// importantly — changes no counters: the clock totals of a traced and an
+/// untraced run of the same workload are identical.
+#[test]
+fn tracer_off_adds_zero_counters() {
+    let machine = Machine::new(MachineSpec::intel80());
+    let data = machine.alloc_atomic::<u64>("t/data", 4096, AllocPolicy::Interleaved);
+    let work = |sim: &mut SimExecutor| {
+        let c = sim.run_phase("work", |tid, ctx| {
+            if tid == 0 {
+                for v in data.iter_seq(ctx, 0..4096) {
+                    std::hint::black_box(v);
+                }
+                for i in (0..4096).step_by(67) {
+                    data.fetch_add(ctx, i, 1);
+                }
+            }
+        });
+        sim.charge_barrier();
+        c
+    };
+    let mut untraced = SimExecutor::new(&machine, 4);
+    let cost_off = work(&mut untraced);
+    assert!(!untraced.clock().trace.is_enabled());
+    assert!(untraced.clock().trace.buffer().is_none());
+    let mut traced = SimExecutor::new(&machine, 4);
+    traced.enable_trace();
+    let cost_on = work(&mut traced);
+    assert_eq!(format!("{cost_off:?}"), format!("{cost_on:?}"));
+    assert_eq!(
+        untraced.clock().elapsed_us(),
+        traced.clock().elapsed_us(),
+        "tracing must not perturb the simulated clock"
+    );
+    let buf = traced.clock().trace.buffer().expect("trace recorded");
+    assert_eq!(buf.phases.len(), 1);
+}

