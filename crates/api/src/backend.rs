@@ -1,0 +1,86 @@
+//! Pluggable execution backends.
+//!
+//! The substrate separates *what an engine does per iteration* (its policy:
+//! layout, direction switching, partitioning) from *where the work runs*:
+//!
+//! * [`Backend::Simulated`] — the deterministic simulated NUMA machine
+//!   ([`polymer_numa::SimExecutor`] + `AccessCtx` accounting); the paper's
+//!   harness, exactly reproducible.
+//! * [`Backend::RealThreads`] — real OS threads over shared host memory (the
+//!   generalized executor in [`crate::parallel`]), proving the programs and
+//!   data structures are genuinely concurrent and providing wall-clock
+//!   baselines.
+//!
+//! An engine describes how its strategy maps onto the real-thread executor
+//! with an [`ExecProfile`]; [`crate::Engine::try_run_on`] dispatches.
+
+use polymer_faults::FaultPlan;
+
+/// Edge-traversal direction policy for the real-thread executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectionPolicy {
+    /// Always push (scatter along out-edges of active vertices). X-Stream's
+    /// streaming scatter and Ligra's `force_push` ablation map here.
+    PushOnly,
+    /// Beamer-style hybrid: pull (gather over in-edges, gated by an
+    /// active-source bitmap) when the frontier is dense, push otherwise.
+    Hybrid,
+}
+
+/// How an engine's strategy maps onto the real-thread executor.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecProfile {
+    /// Direction policy. Programs that declare
+    /// [`crate::Program::prefer_push`] stay in push mode under `Hybrid`.
+    pub direction: DirectionPolicy,
+    /// Switch the frontier representation (and with it the direction) by
+    /// Ligra's density rule using exact frontier out-degrees. When false the
+    /// frontier stays a sparse vertex list and push mode is never left —
+    /// the legacy executor's behavior.
+    pub adaptive_frontier: bool,
+}
+
+impl Default for ExecProfile {
+    fn default() -> Self {
+        ExecProfile {
+            direction: DirectionPolicy::Hybrid,
+            adaptive_frontier: true,
+        }
+    }
+}
+
+/// Configuration of the real-thread backend.
+#[derive(Clone, Debug)]
+pub struct RealThreadsConfig {
+    /// Barrier groups (modelling sockets); clamped to `1..=threads`.
+    pub groups: usize,
+    /// Fault-injection plan (stragglers, worker panics, barrier deadlines).
+    pub plan: FaultPlan,
+}
+
+impl Default for RealThreadsConfig {
+    fn default() -> Self {
+        RealThreadsConfig {
+            // Two groups mirror the dual-socket test machine.
+            groups: 2,
+            plan: FaultPlan::default(),
+        }
+    }
+}
+
+/// Where a run executes. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub enum Backend {
+    /// The deterministic simulated NUMA machine (the paper's harness).
+    #[default]
+    Simulated,
+    /// Real OS threads over shared host memory.
+    RealThreads(RealThreadsConfig),
+}
+
+impl Backend {
+    /// The real-thread backend with default configuration.
+    pub fn real_threads() -> Self {
+        Backend::RealThreads(RealThreadsConfig::default())
+    }
+}

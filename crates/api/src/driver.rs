@@ -1,0 +1,180 @@
+//! The engine-agnostic iteration driver for the simulated backend.
+//!
+//! All four engines execute the same bulk-synchronous skeleton — stamp the
+//! iteration, run the engine's phases, check the safety cap, stop when the
+//! active set drains or `max_iters` is reached, then package the clock and
+//! memory report into a [`RunResult`]. [`IterationDriver`] owns that
+//! skeleton (and the [`SimExecutor`] it drives) so each engine contributes
+//! only its paper-differentiating policy: the per-iteration phase body.
+//!
+//! The driver is accounting-transparent: it issues exactly the
+//! `set_iteration` / `run_phase` / `charge_barrier` sequence the engines
+//! issued before the extraction, so simulated output (PhaseCosts, simulated
+//! seconds, Chrome traces) is bit-identical — the conformance suite pins
+//! this against pre-refactor golden fixtures.
+
+use polymer_faults::{PolymerError, PolymerResult};
+use polymer_numa::{BarrierKind, Machine, MemoryReport, SimExecutor};
+
+use crate::result::RunResult;
+
+/// Owns the simulated executor and the iteration loop shared by every
+/// engine. Synchronous engines call [`IterationDriver::run_synchronous`];
+/// asynchronous ones (Galois's worklist) drive [`IterationDriver::sim`]
+/// directly and count rounds with [`IterationDriver::advance_round`] —
+/// worklist rounds are not traced supersteps, so the driver never stamps
+/// them.
+pub struct IterationDriver {
+    sim: SimExecutor,
+    threads: usize,
+    iters: usize,
+    iter_cap: usize,
+}
+
+impl IterationDriver {
+    /// A driver over a fresh executor with the default cost model: `threads`
+    /// simulated threads bound node-major, the engine's `barrier` family,
+    /// tracing per `traced`. `num_vertices` sizes the iteration safety cap
+    /// (`2·|V| + 64`): a converging synchronous program never needs more
+    /// iterations than vertices (BFS/SSSP level counts are bounded by the
+    /// diameter < |V|); a frontier still alive past the cap is oscillating,
+    /// not converging.
+    pub fn new(
+        machine: &Machine,
+        threads: usize,
+        barrier: BarrierKind,
+        traced: bool,
+        num_vertices: usize,
+    ) -> Self {
+        let mut sim = SimExecutor::with_config(machine, threads, Default::default(), barrier);
+        if traced {
+            sim.enable_trace();
+        }
+        IterationDriver {
+            sim,
+            threads,
+            iters: 0,
+            iter_cap: 2 * num_vertices + 64,
+        }
+    }
+
+    /// The executor, for phase bodies and engine setup queries (socket
+    /// count, thread-to-node binding).
+    pub fn sim(&mut self) -> &mut SimExecutor {
+        &mut self.sim
+    }
+
+    /// Iterations (or asynchronous rounds) executed so far.
+    pub fn iterations(&self) -> usize {
+        self.iters
+    }
+
+    /// Count one asynchronous scheduling round (no superstep stamp).
+    pub fn advance_round(&mut self) {
+        self.iters += 1;
+    }
+
+    /// The bulk-synchronous loop: while `is_active(state)` and under
+    /// `max_iters`, stamp the iteration and run `body(sim, iter, state)`.
+    /// `state` is the engine's loop-carried data (its frontier or active
+    /// count): the body consumes and rebuilds it each iteration. Errors from
+    /// the body (divergence, injected faults) and the safety cap surface as
+    /// typed [`PolymerError`]s.
+    pub fn run_synchronous<S>(
+        &mut self,
+        max_iters: usize,
+        state: &mut S,
+        mut is_active: impl FnMut(&S) -> bool,
+        mut body: impl FnMut(&mut SimExecutor, usize, &mut S) -> PolymerResult<()>,
+    ) -> PolymerResult<()> {
+        while is_active(state) && self.iters < max_iters {
+            if self.iters >= self.iter_cap {
+                return Err(PolymerError::IterationCapExceeded { cap: self.iter_cap });
+            }
+            self.sim.set_iteration(Some(self.iters as u64));
+            body(&mut self.sim, self.iters, state)?;
+            self.iters += 1;
+        }
+        Ok(())
+    }
+
+    /// Package the run: final values, iteration count, the accumulated
+    /// clock, and the machine's memory report.
+    pub fn finish<V>(self, values: Vec<V>) -> RunResult<V> {
+        let memory = MemoryReport::from_machine(self.sim.machine());
+        let sockets = self.sim.num_sockets();
+        RunResult {
+            values,
+            iterations: self.iters,
+            clock: self.sim.clock().clone(),
+            memory,
+            threads: self.threads,
+            sockets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymer_numa::MachineSpec;
+
+    #[test]
+    fn synchronous_loop_stamps_and_counts() {
+        let m = Machine::new(MachineSpec::test2());
+        let mut d = IterationDriver::new(&m, 2, BarrierKind::Hierarchical, false, 100);
+        let mut remaining = 3usize;
+        d.run_synchronous(
+            10,
+            &mut remaining,
+            |r| *r > 0,
+            |sim, _i, r| {
+                sim.run_phase("noop", |_tid, _ctx| {});
+                sim.charge_barrier();
+                *r -= 1;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(d.iterations(), 3);
+        let r = d.finish(vec![0u32; 4]);
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.clock.barriers, 3);
+        assert_eq!(r.threads, 2);
+    }
+
+    #[test]
+    fn max_iters_bounds_the_loop() {
+        let m = Machine::new(MachineSpec::test2());
+        let mut d = IterationDriver::new(&m, 1, BarrierKind::Hierarchical, false, 100);
+        let mut state = ();
+        d.run_synchronous(5, &mut state, |_| true, |_, _, _| Ok(()))
+            .unwrap();
+        assert_eq!(d.iterations(), 5);
+    }
+
+    #[test]
+    fn runaway_frontier_hits_the_safety_cap() {
+        let m = Machine::new(MachineSpec::test2());
+        // num_vertices = 0 -> cap 64.
+        let mut d = IterationDriver::new(&m, 1, BarrierKind::Hierarchical, false, 0);
+        let mut state = ();
+        let err = d
+            .run_synchronous(usize::MAX, &mut state, |_| true, |_, _, _| Ok(()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PolymerError::IterationCapExceeded { cap: 64 }
+        ));
+    }
+
+    #[test]
+    fn async_rounds_counted_without_stamping() {
+        let m = Machine::new(MachineSpec::test2());
+        let mut d = IterationDriver::new(&m, 1, BarrierKind::Hierarchical, false, 10);
+        d.sim().run_phase("relax", |_tid, _ctx| {});
+        d.advance_round();
+        d.advance_round();
+        assert_eq!(d.finish(Vec::<u32>::new()).iterations, 2);
+    }
+}

@@ -2,8 +2,9 @@
 
 use polymer_faults::{panic_with, PolymerError, PolymerResult};
 use polymer_graph::Graph;
-use polymer_numa::Machine;
+use polymer_numa::{Machine, MemoryReport, RunClock};
 
+use crate::backend::{Backend, ExecProfile};
 use crate::program::Program;
 use crate::result::RunResult;
 
@@ -100,6 +101,53 @@ pub trait Engine {
     ) -> RunResult<P::Val> {
         self.try_run_traced(machine, threads, graph, prog, true)
             .unwrap_or_else(|e| panic_with(e))
+    }
+
+    /// How this engine's strategy maps onto the real-thread executor
+    /// (direction policy, frontier adaptivity). The default is the full
+    /// hybrid profile; engines with pinned strategies override it.
+    fn exec_profile(&self) -> ExecProfile {
+        ExecProfile::default()
+    }
+
+    /// Execute on a chosen [`Backend`]: `Simulated` dispatches to
+    /// [`Engine::try_run`] on `machine` (deterministic, fully accounted);
+    /// `RealThreads` runs the program with real OS threads under this
+    /// engine's [`ExecProfile`] — values and iterations are real, while the
+    /// simulated clock and memory report are empty (wall-clock time is the
+    /// caller's to measure, and `sockets` reports the barrier group count).
+    fn try_run_on<P: Program>(
+        &self,
+        backend: &Backend,
+        machine: &Machine,
+        threads: usize,
+        graph: &Graph,
+        prog: &P,
+    ) -> PolymerResult<RunResult<P::Val>> {
+        match backend {
+            Backend::Simulated => self.try_run(machine, threads, graph, prog),
+            Backend::RealThreads(cfg) => {
+                let (values, iterations) = crate::parallel::try_run_threads(
+                    graph,
+                    prog,
+                    threads,
+                    cfg,
+                    &self.exec_profile(),
+                )?;
+                Ok(RunResult {
+                    values,
+                    iterations,
+                    clock: RunClock::default(),
+                    memory: MemoryReport {
+                        peak_bytes: 0,
+                        spilled_pages: 0,
+                        tags: vec![],
+                    },
+                    threads,
+                    sockets: cfg.groups.clamp(1, threads.max(1)),
+                })
+            }
+        }
     }
 }
 

@@ -26,17 +26,24 @@
 
 #![deny(unsafe_code)]
 
+pub mod backend;
+pub mod driver;
 pub mod engine;
 pub mod exec;
 pub mod parallel;
 pub mod program;
 pub mod result;
 
+pub use backend::{Backend, DirectionPolicy, ExecProfile, RealThreadsConfig};
+pub use driver::IterationDriver;
 pub use engine::{catch_engine_faults, validate_run_config, Engine, EngineKind};
 pub use exec::{
     atomic_combine, check_divergence, degree_balanced_chunks, even_chunks, init_values, TopoArrays,
 };
-pub use parallel::{run_parallel, try_run_parallel, try_run_parallel_traced};
+pub use parallel::{
+    run_parallel, try_run_parallel, try_run_parallel_traced, try_run_threads,
+    try_run_threads_traced,
+};
 pub use polymer_faults::{FaultPlan, PolymerError, PolymerResult};
 pub use program::{Combine, FrontierInit, Program};
 pub use result::RunResult;

@@ -1,35 +1,48 @@
-//! A genuinely multithreaded scatter–gather executor.
+//! A genuinely multithreaded executor — the `RealThreads` backend.
 //!
 //! The four engines run deterministically on the simulator so the paper's
 //! experiments are exactly reproducible; this module proves the other half
 //! of the design claim — that the data structures and program semantics are
-//! *really* concurrent. It executes any [`Program`] push-style with real OS
-//! threads (crossbeam scoped), Polymer's hierarchical sense-reversing
-//! barrier for phase synchronization, and lock-free atomic combines into a
-//! shared `next` array, with per-thread frontier queues merged at the
-//! barrier. Results are bit-identical to the sequential reference for
-//! min-combining programs and ε-close for floating-point accumulation
-//! (summation order differs).
+//! *really* concurrent. It executes any [`Program`] with real OS threads
+//! (crossbeam scoped), Polymer's hierarchical sense-reversing barrier for
+//! phase synchronization, and lock-free atomic combines into a shared
+//! `next` array, with per-thread frontier queues merged at the barrier.
+//!
+//! An [`ExecProfile`] maps an engine's strategy onto the executor: hybrid
+//! profiles switch to pull mode (per-target gather over in-edges, gated by
+//! an active-source bitmap) when the frontier's exact out-degree crosses
+//! Ligra's density threshold; push-only profiles keep the sparse
+//! scatter loop. Results are bit-identical to the sequential reference for
+//! min-combining programs (relaxation order never changes a monotone fixed
+//! point) and ε-close for floating-point accumulation (summation order
+//! differs).
 //!
 //! It is also the template for running this crate's programs on actual
 //! hardware: replace the plain arrays with `mbind`-placed memory and pin the
 //! threads, and the loop below is the Polymer push engine.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use polymer_faults::{panic_with, FaultPlan, PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
 use polymer_numa::{Atom, SharedTracer, WorkerSpan};
-use polymer_sync::HierBarrier;
+use polymer_sync::{should_densify, HierBarrier};
 
+use crate::backend::{DirectionPolicy, ExecProfile, RealThreadsConfig};
 use crate::program::{Combine, FrontierInit, Program};
 
 /// Default bound on a single barrier wait: generous enough that no healthy
 /// run on an oversubscribed host ever hits it, small enough that a dead
 /// sibling turns into an error rather than an eternal hang.
 const DEFAULT_BARRIER_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The legacy executor's profile: push-only over a sparse frontier list.
+const LEGACY_PROFILE: ExecProfile = ExecProfile {
+    direction: DirectionPolicy::PushOnly,
+    adaptive_frontier: false,
+};
 
 /// Record `err` as the run's failure unless a more informative error is
 /// already recorded. `BarrierPoisoned` is the *consequence* of a sibling's
@@ -47,10 +60,10 @@ fn record_error(slot: &parking_lot::Mutex<Option<PolymerError>>, err: PolymerErr
 }
 
 /// Run `prog` on `g` with `threads` real OS threads grouped into
-/// `groups` barrier groups (modelling sockets). Returns the final values
-/// and the iteration count. Panics (with a typed [`PolymerError`] payload)
-/// on invalid configuration or worker failure; fallible callers should use
-/// [`try_run_parallel`].
+/// `groups` barrier groups (modelling sockets), push-only. Returns the final
+/// values and the iteration count. Panics (with a typed [`PolymerError`]
+/// payload) on invalid configuration or worker failure; fallible callers
+/// should use [`try_run_parallel`].
 pub fn run_parallel<P: Program>(
     g: &Graph,
     prog: &P,
@@ -91,13 +104,46 @@ pub fn try_run_parallel_traced<P: Program>(
     plan: &FaultPlan,
     tracer: Option<&SharedTracer>,
 ) -> PolymerResult<(Vec<P::Val>, usize)> {
+    let cfg = RealThreadsConfig {
+        groups,
+        plan: plan.clone(),
+    };
+    try_run_threads_traced(g, prog, threads, &cfg, &LEGACY_PROFILE, tracer)
+}
+
+/// Run `prog` under an engine's [`ExecProfile`] — the `RealThreads` backend
+/// entry point ([`crate::Engine::try_run_on`] dispatches here). Hybrid
+/// profiles gain Beamer-style pull mode and adaptive frontiers; push-only
+/// profiles behave as the legacy executor.
+pub fn try_run_threads<P: Program>(
+    g: &Graph,
+    prog: &P,
+    threads: usize,
+    cfg: &RealThreadsConfig,
+    profile: &ExecProfile,
+) -> PolymerResult<(Vec<P::Val>, usize)> {
+    try_run_threads_traced(g, prog, threads, cfg, profile, None)
+}
+
+/// [`try_run_threads`] with wall-clock tracing (see
+/// [`try_run_parallel_traced`] for the span vocabulary).
+pub fn try_run_threads_traced<P: Program>(
+    g: &Graph,
+    prog: &P,
+    threads: usize,
+    cfg: &RealThreadsConfig,
+    profile: &ExecProfile,
+    tracer: Option<&SharedTracer>,
+) -> PolymerResult<(Vec<P::Val>, usize)> {
     if threads == 0 {
         return Err(PolymerError::InvalidConfig(
             "threads must be >= 1".to_string(),
         ));
     }
-    let groups = groups.clamp(1, threads);
+    let plan = &cfg.plan;
+    let groups = cfg.groups.clamp(1, threads);
     let n = g.num_vertices();
+    let m = g.num_edges() as u64;
     let identity = prog.next_identity();
     let barrier_timeout = plan.barrier_deadline().unwrap_or(DEFAULT_BARRIER_TIMEOUT);
 
@@ -109,6 +155,31 @@ pub fn try_run_parallel_traced<P: Program>(
     let updated: Vec<AtomicU64> = (0..n.div_ceil(64).max(1))
         .map(|_| AtomicU64::new(0))
         .collect();
+    // Active-source bitmap for pull iterations, rebuilt at each swap.
+    let active_bits: Vec<AtomicU64> = (0..n.div_ceil(64).max(1))
+        .map(|_| AtomicU64::new(0))
+        .collect();
+
+    // Direction switch: hybrid profiles pull when the frontier's exact
+    // out-degree crosses Ligra's density threshold.
+    let decide_pull = |items: &[VId]| -> bool {
+        if profile.direction != DirectionPolicy::Hybrid
+            || !profile.adaptive_frontier
+            || prog.prefer_push()
+        {
+            return false;
+        }
+        let degree: u64 = items.iter().map(|&v| g.out_degree(v) as u64).sum();
+        should_densify(items.len() as u64, degree, m)
+    };
+    let fill_active_bits = |items: &[VId]| {
+        for w in &active_bits {
+            w.store(0, Ordering::Relaxed);
+        }
+        for &v in items {
+            active_bits[v as usize / 64].fetch_or(1u64 << (v % 64), Ordering::Relaxed);
+        }
+    };
 
     // Group sizes: threads distributed round-major over groups.
     let sizes: Vec<usize> = (0..groups)
@@ -118,7 +189,7 @@ pub fn try_run_parallel_traced<P: Program>(
     let group_of = |tid: usize| tid % groups;
 
     // The frontier for the upcoming iteration, rebuilt by the serial thread.
-    let initial_frontier = match prog.initial_frontier(g) {
+    let initial_items: Vec<VId> = match prog.initial_frontier(g) {
         FrontierInit::All => (0..n as VId).collect(),
         FrontierInit::Single(s) => {
             if s as usize >= n {
@@ -129,23 +200,41 @@ pub fn try_run_parallel_traced<P: Program>(
             vec![s]
         }
     };
-    let frontier: parking_lot::RwLock<Vec<VId>> = parking_lot::RwLock::new(initial_frontier);
+    let initial_pull = decide_pull(&initial_items);
+    if initial_pull {
+        fill_active_bits(&initial_items);
+    }
+    struct SharedFrontier {
+        items: Vec<VId>,
+        use_pull: bool,
+    }
+    let frontier: parking_lot::RwLock<SharedFrontier> = parking_lot::RwLock::new(SharedFrontier {
+        items: initial_items,
+        use_pull: initial_pull,
+    });
     let next_frontier: parking_lot::Mutex<Vec<VId>> = parking_lot::Mutex::new(Vec::new());
     let iterations = AtomicU64::new(0);
-    let done = std::sync::atomic::AtomicBool::new(false);
+    let done = AtomicBool::new(false);
     let first_error: parking_lot::Mutex<Option<PolymerError>> = parking_lot::Mutex::new(None);
+
+    let in_off = g.in_offsets();
+    let in_src = g.in_sources();
+    let in_w = prog.uses_weights().then(|| g.in_edge_weights());
 
     let scope_result = crossbeam::scope(|scope| {
         for tid in 0..threads {
             let curr = &curr;
             let next = &next;
             let updated = &updated;
+            let active_bits = &active_bits;
             let barrier = &barrier;
             let frontier = &frontier;
             let next_frontier = &next_frontier;
             let iterations = &iterations;
             let done = &done;
             let first_error = &first_error;
+            let decide_pull = &decide_pull;
+            let fill_active_bits = &fill_active_bits;
             scope.spawn(move |_| {
                 let group = group_of(tid);
                 // Every barrier crossing is bounded: a sibling that died
@@ -182,34 +271,72 @@ pub fn try_run_parallel_traced<P: Program>(
                         if plan.should_panic_worker(tid, iter) {
                             panic!("injected worker panic");
                         }
-                        // --- Scatter phase: chunk the frontier by thread.
+                        // --- Edge phase: push chunks the frontier, pull
+                        // chunks the targets.
                         {
                             let fr = frontier.read();
-                            let chunk = fr.len().div_ceil(threads);
-                            let lo = (tid * chunk).min(fr.len());
-                            let hi = ((tid + 1) * chunk).min(fr.len());
-                            for &s in &fr[lo..hi] {
-                                let sv = P::Val::atom_load(&curr[s as usize]);
-                                let deg = g.out_degree(s) as u32;
-                                for (&t, &w) in g.out_neighbors(s).iter().zip(g.out_weights(s)) {
-                                    let c = prog.scatter(s, sv, w, deg);
-                                    let cell = &next[t as usize];
-                                    match prog.combine() {
-                                        Combine::Add => {
-                                            P::Val::atom_add(cell, c);
+                            if fr.use_pull {
+                                // Pull: fold over in-edges of this thread's
+                                // target chunk, gated by the active-source
+                                // bitmap. Targets are partitioned by thread,
+                                // so plain stores suffice and each updated
+                                // target is claimed exactly once.
+                                let lo = tid * n / threads;
+                                let hi = (tid + 1) * n / threads;
+                                for t in lo..hi {
+                                    let mut acc = identity;
+                                    let mut any = false;
+                                    for e in in_off[t]..in_off[t + 1] {
+                                        let s = in_src[e];
+                                        let bit = 1u64 << (s % 64);
+                                        if active_bits[s as usize / 64].load(Ordering::Relaxed)
+                                            & bit
+                                            == 0
+                                        {
+                                            continue;
                                         }
-                                        Combine::Min => {
-                                            P::Val::atom_min(cell, c);
-                                        }
-                                        Combine::Mul => {
-                                            P::Val::atom_mul(cell, c);
-                                        }
+                                        let sv = P::Val::atom_load(&curr[s as usize]);
+                                        let w = in_w.map_or(1, |ws| ws[e]);
+                                        let deg = g.out_degree(s) as u32;
+                                        acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
+                                        any = true;
                                     }
-                                    let bit = 1u64 << (t % 64);
-                                    let prev =
-                                        updated[t as usize / 64].fetch_or(bit, Ordering::AcqRel);
-                                    if prev & bit == 0 {
-                                        local_updates.push(t);
+                                    if any {
+                                        P::Val::atom_store(&next[t], acc);
+                                        local_updates.push(t as VId);
+                                    }
+                                }
+                            } else {
+                                // Push: chunk the frontier by thread, scatter
+                                // along out-edges with atomic combines.
+                                let items = &fr.items;
+                                let chunk = items.len().div_ceil(threads);
+                                let lo = (tid * chunk).min(items.len());
+                                let hi = ((tid + 1) * chunk).min(items.len());
+                                for &s in &items[lo..hi] {
+                                    let sv = P::Val::atom_load(&curr[s as usize]);
+                                    let deg = g.out_degree(s) as u32;
+                                    for (&t, &w) in g.out_neighbors(s).iter().zip(g.out_weights(s))
+                                    {
+                                        let c = prog.scatter(s, sv, w, deg);
+                                        let cell = &next[t as usize];
+                                        match prog.combine() {
+                                            Combine::Add => {
+                                                P::Val::atom_add(cell, c);
+                                            }
+                                            Combine::Min => {
+                                                P::Val::atom_min(cell, c);
+                                            }
+                                            Combine::Mul => {
+                                                P::Val::atom_mul(cell, c);
+                                            }
+                                        }
+                                        let bit = 1u64 << (t % 64);
+                                        let prev = updated[t as usize / 64]
+                                            .fetch_or(bit, Ordering::AcqRel);
+                                        if prev & bit == 0 {
+                                            local_updates.push(t);
+                                        }
                                     }
                                 }
                             }
@@ -217,7 +344,8 @@ pub fn try_run_parallel_traced<P: Program>(
                         sync(group, iter)?;
 
                         // --- Apply phase: each thread applies the targets it
-                        // claimed (exactly-once by the fetch_or above).
+                        // claimed (exactly-once by the fetch_or above in push
+                        // mode, by target partitioning in pull mode).
                         for &t in &local_updates {
                             let ti = t as usize;
                             let acc = P::Val::atom_load(&next[ti]);
@@ -239,11 +367,15 @@ pub fn try_run_parallel_traced<P: Program>(
                         if sync(group, iter)? {
                             let mut nf = next_frontier.lock();
                             let mut fr = frontier.write();
-                            std::mem::swap(&mut *fr, &mut *nf);
+                            std::mem::swap(&mut fr.items, &mut *nf);
                             nf.clear();
-                            fr.sort_unstable();
+                            fr.items.sort_unstable();
+                            fr.use_pull = decide_pull(&fr.items);
+                            if fr.use_pull {
+                                fill_active_bits(&fr.items);
+                            }
                             let iters = iterations.fetch_add(1, Ordering::AcqRel) + 1;
-                            if fr.is_empty() || iters as usize >= prog.max_iters() {
+                            if fr.items.is_empty() || iters as usize >= prog.max_iters() {
                                 done.store(true, Ordering::Release);
                             }
                         }
@@ -305,6 +437,7 @@ pub fn try_run_parallel_traced<P: Program>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
     use polymer_graph::EdgeList;
 
     // Minimal local BFS-by-level program to avoid a circular dev-dependency
@@ -424,5 +557,25 @@ mod tests {
         let plan = FaultPlan::new().delay_worker(0, 1, Duration::from_millis(5));
         let (vals, _) = try_run_parallel(&g, &Levels { src: 0 }, 2, 1, &plan).unwrap();
         assert_eq!(vals[15], 15);
+    }
+
+    #[test]
+    fn hybrid_profile_matches_push_only_on_dense_frontiers() {
+        // A complete-ish graph densifies immediately: the hybrid profile
+        // must pull and still produce the push-only (and reference) levels.
+        let n = 40u32;
+        let g = Graph::from_edges(&EdgeList::from_pairs(
+            n as usize,
+            (0..n).flat_map(|v| (1..4u32).map(move |d| (v, (v + d) % n))),
+        ));
+        let prog = Levels { src: 0 };
+        let cfg = RealThreadsConfig::default();
+        let hybrid = ExecProfile {
+            direction: DirectionPolicy::Hybrid,
+            adaptive_frontier: true,
+        };
+        let (want, _) = try_run_threads(&g, &prog, 3, &cfg, &LEGACY_PROFILE).unwrap();
+        let (got, _) = try_run_threads(&g, &prog, 3, &cfg, &hybrid).unwrap();
+        assert_eq!(got, want);
     }
 }

@@ -9,14 +9,24 @@
 //!
 //! The committed `results/BENCH_hotpath.json` was produced with the
 //! defaults (`--scale 0`: 2^17 vertices, 2^21 edges, PageRank, 80 simulated
-//! threads on the Intel machine).
+//! threads on the Intel machine). Each row also carries a
+//! `wall_real_threads_sec` column: the same program through the same
+//! [`polymer_api::Engine::try_run_on`] entry point on the `RealThreads`
+//! backend ([`REAL_THREADS`] OS threads) — a real-parallelism wall-clock
+//! baseline for future performance PRs.
 
 use std::time::Instant;
 
+use polymer_api::Backend;
 use polymer_bench::{write_json, AlgoId, Args, SystemId, Table, Workload};
 use polymer_graph::DatasetId;
 use polymer_numa::{set_bulk_accounting, MachineSpec};
 use serde::Serialize;
+
+/// OS threads for the `RealThreads` baseline column. Fixed (rather than
+/// host-dependent) so committed numbers are comparable across machines with
+/// different core counts.
+const REAL_THREADS: usize = 8;
 
 /// Wall-clock outcome of one system under both accounting modes.
 #[derive(Serialize)]
@@ -28,6 +38,9 @@ struct HotpathRow {
     wall_bulk_sec: f64,
     /// `wall_scalar_sec / wall_bulk_sec`.
     speedup: f64,
+    /// Best-of-N host seconds on the `RealThreads` backend with
+    /// [`REAL_THREADS`] OS threads (no simulation, no accounting).
+    wall_real_threads_sec: f64,
     /// Simulated seconds (identical in both modes by construction).
     sim_seconds: f64,
     iterations: usize,
@@ -45,9 +58,17 @@ fn main() {
         "Hot-path accounting: PageRank on rmat24 (scale {}), 80 threads, Intel\n",
         args.scale
     );
-    let mut table = Table::new(&["System", "Scalar(s)", "Bulk(s)", "Speedup", "Identical"]);
+    let mut table = Table::new(&[
+        "System",
+        "Scalar(s)",
+        "Bulk(s)",
+        "Speedup",
+        "Real(s)",
+        "Identical",
+    ]);
     let mut rows = Vec::new();
     let mut all_identical = true;
+    let real_backend = Backend::real_threads();
     for sys in SystemId::ALL {
         eprintln!("[hotpath] {} ...", sys.name());
         let mut wall = [f64::MAX; 2]; // [scalar, bulk]
@@ -69,6 +90,12 @@ fn main() {
             }
         }
         set_bulk_accounting(true);
+        let mut wall_real = f64::MAX;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            polymer_bench::runner::run_on(sys, AlgoId::PR, &wl, &spec, REAL_THREADS, &real_backend);
+            wall_real = wall_real.min(t.elapsed().as_secs_f64());
+        }
         let identical = metrics[0] == metrics[1];
         all_identical &= identical;
         let m = last.expect("at least one run");
@@ -77,6 +104,7 @@ fn main() {
             format!("{:.3}", wall[0]),
             format!("{:.3}", wall[1]),
             format!("{:.2}x", wall[0] / wall[1]),
+            format!("{:.3}", wall_real),
             identical.to_string(),
         ]);
         rows.push(HotpathRow {
@@ -84,6 +112,7 @@ fn main() {
             wall_scalar_sec: wall[0],
             wall_bulk_sec: wall[1],
             speedup: wall[0] / wall[1],
+            wall_real_threads_sec: wall_real,
             sim_seconds: m.seconds,
             iterations: m.iterations,
             identical,

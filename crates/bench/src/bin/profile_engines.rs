@@ -1,44 +1,53 @@
 //! Diagnostic tool (not a paper experiment): prints the per-phase simulated
 //! time breakdown of PageRank on the twitter dataset for Ligra, Galois and
-//! Polymer — useful when calibrating the cost model.
+//! Polymer — useful when calibrating the cost model. Runs go through the
+//! unified [`Engine::try_run_on`] substrate entry point on the `Simulated`
+//! backend.
 
 use polymer_algos::PageRank;
-use polymer_api::Engine;
+use polymer_api::{Backend, Engine, RunResult};
 use polymer_bench::{SystemId, Workload};
 use polymer_graph::DatasetId;
 use polymer_numa::{Machine, MachineSpec};
+
+fn print_profile(sys: SystemId, r: &RunResult<f64>) {
+    println!(
+        "== {:?}: total {:.1}ms barrier {:.1}ms iters {}",
+        sys,
+        r.clock.total.time_us / 1000.0,
+        r.clock.barrier_us / 1000.0,
+        r.iterations
+    );
+    let mut phases: Vec<_> = r.clock.by_phase.iter().collect();
+    phases.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).unwrap());
+    for (name, (us, count)) in phases {
+        println!("   {name:20} {:8.1}ms  x{count}", us / 1000.0);
+    }
+    println!(
+        "   max_thread {:.1}ms dram {:.1}ms link {:.1}ms  remote rate {:.2}",
+        r.clock.total.max_thread_us / 1000.0,
+        r.clock.total.dram_bound_us / 1000.0,
+        r.clock.total.link_bound_us / 1000.0,
+        r.remote_report().access_rate_remote
+    );
+}
 
 fn main() {
     let wl = Workload::prepare(DatasetId::TwitterS, 0);
     let spec = wl.scaled_spec(&MachineSpec::intel80());
     let g = &wl.graph;
     let prog = PageRank::new(g.num_vertices());
-    for sys in [SystemId::Ligra, SystemId::Galois, SystemId::Polymer] {
-        let machine = Machine::new(spec.clone());
-        let r = match sys {
-            SystemId::Ligra => polymer_ligra::LigraEngine::new().run(&machine, 80, g, &prog),
-            SystemId::Galois => polymer_galois::GaloisEngine::new().run(&machine, 80, g, &prog),
-            SystemId::Polymer => polymer_core::PolymerEngine::new().run(&machine, 80, g, &prog),
-            _ => unreachable!(),
-        };
-        println!(
-            "== {:?}: total {:.1}ms barrier {:.1}ms iters {}",
-            sys,
-            r.clock.total.time_us / 1000.0,
-            r.clock.barrier_us / 1000.0,
-            r.iterations
-        );
-        let mut phases: Vec<_> = r.clock.by_phase.iter().collect();
-        phases.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).unwrap());
-        for (name, (us, count)) in phases {
-            println!("   {name:20} {:8.1}ms  x{count}", us / 1000.0);
-        }
-        println!(
-            "   max_thread {:.1}ms dram {:.1}ms link {:.1}ms  remote rate {:.2}",
-            r.clock.total.max_thread_us / 1000.0,
-            r.clock.total.dram_bound_us / 1000.0,
-            r.clock.total.link_bound_us / 1000.0,
-            r.remote_report().access_rate_remote
-        );
+    let backend = Backend::Simulated;
+    macro_rules! profile {
+        ($sys:expr, $engine:expr) => {{
+            let machine = Machine::new(spec.clone());
+            let r = $engine
+                .try_run_on(&backend, &machine, 80, g, &prog)
+                .unwrap_or_else(|e| panic!("{:?} profile run failed: {e:?}", $sys));
+            print_profile($sys, &r);
+        }};
     }
+    profile!(SystemId::Ligra, polymer_ligra::LigraEngine::new());
+    profile!(SystemId::Galois, polymer_galois::GaloisEngine::new());
+    profile!(SystemId::Polymer, polymer_core::PolymerEngine::new());
 }

@@ -17,9 +17,10 @@
 #![deny(unsafe_code)]
 
 pub mod cli;
+pub mod golden;
 pub mod report;
 pub mod runner;
 
 pub use cli::Args;
 pub use report::{write_json, Table};
-pub use runner::{run, AlgoId, Metrics, SystemId, Workload};
+pub use runner::{run, run_on, AlgoId, Metrics, SystemId, Workload};

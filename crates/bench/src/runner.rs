@@ -2,7 +2,7 @@
 //! machine shape, returning uniform metrics.
 
 use polymer_algos::{BeliefPropagation, Bfs, ConnectedComponents, PageRank, SpMV, Sssp};
-use polymer_api::{Engine, RunResult};
+use polymer_api::{Backend, Engine, RunResult};
 use polymer_core::{PolymerConfig, PolymerEngine};
 use polymer_galois::GaloisEngine;
 use polymer_graph::{dataset, DatasetId, Graph, VId};
@@ -284,6 +284,56 @@ fn take_trace<V>(r: &polymer_api::RunResult<V>) -> TraceBuffer {
     r.trace().cloned().unwrap_or_default()
 }
 
+/// Run one (system, algorithm) pair through the unified
+/// [`Engine::try_run_on`] entry point on a chosen backend.
+///
+/// `Backend::Simulated` is equivalent to [`run`] (fully accounted simulated
+/// metrics); `Backend::RealThreads` executes the program with real OS
+/// threads under the engine's [`polymer_api::ExecProfile`] — values and
+/// iteration counts are real while every simulated field (seconds, remote
+/// profile, memory) reads zero, so callers measure wall-clock themselves.
+pub fn run_on(
+    system: SystemId,
+    algo: AlgoId,
+    wl: &Workload,
+    spec: &MachineSpec,
+    threads: usize,
+    backend: &Backend,
+) -> Metrics {
+    let g = wl.graph_for(algo);
+    let machine = Machine::new(wl.scaled_spec(spec));
+    let name = wl.id.name();
+    macro_rules! dispatch_prog {
+        ($prog:expr) => {{
+            let prog = $prog;
+            let r = match system {
+                SystemId::Polymer => {
+                    PolymerEngine::new().try_run_on(backend, &machine, threads, g, &prog)
+                }
+                SystemId::Ligra => {
+                    LigraEngine::new().try_run_on(backend, &machine, threads, g, &prog)
+                }
+                SystemId::XStream => {
+                    XStreamEngine::new().try_run_on(backend, &machine, threads, g, &prog)
+                }
+                SystemId::Galois => {
+                    GaloisEngine::new().try_run_on(backend, &machine, threads, g, &prog)
+                }
+            };
+            let r = r.unwrap_or_else(|e| panic!("{system:?}/{algo:?} run failed: {e:?}"));
+            metrics(system, algo, name, spec, &r)
+        }};
+    }
+    match algo {
+        AlgoId::PR => dispatch_prog!(PageRank::new(g.num_vertices())),
+        AlgoId::SpMV => dispatch_prog!(SpMV::new()),
+        AlgoId::BP => dispatch_prog!(BeliefPropagation::new()),
+        AlgoId::BFS => dispatch_prog!(Bfs::new(wl.source)),
+        AlgoId::CC => dispatch_prog!(ConnectedComponents::new()),
+        AlgoId::SSSP => dispatch_prog!(Sssp::new(wl.source)),
+    }
+}
+
 /// Run one (system, algorithm) pair on a workload with a fresh machine of
 /// the given spec, using `threads` simulated threads.
 pub fn run(
@@ -389,6 +439,19 @@ mod tests {
             assert!(m.seconds > 0.0, "{:?}", sys);
             assert!(m.iterations > 0);
             assert_eq!(m.threads, 4);
+        }
+    }
+
+    #[test]
+    fn run_on_dispatches_both_backends() {
+        let wl = Workload::prepare(DatasetId::Rmat24S, -8);
+        let spec = MachineSpec::test2();
+        for sys in SystemId::ALL {
+            let sim = run_on(sys, AlgoId::BFS, &wl, &spec, 4, &Backend::Simulated);
+            assert!(sim.seconds > 0.0, "{:?} simulated", sys);
+            let real = run_on(sys, AlgoId::BFS, &wl, &spec, 4, &Backend::real_threads());
+            assert_eq!(real.seconds, 0.0, "{:?} real clock must be empty", sys);
+            assert!(real.iterations > 0, "{:?} real-threads", sys);
         }
     }
 

@@ -2,12 +2,13 @@
 
 use polymer_api::{
     atomic_combine, catch_engine_faults, check_divergence, even_chunks, validate_run_config,
-    Engine, EngineKind, FrontierInit, Program, RunResult,
+    DirectionPolicy, Engine, EngineKind, ExecProfile, FrontierInit, IterationDriver, Program,
+    RunResult,
 };
-use polymer_faults::{PolymerError, PolymerResult};
+use polymer_faults::PolymerResult;
 use polymer_graph::{Graph, VId};
-use polymer_numa::{AccessCtx, BarrierKind, Machine, MemoryReport, SimExecutor};
-use polymer_sync::{should_densify, DenseBitmap, LookupTable, ThreadQueues};
+use polymer_numa::{AccessCtx, BarrierKind, Machine};
+use polymer_sync::{should_densify, DenseBitmap, FrontierRepr, LookupTable, ThreadQueues};
 
 use crate::layout::PolymerLayout;
 
@@ -85,69 +86,51 @@ impl PolymerEngine {
     }
 }
 
-/// Polymer's distributed frontier: sparse vertex list, or per-node dense
-/// bitmaps linked through the lock-less lookup table.
-enum PFrontier {
-    Sparse(Vec<VId>),
-    Dense {
-        table: LookupTable<DenseBitmap>,
-        count: usize,
-    },
+/// Polymer's distributed frontier: the shared [`FrontierRepr`] switcher
+/// with per-node dense bitmaps linked through the lock-less lookup table as
+/// its dense store.
+type PFrontier = FrontierRepr<LookupTable<DenseBitmap>>;
+
+/// Build the dense representation from items (distributed allocation, one
+/// partition per node via the lookup table).
+fn densify_distributed(
+    machine: &Machine,
+    layout: &PolymerLayout,
+    items: &[VId],
+) -> LookupTable<DenseBitmap> {
+    let table = LookupTable::new(layout.num_nodes());
+    for (node, nl) in layout.nodes.iter().enumerate() {
+        table.install(
+            node,
+            DenseBitmap::new(
+                machine,
+                "stat/frontier",
+                nl.range.len(),
+                layout.state_policy(node),
+            ),
+        );
+    }
+    for &v in items {
+        let owner = layout.owner(v as usize);
+        table
+            .get(owner)
+            .unwrap()
+            .set_unaccounted(v as usize - layout.nodes[owner].range.start);
+    }
+    table
 }
 
-impl PFrontier {
-    fn len(&self) -> usize {
-        match self {
-            PFrontier::Sparse(v) => v.len(),
-            PFrontier::Dense { count, .. } => *count,
-        }
-    }
-
-    /// Accounted membership test (dense only).
-    #[inline]
-    fn test_dense(
-        table: &LookupTable<DenseBitmap>,
-        layout: &PolymerLayout,
-        ctx: &mut AccessCtx,
-        v: usize,
-    ) -> bool {
-        let owner = layout.owner(v);
-        let bits = table.get(owner).expect("frontier partition installed");
-        bits.test(ctx, v - layout.nodes[owner].range.start)
-    }
-
-    /// Build the dense representation from items (distributed allocation,
-    /// one partition per node via the lookup table).
-    fn densify(machine: &Machine, layout: &PolymerLayout, items: &[VId]) -> PFrontier {
-        let table = LookupTable::new(layout.num_nodes());
-        for (node, nl) in layout.nodes.iter().enumerate() {
-            table.install(
-                node,
-                DenseBitmap::new(
-                    machine,
-                    "stat/frontier",
-                    nl.range.len(),
-                    layout.state_policy(node),
-                ),
-            );
-        }
-        for &v in items {
-            let owner = layout.owner(v as usize);
-            table
-                .get(owner)
-                .unwrap()
-                .set_unaccounted(v as usize - layout.nodes[owner].range.start);
-        }
-        PFrontier::Dense {
-            table,
-            count: items.len(),
-        }
-    }
-
-    fn all(machine: &Machine, layout: &PolymerLayout, n: usize) -> PFrontier {
-        let items: Vec<VId> = (0..n as VId).collect();
-        Self::densify(machine, layout, &items)
-    }
+/// Accounted membership test against the distributed dense frontier.
+#[inline]
+fn test_dense(
+    table: &LookupTable<DenseBitmap>,
+    layout: &PolymerLayout,
+    ctx: &mut AccessCtx,
+    v: usize,
+) -> bool {
+    let owner = layout.owner(v);
+    let bits = table.get(owner).expect("frontier partition installed");
+    bits.test(ctx, v - layout.nodes[owner].range.start)
 }
 
 /// Iterate `0..len` starting at `pivot` and wrapping (the paper's *rolling
@@ -173,6 +156,13 @@ impl Engine for PolymerEngine {
         validate_run_config(threads, g, prog)?;
         catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced))
     }
+
+    fn exec_profile(&self) -> ExecProfile {
+        ExecProfile {
+            direction: DirectionPolicy::Hybrid,
+            adaptive_frontier: self.config.adaptive_states,
+        }
+    }
 }
 
 impl PolymerEngine {
@@ -189,18 +179,17 @@ impl PolymerEngine {
         let identity = prog.next_identity();
         let sc = prog.scatter_cycles();
 
-        let mut sim =
-            SimExecutor::with_config(machine, threads, Default::default(), self.config.barrier);
-        if traced {
-            sim.enable_trace();
-        }
-        let spanned = sim.num_sockets();
+        let mut driver = IterationDriver::new(machine, threads, self.config.barrier, traced, n);
+        let spanned = driver.sim().num_sockets();
         let tpn: Vec<usize> = (0..spanned)
-            .map(|node| sim.threads_on_node(node).len())
+            .map(|node| driver.sim().threads_on_node(node).len())
             .collect();
         // Thread index within its node (threads are bound node-major).
         let tin: Vec<usize> = (0..threads)
-            .map(|t| t - sim.threads_on_node(sim.node_of_thread(t))[0])
+            .map(|t| {
+                let sim = driver.sim();
+                t - sim.threads_on_node(sim.node_of_thread(t))[0]
+            })
             .collect();
 
         // Both edge directions are always materialized (the real system
@@ -228,317 +217,317 @@ impl PolymerEngine {
                 .alloc_atomic_with::<P::Val>("data/next", n, layout.chunked_policy(), |_| identity);
 
         let mut frontier = match prog.initial_frontier(g) {
-            FrontierInit::All => PFrontier::all(machine, &layout, n),
+            FrontierInit::All => {
+                let items: Vec<VId> = (0..n as VId).collect();
+                PFrontier::dense(densify_distributed(machine, &layout, &items), n, m as u64)
+            }
             // The source is validated by `validate_run_config`.
             FrontierInit::Single(s) => {
                 if self.config.adaptive_states {
-                    PFrontier::Sparse(vec![s])
+                    PFrontier::sparse(vec![s])
                 } else {
-                    PFrontier::densify(machine, &layout, &[s])
+                    PFrontier::dense(
+                        densify_distributed(machine, &layout, &[s]),
+                        1,
+                        g.out_degree(s) as u64,
+                    )
                 }
             }
         };
 
         let queues = ThreadQueues::new(machine, threads);
-        // Safety cap for synchronous engines: no program that converges
-        // needs more iterations than vertices (BFS/SSSP level counts are
-        // bounded by the diameter < n); a frontier still alive past this is
-        // oscillating, not converging.
-        let iter_cap = 2 * n + 64;
-        let mut iters = 0usize;
-        while frontier.len() > 0 && iters < prog.max_iters() {
-            if iters >= iter_cap {
-                return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
-            }
-            sim.set_iteration(Some(iters as u64));
-            let frontier_degree: u64 = match &frontier {
-                PFrontier::Sparse(items) => items.iter().map(|&v| g.out_degree(v) as u64).sum(),
-                PFrontier::Dense { count, .. } => (m as u64) * (*count as u64) / (n.max(1) as u64),
-            };
-            let use_pull = use_pull_allowed
-                && should_densify(frontier.len() as u64, frontier_degree, m as u64);
+        driver.run_synchronous(
+            prog.max_iters(),
+            &mut frontier,
+            |f| !f.is_empty(),
+            |sim, iters, frontier| {
+                // The frontier knows its exact total out-degree.
+                let frontier_degree = frontier.out_degree(|v| g.out_degree(v) as u64);
+                let use_pull = use_pull_allowed
+                    && should_densify(frontier.len() as u64, frontier_degree, m as u64);
 
-            // Per-iteration runtime states: distributed allocation, linked
-            // through the lock-less lookup table (Section 4.2).
-            let updated: LookupTable<DenseBitmap> = LookupTable::new(spanned);
-            for (node, nl) in layout.nodes.iter().enumerate() {
-                updated.install(
-                    node,
-                    DenseBitmap::new(
-                        machine,
-                        "stat/updated",
-                        nl.range.len(),
-                        layout.state_policy(node),
-                    ),
-                );
-            }
+                // Per-iteration runtime states: distributed allocation, linked
+                // through the lock-less lookup table (Section 4.2).
+                let updated: LookupTable<DenseBitmap> = LookupTable::new(spanned);
+                for (node, nl) in layout.nodes.iter().enumerate() {
+                    updated.install(
+                        node,
+                        DenseBitmap::new(
+                            machine,
+                            "stat/updated",
+                            nl.range.len(),
+                            layout.state_policy(node),
+                        ),
+                    );
+                }
 
-            // --- Scatter / gather phase -------------------------------
-            if use_pull {
-                // Pull: each node reads its local sources and writes the
-                // global next array sequentially by target.
-                let fr = match frontier {
-                    f @ PFrontier::Dense { .. } => f,
-                    PFrontier::Sparse(items) => PFrontier::densify(machine, &layout, &items),
-                };
-                let table = match &fr {
-                    PFrontier::Dense { table, .. } => table,
-                    PFrontier::Sparse(_) => unreachable!(),
-                };
-                sim.run_phase("gather-pull", |tid, ctx| {
-                    let node = ctx.node();
-                    let nl = &layout.nodes[node];
-                    let dir = nl.pull.as_ref().expect("pull layout built");
-                    let my = &dir.slices[tin[tid]];
-                    if my.is_empty() {
-                        return;
-                    }
-                    // Rolling order: start at the first agent the node owns.
-                    let pivot = dir
-                        .agent_id
-                        .raw()
-                        .partition_point(|&t| (t as usize) < nl.range.start)
-                        .clamp(my.start, my.end)
-                        - my.start;
-                    let own_bits = table.get(node).unwrap();
-                    for off in rolling(my.len(), pivot) {
-                        let a = my.start + off;
-                        // Agent id / offset pair reads stay scalar: the
-                        // offsets re-read the previous agent's end, and the
-                        // rolling order wraps once mid-scan.
-                        let t = dir.agent_id.get(ctx, a) as usize;
-                        let lo = dir.agent_off.get(ctx, a) as usize;
-                        let hi = dir.agent_off.get(ctx, a + 1) as usize;
-                        let mut acc = identity;
-                        let mut any = false;
-                        // Source endpoints are scanned unconditionally —
-                        // bulk stream. Everything inside the frontier test
-                        // (weight, value, degree, bitmap word) is gated or
-                        // vertex-indexed (random) and stays scalar.
-                        for (e, s) in (lo..hi).zip(dir.endpoint.iter_seq(ctx, lo..hi)) {
-                            let s = s as usize;
-                            // Sources are local to this node by layout.
-                            if own_bits.test(ctx, s - nl.range.start) {
-                                let w = match &dir.weight {
-                                    Some(ws) => ws.get(ctx, e),
-                                    None => 1,
-                                };
-                                let sv = curr.load(ctx, s);
-                                let deg = layout.out_deg.get(ctx, s);
-                                acc = prog.fold(acc, prog.scatter(s as VId, sv, w, deg));
-                                ctx.charge_cycles(sc);
-                                any = true;
-                            }
+                // --- Scatter / gather phase -------------------------------
+                if use_pull {
+                    // Pull: each node reads its local sources and writes the
+                    // global next array sequentially by target.
+                    let taken = std::mem::replace(frontier, PFrontier::sparse(Vec::new()));
+                    let fr = match taken {
+                        f @ FrontierRepr::Dense { .. } => f,
+                        FrontierRepr::Sparse(items) => {
+                            let count = items.len();
+                            PFrontier::dense(
+                                densify_distributed(machine, &layout, &items),
+                                count,
+                                frontier_degree,
+                            )
                         }
-                        if any {
-                            atomic_combine(prog, &next, ctx, t, acc);
-                            let owner = layout.owner(t);
-                            updated
-                                .get(owner)
-                                .unwrap()
-                                .set(ctx, t - layout.nodes[owner].range.start);
+                    };
+                    let table = fr.as_dense().expect("dense after conversion");
+                    sim.run_phase("gather-pull", |tid, ctx| {
+                        let node = ctx.node();
+                        let nl = &layout.nodes[node];
+                        let dir = nl.pull.as_ref().expect("pull layout built");
+                        let my = &dir.slices[tin[tid]];
+                        if my.is_empty() {
+                            return;
                         }
-                    }
-                });
-                drop(fr);
-            } else {
-                match &frontier {
-                    PFrontier::Dense { table, .. } => {
-                        // Dense push: every node scans its agents, testing
-                        // the (distributed) frontier bitmap per source.
-                        sim.run_phase("scatter-push", |tid, ctx| {
-                            let node = ctx.node();
-                            let nl = &layout.nodes[node];
-                            let dir = &nl.push;
-                            let my = &dir.slices[tin[tid]];
-                            // Agent ids are scanned unconditionally in slice
-                            // order — bulk stream. Everything below the
-                            // frontier test only happens for active agents
-                            // and stays scalar.
-                            let id_it = dir.agent_id.iter_seq(ctx, my.clone());
-                            for (a, sid) in my.clone().zip(id_it) {
-                                let s = sid as usize;
-                                if !PFrontier::test_dense(table, &layout, ctx, s) {
-                                    continue;
-                                }
-                                let deg = dir.agent_deg.get(ctx, a);
-                                // Source value is vertex-indexed — scalar.
-                                let sv = curr.load(ctx, s);
-                                let lo = dir.agent_off.get(ctx, a) as usize;
-                                let hi = dir.agent_off.get(ctx, a + 1) as usize;
-                                // Every out-edge of an active agent is
-                                // consumed — the edge-aligned arrays stream
-                                // in bulk. Combine targets / updated bits /
-                                // queue pushes are destination-indexed
-                                // (random) and stay scalar.
-                                let dst_it = dir.endpoint.iter_seq(ctx, lo..hi);
-                                let mut w_it =
-                                    dir.weight.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
-                                for t in dst_it {
-                                    let w = match &mut w_it {
-                                        Some(it) => it.next().expect("weight stream aligned"),
+                        // Rolling order: start at the first agent the node owns.
+                        let pivot = dir
+                            .agent_id
+                            .raw()
+                            .partition_point(|&t| (t as usize) < nl.range.start)
+                            .clamp(my.start, my.end)
+                            - my.start;
+                        let own_bits = table.get(node).unwrap();
+                        for off in rolling(my.len(), pivot) {
+                            let a = my.start + off;
+                            // Agent id / offset pair reads stay scalar: the
+                            // offsets re-read the previous agent's end, and the
+                            // rolling order wraps once mid-scan.
+                            let t = dir.agent_id.get(ctx, a) as usize;
+                            let lo = dir.agent_off.get(ctx, a) as usize;
+                            let hi = dir.agent_off.get(ctx, a + 1) as usize;
+                            let mut acc = identity;
+                            let mut any = false;
+                            // Source endpoints are scanned unconditionally —
+                            // bulk stream. Everything inside the frontier test
+                            // (weight, value, degree, bitmap word) is gated or
+                            // vertex-indexed (random) and stays scalar.
+                            for (e, s) in (lo..hi).zip(dir.endpoint.iter_seq(ctx, lo..hi)) {
+                                let s = s as usize;
+                                // Sources are local to this node by layout.
+                                if own_bits.test(ctx, s - nl.range.start) {
+                                    let w = match &dir.weight {
+                                        Some(ws) => ws.get(ctx, e),
                                         None => 1,
                                     };
-                                    let t = t as usize;
-                                    atomic_combine(
-                                        prog,
-                                        &next,
-                                        ctx,
-                                        t,
-                                        prog.scatter(s as VId, sv, w, deg),
-                                    );
+                                    let sv = curr.load(ctx, s);
+                                    let deg = layout.out_deg.get(ctx, s);
+                                    acc = prog.fold(acc, prog.scatter(s as VId, sv, w, deg));
                                     ctx.charge_cycles(sc);
-                                    if updated.get(node).unwrap().set(ctx, t - nl.range.start) {
-                                        queues.push(ctx, t as VId);
-                                    }
+                                    any = true;
                                 }
                             }
-                        });
-                    }
-                    PFrontier::Sparse(items) => {
-                        // Sparse push: every node routes each active vertex
-                        // through its local agent index.
-                        let per_node_chunks: Vec<Vec<std::ops::Range<usize>>> = (0..spanned)
-                            .map(|node| even_chunks(items.len(), tpn[node]))
-                            .collect();
-                        sim.run_phase("scatter-push-sparse", |tid, ctx| {
-                            let node = ctx.node();
-                            let nl = &layout.nodes[node];
-                            let dir = &nl.push;
-                            let my = per_node_chunks[node][tin[tid]].clone();
-                            for &s in &items[my] {
-                                let slot = dir.agent_idx.get(ctx, s as usize);
-                                if slot == 0 {
-                                    continue;
-                                }
-                                let a = (slot - 1) as usize;
-                                let deg = dir.agent_deg.get(ctx, a);
-                                // Source value is vertex-indexed — scalar.
-                                let sv = curr.load(ctx, s as usize);
-                                let lo = dir.agent_off.get(ctx, a) as usize;
-                                let hi = dir.agent_off.get(ctx, a + 1) as usize;
-                                // Every out-edge of an active agent is
-                                // consumed — the edge-aligned arrays stream
-                                // in bulk; destination-indexed accesses
-                                // stay scalar.
-                                let dst_it = dir.endpoint.iter_seq(ctx, lo..hi);
-                                let mut w_it =
-                                    dir.weight.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
-                                for t in dst_it {
-                                    let w = match &mut w_it {
-                                        Some(it) => it.next().expect("weight stream aligned"),
-                                        None => 1,
-                                    };
-                                    let t = t as usize;
-                                    atomic_combine(
-                                        prog,
-                                        &next,
-                                        ctx,
-                                        t,
-                                        prog.scatter(s, sv, w, deg),
-                                    );
-                                    ctx.charge_cycles(sc);
-                                    if updated.get(node).unwrap().set(ctx, t - nl.range.start) {
-                                        queues.push(ctx, t as VId);
+                            if any {
+                                atomic_combine(prog, &next, ctx, t, acc);
+                                let owner = layout.owner(t);
+                                updated
+                                    .get(owner)
+                                    .unwrap()
+                                    .set(ctx, t - layout.nodes[owner].range.start);
+                            }
+                        }
+                    });
+                    drop(fr);
+                } else {
+                    match &*frontier {
+                        FrontierRepr::Dense { repr: table, .. } => {
+                            // Dense push: every node scans its agents, testing
+                            // the (distributed) frontier bitmap per source.
+                            sim.run_phase("scatter-push", |tid, ctx| {
+                                let node = ctx.node();
+                                let nl = &layout.nodes[node];
+                                let dir = &nl.push;
+                                let my = &dir.slices[tin[tid]];
+                                // Agent ids are scanned unconditionally in slice
+                                // order — bulk stream. Everything below the
+                                // frontier test only happens for active agents
+                                // and stays scalar.
+                                let id_it = dir.agent_id.iter_seq(ctx, my.clone());
+                                for (a, sid) in my.clone().zip(id_it) {
+                                    let s = sid as usize;
+                                    if !test_dense(table, &layout, ctx, s) {
+                                        continue;
+                                    }
+                                    let deg = dir.agent_deg.get(ctx, a);
+                                    // Source value is vertex-indexed — scalar.
+                                    let sv = curr.load(ctx, s);
+                                    let lo = dir.agent_off.get(ctx, a) as usize;
+                                    let hi = dir.agent_off.get(ctx, a + 1) as usize;
+                                    // Every out-edge of an active agent is
+                                    // consumed — the edge-aligned arrays stream
+                                    // in bulk. Combine targets / updated bits /
+                                    // queue pushes are destination-indexed
+                                    // (random) and stay scalar.
+                                    let dst_it = dir.endpoint.iter_seq(ctx, lo..hi);
+                                    let mut w_it =
+                                        dir.weight.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                                    for t in dst_it {
+                                        let w = match &mut w_it {
+                                            Some(it) => it.next().expect("weight stream aligned"),
+                                            None => 1,
+                                        };
+                                        let t = t as usize;
+                                        atomic_combine(
+                                            prog,
+                                            &next,
+                                            ctx,
+                                            t,
+                                            prog.scatter(s as VId, sv, w, deg),
+                                        );
+                                        ctx.charge_cycles(sc);
+                                        if updated.get(node).unwrap().set(ctx, t - nl.range.start) {
+                                            queues.push(ctx, t as VId);
+                                        }
                                     }
                                 }
-                            }
-                        });
+                            });
+                        }
+                        FrontierRepr::Sparse(items) => {
+                            // Sparse push: every node routes each active vertex
+                            // through its local agent index.
+                            let per_node_chunks: Vec<Vec<std::ops::Range<usize>>> = (0..spanned)
+                                .map(|node| even_chunks(items.len(), tpn[node]))
+                                .collect();
+                            sim.run_phase("scatter-push-sparse", |tid, ctx| {
+                                let node = ctx.node();
+                                let nl = &layout.nodes[node];
+                                let dir = &nl.push;
+                                let my = per_node_chunks[node][tin[tid]].clone();
+                                for &s in &items[my] {
+                                    let slot = dir.agent_idx.get(ctx, s as usize);
+                                    if slot == 0 {
+                                        continue;
+                                    }
+                                    let a = (slot - 1) as usize;
+                                    let deg = dir.agent_deg.get(ctx, a);
+                                    // Source value is vertex-indexed — scalar.
+                                    let sv = curr.load(ctx, s as usize);
+                                    let lo = dir.agent_off.get(ctx, a) as usize;
+                                    let hi = dir.agent_off.get(ctx, a + 1) as usize;
+                                    // Every out-edge of an active agent is
+                                    // consumed — the edge-aligned arrays stream
+                                    // in bulk; destination-indexed accesses
+                                    // stay scalar.
+                                    let dst_it = dir.endpoint.iter_seq(ctx, lo..hi);
+                                    let mut w_it =
+                                        dir.weight.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                                    for t in dst_it {
+                                        let w = match &mut w_it {
+                                            Some(it) => it.next().expect("weight stream aligned"),
+                                            None => 1,
+                                        };
+                                        let t = t as usize;
+                                        atomic_combine(
+                                            prog,
+                                            &next,
+                                            ctx,
+                                            t,
+                                            prog.scatter(s, sv, w, deg),
+                                        );
+                                        ctx.charge_cycles(sc);
+                                        if updated.get(node).unwrap().set(ctx, t - nl.range.start) {
+                                            queues.push(ctx, t as VId);
+                                        }
+                                    }
+                                }
+                            });
+                        }
                     }
                 }
-            }
-            sim.charge_barrier();
+                sim.charge_barrier();
 
-            // --- Apply phase ------------------------------------------
-            let mut alive_count = vec![0u64; threads];
-            let mut alive_degree = vec![0u64; threads];
-            if use_pull {
-                // Scan each node's own updated bitmap.
-                let alive_count = &mut alive_count;
-                let alive_degree = &mut alive_degree;
-                sim.run_phase("apply", |tid, ctx| {
-                    let node = ctx.node();
-                    let nl = &layout.nodes[node];
-                    let bits = updated.get(node).unwrap();
-                    let words = even_chunks(bits.num_words(), tpn[node]);
-                    let wr = words[tin[tid]].clone();
-                    // The updated bitmap's words are scanned sequentially —
-                    // bulk stream. The per-bit value accesses below are
-                    // vertex-indexed within the word and stay scalar.
-                    let word_stream = bits.words_seq(ctx, wr.clone());
-                    for (w, mut word) in wr.clone().zip(word_stream) {
-                        while word != 0 {
-                            let b = word.trailing_zeros() as usize;
-                            word &= word - 1;
-                            let t = nl.range.start + w * 64 + b;
-                            let acc = next.load(ctx, t);
-                            let cv = curr.load(ctx, t);
-                            let (val, alive) = prog.apply(t as VId, acc, cv);
-                            curr.store(ctx, t, val);
-                            next.store(ctx, t, identity);
+                // --- Apply phase ------------------------------------------
+                let mut alive_count = vec![0u64; threads];
+                let mut alive_degree = vec![0u64; threads];
+                if use_pull {
+                    // Scan each node's own updated bitmap.
+                    let alive_count = &mut alive_count;
+                    let alive_degree = &mut alive_degree;
+                    sim.run_phase("apply", |tid, ctx| {
+                        let node = ctx.node();
+                        let nl = &layout.nodes[node];
+                        let bits = updated.get(node).unwrap();
+                        let words = even_chunks(bits.num_words(), tpn[node]);
+                        let wr = words[tin[tid]].clone();
+                        // The updated bitmap's words are scanned sequentially —
+                        // bulk stream. The per-bit value accesses below are
+                        // vertex-indexed within the word and stay scalar.
+                        let word_stream = bits.words_seq(ctx, wr.clone());
+                        for (w, mut word) in wr.clone().zip(word_stream) {
+                            while word != 0 {
+                                let b = word.trailing_zeros() as usize;
+                                word &= word - 1;
+                                let t = nl.range.start + w * 64 + b;
+                                let acc = next.load(ctx, t);
+                                let cv = curr.load(ctx, t);
+                                let (val, alive) = prog.apply(t as VId, acc, cv);
+                                curr.store(ctx, t, val);
+                                next.store(ctx, t, identity);
+                                if alive {
+                                    queues.push(ctx, t as VId);
+                                    alive_count[tid] += 1;
+                                    alive_degree[tid] += layout.out_deg.get(ctx, t) as u64;
+                                }
+                            }
+                        }
+                    });
+                } else {
+                    // Queue-based apply: each node's threads produced exactly the
+                    // targets it owns (push processes local targets).
+                    let mut per_node_items: Vec<Vec<VId>> = vec![Vec::new(); spanned];
+                    for t in 0..threads {
+                        per_node_items[sim.node_of_thread(t)].extend(queues.drain_thread(t));
+                    }
+                    let per_node_chunks: Vec<Vec<std::ops::Range<usize>>> = (0..spanned)
+                        .map(|node| even_chunks(per_node_items[node].len(), tpn[node]))
+                        .collect();
+                    let alive_count = &mut alive_count;
+                    let alive_degree = &mut alive_degree;
+                    sim.run_phase("apply", |tid, ctx| {
+                        let node = ctx.node();
+                        let my = per_node_chunks[node][tin[tid]].clone();
+                        for &t in &per_node_items[node][my] {
+                            let ti = t as usize;
+                            let acc = next.load(ctx, ti);
+                            let cv = curr.load(ctx, ti);
+                            let (val, alive) = prog.apply(t, acc, cv);
+                            curr.store(ctx, ti, val);
+                            next.store(ctx, ti, identity);
                             if alive {
-                                queues.push(ctx, t as VId);
+                                queues.push(ctx, t);
                                 alive_count[tid] += 1;
-                                alive_degree[tid] += layout.out_deg.get(ctx, t) as u64;
+                                alive_degree[tid] += layout.out_deg.get(ctx, ti) as u64;
                             }
                         }
-                    }
-                });
-            } else {
-                // Queue-based apply: each node's threads produced exactly the
-                // targets it owns (push processes local targets).
-                let mut per_node_items: Vec<Vec<VId>> = vec![Vec::new(); spanned];
-                for t in 0..threads {
-                    per_node_items[sim.node_of_thread(t)].extend(queues.drain_thread(t));
+                    });
                 }
-                let per_node_chunks: Vec<Vec<std::ops::Range<usize>>> = (0..spanned)
-                    .map(|node| even_chunks(per_node_items[node].len(), tpn[node]))
-                    .collect();
-                let alive_count = &mut alive_count;
-                let alive_degree = &mut alive_degree;
-                sim.run_phase("apply", |tid, ctx| {
-                    let node = ctx.node();
-                    let my = per_node_chunks[node][tin[tid]].clone();
-                    for &t in &per_node_items[node][my] {
-                        let ti = t as usize;
-                        let acc = next.load(ctx, ti);
-                        let cv = curr.load(ctx, ti);
-                        let (val, alive) = prog.apply(t, acc, cv);
-                        curr.store(ctx, ti, val);
-                        next.store(ctx, ti, identity);
-                        if alive {
-                            queues.push(ctx, t);
-                            alive_count[tid] += 1;
-                            alive_degree[tid] += layout.out_deg.get(ctx, ti) as u64;
-                        }
-                    }
-                });
-            }
-            sim.charge_barrier();
+                sim.charge_barrier();
 
-            // --- Next frontier ----------------------------------------
-            let alive: u64 = alive_count.iter().sum();
-            let degree: u64 = alive_degree.iter().sum();
-            let items = queues.drain_merged();
-            debug_assert_eq!(items.len() as u64, alive);
-            frontier = if self.config.adaptive_states && !should_densify(alive, degree, m as u64) {
-                PFrontier::Sparse(items)
-            } else {
-                PFrontier::densify(machine, &layout, &items)
-            };
-            check_divergence(&curr, iters)?;
-            iters += 1;
-        }
+                // --- Next frontier ----------------------------------------
+                let alive: u64 = alive_count.iter().sum();
+                let degree: u64 = alive_degree.iter().sum();
+                let items = queues.drain_merged();
+                debug_assert_eq!(items.len() as u64, alive);
+                *frontier = PFrontier::rebuild(
+                    items,
+                    degree,
+                    m as u64,
+                    self.config.adaptive_states,
+                    true,
+                    |items| densify_distributed(machine, &layout, items),
+                );
+                check_divergence(&curr, iters)?;
+                Ok(())
+            },
+        )?;
 
-        let memory = MemoryReport::from_machine(machine);
-        Ok(RunResult {
-            values: curr.snapshot(),
-            iterations: iters,
-            clock: sim.clock().clone(),
-            memory,
-            threads,
-            sockets: spanned,
-        })
+        Ok(driver.finish(curr.snapshot()))
     }
 }
 

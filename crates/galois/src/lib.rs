@@ -30,11 +30,11 @@ use std::collections::BTreeMap;
 use polymer_api::Combine;
 use polymer_api::{
     catch_engine_faults, check_divergence, even_chunks, init_values, validate_run_config, Engine,
-    EngineKind, FrontierInit, Program, RunResult, TopoArrays,
+    EngineKind, FrontierInit, IterationDriver, Program, RunResult, TopoArrays,
 };
-use polymer_faults::{PolymerError, PolymerResult};
+use polymer_faults::PolymerResult;
 use polymer_graph::{Graph, VId};
-use polymer_numa::{AllocPolicy, BarrierKind, Machine, MemoryReport, SimExecutor};
+use polymer_numa::{AllocPolicy, BarrierKind, Machine};
 use polymer_sync::{DenseBitmap, ThreadQueues};
 
 /// Work chunk size per thread per scheduling round (Galois's chunked
@@ -109,15 +109,7 @@ fn run_async<P: Program>(
         AllocPolicy::Interleaved,
         AllocPolicy::Interleaved,
     );
-    let mut sim = SimExecutor::with_config(
-        machine,
-        threads,
-        Default::default(),
-        BarrierKind::Hierarchical,
-    );
-    if traced {
-        sim.enable_trace();
-    }
+    let mut driver = IterationDriver::new(machine, threads, BarrierKind::Hierarchical, traced, 0);
 
     // OBIM-style bucketed worklist, deterministic: each round drains a chunk
     // per thread from the lowest-priority bucket.
@@ -132,7 +124,6 @@ fn run_async<P: Program>(
         }
     }
     let queues = ThreadQueues::new(machine, threads);
-    let mut rounds = 0usize;
 
     while let Some((&prio, _)) = buckets.iter().next() {
         let mut items = buckets.remove(&prio).unwrap();
@@ -141,7 +132,7 @@ fn run_async<P: Program>(
             let take = (threads * CHUNK).min(items.len());
             let batch: Vec<VId> = items.drain(..take).collect();
             let chunks = even_chunks(batch.len(), threads);
-            sim.run_phase("async-relax", |tid, ctx| {
+            driver.sim().run_phase("async-relax", |tid, ctx| {
                 for &s in &batch[chunks[tid].clone()] {
                     let si = s as usize;
                     // Vertex-indexed source value and offset pair are random
@@ -177,19 +168,11 @@ fn run_async<P: Program>(
                 let p = prog.priority_of(curr.raw_load(t as usize));
                 buckets.entry(p).or_default().push(t);
             }
-            rounds += 1;
+            driver.advance_round();
         }
     }
 
-    let memory = MemoryReport::from_machine(machine);
-    Ok(RunResult {
-        values: curr.snapshot(),
-        iterations: rounds,
-        clock: sim.clock().clone(),
-        memory,
-        threads,
-        sockets: sim.num_sockets(),
-    })
+    Ok(driver.finish(curr.snapshot()))
 }
 
 /// Synchronous pull-based execution for accumulating programs (PR/SpMV/BP).
@@ -213,15 +196,7 @@ fn run_sync_pull<P: Program>(
         AllocPolicy::Interleaved,
         AllocPolicy::Interleaved,
     );
-    let mut sim = SimExecutor::with_config(
-        machine,
-        threads,
-        Default::default(),
-        BarrierKind::Hierarchical,
-    );
-    if traced {
-        sim.enable_trace();
-    }
+    let mut driver = IterationDriver::new(machine, threads, BarrierKind::Hierarchical, traced, n);
 
     // Persistent state bitmaps (Galois reuses memory between iterations).
     let state = DenseBitmap::new(machine, "stat/curr", n, AllocPolicy::Interleaved);
@@ -239,10 +214,6 @@ fn run_sync_pull<P: Program>(
         FrontierInit::Single(_) => 1,
     };
 
-    // Safety cap: a converging synchronous program never needs more
-    // iterations than vertices.
-    let iter_cap = 2 * n + 64;
-    let mut iters = 0usize;
     // Chunk vertices with balanced in-edge counts — Galois's work-stealing
     // scheduler equalizes edge work, which even vertex chunks would not on
     // skewed graphs.
@@ -252,112 +223,105 @@ fn run_sync_pull<P: Program>(
     // Host-side per-iteration "received an update" flags (per-thread chunks
     // are disjoint vertex ranges, so a single vector suffices).
     let mut updated_host = vec![false; n];
-    while active > 0 && iters < prog.max_iters() {
-        if iters >= iter_cap {
-            return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
-        }
-        sim.set_iteration(Some(iters as u64));
-        let mut alive_count = vec![0u64; threads];
-        // Topology-driven shortcut: when every vertex is active, per-edge
-        // state checks are semantically no-ops and Galois skips them.
-        let all_active = active == n as u64;
-        {
-            let updated_host = &mut updated_host;
-            sim.run_phase("pull", |tid, ctx| {
-                for t in chunks[tid].clone() {
-                    // Offset pairs re-read the previous vertex's end — they
-                    // stay on the scalar path to keep that access pattern.
-                    let lo = topo.in_off.get(ctx, t) as usize;
-                    let hi = topo.in_off.get(ctx, t + 1) as usize;
-                    let mut acc = identity;
-                    let mut any = false;
-                    if all_active {
-                        // Dense sweep: every in-edge is consumed, so the
-                        // edge-aligned arrays stream in bulk.
-                        let src_it = topo.in_src.iter_seq(ctx, lo..hi);
-                        let deg_it = topo.in_src_deg.iter_seq(ctx, lo..hi);
-                        let mut w_it = topo.in_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
-                        for (s, deg) in src_it.zip(deg_it) {
-                            let w = match &mut w_it {
-                                Some(it) => it.next().expect("weight stream aligned"),
-                                None => 1,
-                            };
-                            // Source values are vertex-indexed — random,
-                            // scalar path.
-                            let sv = curr.load(ctx, s as usize);
-                            acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
-                            ctx.charge_cycles(sc);
-                            any = true;
-                        }
-                    } else {
-                        // State-gated: downstream reads depend on the
-                        // per-source bitmap test — scalar path.
-                        for e in lo..hi {
-                            let s = topo.in_src.get(ctx, e);
-                            if state.test(ctx, s as usize) {
-                                let w = match &topo.in_w {
-                                    Some(ws) => ws.get(ctx, e),
+    driver.run_synchronous(
+        prog.max_iters(),
+        &mut active,
+        |a| *a > 0,
+        |sim, iters, active| {
+            let mut alive_count = vec![0u64; threads];
+            // Topology-driven shortcut: when every vertex is active, per-edge
+            // state checks are semantically no-ops and Galois skips them.
+            let all_active = *active == n as u64;
+            {
+                let updated_host = &mut updated_host;
+                sim.run_phase("pull", |tid, ctx| {
+                    for t in chunks[tid].clone() {
+                        // Offset pairs re-read the previous vertex's end — they
+                        // stay on the scalar path to keep that access pattern.
+                        let lo = topo.in_off.get(ctx, t) as usize;
+                        let hi = topo.in_off.get(ctx, t + 1) as usize;
+                        let mut acc = identity;
+                        let mut any = false;
+                        if all_active {
+                            // Dense sweep: every in-edge is consumed, so the
+                            // edge-aligned arrays stream in bulk.
+                            let src_it = topo.in_src.iter_seq(ctx, lo..hi);
+                            let deg_it = topo.in_src_deg.iter_seq(ctx, lo..hi);
+                            let mut w_it = topo.in_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                            for (s, deg) in src_it.zip(deg_it) {
+                                let w = match &mut w_it {
+                                    Some(it) => it.next().expect("weight stream aligned"),
                                     None => 1,
                                 };
+                                // Source values are vertex-indexed — random,
+                                // scalar path.
                                 let sv = curr.load(ctx, s as usize);
-                                let deg = topo.in_src_deg.get(ctx, e);
                                 acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
                                 ctx.charge_cycles(sc);
                                 any = true;
                             }
+                        } else {
+                            // State-gated: downstream reads depend on the
+                            // per-source bitmap test — scalar path.
+                            for e in lo..hi {
+                                let s = topo.in_src.get(ctx, e);
+                                if state.test(ctx, s as usize) {
+                                    let w = match &topo.in_w {
+                                        Some(ws) => ws.get(ctx, e),
+                                        None => 1,
+                                    };
+                                    let sv = curr.load(ctx, s as usize);
+                                    let deg = topo.in_src_deg.get(ctx, e);
+                                    acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
+                                    ctx.charge_cycles(sc);
+                                    any = true;
+                                }
+                            }
+                        }
+                        if any {
+                            next.store(ctx, t, acc);
+                            updated_host[t] = true;
                         }
                     }
-                    if any {
-                        next.store(ctx, t, acc);
-                        updated_host[t] = true;
-                    }
-                }
-            });
-        }
-        sim.charge_barrier();
+                });
+            }
+            sim.charge_barrier();
 
-        {
-            let alive_count = &mut alive_count;
-            let updated_host = &mut updated_host;
-            sim.run_phase("apply", |tid, ctx| {
-                for t in apply_chunks[tid].clone() {
-                    if !updated_host[t] {
-                        continue;
+            {
+                let alive_count = &mut alive_count;
+                let updated_host = &mut updated_host;
+                sim.run_phase("apply", |tid, ctx| {
+                    for t in apply_chunks[tid].clone() {
+                        if !updated_host[t] {
+                            continue;
+                        }
+                        updated_host[t] = false;
+                        let acc = next.load(ctx, t);
+                        let cv = curr.load(ctx, t);
+                        let (val, alive) = prog.apply(t as VId, acc, cv);
+                        curr.store(ctx, t, val);
+                        next.store(ctx, t, identity);
+                        if alive {
+                            next_state.set(ctx, t);
+                            alive_count[tid] += 1;
+                        }
                     }
-                    updated_host[t] = false;
-                    let acc = next.load(ctx, t);
-                    let cv = curr.load(ctx, t);
-                    let (val, alive) = prog.apply(t as VId, acc, cv);
-                    curr.store(ctx, t, val);
-                    next.store(ctx, t, identity);
-                    if alive {
-                        next_state.set(ctx, t);
-                        alive_count[tid] += 1;
-                    }
-                }
-            });
-        }
-        sim.charge_barrier();
+                });
+            }
+            sim.charge_barrier();
 
-        active = alive_count.iter().sum();
-        // Swap/clear states (buffer reuse, unaccounted maintenance).
-        for w in 0..state.num_words() {
-            state.raw_store_word(w, next_state.raw_word(w));
-            next_state.raw_store_word(w, 0);
-        }
-        check_divergence(&curr, iters)?;
-        iters += 1;
-    }
+            *active = alive_count.iter().sum();
+            // Swap/clear states (buffer reuse, unaccounted maintenance).
+            for w in 0..state.num_words() {
+                state.raw_store_word(w, next_state.raw_word(w));
+                next_state.raw_store_word(w, 0);
+            }
+            check_divergence(&curr, iters)?;
+            Ok(())
+        },
+    )?;
 
-    let memory = MemoryReport::from_machine(machine);
-    Ok(RunResult {
-        values: curr.snapshot(),
-        iterations: iters,
-        clock: sim.clock().clone(),
-        memory,
-        threads,
-        sockets: sim.num_sockets(),
-    })
+    Ok(driver.finish(curr.snapshot()))
 }
 
 /// Union-find connected components (Galois's topology-driven algorithm).
@@ -384,15 +348,7 @@ fn run_union_find<P: Program>(
         g.out_offsets()[i] as u64
     });
 
-    let mut sim = SimExecutor::with_config(
-        machine,
-        threads,
-        Default::default(),
-        BarrierKind::Hierarchical,
-    );
-    if traced {
-        sim.enable_trace();
-    }
+    let mut driver = IterationDriver::new(machine, threads, BarrierKind::Hierarchical, traced, 0);
 
     // Accounted find with path compression. Executed sequentially by the
     // simulator, so plain load/store is race-free; a real deployment would
@@ -417,7 +373,7 @@ fn run_union_find<P: Program>(
     }
 
     let chunks = even_chunks(n, threads);
-    sim.run_phase("union-find", |tid, ctx| {
+    driver.sim().run_phase("union-find", |tid, ctx| {
         for v in chunks[tid].clone() {
             // Offset pairs re-read the previous vertex's end — scalar path.
             let lo = off.get(ctx, v) as usize;
@@ -441,37 +397,33 @@ fn run_union_find<P: Program>(
             }
         }
     });
-    sim.charge_barrier();
+    driver.sim().charge_barrier();
 
     // Flatten: every vertex's label is its root.
     let mut labels = vec![0u32; n];
     {
         let labels = &mut labels;
-        sim.run_phase("flatten", |tid, ctx| {
+        driver.sim().run_phase("flatten", |tid, ctx| {
             for v in chunks[tid].clone() {
                 labels[v] = find(&parent, ctx, v as u32);
             }
         });
     }
+    driver.advance_round();
 
-    let memory = MemoryReport::from_machine(machine);
-    Ok(RunResult {
-        values: labels
+    Ok(driver.finish(
+        labels
             .into_iter()
             .map(|l| prog.val_from_u64(l as u64))
             .collect(),
-        iterations: 1,
-        clock: sim.clock().clone(),
-        memory,
-        threads,
-        sockets: sim.num_sockets(),
-    })
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use polymer_algos::{run_reference, Bfs, ConnectedComponents, PageRank, SpMV, Sssp};
+    use polymer_faults::PolymerError;
     use polymer_graph::gen;
     use polymer_numa::MachineSpec;
 

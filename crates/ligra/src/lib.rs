@@ -22,12 +22,12 @@
 
 use polymer_api::{
     atomic_combine, catch_engine_faults, check_divergence, degree_balanced_chunks, even_chunks,
-    init_values, validate_run_config, Engine, EngineKind, FrontierInit, Program, RunResult,
-    TopoArrays,
+    init_values, validate_run_config, DirectionPolicy, Engine, EngineKind, ExecProfile,
+    FrontierInit, IterationDriver, Program, RunResult, TopoArrays,
 };
-use polymer_faults::{PolymerError, PolymerResult};
+use polymer_faults::PolymerResult;
 use polymer_graph::{Graph, VId};
-use polymer_numa::{AllocPolicy, BarrierKind, Machine, MemoryReport, SimExecutor};
+use polymer_numa::{AllocPolicy, BarrierKind, Machine};
 use polymer_sync::{should_densify, DenseBitmap, Frontier, ThreadQueues};
 
 /// The Ligra-like engine. Construct with [`LigraEngine::new`].
@@ -66,6 +66,17 @@ impl Engine for LigraEngine {
         validate_run_config(threads, g, prog)?;
         catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced))
     }
+
+    fn exec_profile(&self) -> ExecProfile {
+        ExecProfile {
+            direction: if self.force_push {
+                DirectionPolicy::PushOnly
+            } else {
+                DirectionPolicy::Hybrid
+            },
+            adaptive_frontier: true,
+        }
+    }
 }
 
 impl LigraEngine {
@@ -95,219 +106,212 @@ impl LigraEngine {
             AllocPolicy::Interleaved,
         );
 
-        let mut sim = SimExecutor::with_config(
-            machine,
-            threads,
-            Default::default(),
-            BarrierKind::Hierarchical,
-        );
-        if traced {
-            sim.enable_trace();
-        }
+        let mut driver =
+            IterationDriver::new(machine, threads, BarrierKind::Hierarchical, traced, n);
         let mut frontier = match prog.initial_frontier(g) {
-            FrontierInit::All => {
-                Frontier::all(machine, "stat/frontier", n, AllocPolicy::Centralized)
-            }
+            FrontierInit::All => Frontier::all(
+                machine,
+                "stat/frontier",
+                n,
+                AllocPolicy::Centralized,
+                m as u64,
+            ),
             FrontierInit::Single(s) => Frontier::sparse(vec![s]),
         };
 
         let queues = ThreadQueues::new(machine, threads);
-        // Safety cap: a converging synchronous program never needs more
-        // iterations than vertices.
-        let iter_cap = 2 * n + 64;
-        let mut iters = 0usize;
-        while !frontier.is_empty() && iters < prog.max_iters() {
-            if iters >= iter_cap {
-                return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
+        // Per-iteration runtime states are *centrally* allocated by the main
+        // thread (Section 3.1); so is the dense frontier store.
+        let make_dense = |items: &[u32]| {
+            let bits = DenseBitmap::new(machine, "stat/frontier", n, AllocPolicy::Centralized);
+            for &v in items {
+                bits.set_unaccounted(v as usize);
             }
-            sim.set_iteration(Some(iters as u64));
-            // Choose direction: dense frontiers pull, sparse ones push.
-            let frontier_degree: u64 = match &frontier {
-                Frontier::Sparse(items) => items.iter().map(|&v| g.out_degree(v) as u64).sum(),
-                Frontier::Dense { count, .. } => {
-                    // Estimate: dense frontiers are near-full.
-                    (m as u64) * (*count as u64) / (n.max(1) as u64)
-                }
-            };
-            let use_pull = !self.force_push
-                && !prog.prefer_push()
-                && should_densify(frontier.len() as u64, frontier_degree, m as u64);
-            // `frontier` is consumed below and rebuilt after apply; keep the
-            // converted representation alive through the scatter phase.
-            let _converted;
+            bits
+        };
+        driver.run_synchronous(
+            prog.max_iters(),
+            &mut frontier,
+            |f| !f.is_empty(),
+            |sim, iters, frontier| {
+                // Choose direction: dense frontiers pull, sparse ones push.
+                // The frontier knows its exact total out-degree.
+                let frontier_degree = frontier.out_degree(|v| g.out_degree(v) as u64);
+                let use_pull = !self.force_push
+                    && !prog.prefer_push()
+                    && should_densify(frontier.len() as u64, frontier_degree, m as u64);
+                // `frontier` is consumed below and rebuilt after apply; keep
+                // the converted representation alive through the scatter
+                // phase.
+                let taken = std::mem::replace(frontier, Frontier::sparse(Vec::new()));
 
-            // Per-iteration runtime state, centrally allocated (Section 3.1).
-            let updated = DenseBitmap::new(machine, "stat/updated", n, AllocPolicy::Centralized);
+                // Per-iteration runtime state, centrally allocated.
+                let updated =
+                    DenseBitmap::new(machine, "stat/updated", n, AllocPolicy::Centralized);
 
-            if use_pull {
-                let fr = frontier.into_dense(machine, "stat/frontier", n, AllocPolicy::Centralized);
-                let bits = fr.as_dense().expect("dense after conversion");
-                let all_active = fr.len() == n;
-                // Balance pull chunks by in-edge counts (Ligra's cilk_for
-                // load balancing), not raw vertex counts.
-                let in_degrees: Vec<u32> = (0..n)
-                    .map(|v| g.in_degree(v as polymer_graph::VId) as u32)
-                    .collect();
-                let chunks = polymer_graph::edge_balanced_ranges(&in_degrees, threads);
-                sim.run_phase("gather-pull", |tid, ctx| {
-                    for t in chunks[tid].clone() {
-                        // Offset pairs re-read the previous vertex's end —
-                        // the bulk path charges ranges once, so they stay
-                        // on the scalar path to keep that access pattern.
-                        let lo = topo.in_off.get(ctx, t) as usize;
-                        let hi = topo.in_off.get(ctx, t + 1) as usize;
-                        let mut acc = identity;
-                        let mut any = false;
-                        if all_active {
-                            // Dense sweep: every in-edge is consumed, so
-                            // the edge-aligned arrays stream in bulk.
-                            let src_it = topo.in_src.iter_seq(ctx, lo..hi);
-                            let deg_it = topo.in_src_deg.iter_seq(ctx, lo..hi);
-                            let mut w_it = topo.in_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
-                            for (s, deg) in src_it.zip(deg_it) {
-                                let w = match &mut w_it {
-                                    Some(it) => it.next().expect("weight stream aligned"),
-                                    None => 1,
-                                };
-                                // Source values are indexed by vertex id —
-                                // random, scalar path.
-                                let sv = curr.load(ctx, s as usize);
-                                acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
-                                ctx.charge_cycles(sc);
-                                any = true;
-                            }
-                        } else {
-                            // Frontier-gated: weight/value/degree reads
-                            // depend on the per-source bitmap test — scalar.
-                            for e in lo..hi {
-                                let s = topo.in_src.get(ctx, e);
-                                if bits.test(ctx, s as usize) {
-                                    let w = match &topo.in_w {
-                                        Some(ws) => ws.get(ctx, e),
+                let _converted;
+                if use_pull {
+                    let fr = taken.into_dense(
+                        machine,
+                        "stat/frontier",
+                        n,
+                        AllocPolicy::Centralized,
+                        frontier_degree,
+                    );
+                    let bits = fr.as_dense().expect("dense after conversion");
+                    let all_active = fr.len() == n;
+                    // Balance pull chunks by in-edge counts (Ligra's cilk_for
+                    // load balancing), not raw vertex counts.
+                    let in_degrees: Vec<u32> = (0..n)
+                        .map(|v| g.in_degree(v as polymer_graph::VId) as u32)
+                        .collect();
+                    let chunks = polymer_graph::edge_balanced_ranges(&in_degrees, threads);
+                    sim.run_phase("gather-pull", |tid, ctx| {
+                        for t in chunks[tid].clone() {
+                            // Offset pairs re-read the previous vertex's end —
+                            // the bulk path charges ranges once, so they stay
+                            // on the scalar path to keep that access pattern.
+                            let lo = topo.in_off.get(ctx, t) as usize;
+                            let hi = topo.in_off.get(ctx, t + 1) as usize;
+                            let mut acc = identity;
+                            let mut any = false;
+                            if all_active {
+                                // Dense sweep: every in-edge is consumed, so
+                                // the edge-aligned arrays stream in bulk.
+                                let src_it = topo.in_src.iter_seq(ctx, lo..hi);
+                                let deg_it = topo.in_src_deg.iter_seq(ctx, lo..hi);
+                                let mut w_it =
+                                    topo.in_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                                for (s, deg) in src_it.zip(deg_it) {
+                                    let w = match &mut w_it {
+                                        Some(it) => it.next().expect("weight stream aligned"),
                                         None => 1,
                                     };
+                                    // Source values are indexed by vertex id —
+                                    // random, scalar path.
                                     let sv = curr.load(ctx, s as usize);
-                                    let deg = topo.in_src_deg.get(ctx, e);
                                     acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
                                     ctx.charge_cycles(sc);
                                     any = true;
                                 }
+                            } else {
+                                // Frontier-gated: weight/value/degree reads
+                                // depend on the per-source bitmap test — scalar.
+                                for e in lo..hi {
+                                    let s = topo.in_src.get(ctx, e);
+                                    if bits.test(ctx, s as usize) {
+                                        let w = match &topo.in_w {
+                                            Some(ws) => ws.get(ctx, e),
+                                            None => 1,
+                                        };
+                                        let sv = curr.load(ctx, s as usize);
+                                        let deg = topo.in_src_deg.get(ctx, e);
+                                        acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
+                                        ctx.charge_cycles(sc);
+                                        any = true;
+                                    }
+                                }
+                            }
+                            if any {
+                                next.store(ctx, t, acc);
+                                updated.set(ctx, t);
                             }
                         }
-                        if any {
-                            next.store(ctx, t, acc);
-                            updated.set(ctx, t);
-                        }
-                    }
-                });
-                _converted = fr;
-            } else {
-                let fr = frontier.into_sparse();
-                let items: Vec<VId> = fr.as_sparse().expect("sparse after conversion").to_vec();
-                let chunks = degree_balanced_chunks(&items, |v| g.out_degree(v), threads);
-                sim.run_phase("scatter-push", |tid, ctx| {
-                    for &s in &items[chunks[tid].clone()] {
-                        let si = s as usize;
-                        // Offset pair + source value are indexed by vertex
-                        // id (random for a sparse frontier) — scalar path.
-                        let lo = topo.out_off.get(ctx, si) as usize;
-                        let hi = topo.out_off.get(ctx, si + 1) as usize;
-                        let sv = curr.load(ctx, si);
-                        let deg = (hi - lo) as u32;
-                        // Every out-edge of an active source is consumed, so
-                        // the edge-aligned arrays stream in bulk.
-                        let dst_it = topo.out_dst.iter_seq(ctx, lo..hi);
-                        let mut w_it = topo.out_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
-                        for t in dst_it {
-                            let w = match &mut w_it {
-                                Some(it) => it.next().expect("weight stream aligned"),
-                                None => 1,
-                            };
-                            let t = t as usize;
-                            // Combine target / updated bit / queue push are
-                            // destination-indexed (random) — scalar path.
-                            atomic_combine(prog, &next, ctx, t, prog.scatter(s, sv, w, deg));
-                            ctx.charge_cycles(sc);
-                            if updated.set(ctx, t) {
-                                queues.push(ctx, t as VId);
+                    });
+                    _converted = fr;
+                } else {
+                    let fr = taken.into_sparse();
+                    let items: Vec<VId> = fr.as_sparse().expect("sparse after conversion").to_vec();
+                    let chunks = degree_balanced_chunks(&items, |v| g.out_degree(v), threads);
+                    sim.run_phase("scatter-push", |tid, ctx| {
+                        for &s in &items[chunks[tid].clone()] {
+                            let si = s as usize;
+                            // Offset pair + source value are indexed by vertex
+                            // id (random for a sparse frontier) — scalar path.
+                            let lo = topo.out_off.get(ctx, si) as usize;
+                            let hi = topo.out_off.get(ctx, si + 1) as usize;
+                            let sv = curr.load(ctx, si);
+                            let deg = (hi - lo) as u32;
+                            // Every out-edge of an active source is consumed, so
+                            // the edge-aligned arrays stream in bulk.
+                            let dst_it = topo.out_dst.iter_seq(ctx, lo..hi);
+                            let mut w_it = topo.out_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                            for t in dst_it {
+                                let w = match &mut w_it {
+                                    Some(it) => it.next().expect("weight stream aligned"),
+                                    None => 1,
+                                };
+                                let t = t as usize;
+                                // Combine target / updated bit / queue push are
+                                // destination-indexed (random) — scalar path.
+                                atomic_combine(prog, &next, ctx, t, prog.scatter(s, sv, w, deg));
+                                ctx.charge_cycles(sc);
+                                if updated.set(ctx, t) {
+                                    queues.push(ctx, t as VId);
+                                }
                             }
                         }
-                    }
-                });
-                _converted = fr;
-            }
-            sim.charge_barrier();
-
-            // Apply phase over the updated set; collect the new frontier.
-            let mut alive_count = vec![0u64; threads];
-            let mut alive_degree = vec![0u64; threads];
-            if use_pull {
-                let chunks = even_chunks(n, threads);
-                sim.run_phase("apply", |tid, ctx| {
-                    for t in chunks[tid].clone() {
-                        if !updated.test(ctx, t) {
-                            continue;
-                        }
-                        let acc = next.load(ctx, t);
-                        let cv = curr.load(ctx, t);
-                        let (val, alive) = prog.apply(t as VId, acc, cv);
-                        curr.store(ctx, t, val);
-                        next.store(ctx, t, identity);
-                        if alive {
-                            queues.push(ctx, t as VId);
-                            alive_count[tid] += 1;
-                            alive_degree[tid] += topo.out_deg.get(ctx, t) as u64;
-                        }
-                    }
-                });
-            } else {
-                let items = queues.drain_merged();
-                let chunks = even_chunks(items.len(), threads);
-                sim.run_phase("apply", |tid, ctx| {
-                    for &t in &items[chunks[tid].clone()] {
-                        let ti = t as usize;
-                        let acc = next.load(ctx, ti);
-                        let cv = curr.load(ctx, ti);
-                        let (val, alive) = prog.apply(t, acc, cv);
-                        curr.store(ctx, ti, val);
-                        next.store(ctx, ti, identity);
-                        if alive {
-                            queues.push(ctx, t);
-                            alive_count[tid] += 1;
-                            alive_degree[tid] += topo.out_deg.get(ctx, ti) as u64;
-                        }
-                    }
-                });
-            }
-            sim.charge_barrier();
-
-            // Build the next frontier and pick its representation.
-            let alive: u64 = alive_count.iter().sum();
-            let degree: u64 = alive_degree.iter().sum();
-            let items = queues.drain_merged();
-            debug_assert_eq!(items.len() as u64, alive);
-            frontier = if !self.force_push && should_densify(alive, degree, m as u64) {
-                let bits = DenseBitmap::new(machine, "stat/frontier", n, AllocPolicy::Centralized);
-                for &v in &items {
-                    bits.set_unaccounted(v as usize);
+                    });
+                    _converted = fr;
                 }
-                Frontier::dense(bits, items.len())
-            } else {
-                Frontier::sparse(items)
-            };
-            check_divergence(&curr, iters)?;
-            iters += 1;
-        }
+                sim.charge_barrier();
 
-        let memory = MemoryReport::from_machine(machine);
-        Ok(RunResult {
-            values: curr.snapshot(),
-            iterations: iters,
-            clock: sim.clock().clone(),
-            memory,
-            threads,
-            sockets: sim.num_sockets(),
-        })
+                // Apply phase over the updated set; collect the new frontier.
+                let mut alive_count = vec![0u64; threads];
+                let mut alive_degree = vec![0u64; threads];
+                if use_pull {
+                    let chunks = even_chunks(n, threads);
+                    sim.run_phase("apply", |tid, ctx| {
+                        for t in chunks[tid].clone() {
+                            if !updated.test(ctx, t) {
+                                continue;
+                            }
+                            let acc = next.load(ctx, t);
+                            let cv = curr.load(ctx, t);
+                            let (val, alive) = prog.apply(t as VId, acc, cv);
+                            curr.store(ctx, t, val);
+                            next.store(ctx, t, identity);
+                            if alive {
+                                queues.push(ctx, t as VId);
+                                alive_count[tid] += 1;
+                                alive_degree[tid] += topo.out_deg.get(ctx, t) as u64;
+                            }
+                        }
+                    });
+                } else {
+                    let items = queues.drain_merged();
+                    let chunks = even_chunks(items.len(), threads);
+                    sim.run_phase("apply", |tid, ctx| {
+                        for &t in &items[chunks[tid].clone()] {
+                            let ti = t as usize;
+                            let acc = next.load(ctx, ti);
+                            let cv = curr.load(ctx, ti);
+                            let (val, alive) = prog.apply(t, acc, cv);
+                            curr.store(ctx, ti, val);
+                            next.store(ctx, ti, identity);
+                            if alive {
+                                queues.push(ctx, t);
+                                alive_count[tid] += 1;
+                                alive_degree[tid] += topo.out_deg.get(ctx, ti) as u64;
+                            }
+                        }
+                    });
+                }
+                sim.charge_barrier();
+
+                // Build the next frontier and pick its representation.
+                let alive: u64 = alive_count.iter().sum();
+                let degree: u64 = alive_degree.iter().sum();
+                let items = queues.drain_merged();
+                debug_assert_eq!(items.len() as u64, alive);
+                *frontier =
+                    Frontier::rebuild(items, degree, m as u64, true, !self.force_push, make_dense);
+                check_divergence(&curr, iters)?;
+                Ok(())
+            },
+        )?;
+
+        Ok(driver.finish(curr.snapshot()))
     }
 }
 
@@ -315,6 +319,7 @@ impl LigraEngine {
 mod tests {
     use super::*;
     use polymer_algos::{run_reference, Bfs, ConnectedComponents, PageRank, SpMV, Sssp};
+    use polymer_api::PolymerError;
     use polymer_graph::gen;
     use polymer_numa::MachineSpec;
 

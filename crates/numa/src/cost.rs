@@ -103,7 +103,7 @@ impl Default for CostConfig {
 }
 
 /// The integrated cost of one phase.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseCost {
     /// Simulated phase time in microseconds.
     pub time_us: f64,
@@ -149,7 +149,7 @@ pub struct PhaseCost {
 /// the phase, split by access pattern × hop distance. Indices follow
 /// [`crate::Pattern::index`] (0 = sequential, 1 = random) and
 /// [`crate::DistClass::index`] (0 = local … 3 = two hops).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
 pub struct SocketCost {
     /// Load (read) transactions issued by this socket's threads.
     pub loads: u64,

@@ -5,10 +5,18 @@
 //! is compact and contention-free to set), late iterations have few (bitmap
 //! scans waste a full pass over `V/64` words — the paper measures 92 ms per
 //! iteration for X-Stream's dense states on roadUS vs 0.032 ms for
-//! Polymer's queues). [`Frontier`] holds either representation;
-//! [`should_densify`] is Ligra's switching rule (total active degree vs.
-//! `|E| / 20`); [`ThreadQueues`] are the per-thread contention-free queues
-//! the sparse representation is built from.
+//! Polymer's queues). [`FrontierRepr`] holds either representation over any
+//! dense backing store (a flat [`DenseBitmap`] for Ligra, a per-node
+//! partitioned table for Polymer); [`should_densify`] is Ligra's switching
+//! rule (total active degree vs. `|E| / 20`); [`ThreadQueues`] are the
+//! per-thread contention-free queues the sparse representation is built
+//! from.
+//!
+//! Dense frontiers carry their **exact** total out-degree, recorded when the
+//! representation is built: the engines feed the apply phase's per-thread
+//! degree sums into [`FrontierRepr::rebuild`], so the next iteration's
+//! direction choice uses real numbers instead of the "dense frontiers are
+//! near-full" `|E|·count/|V|` estimate.
 
 use parking_lot::Mutex;
 use polymer_numa::{AccessCtx, AllocPolicy, Machine, NumaAtomicArray};
@@ -25,46 +33,48 @@ pub fn should_densify(active: u64, active_degree_sum: u64, num_edges: u64) -> bo
     active + active_degree_sum > num_edges / DENSITY_DENOMINATOR
 }
 
-/// An active-vertex set in either dense (bitmap) or sparse (vertex list)
-/// representation.
-pub enum Frontier {
-    /// Dense: one bit per vertex; `count` caches the population count.
+/// An active-vertex set in either dense or sparse representation, generic
+/// over the dense backing store `D` (a flat bitmap, a partitioned bitmap
+/// table, ...). The construction/densify plumbing the engines share lives
+/// here; only the engine-specific dense store (and its membership test) stays
+/// with the engine.
+pub enum FrontierRepr<D> {
+    /// Dense: engine-specific bit store; `count` caches the population
+    /// count and `degree` the exact total out-degree of the members.
     Dense {
-        /// The bitmap.
-        bits: DenseBitmap,
-        /// Number of set bits.
+        /// The dense store (one bit per vertex, in engine-specific shape).
+        repr: D,
+        /// Number of active vertices.
         count: usize,
+        /// Exact `Σ out-degree(active)`, recorded at construction.
+        degree: u64,
     },
     /// Sparse: explicit vertex ids (unsorted, duplicate-free by
     /// construction).
     Sparse(Vec<u32>),
 }
 
-impl Frontier {
+impl<D> FrontierRepr<D> {
     /// A sparse frontier from a vertex list.
     pub fn sparse(items: Vec<u32>) -> Self {
-        Frontier::Sparse(items)
+        FrontierRepr::Sparse(items)
     }
 
-    /// A dense frontier with every vertex in `0..n` active.
-    pub fn all(machine: &Machine, name: &str, n: usize, policy: AllocPolicy) -> Self {
-        let bits = DenseBitmap::new(machine, name, n, policy);
-        for v in 0..n {
-            bits.set_unaccounted(v);
+    /// A dense frontier from an existing store, its population count, and
+    /// the members' exact total out-degree.
+    pub fn dense(repr: D, count: usize, degree: u64) -> Self {
+        FrontierRepr::Dense {
+            repr,
+            count,
+            degree,
         }
-        Frontier::Dense { bits, count: n }
-    }
-
-    /// A dense frontier from an existing bitmap and its population count.
-    pub fn dense(bits: DenseBitmap, count: usize) -> Self {
-        Frontier::Dense { bits, count }
     }
 
     /// Number of active vertices.
     pub fn len(&self) -> usize {
         match self {
-            Frontier::Dense { count, .. } => *count,
-            Frontier::Sparse(v) => v.len(),
+            FrontierRepr::Dense { count, .. } => *count,
+            FrontierRepr::Sparse(v) => v.len(),
         }
     }
 
@@ -75,41 +85,105 @@ impl Frontier {
 
     /// True for the dense representation.
     pub fn is_dense(&self) -> bool {
-        matches!(self, Frontier::Dense { .. })
+        matches!(self, FrontierRepr::Dense { .. })
     }
 
     /// The sparse vertex list, if sparse.
     pub fn as_sparse(&self) -> Option<&[u32]> {
         match self {
-            Frontier::Sparse(v) => Some(v),
-            Frontier::Dense { .. } => None,
+            FrontierRepr::Sparse(v) => Some(v),
+            FrontierRepr::Dense { .. } => None,
         }
     }
 
-    /// The bitmap, if dense.
-    pub fn as_dense(&self) -> Option<&DenseBitmap> {
+    /// The dense store, if dense.
+    pub fn as_dense(&self) -> Option<&D> {
         match self {
-            Frontier::Dense { bits, .. } => Some(bits),
-            Frontier::Sparse(_) => None,
+            FrontierRepr::Dense { repr, .. } => Some(repr),
+            FrontierRepr::Sparse(_) => None,
         }
     }
 
-    /// Convert to the dense representation (no-op if already dense). The
-    /// conversion itself models the construction of the new state array and
-    /// is unaccounted, as the paper's switch cost is dominated by the scan
-    /// it avoids.
-    pub fn into_dense(self, machine: &Machine, name: &str, n: usize, policy: AllocPolicy) -> Self {
+    /// Exact total out-degree of the active set: the recorded sum for dense
+    /// frontiers, a sum over `degree_of` for sparse ones. This is the input
+    /// to the hybrid engines' direction switch.
+    pub fn out_degree(&self, mut degree_of: impl FnMut(u32) -> u64) -> u64 {
         match self {
-            f @ Frontier::Dense { .. } => f,
-            Frontier::Sparse(items) => {
+            FrontierRepr::Dense { degree, .. } => *degree,
+            FrontierRepr::Sparse(items) => items.iter().map(|&v| degree_of(v)).sum(),
+        }
+    }
+
+    /// Pick the next iteration's representation from the apply phase's
+    /// output (`items` + their exact summed out-`degree`), applying Ligra's
+    /// switching rule. `allow_sparse` is false for always-dense
+    /// configurations (Polymer's w/o-adaptive-states ablation);
+    /// `allow_dense` is false for push-pinned configurations (Ligra's
+    /// `force_push`). `make_dense` builds the engine's dense store from the
+    /// item list.
+    pub fn rebuild(
+        items: Vec<u32>,
+        degree: u64,
+        num_edges: u64,
+        allow_sparse: bool,
+        allow_dense: bool,
+        make_dense: impl FnOnce(&[u32]) -> D,
+    ) -> Self {
+        let densify = should_densify(items.len() as u64, degree, num_edges);
+        if allow_dense && (densify || !allow_sparse) {
+            let count = items.len();
+            FrontierRepr::Dense {
+                repr: make_dense(&items),
+                count,
+                degree,
+            }
+        } else {
+            FrontierRepr::Sparse(items)
+        }
+    }
+}
+
+/// The flat-bitmap frontier of the NUMA-oblivious engines.
+pub type Frontier = FrontierRepr<DenseBitmap>;
+
+impl Frontier {
+    /// A dense frontier with every vertex in `0..n` active. `total_degree`
+    /// is the graph's edge count (`Σ out-degree(v) = |E|`).
+    pub fn all(
+        machine: &Machine,
+        name: &str,
+        n: usize,
+        policy: AllocPolicy,
+        total_degree: u64,
+    ) -> Self {
+        let bits = DenseBitmap::new(machine, name, n, policy);
+        for v in 0..n {
+            bits.set_unaccounted(v);
+        }
+        Frontier::dense(bits, n, total_degree)
+    }
+
+    /// Convert to the dense representation (no-op if already dense);
+    /// `degree` is the frontier's exact total out-degree (the engines have
+    /// it in hand from the direction switch). The conversion itself models
+    /// the construction of the new state array and is unaccounted, as the
+    /// paper's switch cost is dominated by the scan it avoids.
+    pub fn into_dense(
+        self,
+        machine: &Machine,
+        name: &str,
+        n: usize,
+        policy: AllocPolicy,
+        degree: u64,
+    ) -> Self {
+        match self {
+            f @ FrontierRepr::Dense { .. } => f,
+            FrontierRepr::Sparse(items) => {
                 let bits = DenseBitmap::new(machine, name, n, policy);
                 for &v in &items {
                     bits.set_unaccounted(v as usize);
                 }
-                Frontier::Dense {
-                    bits,
-                    count: items.len(),
-                }
+                Frontier::dense(bits, items.len(), degree)
             }
         }
     }
@@ -117,9 +191,9 @@ impl Frontier {
     /// Convert to the sparse representation (no-op if already sparse).
     pub fn into_sparse(self) -> Self {
         match self {
-            f @ Frontier::Sparse(_) => f,
-            Frontier::Dense { bits, .. } => {
-                Frontier::Sparse(bits.iter_set().map(|v| v as u32).collect())
+            f @ FrontierRepr::Sparse(_) => f,
+            FrontierRepr::Dense { repr, .. } => {
+                FrontierRepr::Sparse(repr.iter_set().map(|v| v as u32).collect())
             }
         }
     }
@@ -127,16 +201,16 @@ impl Frontier {
     /// Unaccounted membership test in either representation.
     pub fn contains_unaccounted(&self, v: u32) -> bool {
         match self {
-            Frontier::Dense { bits, .. } => bits.test_unaccounted(v as usize),
-            Frontier::Sparse(items) => items.contains(&v),
+            FrontierRepr::Dense { repr, .. } => repr.test_unaccounted(v as usize),
+            FrontierRepr::Sparse(items) => items.contains(&v),
         }
     }
 
     /// All active vertices, ascending, unaccounted (verification only).
     pub fn to_sorted_vec(&self) -> Vec<u32> {
         match self {
-            Frontier::Dense { bits, .. } => bits.iter_set().map(|v| v as u32).collect(),
-            Frontier::Sparse(items) => {
+            FrontierRepr::Dense { repr, .. } => repr.iter_set().map(|v| v as u32).collect(),
+            FrontierRepr::Sparse(items) => {
                 let mut v = items.clone();
                 v.sort_unstable();
                 v
@@ -245,9 +319,13 @@ mod tests {
         let f = Frontier::sparse(vec![3, 7, 100]);
         assert_eq!(f.len(), 3);
         assert!(!f.is_dense());
-        let f = f.into_dense(&m, "stat/f", 128, AllocPolicy::Interleaved);
+        let f = f.into_dense(&m, "stat/f", 128, AllocPolicy::Interleaved, 42);
         assert!(f.is_dense());
         assert_eq!(f.len(), 3);
+        assert_eq!(
+            f.out_degree(|_| unreachable!("dense degree is recorded")),
+            42
+        );
         assert!(f.contains_unaccounted(7));
         assert!(!f.contains_unaccounted(8));
         let f = f.into_sparse();
@@ -257,9 +335,10 @@ mod tests {
     #[test]
     fn frontier_all_is_full() {
         let m = machine();
-        let f = Frontier::all(&m, "stat/all", 100, AllocPolicy::Centralized);
+        let f = Frontier::all(&m, "stat/all", 100, AllocPolicy::Centralized, 500);
         assert_eq!(f.len(), 100);
         assert!(f.is_dense());
+        assert_eq!(f.out_degree(|_| 0), 500);
         assert_eq!(f.to_sorted_vec().len(), 100);
         assert!(!f.is_empty());
     }
@@ -270,6 +349,38 @@ mod tests {
         assert!(f.is_empty());
         assert_eq!(f.as_sparse().unwrap().len(), 0);
         assert!(f.as_dense().is_none());
+    }
+
+    #[test]
+    fn sparse_out_degree_sums_members() {
+        let f = Frontier::sparse(vec![1, 2, 3]);
+        assert_eq!(f.out_degree(|v| v as u64 * 10), 60);
+    }
+
+    #[test]
+    fn rebuild_follows_switching_rule() {
+        let m = machine();
+        let mk = |items: &[u32]| {
+            let bits = DenseBitmap::new(&m, "stat/f", 64, AllocPolicy::Interleaved);
+            for &v in items {
+                bits.set_unaccounted(v as usize);
+            }
+            bits
+        };
+        // Below threshold (|E|/20 = 50): stays sparse.
+        let f = Frontier::rebuild(vec![1, 2], 10, 1000, true, true, mk);
+        assert!(!f.is_dense());
+        // Above threshold: densifies, recording the exact degree.
+        let f = Frontier::rebuild(vec![1, 2], 90, 1000, true, true, mk);
+        assert!(f.is_dense());
+        assert_eq!(f.out_degree(|_| 0), 90);
+        assert_eq!(f.len(), 2);
+        // Sparse disallowed (always-dense ablation): densifies regardless.
+        let f = Frontier::rebuild(vec![1], 0, 1000, false, true, mk);
+        assert!(f.is_dense());
+        // Dense disallowed (push-pinned): stays sparse regardless.
+        let f = Frontier::rebuild(vec![1, 2], 900, 1000, true, false, mk);
+        assert!(!f.is_dense());
     }
 
     #[test]

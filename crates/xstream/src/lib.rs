@@ -26,13 +26,12 @@
 use std::ops::Range;
 
 use polymer_api::{
-    catch_engine_faults, validate_run_config, Engine, EngineKind, FrontierInit, Program, RunResult,
+    catch_engine_faults, validate_run_config, DirectionPolicy, Engine, EngineKind, ExecProfile,
+    FrontierInit, IterationDriver, Program, RunResult,
 };
 use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
-use polymer_numa::{
-    AllocPolicy, Atom, BarrierKind, Machine, MemoryReport, NumaArray, NumaAtomicArray, SimExecutor,
-};
+use polymer_numa::{AllocPolicy, Atom, BarrierKind, Machine, NumaArray, NumaAtomicArray};
 use polymer_sync::DenseBitmap;
 
 /// One streaming partition's data.
@@ -85,6 +84,15 @@ impl Engine for XStreamEngine {
     ) -> PolymerResult<RunResult<P::Val>> {
         validate_run_config(threads, g, prog)?;
         catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced))
+    }
+
+    fn exec_profile(&self) -> ExecProfile {
+        // Edge-centric streaming is a pure scatter (push) engine with
+        // always-dense states.
+        ExecProfile {
+            direction: DirectionPolicy::PushOnly,
+            adaptive_frontier: false,
+        }
     }
 }
 
@@ -183,187 +191,178 @@ impl XStreamEngine {
         }
         let mut active: u64 = parts.iter().map(|p| p.state.count_ones() as u64).sum();
 
-        let mut sim = SimExecutor::with_config(
-            machine,
-            threads,
-            Default::default(),
-            BarrierKind::Hierarchical,
-        );
-        if traced {
-            sim.enable_trace();
-        }
-        // Safety cap: a converging synchronous program never needs more
-        // iterations than vertices.
-        let iter_cap = 2 * n + 64;
-        let mut iters = 0usize;
+        let mut driver =
+            IterationDriver::new(machine, threads, BarrierKind::Hierarchical, traced, n);
 
         // Host-side per-iteration bookkeeping.
         let mut uout_len = vec![0usize; threads];
         let mut uin_len = vec![0usize; threads];
 
-        while active > 0 && iters < prog.max_iters() {
-            if iters >= iter_cap {
-                return Err(PolymerError::IterationCapExceeded { cap: iter_cap });
-            }
-            sim.set_iteration(Some(iters as u64));
-            // Scatter: stream ALL edges of each partition; active sources
-            // append updates to Uout.
-            let mut histograms = vec![vec![0usize; threads]; threads];
-            {
-                let hist = &mut histograms;
-                let uout_len = &mut uout_len;
-                sim.run_phase("scatter", |tid, ctx| {
-                    let part = &parts[tid];
-                    let ecount = part.e_src.len();
-                    // X-Stream streams whole edge *records* — source, target
-                    // and weight are read for every edge regardless of the
-                    // source's state (the stream is oblivious to the
-                    // frontier; that obliviousness is exactly what makes
-                    // sparse-frontier iterations pathological). The
-                    // unconditional full-range sweeps go through the bulk
-                    // accounting path.
-                    let src_it = part.e_src.iter_seq(ctx, 0..ecount);
-                    let dst_it = part.e_dst.iter_seq(ctx, 0..ecount);
-                    let mut w_it = part.e_w.as_ref().map(|ws| ws.iter_seq(ctx, 0..ecount));
-                    // Updates append to Uout at a run-coalesced cursor.
-                    let mut uout_d = part.uout_dst.seq_writer(0);
-                    let mut uout_v = part.uout_val.seq_writer(0);
-                    // X-Stream's edge list is unordered (it never sorts or
-                    // groups edges — that is the system's core design
-                    // trade-off), so the source-state lookup and, for active
-                    // sources, the value/degree loads happen per edge
-                    // record; nothing can be register-cached across edges.
-                    // These are frontier-dependent vertex-indexed accesses —
-                    // scalar path.
-                    for (s, t) in src_it.zip(dst_it) {
-                        let w = match &mut w_it {
-                            Some(it) => it.next().expect("weight stream aligned"),
-                            None => 1,
-                        };
-                        let li = s as usize - part.range.start;
-                        if !part.state.test(ctx, li) {
-                            continue;
+        driver.run_synchronous(
+            prog.max_iters(),
+            &mut active,
+            |a| *a > 0,
+            |sim, iters, active| {
+                // Scatter: stream ALL edges of each partition; active sources
+                // append updates to Uout.
+                let mut histograms = vec![vec![0usize; threads]; threads];
+                {
+                    let hist = &mut histograms;
+                    let uout_len = &mut uout_len;
+                    sim.run_phase("scatter", |tid, ctx| {
+                        let part = &parts[tid];
+                        let ecount = part.e_src.len();
+                        // X-Stream streams whole edge *records* — source, target
+                        // and weight are read for every edge regardless of the
+                        // source's state (the stream is oblivious to the
+                        // frontier; that obliviousness is exactly what makes
+                        // sparse-frontier iterations pathological). The
+                        // unconditional full-range sweeps go through the bulk
+                        // accounting path.
+                        let src_it = part.e_src.iter_seq(ctx, 0..ecount);
+                        let dst_it = part.e_dst.iter_seq(ctx, 0..ecount);
+                        let mut w_it = part.e_w.as_ref().map(|ws| ws.iter_seq(ctx, 0..ecount));
+                        // Updates append to Uout at a run-coalesced cursor.
+                        let mut uout_d = part.uout_dst.seq_writer(0);
+                        let mut uout_v = part.uout_val.seq_writer(0);
+                        // X-Stream's edge list is unordered (it never sorts or
+                        // groups edges — that is the system's core design
+                        // trade-off), so the source-state lookup and, for active
+                        // sources, the value/degree loads happen per edge
+                        // record; nothing can be register-cached across edges.
+                        // These are frontier-dependent vertex-indexed accesses —
+                        // scalar path.
+                        for (s, t) in src_it.zip(dst_it) {
+                            let w = match &mut w_it {
+                                Some(it) => it.next().expect("weight stream aligned"),
+                                None => 1,
+                            };
+                            let li = s as usize - part.range.start;
+                            if !part.state.test(ctx, li) {
+                                continue;
+                            }
+                            let sv = part.curr.load(ctx, li);
+                            let deg = part.deg.get(ctx, li);
+                            let c = prog.scatter(s as VId, sv, w, deg);
+                            ctx.charge_cycles(sc);
+                            uout_d.push(ctx, t);
+                            uout_v.push(ctx, c);
+                            hist[tid][part_of(t as usize)] += 1;
                         }
-                        let sv = part.curr.load(ctx, li);
-                        let deg = part.deg.get(ctx, li);
-                        let c = prog.scatter(s as VId, sv, w, deg);
-                        ctx.charge_cycles(sc);
-                        uout_d.push(ctx, t);
-                        uout_v.push(ctx, c);
-                        hist[tid][part_of(t as usize)] += 1;
-                    }
-                    uout_d.flush(ctx);
-                    uout_v.flush(ctx);
-                    uout_len[tid] = uout_d.pos();
-                });
-            }
-            sim.charge_barrier();
-
-            // Shuffle: route Uout entries to the target partition's Uin.
-            // Reserved offset ranges come from the scatter histograms, so
-            // each (source, target) stream writes sequentially.
-            let mut cursors = vec![vec![0usize; threads]; threads]; // [src][dst]
-            for q in 0..threads {
-                let mut off = 0usize;
-                for (p, hist) in histograms.iter().enumerate() {
-                    cursors[p][q] = off;
-                    off += hist[q];
+                        uout_d.flush(ctx);
+                        uout_v.flush(ctx);
+                        uout_len[tid] = uout_d.pos();
+                    });
                 }
-                uin_len[q] = off;
-            }
-            {
-                let cursors = &mut cursors;
-                sim.run_phase("shuffle", |tid, ctx| {
-                    let part = &parts[tid];
-                    // Uout drains front to back — a bulk sequential read.
-                    let t_it = part.uout_dst.iter_seq(ctx, 0..uout_len[tid]);
-                    let v_it = part.uout_val.iter_seq(ctx, 0..uout_len[tid]);
-                    // Each (source, target-partition) stream writes its
-                    // reserved Uin slots sequentially: one coalesced append
-                    // cursor per target.
-                    let mut uin_d: Vec<_> = (0..threads)
-                        .map(|q| parts[q].uin_dst.seq_writer(cursors[tid][q]))
-                        .collect();
-                    let mut uin_v: Vec<_> = (0..threads)
-                        .map(|q| parts[q].uin_val.seq_writer(cursors[tid][q]))
-                        .collect();
-                    for (t, v) in t_it.zip(v_it) {
-                        let q = part_of(t as usize);
-                        uin_d[q].push(ctx, t);
-                        uin_v[q].push(ctx, v);
-                    }
-                    for q in 0..threads {
-                        uin_d[q].flush(ctx);
-                        uin_v[q].flush(ctx);
-                        cursors[tid][q] = uin_d[q].pos();
-                    }
-                });
-            }
-            sim.charge_barrier();
+                sim.charge_barrier();
 
-            // Gather: fold Uin into next, then apply updated vertices.
-            let mut alive_count = vec![0u64; threads];
-            {
-                let alive_count = &mut alive_count;
-                sim.run_phase("gather", |tid, ctx| {
-                    let part = &parts[tid];
-                    // Uin drains front to back — a bulk sequential read.
-                    let t_it = part.uin_dst.iter_seq(ctx, 0..uin_len[tid]);
-                    let v_it = part.uin_val.iter_seq(ctx, 0..uin_len[tid]);
-                    for (t, v) in t_it.zip(v_it) {
-                        let li = t as usize - part.range.start;
-                        // Combine/state targets arrive in update order, not
-                        // sequentially — scalar path.
-                        polymer_api::atomic_combine(prog, &part.next, ctx, li, v);
-                        part.updated.set(ctx, li);
+                // Shuffle: route Uout entries to the target partition's Uin.
+                // Reserved offset ranges come from the scatter histograms, so
+                // each (source, target) stream writes sequentially.
+                let mut cursors = vec![vec![0usize; threads]; threads]; // [src][dst]
+                for q in 0..threads {
+                    let mut off = 0usize;
+                    for (p, hist) in histograms.iter().enumerate() {
+                        cursors[p][q] = off;
+                        off += hist[q];
                     }
-                    // Apply pass: the word scan is a dense sequential sweep
-                    // (bulk); the per-bit value accesses depend on which
-                    // bits are set — scalar.
-                    let nwords = part.updated.num_words();
-                    for (w, word) in part.updated.words_seq(ctx, 0..nwords).enumerate() {
-                        let mut word = word;
-                        while word != 0 {
-                            let b = word.trailing_zeros() as usize;
-                            word &= word - 1;
-                            let li = w * 64 + b;
-                            let acc = part.next.load(ctx, li);
-                            let cv = part.curr.load(ctx, li);
-                            let (val, alive) = prog.apply((part.range.start + li) as VId, acc, cv);
-                            part.curr.store(ctx, li, val);
-                            part.next.store(ctx, li, identity);
-                            if alive {
-                                part.next_state.set(ctx, li);
-                                alive_count[tid] += 1;
+                    uin_len[q] = off;
+                }
+                {
+                    let cursors = &mut cursors;
+                    sim.run_phase("shuffle", |tid, ctx| {
+                        let part = &parts[tid];
+                        // Uout drains front to back — a bulk sequential read.
+                        let t_it = part.uout_dst.iter_seq(ctx, 0..uout_len[tid]);
+                        let v_it = part.uout_val.iter_seq(ctx, 0..uout_len[tid]);
+                        // Each (source, target-partition) stream writes its
+                        // reserved Uin slots sequentially: one coalesced append
+                        // cursor per target.
+                        let mut uin_d: Vec<_> = (0..threads)
+                            .map(|q| parts[q].uin_dst.seq_writer(cursors[tid][q]))
+                            .collect();
+                        let mut uin_v: Vec<_> = (0..threads)
+                            .map(|q| parts[q].uin_val.seq_writer(cursors[tid][q]))
+                            .collect();
+                        for (t, v) in t_it.zip(v_it) {
+                            let q = part_of(t as usize);
+                            uin_d[q].push(ctx, t);
+                            uin_v[q].push(ctx, v);
+                        }
+                        for q in 0..threads {
+                            uin_d[q].flush(ctx);
+                            uin_v[q].flush(ctx);
+                            cursors[tid][q] = uin_d[q].pos();
+                        }
+                    });
+                }
+                sim.charge_barrier();
+
+                // Gather: fold Uin into next, then apply updated vertices.
+                let mut alive_count = vec![0u64; threads];
+                {
+                    let alive_count = &mut alive_count;
+                    sim.run_phase("gather", |tid, ctx| {
+                        let part = &parts[tid];
+                        // Uin drains front to back — a bulk sequential read.
+                        let t_it = part.uin_dst.iter_seq(ctx, 0..uin_len[tid]);
+                        let v_it = part.uin_val.iter_seq(ctx, 0..uin_len[tid]);
+                        for (t, v) in t_it.zip(v_it) {
+                            let li = t as usize - part.range.start;
+                            // Combine/state targets arrive in update order, not
+                            // sequentially — scalar path.
+                            polymer_api::atomic_combine(prog, &part.next, ctx, li, v);
+                            part.updated.set(ctx, li);
+                        }
+                        // Apply pass: the word scan is a dense sequential sweep
+                        // (bulk); the per-bit value accesses depend on which
+                        // bits are set — scalar.
+                        let nwords = part.updated.num_words();
+                        for (w, word) in part.updated.words_seq(ctx, 0..nwords).enumerate() {
+                            let mut word = word;
+                            while word != 0 {
+                                let b = word.trailing_zeros() as usize;
+                                word &= word - 1;
+                                let li = w * 64 + b;
+                                let acc = part.next.load(ctx, li);
+                                let cv = part.curr.load(ctx, li);
+                                let (val, alive) =
+                                    prog.apply((part.range.start + li) as VId, acc, cv);
+                                part.curr.store(ctx, li, val);
+                                part.next.store(ctx, li, identity);
+                                if alive {
+                                    part.next_state.set(ctx, li);
+                                    alive_count[tid] += 1;
+                                }
+                            }
+                        }
+                    });
+                }
+                sim.charge_barrier();
+
+                // Swap state bitmaps (buffer reuse, unaccounted maintenance).
+                for part in &mut parts {
+                    std::mem::swap(&mut part.state, &mut part.next_state);
+                    part.next_state.clear_unaccounted();
+                    part.updated.clear_unaccounted();
+                }
+                *active = alive_count.iter().sum();
+                // Divergence scan over the partitioned value arrays.
+                if P::Val::CHECK_FINITE {
+                    for part in &parts {
+                        for i in 0..part.range.len() {
+                            if !part.curr.raw_load(i).finite() {
+                                return Err(PolymerError::Divergence {
+                                    vertex: part.range.start + i,
+                                    iteration: iters,
+                                });
                             }
                         }
                     }
-                });
-            }
-            sim.charge_barrier();
-
-            // Swap state bitmaps (buffer reuse, unaccounted maintenance).
-            for part in &mut parts {
-                std::mem::swap(&mut part.state, &mut part.next_state);
-                part.next_state.clear_unaccounted();
-                part.updated.clear_unaccounted();
-            }
-            active = alive_count.iter().sum();
-            // Divergence scan over the partitioned value arrays.
-            if P::Val::CHECK_FINITE {
-                for part in &parts {
-                    for i in 0..part.range.len() {
-                        if !part.curr.raw_load(i).finite() {
-                            return Err(PolymerError::Divergence {
-                                vertex: part.range.start + i,
-                                iteration: iters,
-                            });
-                        }
-                    }
                 }
-            }
-            iters += 1;
-        }
+                Ok(())
+            },
+        )?;
 
         // Snapshot values in global order.
         let mut values = Vec::with_capacity(n);
@@ -373,15 +372,7 @@ impl XStreamEngine {
             }
         }
 
-        let memory = MemoryReport::from_machine(machine);
-        Ok(RunResult {
-            values,
-            iterations: iters,
-            clock: sim.clock().clone(),
-            memory,
-            threads,
-            sockets: sim.num_sockets(),
-        })
+        Ok(driver.finish(values))
     }
 }
 

@@ -95,8 +95,10 @@ proptest! {
         let m = Machine::new(MachineSpec::test2());
         let items: Vec<u32> = items.into_iter().collect();
         let f = Frontier::sparse(items.clone());
-        let f = f.into_dense(&m, "stat/rt", 400, AllocPolicy::Centralized);
+        let degree = items.len() as u64;
+        let f = f.into_dense(&m, "stat/rt", 400, AllocPolicy::Centralized, degree);
         prop_assert_eq!(f.len(), items.len());
+        prop_assert_eq!(f.out_degree(|_| 1), degree);
         let f = f.into_sparse();
         prop_assert_eq!(f.to_sorted_vec(), items);
     }
