@@ -12,11 +12,277 @@
 //! issued before the extraction, so simulated output (PhaseCosts, simulated
 //! seconds, Chrome traces) is bit-identical — the conformance suite pins
 //! this against pre-refactor golden fixtures.
+//!
+//! ## Iteration checkpoints
+//!
+//! The driver is also where **iteration-granular recovery** hooks in: a
+//! [`CheckpointPolicy`] decides after which completed iterations the
+//! engine's state is snapshotted into a [`Checkpoint`] (vertex values +
+//! [`FrontierSnapshot`] + iteration stamp) and published to a shared
+//! [`CheckpointStore`]; [`IterationDriver::resume_at`] fast-forwards the
+//! iteration counter so a resumed run stamps *global* iterations —
+//! fault-plan trigger points already crossed are not replayed. The engines
+//! charge their snapshot sweeps through the bulk accessors (a `"checkpoint"`
+//! phase), so checkpoint cost is visible in simulated `PhaseCosts`;
+//! [`CheckpointPolicy::Never`] takes the exact pre-existing code path and
+//! keeps runs bit-identical to the golden fixtures.
+
+use std::sync::{Arc, Mutex};
 
 use polymer_faults::{PolymerError, PolymerResult};
 use polymer_numa::{BarrierKind, Machine, MemoryReport, SimExecutor};
+use polymer_sync::FrontierSnapshot;
+use serde::{Deserialize, Error as SerdeError, Map, Serialize, Value};
 
 use crate::result::RunResult;
+
+/// After which completed iterations a run snapshots its state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// Never checkpoint (the default): zero overhead, bit-identical to the
+    /// pre-recovery engines.
+    #[default]
+    Never,
+    /// Checkpoint after every `k`th completed iteration (`EveryN(1)` =
+    /// every iteration). `EveryN(0)` is treated as `Never`.
+    EveryN(usize),
+    /// Checkpoint after every iteration *while the run is under deadline
+    /// pressure* (a barrier deadline or supervisor attempt budget is
+    /// configured — see [`RecoverySession::with_deadline_pressure`]);
+    /// behaves as `Never` otherwise.
+    OnDeadlinePressure,
+}
+
+impl CheckpointPolicy {
+    /// True when a snapshot is due after `completed` iterations.
+    pub fn due(&self, completed: usize, deadline_pressure: bool) -> bool {
+        match *self {
+            CheckpointPolicy::Never => false,
+            CheckpointPolicy::EveryN(0) => false,
+            CheckpointPolicy::EveryN(k) => completed.is_multiple_of(k),
+            CheckpointPolicy::OnDeadlinePressure => deadline_pressure,
+        }
+    }
+}
+
+/// One recoverable image of a run: everything an engine needs to continue
+/// from the end of iteration `iteration` as if never interrupted.
+/// Serializable through the vendored `serde` for on-disk persistence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint<V> {
+    /// Iterations completed when the snapshot was taken; a resumed run
+    /// continues stamping from here (global iteration space).
+    pub iteration: usize,
+    /// Per-vertex `curr` values at the end of that iteration.
+    pub values: Vec<V>,
+    /// The live frontier, representation-exact (see [`FrontierSnapshot`]).
+    pub frontier: FrontierSnapshot,
+}
+
+impl<V: Serialize> Serialize for Checkpoint<V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("iteration", Value::U64(self.iteration as u64));
+        m.insert(
+            "values",
+            Value::Arr(self.values.iter().map(Serialize::to_value).collect()),
+        );
+        m.insert("frontier", self.frontier.to_value());
+        Value::Obj(m)
+    }
+}
+
+impl<V: Deserialize> Deserialize for Checkpoint<V> {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| SerdeError::custom("Checkpoint: expected object"))?;
+        let field = |k: &str| {
+            m.get(k)
+                .ok_or_else(|| SerdeError::custom(format!("Checkpoint: missing field {k:?}")))
+        };
+        let iteration = field("iteration")?
+            .as_u64()
+            .ok_or_else(|| SerdeError::custom("Checkpoint: iteration must be an integer"))?
+            as usize;
+        let values = field("values")?
+            .as_array()
+            .ok_or_else(|| SerdeError::custom("Checkpoint: values must be an array"))?
+            .iter()
+            .map(V::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let frontier = FrontierSnapshot::from_value(field("frontier")?)?;
+        Ok(Checkpoint {
+            iteration,
+            values,
+            frontier,
+        })
+    }
+}
+
+/// A shared slot for the latest [`Checkpoint`] of a run. Cheap to clone
+/// (`Arc` internally): the supervisor and the running engine hold the same
+/// store, so a checkpoint published mid-attempt survives that attempt's
+/// failure. By default only the latest checkpoint is retained;
+/// [`CheckpointStore::with_history`] keeps all of them (tests, analysis).
+#[derive(Debug)]
+pub struct CheckpointStore<V> {
+    inner: Arc<Mutex<StoreSlot<V>>>,
+}
+
+#[derive(Debug)]
+struct StoreSlot<V> {
+    latest: Option<Checkpoint<V>>,
+    history: Option<Vec<Checkpoint<V>>>,
+    taken: usize,
+}
+
+impl<V> Clone for CheckpointStore<V> {
+    fn clone(&self) -> Self {
+        CheckpointStore {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> Default for CheckpointStore<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> CheckpointStore<V> {
+    /// An empty store retaining only the latest checkpoint.
+    pub fn new() -> Self {
+        CheckpointStore {
+            inner: Arc::new(Mutex::new(StoreSlot {
+                latest: None,
+                history: None,
+                taken: 0,
+            })),
+        }
+    }
+
+    /// An empty store that additionally retains every published checkpoint.
+    pub fn with_history() -> Self {
+        let s = Self::new();
+        s.inner.lock().unwrap().history = Some(Vec::new());
+        s
+    }
+
+    /// Publish a checkpoint (becomes the latest).
+    pub fn put(&self, ckpt: Checkpoint<V>)
+    where
+        V: Clone,
+    {
+        let mut slot = self.inner.lock().unwrap();
+        slot.taken += 1;
+        if let Some(h) = &mut slot.history {
+            h.push(ckpt.clone());
+        }
+        slot.latest = Some(ckpt);
+    }
+
+    /// The latest checkpoint, if any.
+    pub fn latest(&self) -> Option<Checkpoint<V>>
+    where
+        V: Clone,
+    {
+        self.inner.lock().unwrap().latest.clone()
+    }
+
+    /// Every checkpoint published so far (empty unless built
+    /// [`CheckpointStore::with_history`]).
+    pub fn history(&self) -> Vec<Checkpoint<V>>
+    where
+        V: Clone,
+    {
+        self.inner
+            .lock()
+            .unwrap()
+            .history
+            .clone()
+            .unwrap_or_default()
+    }
+
+    /// Checkpoints published over the store's lifetime.
+    pub fn taken(&self) -> usize {
+        self.inner.lock().unwrap().taken
+    }
+}
+
+/// What one engine attempt needs to know about recovery: the checkpoint
+/// policy and store to publish into, and optionally a checkpoint to resume
+/// from. [`RecoverySession::disabled`] (policy `Never`, no store) is the
+/// default path every plain `try_run` takes — it adds no charged work.
+pub struct RecoverySession<V> {
+    policy: CheckpointPolicy,
+    store: Option<CheckpointStore<V>>,
+    resume: Option<Checkpoint<V>>,
+    deadline_pressure: bool,
+}
+
+impl<V> Default for RecoverySession<V> {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl<V> RecoverySession<V> {
+    /// No checkpointing, no resume: the plain-run path.
+    pub fn disabled() -> Self {
+        RecoverySession {
+            policy: CheckpointPolicy::Never,
+            store: None,
+            resume: None,
+            deadline_pressure: false,
+        }
+    }
+
+    /// A session that publishes checkpoints per `policy` into `store`.
+    pub fn new(policy: CheckpointPolicy, store: CheckpointStore<V>) -> Self {
+        RecoverySession {
+            policy,
+            store: Some(store),
+            resume: None,
+            deadline_pressure: false,
+        }
+    }
+
+    /// Resume the attempt from `ckpt` instead of the program's initial
+    /// state.
+    pub fn with_resume(mut self, ckpt: Option<Checkpoint<V>>) -> Self {
+        self.resume = ckpt;
+        self
+    }
+
+    /// Mark the run as under deadline pressure (activates
+    /// [`CheckpointPolicy::OnDeadlinePressure`]).
+    pub fn with_deadline_pressure(mut self, pressure: bool) -> Self {
+        self.deadline_pressure = pressure;
+        self
+    }
+
+    /// The checkpoint to resume from, if any.
+    pub fn resume(&self) -> Option<&Checkpoint<V>> {
+        self.resume.as_ref()
+    }
+
+    /// True when a snapshot is due after `completed` iterations.
+    pub fn should_checkpoint(&self, completed: usize) -> bool {
+        self.store.is_some() && self.policy.due(completed, self.deadline_pressure)
+    }
+
+    /// Publish a checkpoint to the session's store (no-op without one).
+    pub fn record(&self, ckpt: Checkpoint<V>)
+    where
+        V: Clone,
+    {
+        if let Some(store) = &self.store {
+            store.put(ckpt);
+        }
+    }
+}
 
 /// Owns the simulated executor and the iteration loop shared by every
 /// engine. Synchronous engines call [`IterationDriver::run_synchronous`];
@@ -74,6 +340,15 @@ impl IterationDriver {
         self.iters += 1;
     }
 
+    /// Fast-forward the iteration counter to resume from a
+    /// [`Checkpoint::iteration`]: the next executed iteration stamps
+    /// `iteration`, so a resumed run lives in the same global iteration
+    /// space as the uninterrupted one (`max_iters`, the safety cap, and
+    /// fault-plan trigger points all keep their meaning).
+    pub fn resume_at(&mut self, iteration: usize) {
+        self.iters = iteration;
+    }
+
     /// The bulk-synchronous loop: while `is_active(state)` and under
     /// `max_iters`, stamp the iteration and run `body(sim, iter, state)`.
     /// `state` is the engine's loop-carried data (its frontier or active
@@ -84,9 +359,39 @@ impl IterationDriver {
         &mut self,
         max_iters: usize,
         state: &mut S,
+        is_active: impl FnMut(&S) -> bool,
+        body: impl FnMut(&mut SimExecutor, usize, &mut S) -> PolymerResult<()>,
+    ) -> PolymerResult<()> {
+        self.run_recoverable(
+            max_iters,
+            state,
+            &RecoverySession::<u32>::disabled(),
+            is_active,
+            body,
+            |_, _| (Vec::new(), FrontierSnapshot::default()),
+        )
+    }
+
+    /// [`IterationDriver::run_synchronous`] with checkpoint hooks: after an
+    /// iteration completes and [`RecoverySession::should_checkpoint`] says a
+    /// snapshot is due, `snapshot(sim, state)` captures the engine's
+    /// `(values, frontier)` — charging its sweeps through the executor, so
+    /// the cost lands in `PhaseCosts` — and the driver stamps and publishes
+    /// the [`Checkpoint`]. With a disabled session (the
+    /// [`IterationDriver::run_synchronous`] path) `snapshot` is never
+    /// called and the loop is the exact pre-recovery sequence.
+    pub fn run_recoverable<S, V>(
+        &mut self,
+        max_iters: usize,
+        state: &mut S,
+        session: &RecoverySession<V>,
         mut is_active: impl FnMut(&S) -> bool,
         mut body: impl FnMut(&mut SimExecutor, usize, &mut S) -> PolymerResult<()>,
-    ) -> PolymerResult<()> {
+        mut snapshot: impl FnMut(&mut SimExecutor, &S) -> (Vec<V>, FrontierSnapshot),
+    ) -> PolymerResult<()>
+    where
+        V: Clone,
+    {
         while is_active(state) && self.iters < max_iters {
             if self.iters >= self.iter_cap {
                 return Err(PolymerError::IterationCapExceeded { cap: self.iter_cap });
@@ -94,6 +399,14 @@ impl IterationDriver {
             self.sim.set_iteration(Some(self.iters as u64));
             body(&mut self.sim, self.iters, state)?;
             self.iters += 1;
+            if session.should_checkpoint(self.iters) {
+                let (values, frontier) = snapshot(&mut self.sim, state);
+                session.record(Checkpoint {
+                    iteration: self.iters,
+                    values,
+                    frontier,
+                });
+            }
         }
         Ok(())
     }
@@ -110,6 +423,7 @@ impl IterationDriver {
             memory,
             threads: self.threads,
             sockets,
+            recovery: None,
         }
     }
 }
@@ -166,6 +480,98 @@ mod tests {
             err,
             PolymerError::IterationCapExceeded { cap: 64 }
         ));
+    }
+
+    #[test]
+    fn checkpoint_policy_cadence() {
+        assert!(!CheckpointPolicy::Never.due(1, true));
+        assert!(!CheckpointPolicy::EveryN(0).due(4, false));
+        assert!(CheckpointPolicy::EveryN(1).due(1, false));
+        assert!(CheckpointPolicy::EveryN(3).due(6, false));
+        assert!(!CheckpointPolicy::EveryN(3).due(7, false));
+        assert!(CheckpointPolicy::OnDeadlinePressure.due(1, true));
+        assert!(!CheckpointPolicy::OnDeadlinePressure.due(1, false));
+    }
+
+    #[test]
+    fn recoverable_loop_publishes_and_resumes() {
+        let m = Machine::new(MachineSpec::test2());
+        let store = CheckpointStore::<u32>::with_history();
+        let session = RecoverySession::new(CheckpointPolicy::EveryN(2), store.clone());
+        let mut d = IterationDriver::new(&m, 1, BarrierKind::Hierarchical, false, 100);
+        let mut remaining = 5u32;
+        d.run_recoverable(
+            10,
+            &mut remaining,
+            &session,
+            |r| *r > 0,
+            |_, _, r| {
+                *r -= 1;
+                Ok(())
+            },
+            |_, r| (vec![*r], FrontierSnapshot::sparse(vec![*r], 0)),
+        )
+        .unwrap();
+        assert_eq!(d.iterations(), 5);
+        // Checkpoints after iterations 2 and 4.
+        assert_eq!(store.taken(), 2);
+        let hist = store.history();
+        assert_eq!(
+            hist.iter().map(|c| c.iteration).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        assert_eq!(store.latest().unwrap().values, vec![1]);
+
+        // Resume from the latest: the counter continues in global space.
+        let ck = store.latest().unwrap();
+        let mut d = IterationDriver::new(&m, 1, BarrierKind::Hierarchical, false, 100);
+        d.resume_at(ck.iteration);
+        let mut remaining = ck.values[0];
+        d.run_synchronous(
+            10,
+            &mut remaining,
+            |r| *r > 0,
+            |_, _, r| {
+                *r -= 1;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(d.iterations(), 5);
+    }
+
+    #[test]
+    fn disabled_session_never_snapshots() {
+        let m = Machine::new(MachineSpec::test2());
+        let mut d = IterationDriver::new(&m, 1, BarrierKind::Hierarchical, false, 100);
+        let mut left = 3u32;
+        d.run_recoverable(
+            10,
+            &mut left,
+            &RecoverySession::<u32>::disabled(),
+            |r| *r > 0,
+            |_, _, r| {
+                *r -= 1;
+                Ok(())
+            },
+            |_, _| panic!("snapshot must not run without a store"),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn checkpoint_serde_round_trip() {
+        let ck = Checkpoint {
+            iteration: 3,
+            values: vec![7u64, 9],
+            frontier: FrontierSnapshot::dense(vec![1, 4], 11),
+        };
+        let v = ck.to_value();
+        let back = Checkpoint::<u64>::from_value(&v).expect("checkpoint deserializes");
+        assert_eq!(back, ck);
+        // Text round trip through the vendored serde_json layer happens in
+        // the workspace tests; the Value tree is the contract here.
+        assert!(Checkpoint::<u64>::from_value(&Value::Bool(true)).is_err());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use polymer_graph::Graph;
 use polymer_numa::{Machine, MemoryReport, RunClock};
 
 use crate::backend::{Backend, ExecProfile};
+use crate::driver::RecoverySession;
 use crate::program::Program;
 use crate::result::RunResult;
 
@@ -43,11 +44,11 @@ pub trait Engine {
     /// Which system this engine models.
     fn kind(&self) -> EngineKind;
 
-    /// Execute `prog` to completion, surfacing every failure — invalid
-    /// configuration, injected faults, divergence, a panicking engine body —
-    /// as a typed [`PolymerError`] instead of a panic. Graph
-    /// construction/loading time is excluded from the result's clock, as in
-    /// the paper's methodology.
+    /// The engine's core entry point: execute `prog` to completion,
+    /// surfacing every failure — invalid configuration, injected faults,
+    /// divergence, a panicking engine body — as a typed [`PolymerError`]
+    /// instead of a panic. Graph construction/loading time is excluded from
+    /// the result's clock, as in the paper's methodology.
     ///
     /// With `traced == true` the engine records a span/counter timeline into
     /// the result's [`polymer_numa::Tracer`] (reachable through
@@ -55,6 +56,25 @@ pub trait Engine {
     /// barrier, stamped with the iteration, carrying per-socket counters.
     /// Tracing must never change simulated time — the workspace test suite
     /// pins traced and untraced runs to bit-identical clocks.
+    ///
+    /// `recovery` supplies the run's checkpoint policy/store and an
+    /// optional checkpoint to resume from
+    /// ([`RecoverySession::disabled`] on every plain path — which must be
+    /// charged-work-free, so disabled runs stay bit-identical to the golden
+    /// fixtures). Resuming restores the checkpointed vertex values and
+    /// frontier through charged `"restore"` sweeps and continues stamping
+    /// global iterations from [`crate::driver::Checkpoint::iteration`].
+    fn try_run_rec<P: Program>(
+        &self,
+        machine: &Machine,
+        threads: usize,
+        graph: &Graph,
+        prog: &P,
+        traced: bool,
+        recovery: &RecoverySession<P::Val>,
+    ) -> PolymerResult<RunResult<P::Val>>;
+
+    /// [`Engine::try_run_rec`] without recovery — tracing only.
     fn try_run_traced<P: Program>(
         &self,
         machine: &Machine,
@@ -62,7 +82,16 @@ pub trait Engine {
         graph: &Graph,
         prog: &P,
         traced: bool,
-    ) -> PolymerResult<RunResult<P::Val>>;
+    ) -> PolymerResult<RunResult<P::Val>> {
+        self.try_run_rec(
+            machine,
+            threads,
+            graph,
+            prog,
+            traced,
+            &RecoverySession::disabled(),
+        )
+    }
 
     /// [`Engine::try_run_traced`] with tracing off — the common, zero-cost
     /// path.
@@ -124,15 +153,40 @@ pub trait Engine {
         graph: &Graph,
         prog: &P,
     ) -> PolymerResult<RunResult<P::Val>> {
+        self.try_run_on_rec(
+            backend,
+            machine,
+            threads,
+            graph,
+            prog,
+            &RecoverySession::disabled(),
+        )
+    }
+
+    /// [`Engine::try_run_on`] with a [`RecoverySession`]: both backends
+    /// publish checkpoints to the session's store and honour its resume
+    /// checkpoint. This is the entry point the
+    /// [`crate::supervisor::RunSupervisor`] drives per attempt.
+    fn try_run_on_rec<P: Program>(
+        &self,
+        backend: &Backend,
+        machine: &Machine,
+        threads: usize,
+        graph: &Graph,
+        prog: &P,
+        recovery: &RecoverySession<P::Val>,
+    ) -> PolymerResult<RunResult<P::Val>> {
         match backend {
-            Backend::Simulated => self.try_run(machine, threads, graph, prog),
+            Backend::Simulated => self.try_run_rec(machine, threads, graph, prog, false, recovery),
             Backend::RealThreads(cfg) => {
-                let (values, iterations) = crate::parallel::try_run_threads(
+                let (values, iterations) = crate::parallel::try_run_threads_rec(
                     graph,
                     prog,
                     threads,
                     cfg,
                     &self.exec_profile(),
+                    None,
+                    recovery,
                 )?;
                 Ok(RunResult {
                     values,
@@ -145,6 +199,7 @@ pub trait Engine {
                     },
                     threads,
                     sockets: cfg.groups.clamp(1, threads.max(1)),
+                    recovery: None,
                 })
             }
         }

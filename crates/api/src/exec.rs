@@ -160,6 +160,45 @@ pub fn atomic_combine<P: Program>(
     }
 }
 
+/// Charged checkpoint sweep: every simulated thread streams its even chunk
+/// of `arr` through the bulk accessor (one coalesced read run per thread),
+/// so the snapshot's cost appears in `PhaseCosts` as a `"checkpoint"` phase.
+/// Returns the full value vector in index order.
+pub fn charged_values_snapshot<T: Atom>(
+    sim: &mut polymer_numa::SimExecutor,
+    threads: usize,
+    arr: &NumaAtomicArray<T>,
+) -> Vec<T> {
+    let chunks = even_chunks(arr.len(), threads.max(1));
+    let mut parts: Vec<Vec<T>> = vec![Vec::new(); chunks.len()];
+    {
+        let parts = &mut parts;
+        let chunks = &chunks;
+        sim.run_phase("checkpoint", |tid, ctx| {
+            let r = chunks[tid].clone();
+            parts[tid] = arr.iter_seq(ctx, r).collect();
+        });
+    }
+    parts.concat()
+}
+
+/// Charged restore sweep, the inverse of [`charged_values_snapshot`]:
+/// every simulated thread writes its even chunk of `values` into `arr`
+/// (one coalesced write run per thread), charged as a `"restore"` phase.
+pub fn charged_values_restore<T: Atom>(
+    sim: &mut polymer_numa::SimExecutor,
+    threads: usize,
+    arr: &NumaAtomicArray<T>,
+    values: &[T],
+) {
+    assert_eq!(values.len(), arr.len(), "restore value count mismatch");
+    let chunks = even_chunks(arr.len(), threads.max(1));
+    sim.run_phase("restore", |tid, ctx| {
+        let r = chunks[tid].clone();
+        arr.store_seq(ctx, r, |i| values[i]);
+    });
+}
+
 /// Split `0..n` into `parts` equal chunks (vertex-oblivious work division).
 pub fn even_chunks(n: usize, parts: usize) -> Vec<Range<usize>> {
     (0..parts)

@@ -33,17 +33,22 @@ pub mod exec;
 pub mod parallel;
 pub mod program;
 pub mod result;
+pub mod supervisor;
 
 pub use backend::{Backend, DirectionPolicy, ExecProfile, RealThreadsConfig};
-pub use driver::IterationDriver;
+pub use driver::{Checkpoint, CheckpointPolicy, CheckpointStore, IterationDriver, RecoverySession};
 pub use engine::{catch_engine_faults, validate_run_config, Engine, EngineKind};
 pub use exec::{
-    atomic_combine, check_divergence, degree_balanced_chunks, even_chunks, init_values, TopoArrays,
+    atomic_combine, charged_values_restore, charged_values_snapshot, check_divergence,
+    degree_balanced_chunks, even_chunks, init_values, TopoArrays,
 };
 pub use parallel::{
-    run_parallel, try_run_parallel, try_run_parallel_traced, try_run_threads,
+    run_parallel, try_run_parallel, try_run_parallel_traced, try_run_threads, try_run_threads_rec,
     try_run_threads_traced,
 };
 pub use polymer_faults::{FaultPlan, PolymerError, PolymerResult};
 pub use program::{Combine, FrontierInit, Program};
 pub use result::RunResult;
+pub use supervisor::{
+    AttemptRecord, DegradePolicy, RecoveryReport, RetryPolicy, RunSupervisor, SupervisorConfig,
+};

@@ -30,7 +30,10 @@ use polymer_graph::{Graph, VId};
 use polymer_numa::{Atom, SharedTracer, WorkerSpan};
 use polymer_sync::{should_densify, HierBarrier};
 
+use polymer_sync::FrontierSnapshot;
+
 use crate::backend::{DirectionPolicy, ExecProfile, RealThreadsConfig};
+use crate::driver::{Checkpoint, RecoverySession};
 use crate::program::{Combine, FrontierInit, Program};
 
 /// Default bound on a single barrier wait: generous enough that no healthy
@@ -135,6 +138,32 @@ pub fn try_run_threads_traced<P: Program>(
     profile: &ExecProfile,
     tracer: Option<&SharedTracer>,
 ) -> PolymerResult<(Vec<P::Val>, usize)> {
+    try_run_threads_rec(
+        g,
+        prog,
+        threads,
+        cfg,
+        profile,
+        tracer,
+        &RecoverySession::disabled(),
+    )
+}
+
+/// [`try_run_threads_traced`] with recovery hooks: the serial thread
+/// publishes a [`Checkpoint`] (value sweep + the swapped-in frontier) to the
+/// session's store whenever one is due, and a session carrying a resume
+/// checkpoint starts from its values/frontier with the iteration counter —
+/// and therefore the fault plan's `(tid, iteration)` trigger points — in
+/// *global* iteration space, so injections already crossed are not replayed.
+pub fn try_run_threads_rec<P: Program>(
+    g: &Graph,
+    prog: &P,
+    threads: usize,
+    cfg: &RealThreadsConfig,
+    profile: &ExecProfile,
+    tracer: Option<&SharedTracer>,
+    recovery: &RecoverySession<P::Val>,
+) -> PolymerResult<(Vec<P::Val>, usize)> {
     if threads == 0 {
         return Err(PolymerError::InvalidConfig(
             "threads must be >= 1".to_string(),
@@ -147,10 +176,23 @@ pub fn try_run_threads_traced<P: Program>(
     let identity = prog.next_identity();
     let barrier_timeout = plan.barrier_deadline().unwrap_or(DEFAULT_BARRIER_TIMEOUT);
 
+    let resume = recovery.resume();
+    if let Some(ck) = resume {
+        if ck.values.len() != n {
+            return Err(PolymerError::InvalidConfig(format!(
+                "resume checkpoint has {} values but the graph has {n} vertices",
+                ck.values.len()
+            )));
+        }
+    }
+
     // Shared state: atomic value arrays and per-iteration bookkeeping.
-    let curr: Vec<<P::Val as Atom>::Repr> = (0..n)
-        .map(|v| P::Val::new_atomic(prog.init(v as VId, g)))
-        .collect();
+    let curr: Vec<<P::Val as Atom>::Repr> = match resume {
+        Some(ck) => ck.values.iter().map(|&v| P::Val::new_atomic(v)).collect(),
+        None => (0..n)
+            .map(|v| P::Val::new_atomic(prog.init(v as VId, g)))
+            .collect(),
+    };
     let next: Vec<<P::Val as Atom>::Repr> = (0..n).map(|_| P::Val::new_atomic(identity)).collect();
     let updated: Vec<AtomicU64> = (0..n.div_ceil(64).max(1))
         .map(|_| AtomicU64::new(0))
@@ -189,17 +231,22 @@ pub fn try_run_threads_traced<P: Program>(
     let group_of = |tid: usize| tid % groups;
 
     // The frontier for the upcoming iteration, rebuilt by the serial thread.
-    let initial_items: Vec<VId> = match prog.initial_frontier(g) {
-        FrontierInit::All => (0..n as VId).collect(),
-        FrontierInit::Single(s) => {
-            if s as usize >= n {
-                return Err(PolymerError::InvalidConfig(format!(
-                    "source vertex {s} out of range (graph has {n} vertices)"
-                )));
+    let initial_items: Vec<VId> = match resume {
+        Some(ck) => ck.frontier.vertices.clone(),
+        None => match prog.initial_frontier(g) {
+            FrontierInit::All => (0..n as VId).collect(),
+            FrontierInit::Single(s) => {
+                if s as usize >= n {
+                    return Err(PolymerError::InvalidConfig(format!(
+                        "source vertex {s} out of range (graph has {n} vertices)"
+                    )));
+                }
+                vec![s]
             }
-            vec![s]
-        }
+        },
     };
+    let resume_from = resume.map_or(0, |ck| ck.iteration);
+    let initially_done = initial_items.is_empty() || resume_from >= prog.max_iters();
     let initial_pull = decide_pull(&initial_items);
     if initial_pull {
         fill_active_bits(&initial_items);
@@ -213,8 +260,8 @@ pub fn try_run_threads_traced<P: Program>(
         use_pull: initial_pull,
     });
     let next_frontier: parking_lot::Mutex<Vec<VId>> = parking_lot::Mutex::new(Vec::new());
-    let iterations = AtomicU64::new(0);
-    let done = AtomicBool::new(false);
+    let iterations = AtomicU64::new(resume_from as u64);
+    let done = AtomicBool::new(initially_done);
     let first_error: parking_lot::Mutex<Option<PolymerError>> = parking_lot::Mutex::new(None);
 
     let in_off = g.in_offsets();
@@ -258,7 +305,7 @@ pub fn try_run_threads_traced<P: Program>(
                 let body = || -> PolymerResult<()> {
                     let mut local_updates: Vec<VId> = Vec::new();
                     let mut local_alive: Vec<VId> = Vec::new();
-                    let mut iter = 0usize;
+                    let mut iter = resume_from;
                     loop {
                         if done.load(Ordering::Acquire) {
                             break;
@@ -377,6 +424,20 @@ pub fn try_run_threads_traced<P: Program>(
                             let iters = iterations.fetch_add(1, Ordering::AcqRel) + 1;
                             if fr.items.is_empty() || iters as usize >= prog.max_iters() {
                                 done.store(true, Ordering::Release);
+                            }
+                            // Publish a checkpoint while siblings wait at
+                            // the next barrier: post-apply values plus the
+                            // swapped-in (sorted) frontier.
+                            if recovery.should_checkpoint(iters as usize) {
+                                let values: Vec<P::Val> =
+                                    curr.iter().map(P::Val::atom_load).collect();
+                                let degree: u64 =
+                                    fr.items.iter().map(|&v| g.out_degree(v) as u64).sum();
+                                recovery.record(Checkpoint {
+                                    iteration: iters as usize,
+                                    values,
+                                    frontier: FrontierSnapshot::sparse(fr.items.clone(), degree),
+                                });
                             }
                         }
                         sync(group, iter)?;

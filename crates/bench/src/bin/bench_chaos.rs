@@ -1,0 +1,285 @@
+//! Chaos-sweep benchmark: the recoverable-execution story as a committed
+//! artifact. Seeded fault scenarios × the four systems run BFS under the
+//! [`RunSupervisor`], and every cell is checked against the fault-free
+//! oracle: a supervised run must terminate with the bit-identical answer or
+//! a typed error — and across the sweep both recovery modes (checkpoint
+//! resume, degraded-mode fallback) must actually fire.
+//!
+//! Writes `results/BENCH_chaos.json` (one row per scenario × system:
+//! attempts, recovery flags, checkpoint count, error codes, host
+//! wall-clock) and exits non-zero if any invariant is violated — the CI
+//! `chaos-smoke` job runs this at a reduced scale.
+
+use std::time::{Duration, Instant};
+
+use polymer_api::supervisor::{RecoveryReport, RunSupervisor, SupervisorConfig};
+use polymer_api::{Backend, CheckpointPolicy, FaultPlan, PolymerError, PolymerResult, RunResult};
+use polymer_bench::{write_json, Args, SystemId, Table};
+use polymer_core::PolymerEngine;
+use polymer_galois::GaloisEngine;
+use polymer_graph::{gen, Graph};
+use polymer_ligra::LigraEngine;
+use polymer_numa::{MachineSpec, SpillPolicy};
+use polymer_xstream::XStreamEngine;
+use serde::Serialize;
+
+/// OS threads for supervised real-thread attempts (fixed so committed
+/// numbers are comparable across hosts).
+const THREADS: usize = 4;
+
+/// One supervised cell of the sweep.
+#[derive(Serialize)]
+struct ChaosRow {
+    scenario: String,
+    system: String,
+    backend: String,
+    /// `"ok"` or the final typed error code.
+    outcome: String,
+    attempts: usize,
+    recovered: bool,
+    resumed: bool,
+    degraded: bool,
+    checkpoints: usize,
+    error_codes: Vec<String>,
+    /// Host wall-clock of the whole supervised run (all attempts).
+    wall_sec: f64,
+    /// True when the final values matched the fault-free oracle exactly.
+    answer_matches: Option<bool>,
+}
+
+/// A fault scenario: a seeded plan plus the backend it targets.
+struct Scenario {
+    name: &'static str,
+    backend: Backend,
+    plan: FaultPlan,
+    spill: SpillPolicy,
+    /// The only scenario allowed to exhaust its retries.
+    may_fail: bool,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut straggle = FaultPlan::new()
+        .with_seed(12)
+        .barrier_timeout(Duration::from_millis(5));
+    for iter in 0..16 {
+        straggle = straggle.delay_worker(1, iter, Duration::from_millis(40));
+    }
+    vec![
+        Scenario {
+            name: "clean/simulated",
+            backend: Backend::Simulated,
+            plan: FaultPlan::new().with_seed(1),
+            spill: SpillPolicy::NearestRemote,
+            may_fail: false,
+        },
+        Scenario {
+            name: "clean/real-threads",
+            backend: Backend::real_threads(),
+            plan: FaultPlan::new().with_seed(1),
+            spill: SpillPolicy::NearestRemote,
+            may_fail: false,
+        },
+        Scenario {
+            name: "worker-panic",
+            backend: Backend::real_threads(),
+            plan: FaultPlan::new()
+                .with_seed(11)
+                .panic_worker_at(1, 2)
+                .barrier_timeout(Duration::from_secs(30)),
+            spill: SpillPolicy::NearestRemote,
+            may_fail: false,
+        },
+        Scenario {
+            name: "straggler-deadline",
+            backend: Backend::real_threads(),
+            plan: straggle,
+            spill: SpillPolicy::NearestRemote,
+            may_fail: false,
+        },
+        Scenario {
+            name: "alloc-fail",
+            backend: Backend::Simulated,
+            plan: FaultPlan::new().with_seed(13).fail_nth_alloc(2),
+            spill: SpillPolicy::NearestRemote,
+            may_fail: false,
+        },
+        Scenario {
+            name: "capacity-clamp",
+            backend: Backend::Simulated,
+            plan: FaultPlan::new().with_seed(14).clamp_node_capacity(512),
+            spill: SpillPolicy::Fail,
+            may_fail: true,
+        },
+    ]
+}
+
+fn supervise(
+    sys: SystemId,
+    backend: &Backend,
+    cfg: SupervisorConfig,
+    g: &Graph,
+    source: u32,
+) -> (PolymerResult<RunResult<u32>>, RecoveryReport) {
+    let prog = polymer_algos::Bfs::new(source);
+    let spec = MachineSpec::test2();
+    let sup = RunSupervisor::new(cfg);
+    match sys {
+        SystemId::Polymer => {
+            sup.run_reported(&PolymerEngine::new(), backend, &spec, THREADS, g, &prog)
+        }
+        SystemId::Ligra => sup.run_reported(&LigraEngine::new(), backend, &spec, THREADS, g, &prog),
+        SystemId::XStream => {
+            sup.run_reported(&XStreamEngine::new(), backend, &spec, THREADS, g, &prog)
+        }
+        SystemId::Galois => {
+            sup.run_reported(&GaloisEngine::new(), backend, &spec, THREADS, g, &prog)
+        }
+    }
+}
+
+fn backend_name(b: &Backend) -> &'static str {
+    match b {
+        Backend::Simulated => "simulated",
+        Backend::RealThreads(_) => "real-threads",
+    }
+}
+
+/// Injected faults unwind as panics the supervisor catches and converts to
+/// typed errors; silence those in the hook (they would spam every failing
+/// attempt's backtrace onto stderr) while keeping the default hook for
+/// anything unexpected, so real bugs stay loud.
+fn quiet_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let p = info.payload();
+        let expected = p.downcast_ref::<PolymerError>().is_some()
+            || p.downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("injected"))
+            || p.downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected"));
+        if !expected {
+            default_hook(info);
+        }
+    }));
+}
+
+fn main() {
+    let args = Args::parse(0, "bench_chaos");
+    quiet_injected_panics();
+    // 2^(10+scale) vertices: small by design — the subject is the recovery
+    // machinery, not graph throughput.
+    let vshift = (10 + args.scale).clamp(6, 20) as usize;
+    let g = Graph::from_edges(&gen::rmat(
+        vshift as u32,
+        (1 << vshift) * 8,
+        gen::RMAT_GRAPH500,
+        13,
+    ));
+    let source = 0u32;
+    let (oracle, _) = polymer_algos::run_reference(&g, &polymer_algos::Bfs::new(source));
+
+    println!(
+        "Chaos sweep: supervised BFS on rmat-{vshift} ({} vertices), {THREADS} threads\n",
+        g.num_vertices()
+    );
+    let mut table = Table::new(&[
+        "Scenario", "System", "Backend", "Outcome", "Att", "Res", "Deg", "Ckpts", "Wall(s)",
+    ]);
+    let mut rows: Vec<ChaosRow> = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+    let mut saw_resumed_recovery = false;
+    let mut saw_degraded_recovery = false;
+
+    for sc in scenarios() {
+        for sys in SystemId::ALL {
+            let cfg = SupervisorConfig {
+                checkpoint: CheckpointPolicy::EveryN(1),
+                // Fresh one-shot state per cell over the same fault sites.
+                plan: sc.plan.fork_attempt(),
+                spill: sc.spill,
+                sleep_on_backoff: false,
+                ..SupervisorConfig::default()
+            };
+            let t = Instant::now();
+            let (result, report) = supervise(sys, &sc.backend, cfg, &g, source);
+            let wall = t.elapsed().as_secs_f64();
+            let (outcome, answer_matches) = match &result {
+                Ok(run) => {
+                    let matches = run.values == oracle;
+                    if !matches {
+                        violations.push(format!(
+                            "{}/{}: supervised answer diverged from oracle",
+                            sc.name,
+                            sys.name()
+                        ));
+                    }
+                    ("ok".to_string(), Some(matches))
+                }
+                Err(e) => {
+                    if !sc.may_fail {
+                        violations.push(format!(
+                            "{}/{}: unexpected failure [{}] {e}",
+                            sc.name,
+                            sys.name(),
+                            e.code()
+                        ));
+                    }
+                    (e.code().to_string(), None)
+                }
+            };
+            if result.is_ok() && report.recovered && report.resumed {
+                saw_resumed_recovery = true;
+            }
+            if result.is_ok() && report.degraded {
+                saw_degraded_recovery = true;
+            }
+            table.row(vec![
+                sc.name.to_string(),
+                sys.name().to_string(),
+                backend_name(&sc.backend).to_string(),
+                outcome.clone(),
+                report.attempts.len().to_string(),
+                report.resumed.to_string(),
+                report.degraded.to_string(),
+                report.checkpoints.to_string(),
+                format!("{wall:.3}"),
+            ]);
+            rows.push(ChaosRow {
+                scenario: sc.name.to_string(),
+                system: sys.name().to_string(),
+                backend: backend_name(&sc.backend).to_string(),
+                outcome,
+                attempts: report.attempts.len(),
+                recovered: report.recovered,
+                resumed: report.resumed,
+                degraded: report.degraded,
+                checkpoints: report.checkpoints,
+                error_codes: report
+                    .error_codes()
+                    .into_iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                wall_sec: wall,
+                answer_matches,
+            });
+        }
+    }
+
+    table.print();
+    write_json(&args.out, "BENCH_chaos", &rows);
+
+    if !saw_resumed_recovery {
+        violations.push("no cell recovered via checkpoint resume".to_string());
+    }
+    if !saw_degraded_recovery {
+        violations.push("no cell recovered via degraded-mode fallback".to_string());
+    }
+    if !violations.is_empty() {
+        eprintln!("[chaos] FAIL:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("\n[chaos] all cells terminated correctly; both recovery modes observed");
+}

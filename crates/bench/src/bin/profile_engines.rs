@@ -43,7 +43,7 @@ fn main() {
             let machine = Machine::new(spec.clone());
             let r = $engine
                 .try_run_on(&backend, &machine, 80, g, &prog)
-                .unwrap_or_else(|e| panic!("{:?} profile run failed: {e:?}", $sys));
+                .unwrap_or_else(|e| panic!("{:?} profile run failed [{}]: {e}", $sys, e.code()));
             print_profile($sys, &r);
         }};
     }

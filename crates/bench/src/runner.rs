@@ -320,7 +320,8 @@ pub fn run_on(
                     GaloisEngine::new().try_run_on(backend, &machine, threads, g, &prog)
                 }
             };
-            let r = r.unwrap_or_else(|e| panic!("{system:?}/{algo:?} run failed: {e:?}"));
+            let r =
+                r.unwrap_or_else(|e| panic!("{system:?}/{algo:?} run failed [{}]: {e}", e.code()));
             metrics(system, algo, name, spec, &r)
         }};
     }

@@ -1,14 +1,16 @@
 //! The Polymer execution engine (paper Sections 4.3 and 5).
 
 use polymer_api::{
-    atomic_combine, catch_engine_faults, check_divergence, even_chunks, validate_run_config,
-    DirectionPolicy, Engine, EngineKind, ExecProfile, FrontierInit, IterationDriver, Program,
-    RunResult,
+    atomic_combine, catch_engine_faults, charged_values_restore, charged_values_snapshot,
+    check_divergence, even_chunks, validate_run_config, DirectionPolicy, Engine, EngineKind,
+    ExecProfile, FrontierInit, IterationDriver, Program, RecoverySession, RunResult,
 };
-use polymer_faults::PolymerResult;
+use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
 use polymer_numa::{AccessCtx, BarrierKind, Machine};
-use polymer_sync::{should_densify, DenseBitmap, FrontierRepr, LookupTable, ThreadQueues};
+use polymer_sync::{
+    should_densify, DenseBitmap, FrontierRepr, FrontierSnapshot, LookupTable, ThreadQueues,
+};
 
 use crate::layout::PolymerLayout;
 
@@ -145,16 +147,17 @@ impl Engine for PolymerEngine {
         EngineKind::Polymer
     }
 
-    fn try_run_traced<P: Program>(
+    fn try_run_rec<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
         traced: bool,
+        recovery: &RecoverySession<P::Val>,
     ) -> PolymerResult<RunResult<P::Val>> {
         validate_run_config(threads, g, prog)?;
-        catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced))
+        catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced, recovery))
     }
 
     fn exec_profile(&self) -> ExecProfile {
@@ -173,6 +176,7 @@ impl PolymerEngine {
         g: &Graph,
         prog: &P,
         traced: bool,
+        recovery: &RecoverySession<P::Val>,
     ) -> PolymerResult<RunResult<P::Val>> {
         let n = g.num_vertices();
         let m = g.num_edges();
@@ -216,29 +220,53 @@ impl PolymerEngine {
             machine
                 .alloc_atomic_with::<P::Val>("data/next", n, layout.chunked_policy(), |_| identity);
 
-        let mut frontier = match prog.initial_frontier(g) {
-            FrontierInit::All => {
-                let items: Vec<VId> = (0..n as VId).collect();
-                PFrontier::dense(densify_distributed(machine, &layout, &items), n, m as u64)
-            }
-            // The source is validated by `validate_run_config`.
-            FrontierInit::Single(s) => {
-                if self.config.adaptive_states {
-                    PFrontier::sparse(vec![s])
-                } else {
+        let mut frontier = match recovery.resume() {
+            Some(ck) => {
+                if ck.values.len() != n {
+                    return Err(PolymerError::InvalidConfig(format!(
+                        "resume checkpoint has {} values for a {n}-vertex graph",
+                        ck.values.len()
+                    )));
+                }
+                // Restore the checkpointed vertex state through a charged
+                // "restore" sweep and continue the global iteration count.
+                charged_values_restore(driver.sim(), threads, &curr, &ck.values);
+                driver.resume_at(ck.iteration);
+                if ck.frontier.dense {
                     PFrontier::dense(
-                        densify_distributed(machine, &layout, &[s]),
-                        1,
-                        g.out_degree(s) as u64,
+                        densify_distributed(machine, &layout, &ck.frontier.vertices),
+                        ck.frontier.vertices.len(),
+                        ck.frontier.out_degree,
                     )
+                } else {
+                    PFrontier::sparse(ck.frontier.vertices.clone())
                 }
             }
+            None => match prog.initial_frontier(g) {
+                FrontierInit::All => {
+                    let items: Vec<VId> = (0..n as VId).collect();
+                    PFrontier::dense(densify_distributed(machine, &layout, &items), n, m as u64)
+                }
+                // The source is validated by `validate_run_config`.
+                FrontierInit::Single(s) => {
+                    if self.config.adaptive_states {
+                        PFrontier::sparse(vec![s])
+                    } else {
+                        PFrontier::dense(
+                            densify_distributed(machine, &layout, &[s]),
+                            1,
+                            g.out_degree(s) as u64,
+                        )
+                    }
+                }
+            },
         };
 
         let queues = ThreadQueues::new(machine, threads);
-        driver.run_synchronous(
+        driver.run_recoverable(
             prog.max_iters(),
             &mut frontier,
+            recovery,
             |f| !f.is_empty(),
             |sim, iters, frontier| {
                 // The frontier knows its exact total out-degree.
@@ -524,6 +552,29 @@ impl PolymerEngine {
                 );
                 check_divergence(&curr, iters)?;
                 Ok(())
+            },
+            |sim, frontier| {
+                let values = charged_values_snapshot(sim, threads, &curr);
+                // The distributed dense store snapshots as a global
+                // ascending vertex list (node partitions are contiguous
+                // ranges, scanned in node order); sparse frontiers keep
+                // their live member order, which scatter order depends on.
+                let snap = match frontier {
+                    FrontierRepr::Dense { repr, degree, .. } => {
+                        let mut items: Vec<VId> = Vec::new();
+                        for (node, nl) in layout.nodes.iter().enumerate() {
+                            if let Some(bits) = repr.get(node) {
+                                items.extend(bits.iter_set().map(|b| (nl.range.start + b) as VId));
+                            }
+                        }
+                        FrontierSnapshot::dense(items, *degree)
+                    }
+                    FrontierRepr::Sparse(items) => {
+                        let degree = items.iter().map(|&v| g.out_degree(v) as u64).sum();
+                        FrontierSnapshot::sparse(items.clone(), degree)
+                    }
+                };
+                (values, snap)
             },
         )?;
 

@@ -136,6 +136,44 @@ impl From<std::io::Error> for PolymerError {
 }
 
 impl PolymerError {
+    /// A stable, machine-readable error code — one kebab-case token per
+    /// variant. CLI/bench output and serialized reports key on this instead
+    /// of `Debug` formatting, so renaming a field or adding context never
+    /// breaks a downstream matcher.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PolymerError::InvalidConfig(_) => "invalid-config",
+            PolymerError::WorkerPanicked { .. } => "worker-panicked",
+            PolymerError::EnginePanicked { .. } => "engine-panicked",
+            PolymerError::BarrierPoisoned => "barrier-poisoned",
+            PolymerError::BarrierTimeout { .. } => "barrier-timeout",
+            PolymerError::AllocFailed { .. } => "alloc-failed",
+            PolymerError::NodeCapacityExceeded { .. } => "node-capacity-exceeded",
+            PolymerError::Divergence { .. } => "divergence",
+            PolymerError::IterationCapExceeded { .. } => "iteration-cap-exceeded",
+            PolymerError::Io { .. } => "io",
+        }
+    }
+
+    /// True for errors a supervisor may retry: plausibly transient faults of
+    /// the execution environment (crashed workers, poisoned/expired
+    /// barriers, failed or over-capacity allocations), where a fresh attempt
+    /// — possibly resumed from a checkpoint or degraded to a safer backend —
+    /// can succeed. False for deterministic outcomes of the inputs
+    /// (`InvalidConfig`, `Divergence`, `IterationCapExceeded`, `Io`), which
+    /// would fail identically on every retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PolymerError::WorkerPanicked { .. }
+                | PolymerError::EnginePanicked { .. }
+                | PolymerError::BarrierPoisoned
+                | PolymerError::BarrierTimeout { .. }
+                | PolymerError::AllocFailed { .. }
+                | PolymerError::NodeCapacityExceeded { .. }
+        )
+    }
+
     /// Recover a typed error from a panic payload (the other half of
     /// [`panic_with`]). `PolymerError` payloads pass through unchanged;
     /// `String`/`&str` payloads (plain `panic!`) become
@@ -251,6 +289,75 @@ mod tests {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
         }
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let cases = vec![
+            PolymerError::InvalidConfig("x".into()),
+            PolymerError::WorkerPanicked {
+                worker: 0,
+                detail: "x".into(),
+            },
+            PolymerError::EnginePanicked { detail: "x".into() },
+            PolymerError::BarrierPoisoned,
+            PolymerError::BarrierTimeout {
+                waited: Duration::from_millis(1),
+            },
+            PolymerError::AllocFailed {
+                name: "x".into(),
+                index: 0,
+            },
+            PolymerError::NodeCapacityExceeded {
+                node: 0,
+                requested_bytes: 1,
+                capacity_bytes: 1,
+                name: "x".into(),
+            },
+            PolymerError::Divergence {
+                vertex: 0,
+                iteration: 0,
+            },
+            PolymerError::IterationCapExceeded { cap: 1 },
+            PolymerError::Io {
+                kind: std::io::ErrorKind::InvalidData,
+                detail: "x".into(),
+            },
+        ];
+        let codes: Vec<&str> = cases.iter().map(|e| e.code()).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "duplicate code: {codes:?}");
+        for c in &codes {
+            assert!(
+                c.chars().all(|ch| ch.is_ascii_lowercase() || ch == '-'),
+                "code {c:?} is not kebab-case"
+            );
+        }
+    }
+
+    #[test]
+    fn retryable_split_matches_the_failure_model() {
+        // Environment faults retry; deterministic input outcomes do not.
+        assert!(PolymerError::BarrierPoisoned.is_retryable());
+        assert!(PolymerError::WorkerPanicked {
+            worker: 1,
+            detail: "x".into()
+        }
+        .is_retryable());
+        assert!(PolymerError::AllocFailed {
+            name: "x".into(),
+            index: 3
+        }
+        .is_retryable());
+        assert!(!PolymerError::InvalidConfig("x".into()).is_retryable());
+        assert!(!PolymerError::Divergence {
+            vertex: 0,
+            iteration: 0
+        }
+        .is_retryable());
+        assert!(!PolymerError::IterationCapExceeded { cap: 9 }.is_retryable());
     }
 
     #[test]

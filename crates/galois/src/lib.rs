@@ -29,13 +29,14 @@ use std::collections::BTreeMap;
 
 use polymer_api::Combine;
 use polymer_api::{
-    catch_engine_faults, check_divergence, even_chunks, init_values, validate_run_config, Engine,
-    EngineKind, FrontierInit, IterationDriver, Program, RunResult, TopoArrays,
+    catch_engine_faults, charged_values_restore, charged_values_snapshot, check_divergence,
+    even_chunks, init_values, validate_run_config, Checkpoint, Engine, EngineKind, FrontierInit,
+    IterationDriver, Program, RecoverySession, RunResult, TopoArrays,
 };
-use polymer_faults::PolymerResult;
+use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
 use polymer_numa::{AllocPolicy, BarrierKind, Machine};
-use polymer_sync::{DenseBitmap, ThreadQueues};
+use polymer_sync::{DenseBitmap, FrontierSnapshot, ThreadQueues};
 
 /// Work chunk size per thread per scheduling round (Galois's chunked
 /// worklists default to similar magnitudes).
@@ -69,22 +70,32 @@ impl Engine for GaloisEngine {
         EngineKind::Galois
     }
 
-    fn try_run_traced<P: Program>(
+    fn try_run_rec<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
         traced: bool,
+        recovery: &RecoverySession<P::Val>,
     ) -> PolymerResult<RunResult<P::Val>> {
         validate_run_config(threads, g, prog)?;
         catch_engine_faults(|| {
+            if let Some(ck) = recovery.resume() {
+                if ck.values.len() != g.num_vertices() {
+                    return Err(PolymerError::InvalidConfig(format!(
+                        "resume checkpoint has {} values for a {}-vertex graph",
+                        ck.values.len(),
+                        g.num_vertices()
+                    )));
+                }
+            }
             if prog.name() == "CC" && !self.no_union_find {
-                return run_union_find(machine, threads, g, prog, traced);
+                return run_union_find(machine, threads, g, prog, traced, recovery);
             }
             match prog.combine() {
-                Combine::Min => run_async(machine, threads, g, prog, traced),
-                _ => run_sync_pull(machine, threads, g, prog, traced),
+                Combine::Min => run_async(machine, threads, g, prog, traced, recovery),
+                _ => run_sync_pull(machine, threads, g, prog, traced, recovery),
             }
         })
     }
@@ -97,6 +108,7 @@ fn run_async<P: Program>(
     g: &Graph,
     prog: &P,
     traced: bool,
+    recovery: &RecoverySession<P::Val>,
 ) -> PolymerResult<RunResult<P::Val>> {
     let sc = prog.scatter_cycles();
     let topo = TopoArrays::build(machine, g, prog.uses_weights(), |_| {
@@ -114,14 +126,36 @@ fn run_async<P: Program>(
     // OBIM-style bucketed worklist, deterministic: each round drains a chunk
     // per thread from the lowest-priority bucket.
     let mut buckets: BTreeMap<u64, Vec<VId>> = BTreeMap::new();
-    match prog.initial_frontier(g) {
-        FrontierInit::All => {
-            buckets.insert(0, (0..g.num_vertices() as VId).collect());
+    match recovery.resume() {
+        Some(ck) => {
+            // Restore the checkpointed vertex state through a charged
+            // "restore" sweep, then rebuild the worklist from the
+            // snapshot's (vertex, priority) pairs — insertion order within
+            // a bucket reproduces the checkpointed drain order.
+            charged_values_restore(driver.sim(), threads, &curr, &ck.values);
+            driver.resume_at(ck.iteration);
+            match &ck.frontier.tags {
+                Some(tags) => {
+                    for (&v, &p) in ck.frontier.vertices.iter().zip(tags.iter()) {
+                        buckets.entry(p).or_default().push(v);
+                    }
+                }
+                None => {
+                    for &v in &ck.frontier.vertices {
+                        buckets.entry(0).or_default().push(v);
+                    }
+                }
+            }
         }
-        // The source is validated by `validate_run_config`.
-        FrontierInit::Single(s) => {
-            buckets.insert(0, vec![s]);
-        }
+        None => match prog.initial_frontier(g) {
+            FrontierInit::All => {
+                buckets.insert(0, (0..g.num_vertices() as VId).collect());
+            }
+            // The source is validated by `validate_run_config`.
+            FrontierInit::Single(s) => {
+                buckets.insert(0, vec![s]);
+            }
+        },
     }
     let queues = ThreadQueues::new(machine, threads);
 
@@ -170,6 +204,28 @@ fn run_async<P: Program>(
             }
             driver.advance_round();
         }
+        // Checkpoint at bucket-drain boundaries only: there the pending
+        // state is exactly `buckets`, so a resume reconstructs the worklist
+        // (and every subsequent chunk boundary) bit-exactly; a mid-bucket
+        // snapshot could not keep the partially-drained bucket separate
+        // from same-priority re-insertions.
+        if recovery.should_checkpoint(driver.iterations()) && !buckets.is_empty() {
+            let values = charged_values_snapshot(driver.sim(), threads, &curr);
+            let mut verts: Vec<VId> = Vec::new();
+            let mut tags: Vec<u64> = Vec::new();
+            for (&p, vs) in buckets.iter() {
+                for &v in vs {
+                    verts.push(v);
+                    tags.push(p);
+                }
+            }
+            let degree = verts.iter().map(|&v| g.out_degree(v) as u64).sum();
+            recovery.record(Checkpoint {
+                iteration: driver.iterations(),
+                values,
+                frontier: FrontierSnapshot::sparse(verts, degree).with_tags(tags),
+            });
+        }
     }
 
     Ok(driver.finish(curr.snapshot()))
@@ -182,6 +238,7 @@ fn run_sync_pull<P: Program>(
     g: &Graph,
     prog: &P,
     traced: bool,
+    recovery: &RecoverySession<P::Val>,
 ) -> PolymerResult<RunResult<P::Val>> {
     let n = g.num_vertices();
     let identity = prog.next_identity();
@@ -201,17 +258,31 @@ fn run_sync_pull<P: Program>(
     // Persistent state bitmaps (Galois reuses memory between iterations).
     let state = DenseBitmap::new(machine, "stat/curr", n, AllocPolicy::Interleaved);
     let next_state = DenseBitmap::new(machine, "stat/next", n, AllocPolicy::Interleaved);
-    match prog.initial_frontier(g) {
-        FrontierInit::All => {
-            for v in 0..n {
-                state.set_unaccounted(v);
+    let mut active = match recovery.resume() {
+        Some(ck) => {
+            // Restore the checkpointed vertex state through a charged
+            // "restore" sweep and rebuild the active-state bitmap.
+            charged_values_restore(driver.sim(), threads, &curr, &ck.values);
+            driver.resume_at(ck.iteration);
+            for &v in &ck.frontier.vertices {
+                state.set_unaccounted(v as usize);
+            }
+            ck.frontier.vertices.len() as u64
+        }
+        None => {
+            match prog.initial_frontier(g) {
+                FrontierInit::All => {
+                    for v in 0..n {
+                        state.set_unaccounted(v);
+                    }
+                }
+                FrontierInit::Single(s) => state.set_unaccounted(s as usize),
+            }
+            match prog.initial_frontier(g) {
+                FrontierInit::All => n as u64,
+                FrontierInit::Single(_) => 1,
             }
         }
-        FrontierInit::Single(s) => state.set_unaccounted(s as usize),
-    }
-    let mut active = match prog.initial_frontier(g) {
-        FrontierInit::All => n as u64,
-        FrontierInit::Single(_) => 1,
     };
 
     // Chunk vertices with balanced in-edge counts — Galois's work-stealing
@@ -223,9 +294,10 @@ fn run_sync_pull<P: Program>(
     // Host-side per-iteration "received an update" flags (per-thread chunks
     // are disjoint vertex ranges, so a single vector suffices).
     let mut updated_host = vec![false; n];
-    driver.run_synchronous(
+    driver.run_recoverable(
         prog.max_iters(),
         &mut active,
+        recovery,
         |a| *a > 0,
         |sim, iters, active| {
             let mut alive_count = vec![0u64; threads];
@@ -319,6 +391,14 @@ fn run_sync_pull<P: Program>(
             check_divergence(&curr, iters)?;
             Ok(())
         },
+        |sim, _active| {
+            let values = charged_values_snapshot(sim, threads, &curr);
+            // The persistent state bitmap is the engine's whole frontier;
+            // snapshot it as a dense vertex list (ascending scan order).
+            let verts: Vec<VId> = state.iter_set().map(|v| v as VId).collect();
+            let degree = verts.iter().map(|&v| g.out_degree(v) as u64).sum();
+            (values, FrontierSnapshot::dense(verts, degree))
+        },
     )?;
 
     Ok(driver.finish(curr.snapshot()))
@@ -333,8 +413,18 @@ fn run_union_find<P: Program>(
     g: &Graph,
     prog: &P,
     traced: bool,
+    recovery: &RecoverySession<P::Val>,
 ) -> PolymerResult<RunResult<P::Val>> {
     let n = g.num_vertices();
+    // Union-find is a single indivisible round: a checkpoint exists only
+    // once the answer does, so a resume replays nothing and returns the
+    // checkpointed labels directly.
+    if let Some(ck) = recovery.resume() {
+        let mut driver =
+            IterationDriver::new(machine, threads, BarrierKind::Hierarchical, traced, 0);
+        driver.resume_at(ck.iteration);
+        return Ok(driver.finish(ck.values.clone()));
+    }
     let parent =
         machine.alloc_atomic_with::<u32>("data/parent", n, AllocPolicy::Interleaved, |v| v as u32);
     // Edge arrays, interleaved (Galois reads the CSR directly).
@@ -411,12 +501,21 @@ fn run_union_find<P: Program>(
     }
     driver.advance_round();
 
-    Ok(driver.finish(
-        labels
-            .into_iter()
-            .map(|l| prog.val_from_u64(l as u64))
-            .collect(),
-    ))
+    let values: Vec<P::Val> = labels
+        .into_iter()
+        .map(|l| prog.val_from_u64(l as u64))
+        .collect();
+    if recovery.should_checkpoint(driver.iterations()) {
+        // Charge the checkpoint sweep against the engine's resident state
+        // (the parent array); the recorded values are the final labels.
+        let _ = charged_values_snapshot(driver.sim(), threads, &parent);
+        recovery.record(Checkpoint {
+            iteration: driver.iterations(),
+            values: values.clone(),
+            frontier: FrontierSnapshot::default(),
+        });
+    }
+    Ok(driver.finish(values))
 }
 
 #[cfg(test)]

@@ -21,11 +21,12 @@
 #![deny(unsafe_code)]
 
 use polymer_api::{
-    atomic_combine, catch_engine_faults, check_divergence, degree_balanced_chunks, even_chunks,
-    init_values, validate_run_config, DirectionPolicy, Engine, EngineKind, ExecProfile,
-    FrontierInit, IterationDriver, Program, RunResult, TopoArrays,
+    atomic_combine, catch_engine_faults, charged_values_restore, charged_values_snapshot,
+    check_divergence, degree_balanced_chunks, even_chunks, init_values, validate_run_config,
+    DirectionPolicy, Engine, EngineKind, ExecProfile, FrontierInit, IterationDriver, Program,
+    RecoverySession, RunResult, TopoArrays,
 };
-use polymer_faults::PolymerResult;
+use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
 use polymer_numa::{AllocPolicy, BarrierKind, Machine};
 use polymer_sync::{should_densify, DenseBitmap, Frontier, ThreadQueues};
@@ -55,16 +56,17 @@ impl Engine for LigraEngine {
         EngineKind::Ligra
     }
 
-    fn try_run_traced<P: Program>(
+    fn try_run_rec<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
         traced: bool,
+        recovery: &RecoverySession<P::Val>,
     ) -> PolymerResult<RunResult<P::Val>> {
         validate_run_config(threads, g, prog)?;
-        catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced))
+        catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced, recovery))
     }
 
     fn exec_profile(&self) -> ExecProfile {
@@ -87,6 +89,7 @@ impl LigraEngine {
         g: &Graph,
         prog: &P,
         traced: bool,
+        recovery: &RecoverySession<P::Val>,
     ) -> PolymerResult<RunResult<P::Val>> {
         let n = g.num_vertices();
         let m = g.num_edges();
@@ -108,15 +111,36 @@ impl LigraEngine {
 
         let mut driver =
             IterationDriver::new(machine, threads, BarrierKind::Hierarchical, traced, n);
-        let mut frontier = match prog.initial_frontier(g) {
-            FrontierInit::All => Frontier::all(
-                machine,
-                "stat/frontier",
-                n,
-                AllocPolicy::Centralized,
-                m as u64,
-            ),
-            FrontierInit::Single(s) => Frontier::sparse(vec![s]),
+        let mut frontier = match recovery.resume() {
+            Some(ck) => {
+                if ck.values.len() != n {
+                    return Err(PolymerError::InvalidConfig(format!(
+                        "resume checkpoint has {} values for a {n}-vertex graph",
+                        ck.values.len()
+                    )));
+                }
+                // Restore the checkpointed vertex state through a charged
+                // "restore" sweep and continue the global iteration count.
+                charged_values_restore(driver.sim(), threads, &curr, &ck.values);
+                driver.resume_at(ck.iteration);
+                Frontier::from_snapshot(
+                    machine,
+                    "stat/frontier",
+                    n,
+                    AllocPolicy::Centralized,
+                    &ck.frontier,
+                )
+            }
+            None => match prog.initial_frontier(g) {
+                FrontierInit::All => Frontier::all(
+                    machine,
+                    "stat/frontier",
+                    n,
+                    AllocPolicy::Centralized,
+                    m as u64,
+                ),
+                FrontierInit::Single(s) => Frontier::sparse(vec![s]),
+            },
         };
 
         let queues = ThreadQueues::new(machine, threads);
@@ -129,9 +153,10 @@ impl LigraEngine {
             }
             bits
         };
-        driver.run_synchronous(
+        driver.run_recoverable(
             prog.max_iters(),
             &mut frontier,
+            recovery,
             |f| !f.is_empty(),
             |sim, iters, frontier| {
                 // Choose direction: dense frontiers pull, sparse ones push.
@@ -308,6 +333,12 @@ impl LigraEngine {
                     Frontier::rebuild(items, degree, m as u64, true, !self.force_push, make_dense);
                 check_divergence(&curr, iters)?;
                 Ok(())
+            },
+            |sim, frontier| {
+                (
+                    charged_values_snapshot(sim, threads, &curr),
+                    frontier.to_snapshot(|v| g.out_degree(v) as u64),
+                )
             },
         )?;
 

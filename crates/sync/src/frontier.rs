@@ -20,6 +20,7 @@
 
 use parking_lot::Mutex;
 use polymer_numa::{AccessCtx, AllocPolicy, Machine, NumaAtomicArray};
+use serde::{Deserialize, Serialize};
 
 use crate::bitmap::DenseBitmap;
 
@@ -143,6 +144,73 @@ impl<D> FrontierRepr<D> {
     }
 }
 
+/// A canonical, engine-neutral image of an active-vertex set, used by
+/// iteration checkpoints (`Checkpoint<V>` in `polymer-api`).
+///
+/// The snapshot records enough to rebuild the frontier *exactly* — members,
+/// recorded total out-degree, and which representation was live — because a
+/// resumed run must replay the identical scatter order: for floating-point
+/// programs the combine order is the summation order, so a frontier restored
+/// with reordered members (or flipped dense↔sparse) would produce
+/// bit-different values than the uninterrupted run.
+///
+/// `tags` carries optional per-member auxiliary state for engines whose
+/// frontier is more than a vertex set (Galois stores its priority-bucket
+/// keys here); set-shaped engines leave it `None`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontierSnapshot {
+    /// Active vertex ids, in the frontier's live order (ascending for dense
+    /// representations, queue order for sparse ones). May contain
+    /// duplicates for engines whose worklist is a multiset.
+    pub vertices: Vec<u32>,
+    /// Exact recorded `Σ out-degree(active)`.
+    pub out_degree: u64,
+    /// True when the frontier was in its dense representation.
+    pub dense: bool,
+    /// Optional per-member tags, aligned with `vertices` (e.g. Galois
+    /// bucket priorities).
+    pub tags: Option<Vec<u64>>,
+}
+
+impl FrontierSnapshot {
+    /// A sparse-representation snapshot from a member list (live order).
+    pub fn sparse(vertices: Vec<u32>, out_degree: u64) -> Self {
+        FrontierSnapshot {
+            vertices,
+            out_degree,
+            dense: false,
+            tags: None,
+        }
+    }
+
+    /// A dense-representation snapshot from an ascending member list.
+    pub fn dense(vertices: Vec<u32>, out_degree: u64) -> Self {
+        FrontierSnapshot {
+            vertices,
+            out_degree,
+            dense: true,
+            tags: None,
+        }
+    }
+
+    /// Attach per-member tags (must align with `vertices`).
+    pub fn with_tags(mut self, tags: Vec<u64>) -> Self {
+        debug_assert_eq!(tags.len(), self.vertices.len());
+        self.tags = Some(tags);
+        self
+    }
+
+    /// Number of recorded members.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True when no vertex was active.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
 /// The flat-bitmap frontier of the NUMA-oblivious engines.
 pub type Frontier = FrontierRepr<DenseBitmap>;
 
@@ -203,6 +271,46 @@ impl Frontier {
         match self {
             FrontierRepr::Dense { repr, .. } => repr.test_unaccounted(v as usize),
             FrontierRepr::Sparse(items) => items.contains(&v),
+        }
+    }
+
+    /// Capture this frontier as a [`FrontierSnapshot`], preserving the live
+    /// representation and member order. `degree_of` supplies per-vertex
+    /// out-degrees for sparse frontiers (dense ones carry their recorded
+    /// sum). Unaccounted, like the other representation-maintenance
+    /// operations (`into_sparse`, `drain_merged`); checkpoint *value* sweeps
+    /// are what the engines charge.
+    pub fn to_snapshot(&self, degree_of: impl FnMut(u32) -> u64) -> FrontierSnapshot {
+        match self {
+            FrontierRepr::Dense { repr, degree, .. } => {
+                FrontierSnapshot::dense(repr.iter_set().map(|v| v as u32).collect(), *degree)
+            }
+            FrontierRepr::Sparse(items) => {
+                let mut degree_of = degree_of;
+                let degree = items.iter().map(|&v| degree_of(v)).sum();
+                FrontierSnapshot::sparse(items.clone(), degree)
+            }
+        }
+    }
+
+    /// Rebuild a frontier from a snapshot, restoring the recorded
+    /// representation exactly (see [`FrontierSnapshot`] on why the
+    /// representation must round-trip).
+    pub fn from_snapshot(
+        machine: &Machine,
+        name: &str,
+        n: usize,
+        policy: AllocPolicy,
+        snap: &FrontierSnapshot,
+    ) -> Self {
+        if snap.dense {
+            let bits = DenseBitmap::new(machine, name, n, policy);
+            for &v in &snap.vertices {
+                bits.set_unaccounted(v as usize);
+            }
+            Frontier::dense(bits, snap.vertices.len(), snap.out_degree)
+        } else {
+            Frontier::sparse(snap.vertices.clone())
         }
     }
 
@@ -381,6 +489,43 @@ mod tests {
         // Dense disallowed (push-pinned): stays sparse regardless.
         let f = Frontier::rebuild(vec![1, 2], 900, 1000, true, false, mk);
         assert!(!f.is_dense());
+    }
+
+    #[test]
+    fn snapshot_round_trips_both_representations() {
+        let m = machine();
+        // Sparse: member order (not sortedness) must survive the round trip,
+        // because it is the resumed run's scatter order.
+        let f = Frontier::sparse(vec![9, 3, 7]);
+        let snap = f.to_snapshot(|v| v as u64);
+        assert!(!snap.dense);
+        assert_eq!(snap.vertices, vec![9, 3, 7]);
+        assert_eq!(snap.out_degree, 19);
+        let back = Frontier::from_snapshot(&m, "stat/f", 16, AllocPolicy::Interleaved, &snap);
+        assert!(!back.is_dense());
+        assert_eq!(back.as_sparse().unwrap(), &[9, 3, 7]);
+
+        // Dense: members and the recorded degree survive; representation is
+        // restored as dense.
+        let f = f.into_dense(&m, "stat/f", 16, AllocPolicy::Interleaved, 42);
+        let snap = f.to_snapshot(|_| unreachable!("dense degree is recorded"));
+        assert!(snap.dense);
+        assert_eq!(snap.vertices, vec![3, 7, 9]);
+        assert_eq!(snap.out_degree, 42);
+        let back = Frontier::from_snapshot(&m, "stat/f", 16, AllocPolicy::Interleaved, &snap);
+        assert!(back.is_dense());
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.out_degree(|_| 0), 42);
+        assert_eq!(back.to_sorted_vec(), vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn snapshot_serializes_via_vendored_serde() {
+        use serde::{Deserialize, Serialize};
+        let snap = FrontierSnapshot::sparse(vec![5, 1], 12).with_tags(vec![2, 3]);
+        let v = snap.to_value();
+        let back = FrontierSnapshot::from_value(&v).expect("snapshot deserializes");
+        assert_eq!(back, snap);
     }
 
     #[test]

@@ -29,5 +29,7 @@ pub mod lookup;
 
 pub use barrier::{CondvarBarrier, HierBarrier, SenseBarrier};
 pub use bitmap::DenseBitmap;
-pub use frontier::{should_densify, Frontier, FrontierRepr, ThreadQueues, DENSITY_DENOMINATOR};
+pub use frontier::{
+    should_densify, Frontier, FrontierRepr, FrontierSnapshot, ThreadQueues, DENSITY_DENOMINATOR,
+};
 pub use lookup::LookupTable;

@@ -27,12 +27,12 @@ use std::ops::Range;
 
 use polymer_api::{
     catch_engine_faults, validate_run_config, DirectionPolicy, Engine, EngineKind, ExecProfile,
-    FrontierInit, IterationDriver, Program, RunResult,
+    FrontierInit, IterationDriver, Program, RecoverySession, RunResult,
 };
 use polymer_faults::{PolymerError, PolymerResult};
 use polymer_graph::{Graph, VId};
 use polymer_numa::{AllocPolicy, Atom, BarrierKind, Machine, NumaArray, NumaAtomicArray};
-use polymer_sync::DenseBitmap;
+use polymer_sync::{DenseBitmap, FrontierSnapshot};
 
 /// One streaming partition's data.
 struct Part<V: polymer_numa::Atom> {
@@ -74,16 +74,17 @@ impl Engine for XStreamEngine {
         EngineKind::XStream
     }
 
-    fn try_run_traced<P: Program>(
+    fn try_run_rec<P: Program>(
         &self,
         machine: &Machine,
         threads: usize,
         g: &Graph,
         prog: &P,
         traced: bool,
+        recovery: &RecoverySession<P::Val>,
     ) -> PolymerResult<RunResult<P::Val>> {
         validate_run_config(threads, g, prog)?;
-        catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced))
+        catch_engine_faults(|| self.run_inner(machine, threads, g, prog, traced, recovery))
     }
 
     fn exec_profile(&self) -> ExecProfile {
@@ -104,6 +105,7 @@ impl XStreamEngine {
         g: &Graph,
         prog: &P,
         traced: bool,
+        recovery: &RecoverySession<P::Val>,
     ) -> PolymerResult<RunResult<P::Val>> {
         let n = g.num_vertices();
         let identity = prog.next_identity();
@@ -173,20 +175,23 @@ impl XStreamEngine {
             p
         };
 
+        let parts = parts;
         // Initial states.
-        match prog.initial_frontier(g) {
-            FrontierInit::All => {
-                for part in &parts {
-                    for i in 0..part.range.len() {
-                        part.state.set_unaccounted(i);
+        if recovery.resume().is_none() {
+            match prog.initial_frontier(g) {
+                FrontierInit::All => {
+                    for part in &parts {
+                        for i in 0..part.range.len() {
+                            part.state.set_unaccounted(i);
+                        }
                     }
                 }
-            }
-            FrontierInit::Single(s) => {
-                let p = part_of(s as usize);
-                parts[p]
-                    .state
-                    .set_unaccounted(s as usize - parts[p].range.start);
+                FrontierInit::Single(s) => {
+                    let p = part_of(s as usize);
+                    parts[p]
+                        .state
+                        .set_unaccounted(s as usize - parts[p].range.start);
+                }
             }
         }
         let mut active: u64 = parts.iter().map(|p| p.state.count_ones() as u64).sum();
@@ -194,13 +199,40 @@ impl XStreamEngine {
         let mut driver =
             IterationDriver::new(machine, threads, BarrierKind::Hierarchical, traced, n);
 
+        if let Some(ck) = recovery.resume() {
+            if ck.values.len() != n {
+                return Err(PolymerError::InvalidConfig(format!(
+                    "resume checkpoint has {} values for a {n}-vertex graph",
+                    ck.values.len()
+                )));
+            }
+            // Rebuild the per-partition state bitmaps and restore each
+            // partition's value slice through a charged "restore" sweep
+            // (each thread rewrites its own partition locally).
+            for &v in &ck.frontier.vertices {
+                let p = part_of(v as usize);
+                parts[p]
+                    .state
+                    .set_unaccounted(v as usize - parts[p].range.start);
+            }
+            active = ck.frontier.vertices.len() as u64;
+            driver.sim().run_phase("restore", |tid, ctx| {
+                let part = &parts[tid];
+                part.curr.store_seq(ctx, 0..part.range.len(), |i| {
+                    ck.values[part.range.start + i]
+                });
+            });
+            driver.resume_at(ck.iteration);
+        }
+
         // Host-side per-iteration bookkeeping.
         let mut uout_len = vec![0usize; threads];
         let mut uin_len = vec![0usize; threads];
 
-        driver.run_synchronous(
+        driver.run_recoverable(
             prog.max_iters(),
             &mut active,
+            recovery,
             |a| *a > 0,
             |sim, iters, active| {
                 // Scatter: stream ALL edges of each partition; active sources
@@ -340,10 +372,14 @@ impl XStreamEngine {
                 }
                 sim.charge_barrier();
 
-                // Swap state bitmaps (buffer reuse, unaccounted maintenance).
-                for part in &mut parts {
-                    std::mem::swap(&mut part.state, &mut part.next_state);
-                    part.next_state.clear_unaccounted();
+                // Roll state bitmaps forward word-by-word (buffer reuse,
+                // unaccounted maintenance; interior mutation keeps `parts`
+                // shared with the checkpoint closure).
+                for part in &parts {
+                    for w in 0..part.state.num_words() {
+                        part.state.raw_store_word(w, part.next_state.raw_word(w));
+                        part.next_state.raw_store_word(w, 0);
+                    }
                     part.updated.clear_unaccounted();
                 }
                 *active = alive_count.iter().sum();
@@ -361,6 +397,25 @@ impl XStreamEngine {
                     }
                 }
                 Ok(())
+            },
+            |sim, _active| {
+                // Charged checkpoint sweep: each thread streams its own
+                // partition's value slice (local, coalesced), concatenated
+                // in partition order = global vertex order.
+                let mut slices: Vec<Vec<P::Val>> = vec![Vec::new(); threads];
+                {
+                    let slices = &mut slices;
+                    sim.run_phase("checkpoint", |tid, ctx| {
+                        let part = &parts[tid];
+                        slices[tid] = part.curr.iter_seq(ctx, 0..part.range.len()).collect();
+                    });
+                }
+                let mut verts: Vec<VId> = Vec::new();
+                for part in &parts {
+                    verts.extend(part.state.iter_set().map(|i| (part.range.start + i) as VId));
+                }
+                let degree = verts.iter().map(|&v| g.out_degree(v) as u64).sum();
+                (slices.concat(), FrontierSnapshot::dense(verts, degree))
             },
         )?;
 

@@ -63,7 +63,10 @@ pub mod prelude {
     pub use polymer_algos::{
         run_reference, BeliefPropagation, Bfs, ConnectedComponents, PageRank, SpMV, Sssp,
     };
-    pub use polymer_api::{Backend, Engine, EngineKind, Program, RunResult};
+    pub use polymer_api::{
+        Backend, Checkpoint, CheckpointPolicy, CheckpointStore, Engine, EngineKind, Program,
+        RecoveryReport, RecoverySession, RunResult, RunSupervisor, SupervisorConfig,
+    };
     pub use polymer_core::{PolymerConfig, PolymerEngine};
     pub use polymer_faults::{FaultPlan, PolymerError, PolymerResult};
     pub use polymer_galois::GaloisEngine;

@@ -1,0 +1,447 @@
+//! Chaos-sweep harness: seeded fault injections × programs × engines ×
+//! backends, every cell driven through the [`RunSupervisor`].
+//!
+//! The invariant under test is the supervisor's contract: **every
+//! supervised run terminates**, and it terminates either with the
+//! bit-identical fault-free answer (exact for integer programs, ε-close
+//! where float summation order legitimately differs) or with a typed
+//! [`PolymerError`] — never a panic, never a hang, never a silently wrong
+//! answer. On top of that the sweep asserts both recovery modes actually
+//! fire somewhere in the matrix: at least one cell recovers by resuming
+//! from a published checkpoint (`report.resumed`), and at least one by
+//! degrading the substrate (`report.degraded`).
+//!
+//! Fault sites are placed where each backend consults the plan: worker
+//! panics, stragglers, and barrier deadlines fire on the real-thread
+//! executor; allocation failures and node-capacity clamps fire on the
+//! simulated machine.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use polymer::algos::reference::max_rel_error;
+use polymer::api::{
+    CheckpointPolicy, DegradePolicy, RecoveryReport, RetryPolicy, RunSupervisor, SupervisorConfig,
+};
+use polymer::graph::gen;
+use polymer::prelude::*;
+
+fn chaos_graph() -> Graph {
+    Graph::from_edges(&gen::rmat(8, 2_000, gen::RMAT_GRAPH500, 13))
+}
+
+macro_rules! for_each_engine {
+    ($f:expr) => {{
+        #[allow(unused_mut)]
+        let mut f = $f;
+        f("Polymer", &PolymerEngine::new());
+        f("Ligra", &LigraEngine::new());
+        f("X-Stream", &XStreamEngine::new());
+        f("Galois", &GaloisEngine::new());
+    }};
+}
+
+/// A supervisor config for tests: checkpoints every iteration, records the
+/// backoff schedule without sleeping it.
+fn chaos_config(plan: FaultPlan) -> SupervisorConfig {
+    SupervisorConfig {
+        checkpoint: CheckpointPolicy::EveryN(1),
+        plan,
+        sleep_on_backoff: false,
+        ..SupervisorConfig::default()
+    }
+}
+
+/// Run one supervised cell on a watchdog thread: a regression to the old
+/// deadlock behaviour fails the sweep instead of wedging the suite.
+fn supervised_bfs<E: Engine + Clone + Send + 'static>(
+    engine: &E,
+    backend: Backend,
+    cfg: SupervisorConfig,
+    spill: SpillPolicy,
+    threads: usize,
+    source: u32,
+) -> (PolymerResult<RunResult<u32>>, RecoveryReport) {
+    let engine = engine.clone();
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let g = chaos_graph();
+        let prog = Bfs::new(source);
+        let sup = RunSupervisor::new(SupervisorConfig { spill, ..cfg });
+        let out = sup.run_reported(&engine, &backend, &MachineSpec::test2(), threads, &g, &prog);
+        let _ = tx.send(out);
+    });
+    rx.recv_timeout(Duration::from_secs(120))
+        .expect("supervised run deadlocked")
+}
+
+/// The fault-free answer every recovered cell must reproduce exactly.
+fn bfs_oracle() -> Vec<u32> {
+    let g = chaos_graph();
+    let (want, _) = run_reference(&g, &Bfs::new(0));
+    want
+}
+
+/// One-shot worker panic on the real-thread backend: the supervisor must
+/// retry, resume from the checkpoint published before the crash, and finish
+/// with the fault-free answer — the headline "recover via checkpoint
+/// resume" scenario.
+#[test]
+fn one_shot_worker_panic_recovers_by_resuming_a_checkpoint() {
+    let want = bfs_oracle();
+    for_each_engine!(|ename: &str, engine: &dyn ChaosEngine| {
+        let plan = FaultPlan::new()
+            .with_seed(42)
+            .panic_worker_at(1, 2)
+            .barrier_timeout(Duration::from_secs(30));
+        let (result, report) = engine.supervise(Backend::real_threads(), chaos_config(plan));
+        let run = result.unwrap_or_else(|e| panic!("{ename}: supervised run failed: {e}"));
+        assert_eq!(run.values, want, "{ename}: recovered answer diverged");
+        assert!(
+            report.recovered,
+            "{ename}: expected a recovery, got {report:?}"
+        );
+        assert!(
+            report.resumed,
+            "{ename}: recovery should have resumed from a checkpoint: {report:?}"
+        );
+        assert!(report.checkpoints > 0, "{ename}: no checkpoints published");
+        assert_eq!(
+            report.error_codes(),
+            vec!["worker-panicked"],
+            "{ename}: unexpected failure codes"
+        );
+        assert!(
+            report.attempts.last().unwrap().resumed_from.is_some(),
+            "{ename}: final attempt did not resume: {report:?}"
+        );
+    });
+}
+
+/// A persistent straggler under a tight barrier deadline: plain retries
+/// keep timing out, so the supervisor must walk the degradation ladder
+/// (halve groups, then fall back to the simulated backend) and still
+/// produce the fault-free answer — the headline "recover via degraded
+/// mode" scenario.
+#[test]
+fn persistent_straggler_recovers_by_degrading_to_simulated() {
+    let want = bfs_oracle();
+    for_each_engine!(|ename: &str, engine: &dyn ChaosEngine| {
+        // Stragglers on every iteration a BFS on this graph can reach, so
+        // resuming past the first delay site never dodges the fault.
+        let mut plan = FaultPlan::new()
+            .with_seed(7)
+            .barrier_timeout(Duration::from_millis(5));
+        for iter in 0..12 {
+            plan = plan.delay_worker(1, iter, Duration::from_millis(40));
+        }
+        let (result, report) = engine.supervise(Backend::real_threads(), chaos_config(plan));
+        let run = result.unwrap_or_else(|e| panic!("{ename}: supervised run failed: {e}"));
+        assert_eq!(run.values, want, "{ename}: degraded answer diverged");
+        assert!(
+            report.degraded,
+            "{ename}: expected substrate degradation: {report:?}"
+        );
+        assert!(report.recovered, "{ename}: expected a recovery: {report:?}");
+        let last = report.attempts.last().unwrap();
+        assert_eq!(
+            last.backend, "simulated",
+            "{ename}: ladder should end on the simulated backend: {report:?}"
+        );
+        assert!(
+            report
+                .error_codes()
+                .iter()
+                .all(|&c| c == "barrier-timeout" || c == "barrier-poisoned"),
+            "{ename}: unexpected failure codes: {report:?}"
+        );
+    });
+}
+
+/// A one-shot allocation failure on the simulated backend: the shared plan
+/// state spends the fault on attempt one, so a plain retry succeeds.
+#[test]
+fn one_shot_alloc_failure_recovers_on_retry() {
+    let want = bfs_oracle();
+    for_each_engine!(|ename: &str, engine: &dyn ChaosEngine| {
+        let plan = FaultPlan::new().with_seed(3).fail_nth_alloc(2);
+        let (result, report) = engine.supervise(Backend::Simulated, chaos_config(plan));
+        let run = result.unwrap_or_else(|e| panic!("{ename}: supervised run failed: {e}"));
+        assert_eq!(run.values, want, "{ename}: recovered answer diverged");
+        assert!(report.recovered, "{ename}: expected a recovery: {report:?}");
+        assert_eq!(
+            report.error_codes(),
+            vec!["alloc-failed"],
+            "{ename}: unexpected failure codes"
+        );
+    });
+}
+
+/// A persistent capacity clamp under `SpillPolicy::Fail` can never
+/// succeed: the supervisor must exhaust its retries and surface the typed
+/// error (with the full attempt history in the report), not loop forever.
+#[test]
+fn persistent_capacity_clamp_exhausts_retries_with_a_typed_error() {
+    for_each_engine!(|ename: &str, engine: &dyn ChaosEngine| {
+        let plan = FaultPlan::new().with_seed(5).clamp_node_capacity(512);
+        let cfg = SupervisorConfig {
+            spill: SpillPolicy::Fail,
+            ..chaos_config(plan)
+        };
+        let (result, report) = engine.supervise(Backend::Simulated, cfg);
+        let err = match result {
+            Err(e) => e,
+            Ok(_) => panic!("{ename}: a 512-byte node clamp cannot fit the graph"),
+        };
+        assert_eq!(err.code(), "node-capacity-exceeded", "{ename}");
+        assert!(err.is_retryable(), "{ename}: clamp errors are retryable");
+        assert_eq!(
+            report.attempts.len(),
+            RetryPolicy::default().max_attempts,
+            "{ename}: should have exhausted every attempt: {report:?}"
+        );
+        assert!(!report.recovered, "{ename}");
+    });
+}
+
+/// Fatal (non-retryable) errors abort on the first attempt — no retries,
+/// no degradation, typed error out.
+#[test]
+fn fatal_config_errors_abort_without_retrying() {
+    for_each_engine!(|ename: &str, engine: &dyn ChaosEngine| {
+        let (result, report) = engine.supervise_bad_source(Backend::Simulated);
+        let err = match result {
+            Err(e) => e,
+            Ok(_) => panic!("{ename}: out-of-range source must fail"),
+        };
+        assert_eq!(err.code(), "invalid-config", "{ename}");
+        assert!(!err.is_retryable(), "{ename}");
+        assert_eq!(
+            report.attempts.len(),
+            1,
+            "{ename}: fatal errors must not retry"
+        );
+        assert!(
+            !report.recovered && !report.degraded && !report.resumed,
+            "{ename}"
+        );
+    });
+}
+
+/// The full seeded sweep: fault scenarios × engines × backends on BFS,
+/// plus a float row (PageRank) for summation-order coverage. Every cell
+/// must terminate with the fault-free answer or a typed error, and the
+/// matrix as a whole must exhibit both recovery modes.
+#[test]
+fn chaos_sweep_terminates_every_cell_and_exhibits_both_recovery_modes() {
+    let want = bfs_oracle();
+    let scenarios: Vec<(&str, Backend, FaultPlan, SpillPolicy)> = vec![
+        (
+            "clean/simulated",
+            Backend::Simulated,
+            FaultPlan::new().with_seed(1),
+            SpillPolicy::NearestRemote,
+        ),
+        (
+            "clean/real-threads",
+            Backend::real_threads(),
+            FaultPlan::new().with_seed(1),
+            SpillPolicy::NearestRemote,
+        ),
+        (
+            "worker-panic",
+            Backend::real_threads(),
+            FaultPlan::new()
+                .with_seed(11)
+                .panic_worker_at(2, 1)
+                .panic_worker_at(1, 3)
+                .barrier_timeout(Duration::from_secs(30)),
+            SpillPolicy::NearestRemote,
+        ),
+        (
+            "straggler-deadline",
+            Backend::real_threads(),
+            {
+                let mut p = FaultPlan::new()
+                    .with_seed(12)
+                    .barrier_timeout(Duration::from_millis(5));
+                for iter in 0..12 {
+                    p = p.delay_worker(0, iter, Duration::from_millis(40));
+                }
+                p
+            },
+            SpillPolicy::NearestRemote,
+        ),
+        (
+            "alloc-fail",
+            Backend::Simulated,
+            FaultPlan::new().with_seed(13).fail_nth_alloc(1),
+            SpillPolicy::NearestRemote,
+        ),
+        (
+            "capacity-clamp",
+            Backend::Simulated,
+            FaultPlan::new().with_seed(14).clamp_node_capacity(512),
+            SpillPolicy::Fail,
+        ),
+    ];
+
+    let mut cells = 0usize;
+    let mut resumed_recoveries = 0usize;
+    let mut degraded_recoveries = 0usize;
+    for (sname, backend, plan, spill) in &scenarios {
+        for_each_engine!(|ename: &str, engine: &dyn ChaosEngine| {
+            cells += 1;
+            // fork_attempt: each cell gets fresh one-shot state over the
+            // same fault sites, so earlier cells can't spend this cell's
+            // faults.
+            let cfg = SupervisorConfig {
+                spill: *spill,
+                ..chaos_config(plan.fork_attempt())
+            };
+            let (result, report) = engine.supervise(backend.clone(), cfg);
+            match result {
+                Ok(run) => {
+                    assert_eq!(
+                        run.values, want,
+                        "{sname}/{ename}: supervised answer diverged from fault-free oracle"
+                    );
+                    if report.recovered && report.resumed {
+                        resumed_recoveries += 1;
+                    }
+                    if report.degraded {
+                        degraded_recoveries += 1;
+                    }
+                }
+                Err(e) => {
+                    // Termination with a *typed* error is a legal outcome;
+                    // a panic or hang would have failed the watchdog.
+                    assert!(
+                        !e.code().is_empty(),
+                        "{sname}/{ename}: untyped failure {e:?}"
+                    );
+                    assert_eq!(
+                        e.code(),
+                        "node-capacity-exceeded",
+                        "{sname}/{ename}: only the persistent clamp may exhaust retries, got {e}"
+                    );
+                }
+            }
+        });
+    }
+    assert!(cells >= 24, "sweep shrank: only {cells} cells");
+    assert!(
+        resumed_recoveries > 0,
+        "no cell recovered via checkpoint resume"
+    );
+    assert!(
+        degraded_recoveries > 0,
+        "no cell recovered via degraded-mode fallback"
+    );
+}
+
+/// Float coverage: a supervised PageRank that recovers from a worker panic
+/// must land ε-close to the fault-free reference (real-thread summation
+/// order differs run to run, so bitwise equality is out of scope here).
+#[test]
+fn supervised_pagerank_recovery_stays_close_to_reference() {
+    let g = chaos_graph();
+    let prog = PageRank::new(g.num_vertices());
+    let (want, _) = run_reference(&g, &prog);
+    let plan = FaultPlan::new()
+        .with_seed(21)
+        .panic_worker_at(1, 2)
+        .barrier_timeout(Duration::from_secs(30));
+    let sup = RunSupervisor::new(chaos_config(plan));
+    let (result, report) = sup.run_reported(
+        &PolymerEngine::new(),
+        &Backend::real_threads(),
+        &MachineSpec::test2(),
+        4,
+        &g,
+        &prog,
+    );
+    let run = result.unwrap_or_else(|e| panic!("supervised PR failed: {e}"));
+    assert!(report.recovered, "expected a recovery: {report:?}");
+    let err = max_rel_error(&run.values, &want);
+    assert!(err < 1e-9, "recovered PR off by {err}");
+}
+
+/// The degradation thresholds are honoured exactly: with
+/// `halve_groups_after` disabled the ladder goes straight from plain
+/// retries to the simulated fallback.
+#[test]
+fn degrade_policy_thresholds_shape_the_ladder() {
+    let mut plan = FaultPlan::new()
+        .with_seed(9)
+        .barrier_timeout(Duration::from_millis(5));
+    for iter in 0..12 {
+        plan = plan.delay_worker(1, iter, Duration::from_millis(40));
+    }
+    let cfg = SupervisorConfig {
+        degrade: DegradePolicy {
+            halve_groups_after: None,
+            fallback_to_simulated_after: Some(1),
+        },
+        retry: RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        },
+        ..chaos_config(plan)
+    };
+    let g = chaos_graph();
+    let prog = Bfs::new(0);
+    let sup = RunSupervisor::new(cfg);
+    let (result, report) = sup.run_reported(
+        &LigraEngine::new(),
+        &Backend::real_threads(),
+        &MachineSpec::test2(),
+        4,
+        &g,
+        &prog,
+    );
+    result.unwrap_or_else(|e| panic!("supervised run failed: {e}"));
+    let backends: Vec<&str> = report.attempts.iter().map(|a| a.backend.as_str()).collect();
+    assert_eq!(
+        backends,
+        vec!["real-threads(groups=2)", "simulated"],
+        "fallback_to_simulated_after=1 should degrade immediately after the first failure"
+    );
+    assert!(report.degraded && report.recovered);
+}
+
+/// Object-safe shim so the sweep can iterate heterogeneous engines: each
+/// cell runs BFS under supervision on a watchdog thread.
+trait ChaosEngine {
+    fn supervise(
+        &self,
+        backend: Backend,
+        cfg: SupervisorConfig,
+    ) -> (PolymerResult<RunResult<u32>>, RecoveryReport);
+    /// Same, but with an out-of-range BFS source (the fatal-error probe).
+    fn supervise_bad_source(
+        &self,
+        backend: Backend,
+    ) -> (PolymerResult<RunResult<u32>>, RecoveryReport);
+}
+
+impl<E: Engine + Clone + Send + 'static> ChaosEngine for E {
+    fn supervise(
+        &self,
+        backend: Backend,
+        cfg: SupervisorConfig,
+    ) -> (PolymerResult<RunResult<u32>>, RecoveryReport) {
+        let spill = cfg.spill;
+        supervised_bfs(self, backend, cfg, spill, 4, 0)
+    }
+
+    fn supervise_bad_source(
+        &self,
+        backend: Backend,
+    ) -> (PolymerResult<RunResult<u32>>, RecoveryReport) {
+        let cfg = chaos_config(FaultPlan::new());
+        let spill = cfg.spill;
+        supervised_bfs(self, backend, cfg, spill, 4, u32::MAX)
+    }
+}
