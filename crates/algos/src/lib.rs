@@ -24,6 +24,7 @@
 pub mod bfs;
 pub mod bp;
 pub mod cc;
+pub mod multi;
 pub mod pagerank;
 pub mod reference;
 pub mod spmv;
@@ -32,6 +33,7 @@ pub mod sssp;
 pub use bfs::{Bfs, UNVISITED};
 pub use bp::BeliefPropagation;
 pub use cc::ConnectedComponents;
+pub use multi::{run_multi_source, MultiRunResult, MultiSource, SingleSource, MAX_LANES};
 pub use pagerank::PageRank;
 pub use reference::run_reference;
 pub use spmv::SpMV;

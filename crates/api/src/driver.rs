@@ -424,6 +424,7 @@ impl IterationDriver {
             threads: self.threads,
             sockets,
             recovery: None,
+            tag: None,
         }
     }
 }

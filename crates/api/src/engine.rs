@@ -200,6 +200,7 @@ pub trait Engine {
                     threads,
                     sockets: cfg.groups.clamp(1, threads.max(1)),
                     recovery: None,
+                    tag: None,
                 })
             }
         }

@@ -79,7 +79,14 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// Backoff after the `failures`-th consecutive failure (1-based):
     /// `base · factor^(failures-1)`, capped at [`RetryPolicy::max_backoff`].
+    /// With no failures yet (`failures == 0`) there is nothing to back off
+    /// from and the answer is [`Duration::ZERO`] — serve-layer callers poll
+    /// "how long until the next retry" before any failure has happened, and
+    /// must not sleep spuriously.
     pub fn backoff_after(&self, failures: usize) -> Duration {
+        if failures == 0 {
+            return Duration::ZERO;
+        }
         let mut d = self.base_backoff;
         for _ in 1..failures {
             d = d.saturating_mul(self.backoff_factor.max(1));
@@ -149,6 +156,20 @@ impl Default for SupervisorConfig {
             spill: SpillPolicy::default(),
             sleep_on_backoff: true,
         }
+    }
+}
+
+impl SupervisorConfig {
+    /// Budget the whole supervised run (all attempts and backoffs) with
+    /// `deadline`, and tighten every attempt to it too. This is the
+    /// serve-layer hook: a request that arrives with a deadline maps it
+    /// straight onto the supervisor, so the retry ladder can never outlive
+    /// the request's budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        let tighter = |cur: Option<Duration>| Some(cur.map_or(deadline, |d| d.min(deadline)));
+        self.retry.attempt_deadline = tighter(self.retry.attempt_deadline);
+        self.retry.total_deadline = tighter(self.retry.total_deadline);
+        self
     }
 }
 
@@ -550,6 +571,7 @@ mod tests {
                 threads,
                 sockets: 1,
                 recovery: None,
+                tag: None,
             })
         }
 
@@ -594,6 +616,135 @@ mod tests {
         assert_eq!(r.backoff_after(2), Duration::from_millis(30));
         assert_eq!(r.backoff_after(3), Duration::from_millis(70));
         assert_eq!(r.backoff_after(9), Duration::from_millis(70));
+    }
+
+    #[test]
+    fn backoff_before_any_failure_is_zero() {
+        // Regression: the documented contract is 1-based, but
+        // `backoff_after(0)` used to return `base_backoff` — a serve-layer
+        // caller polling the schedule before any failure would sleep.
+        let r = RetryPolicy::default();
+        assert_eq!(r.backoff_after(0), Duration::ZERO);
+        // Zero stays zero regardless of base/factor extremes.
+        let r = RetryPolicy {
+            base_backoff: Duration::from_secs(3600),
+            backoff_factor: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(r.backoff_after(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_saturating_mul_hits_the_cap_without_overflow() {
+        // base · factor^(failures-1) overflows Duration long before 40
+        // doublings of ~292 years; saturating_mul must pin the ladder to
+        // max_backoff instead of wrapping.
+        let r = RetryPolicy {
+            base_backoff: Duration::from_secs(u64::MAX / 4),
+            backoff_factor: u32::MAX,
+            max_backoff: Duration::from_secs(u64::MAX / 2),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(r.backoff_after(2), Duration::from_secs(u64::MAX / 2));
+        assert_eq!(r.backoff_after(40), Duration::from_secs(u64::MAX / 2));
+        // factor == 0 is clamped to 1: constant backoff at base.
+        let r = RetryPolicy {
+            base_backoff: Duration::from_millis(5),
+            backoff_factor: 0,
+            max_backoff: Duration::from_secs(1),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(r.backoff_after(1), Duration::from_millis(5));
+        assert_eq!(r.backoff_after(7), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn with_deadline_tightens_but_never_loosens() {
+        let cfg = SupervisorConfig::default().with_deadline(Duration::from_millis(100));
+        assert_eq!(cfg.retry.attempt_deadline, Some(Duration::from_millis(100)));
+        assert_eq!(cfg.retry.total_deadline, Some(Duration::from_millis(100)));
+        // A looser request deadline must not widen an existing budget.
+        let cfg = SupervisorConfig {
+            retry: RetryPolicy {
+                attempt_deadline: Some(Duration::from_millis(10)),
+                total_deadline: Some(Duration::from_millis(50)),
+                ..RetryPolicy::default()
+            },
+            ..SupervisorConfig::default()
+        }
+        .with_deadline(Duration::from_secs(5));
+        assert_eq!(cfg.retry.attempt_deadline, Some(Duration::from_millis(10)));
+        assert_eq!(cfg.retry.total_deadline, Some(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn degrade_thresholds_apply_after_the_nth_failure() {
+        // `Some(n)` means "apply after the n-th failure": with
+        // halve_groups_after = Some(1) the substrate halves after the very
+        // first failure, and with fallback Some(2) the second failure
+        // switches to the simulated backend.
+        let sup = RunSupervisor::new(SupervisorConfig {
+            degrade: DegradePolicy {
+                halve_groups_after: Some(1),
+                fallback_to_simulated_after: Some(2),
+            },
+            ..fast_config()
+        });
+        let g = tiny_graph();
+        let res = sup
+            .run(
+                &Flaky::new(2),
+                &Backend::RealThreads(RealThreadsConfig {
+                    groups: 4,
+                    plan: FaultPlan::default(),
+                }),
+                &MachineSpec::test2(),
+                4,
+                &g,
+                &Levels,
+            )
+            .expect("recovers");
+        let rep = res.recovery.expect("report attached");
+        let backends: Vec<&str> = rep.attempts.iter().map(|a| a.backend.as_str()).collect();
+        assert_eq!(
+            backends,
+            vec![
+                "real-threads(groups=4)", // attempt 1, fails (failure #1)
+                "real-threads(groups=2)", // halved after failure #1, fails (#2)
+                "simulated",              // fallback after failure #2, succeeds
+            ]
+        );
+    }
+
+    #[test]
+    fn degrade_disabled_thresholds_never_fire() {
+        let sup = RunSupervisor::new(SupervisorConfig {
+            degrade: DegradePolicy {
+                halve_groups_after: None,
+                fallback_to_simulated_after: None,
+            },
+            ..fast_config()
+        });
+        let g = tiny_graph();
+        let res = sup
+            .run(
+                &Flaky::new(3),
+                &Backend::RealThreads(RealThreadsConfig {
+                    groups: 4,
+                    plan: FaultPlan::default(),
+                }),
+                &MachineSpec::test2(),
+                4,
+                &g,
+                &Levels,
+            )
+            .expect("recovers by plain retry");
+        let rep = res.recovery.expect("report attached");
+        assert!(!rep.degraded);
+        assert!(rep
+            .attempts
+            .iter()
+            .all(|a| a.backend == "real-threads(groups=4)"));
     }
 
     #[test]

@@ -81,6 +81,33 @@ pub enum PolymerError {
         /// The underlying error's message.
         detail: String,
     },
+    /// The serving layer's bounded request queue was full at admission; the
+    /// caller should back off and resubmit.
+    QueueFull {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// Admitting the request would push the service's aggregate scratch
+    /// memory past its budget; the caller should back off and resubmit once
+    /// in-flight requests drain.
+    MemoryBudgetExceeded {
+        /// Scratch bytes this request would need.
+        requested_bytes: u64,
+        /// Scratch bytes currently pledged to admitted requests.
+        in_use_bytes: u64,
+        /// The service's configured aggregate budget in bytes.
+        budget_bytes: u64,
+    },
+    /// The request reached a service that has been stopped (or stopped while
+    /// the request was queued); it will never run.
+    ServiceStopped,
+    /// The request's deadline expired — before execution (queue wait ate the
+    /// whole budget) or during a supervised run that could not finish in
+    /// time.
+    DeadlineExceeded {
+        /// The deadline the request carried.
+        deadline: Duration,
+    },
 }
 
 impl fmt::Display for PolymerError {
@@ -120,6 +147,22 @@ impl fmt::Display for PolymerError {
                 write!(f, "iteration cap {cap} exceeded with a non-empty frontier")
             }
             PolymerError::Io { kind, detail } => write!(f, "i/o error ({kind:?}): {detail}"),
+            PolymerError::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            PolymerError::MemoryBudgetExceeded {
+                requested_bytes,
+                in_use_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "request needs {requested_bytes} scratch bytes but {in_use_bytes} of the \
+                 {budget_bytes}-byte service budget are already pledged"
+            ),
+            PolymerError::ServiceStopped => write!(f, "service stopped"),
+            PolymerError::DeadlineExceeded { deadline } => {
+                write!(f, "deadline of {deadline:?} exceeded")
+            }
         }
     }
 }
@@ -152,16 +195,23 @@ impl PolymerError {
             PolymerError::Divergence { .. } => "divergence",
             PolymerError::IterationCapExceeded { .. } => "iteration-cap-exceeded",
             PolymerError::Io { .. } => "io",
+            PolymerError::QueueFull { .. } => "queue-full",
+            PolymerError::MemoryBudgetExceeded { .. } => "memory-budget-exceeded",
+            PolymerError::ServiceStopped => "service-stopped",
+            PolymerError::DeadlineExceeded { .. } => "deadline-exceeded",
         }
     }
 
-    /// True for errors a supervisor may retry: plausibly transient faults of
-    /// the execution environment (crashed workers, poisoned/expired
-    /// barriers, failed or over-capacity allocations), where a fresh attempt
-    /// — possibly resumed from a checkpoint or degraded to a safer backend —
-    /// can succeed. False for deterministic outcomes of the inputs
-    /// (`InvalidConfig`, `Divergence`, `IterationCapExceeded`, `Io`), which
-    /// would fail identically on every retry.
+    /// True for errors a supervisor (or a serving client) may retry:
+    /// plausibly transient faults of the execution environment (crashed
+    /// workers, poisoned/expired barriers, failed or over-capacity
+    /// allocations) and transient admission pressure (`QueueFull`,
+    /// `MemoryBudgetExceeded`), where a fresh attempt — possibly resumed
+    /// from a checkpoint, degraded to a safer backend, or resubmitted after
+    /// backoff — can succeed. False for deterministic outcomes of the
+    /// inputs (`InvalidConfig`, `Divergence`, `IterationCapExceeded`, `Io`)
+    /// and for terminal request outcomes (`ServiceStopped`,
+    /// `DeadlineExceeded`), which would fail identically on every retry.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -171,6 +221,8 @@ impl PolymerError {
                 | PolymerError::BarrierTimeout { .. }
                 | PolymerError::AllocFailed { .. }
                 | PolymerError::NodeCapacityExceeded { .. }
+                | PolymerError::QueueFull { .. }
+                | PolymerError::MemoryBudgetExceeded { .. }
         )
     }
 
@@ -284,6 +336,22 @@ mod tests {
                 },
                 "bad magic",
             ),
+            (PolymerError::QueueFull { capacity: 16 }, "capacity 16"),
+            (
+                PolymerError::MemoryBudgetExceeded {
+                    requested_bytes: 4096,
+                    in_use_bytes: 1024,
+                    budget_bytes: 2048,
+                },
+                "2048-byte service budget",
+            ),
+            (PolymerError::ServiceStopped, "service stopped"),
+            (
+                PolymerError::DeadlineExceeded {
+                    deadline: Duration::from_millis(250),
+                },
+                "deadline",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
@@ -323,6 +391,16 @@ mod tests {
                 kind: std::io::ErrorKind::InvalidData,
                 detail: "x".into(),
             },
+            PolymerError::QueueFull { capacity: 1 },
+            PolymerError::MemoryBudgetExceeded {
+                requested_bytes: 1,
+                in_use_bytes: 1,
+                budget_bytes: 1,
+            },
+            PolymerError::ServiceStopped,
+            PolymerError::DeadlineExceeded {
+                deadline: Duration::from_millis(1),
+            },
         ];
         let codes: Vec<&str> = cases.iter().map(|e| e.code()).collect();
         let mut unique = codes.clone();
@@ -349,6 +427,20 @@ mod tests {
         assert!(PolymerError::AllocFailed {
             name: "x".into(),
             index: 3
+        }
+        .is_retryable());
+        // Admission pressure is transient: back off and resubmit.
+        assert!(PolymerError::QueueFull { capacity: 4 }.is_retryable());
+        assert!(PolymerError::MemoryBudgetExceeded {
+            requested_bytes: 2,
+            in_use_bytes: 1,
+            budget_bytes: 2
+        }
+        .is_retryable());
+        // Terminal request outcomes never succeed on resubmission.
+        assert!(!PolymerError::ServiceStopped.is_retryable());
+        assert!(!PolymerError::DeadlineExceeded {
+            deadline: Duration::from_secs(1)
         }
         .is_retryable());
         assert!(!PolymerError::InvalidConfig("x".into()).is_retryable());

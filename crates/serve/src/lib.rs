@@ -1,0 +1,75 @@
+//! # polymer-serve — resident-graph request serving
+//!
+//! The batch benchmarks load a graph, run one algorithm, and exit. This
+//! crate keeps the expensive part — the CSR and its NUMA placement —
+//! **resident**: a [`GraphService`] loads the graph once and serves
+//! concurrent algorithm requests from a bounded queue over a worker pool,
+//! the serving analogue of the paper's repeated-analytics setting.
+//!
+//! The serving contract, end to end:
+//!
+//! * **Admission control.** [`GraphService::submit`] either admits a
+//!   request or rejects it *now* with a typed error: queue at capacity →
+//!   [`PolymerError::QueueFull`]; aggregate scratch estimate past the
+//!   configured budget → [`PolymerError::MemoryBudgetExceeded`] (both
+//!   retryable: back off and resubmit); invalid for the resident graph →
+//!   [`PolymerError::InvalidConfig`]; stopped service →
+//!   [`PolymerError::ServiceStopped`]. Admitted requests pledge their
+//!   scratch estimate until completion.
+//!
+//! * **Coalescing.** A dispatching worker takes the queue head plus every
+//!   queued request in the same batching class (BFS with BFS, SSSP with
+//!   equal Δ) and answers them with **one** multi-source sweep
+//!   ([`polymer_algos::run_multi_source`]): one adjacency walk per
+//!   iteration, amortized across up to [`polymer_algos::MAX_LANES`] lanes.
+//!   These programs are integer min-combine fixed points, so every lane is
+//!   bit-identical to the request run alone — batching changes latency,
+//!   never answers. Whole-graph requests (PageRank) never coalesce.
+//!
+//! * **Supervision.** Solo requests run under the full
+//!   [`polymer_api::supervisor::RunSupervisor`] — checkpoint-resume,
+//!   retry/backoff, and the RealThreads → halved-groups → Simulated
+//!   degrade ladder. Batched sweeps compute on host memory (immune to the
+//!   simulated machine's injected faults) and run under a lightweight
+//!   retry loop reusing the same
+//!   [`polymer_api::supervisor::RetryPolicy`].
+//!
+//! * **Deadlines.** A request may carry a budget measured from submission
+//!   (queue wait counts). Expired before dispatch → typed
+//!   [`PolymerError::DeadlineExceeded`], never run. Still live at dispatch
+//!   → the remaining budget tightens the supervisor via
+//!   [`polymer_api::supervisor::SupervisorConfig::with_deadline`].
+//!   Completed but late → the answer is delivered with
+//!   [`ServeResponse::deadline_missed`] set, and counted in
+//!   [`ServeStats::deadline_missed`].
+//!
+//! * **Shutdown.** [`GraphService::stop`] (also on drop) fails queued
+//!   requests with [`PolymerError::ServiceStopped`], lets in-flight runs
+//!   deliver, and joins the pool.
+//!
+//! Every response is stamped with its request id (the
+//! [`polymer_api::RunResult::tag`] mechanism), so results fanned out of a
+//! coalesced sweep stay attributable. `docs/SERVING.md` walks through the
+//! design; `bench_serve` measures sustained throughput and latency
+//! percentiles under an open-loop arrival process.
+//!
+//! ```
+//! use polymer_graph::{gen, Graph};
+//! use polymer_serve::{GraphService, RequestKind, ServeConfig};
+//!
+//! let g = Graph::from_edges(&gen::rmat(6, 512, gen::RMAT_GRAPH500, 1));
+//! let svc = GraphService::new(g, ServeConfig::default()).unwrap();
+//! let ticket = svc.submit(RequestKind::Bfs { source: 0 }).unwrap();
+//! let response = ticket.wait().unwrap();
+//! assert_eq!(response.values.levels().unwrap()[0], 0);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod request;
+mod service;
+
+pub use polymer_faults::{PolymerError, PolymerResult};
+pub use request::{RequestKind, ResponseValues, ServeResponse, ServeStats, Ticket};
+pub use service::{GraphService, ServeConfig};

@@ -1,0 +1,176 @@
+//! Integration tests of the serving layer: concurrent mixed-algorithm
+//! load end-to-end, and the batching conformance contract — a coalesced
+//! multi-source sweep must be bit-identical to per-source runs, on both
+//! backends.
+
+use std::sync::Arc;
+
+use polymer_algos::{run_reference, Bfs, PageRank, Sssp};
+use polymer_api::Backend;
+use polymer_graph::{gen, Graph};
+use polymer_serve::{GraphService, RequestKind, ServeConfig};
+
+fn graph() -> Graph {
+    Graph::from_edges(&gen::rmat(8, 1 << 11, gen::RMAT_GRAPH500, 17))
+}
+
+fn cfg_on(backend: Backend) -> ServeConfig {
+    ServeConfig {
+        workers: 3,
+        threads_per_request: 2,
+        backend,
+        ..ServeConfig::default()
+    }
+}
+
+/// Concurrent clients submit a mix of BFS, SSSP, and PageRank; every
+/// response must match the sequential oracle and carry its own id.
+#[test]
+fn mixed_algorithm_requests_from_concurrent_clients() {
+    let g = graph();
+    let bfs_want = run_reference(&g, &Bfs::new(7)).0;
+    let sssp_want = run_reference(&g, &Sssp::new(11)).0;
+    let svc = Arc::new(GraphService::new(g, cfg_on(Backend::Simulated)).unwrap());
+
+    let mut clients = Vec::new();
+    for round in 0..4u32 {
+        let svc = Arc::clone(&svc);
+        let bfs_want = bfs_want.clone();
+        let sssp_want = sssp_want.clone();
+        clients.push(std::thread::spawn(move || {
+            let tb = svc.submit(RequestKind::Bfs { source: 7 }).unwrap();
+            let ts = svc
+                .submit(RequestKind::Sssp {
+                    source: 11,
+                    delta: 100,
+                })
+                .unwrap();
+            let tp = svc.submit(RequestKind::PageRank { iters: 3 }).unwrap();
+            let (bid, sid, pid) = (tb.id(), ts.id(), tp.id());
+            let rb = tb.wait().unwrap();
+            let rs = ts.wait().unwrap();
+            let rp = tp.wait().unwrap();
+            assert_eq!(rb.values.levels().unwrap(), &bfs_want[..], "round {round}");
+            assert_eq!(
+                rs.values.distances().unwrap(),
+                &sssp_want[..],
+                "round {round}"
+            );
+            assert!(rp.values.ranks().unwrap().iter().all(|r| r.is_finite()));
+            assert_eq!((rb.id, rs.id, rp.id), (bid, sid, pid));
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.failed, 0);
+}
+
+/// The conformance contract: coalesced BFS and SSSP answers are
+/// bit-identical to the same requests served one at a time, on both the
+/// simulated and the real-thread backend (solo runs take the backend's
+/// engine path; the sweep is backend-independent host compute — all of it
+/// must agree with the oracle exactly).
+#[test]
+fn batched_answers_are_bit_identical_to_per_source_runs_on_both_backends() {
+    let g = graph();
+    let bfs_sources = [0u32, 3, 100, 3, 29];
+    let sssp_sources = [1u32, 64, 9];
+
+    for backend in [Backend::Simulated, Backend::real_threads()] {
+        // Per-source: serialize submissions so nothing can coalesce.
+        let svc = GraphService::new(graph(), cfg_on(backend.clone())).unwrap();
+        let mut solo_bfs = Vec::new();
+        for &s in &bfs_sources {
+            let r = svc
+                .submit(RequestKind::Bfs { source: s })
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(r.batched_lanes, 1);
+            solo_bfs.push(r.values.levels().unwrap().to_vec());
+        }
+        let mut solo_sssp = Vec::new();
+        for &s in &sssp_sources {
+            let r = svc
+                .submit(RequestKind::Sssp {
+                    source: s,
+                    delta: 100,
+                })
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(r.batched_lanes, 1);
+            solo_sssp.push(r.values.distances().unwrap().to_vec());
+        }
+
+        // Batched: pause, enqueue everything, resume — one sweep per class.
+        svc.pause();
+        let bfs_tickets: Vec<_> = bfs_sources
+            .iter()
+            .map(|&s| svc.submit(RequestKind::Bfs { source: s }).unwrap())
+            .collect();
+        let sssp_tickets: Vec<_> = sssp_sources
+            .iter()
+            .map(|&s| {
+                svc.submit(RequestKind::Sssp {
+                    source: s,
+                    delta: 100,
+                })
+                .unwrap()
+            })
+            .collect();
+        svc.resume();
+
+        for ((t, solo), &s) in bfs_tickets.into_iter().zip(&solo_bfs).zip(&bfs_sources) {
+            let r = t.wait().unwrap();
+            assert_eq!(r.batched_lanes, bfs_sources.len());
+            assert_eq!(
+                r.values.levels().unwrap(),
+                &solo[..],
+                "BFS source {s} diverged from its per-source run"
+            );
+            let (oracle, _) = run_reference(&g, &Bfs::new(s));
+            assert_eq!(r.values.levels().unwrap(), &oracle[..]);
+        }
+        for ((t, solo), &s) in sssp_tickets.into_iter().zip(&solo_sssp).zip(&sssp_sources) {
+            let r = t.wait().unwrap();
+            assert_eq!(r.batched_lanes, sssp_sources.len());
+            assert_eq!(
+                r.values.distances().unwrap(),
+                &solo[..],
+                "SSSP source {s} diverged from its per-source run"
+            );
+            let (oracle, _) = run_reference(&g, &Sssp::new(s));
+            assert_eq!(r.values.distances().unwrap(), &oracle[..]);
+        }
+        let stats = svc.stats();
+        assert!(stats.batches >= 2, "both classes must have coalesced");
+        assert_eq!(stats.failed, 0);
+    }
+}
+
+/// PageRank answers served solo match a direct engine run (ranks are
+/// float-valued, so the service must take the exact same engine path).
+#[test]
+fn pagerank_served_matches_direct_engine_run() {
+    use polymer_api::Engine;
+    use polymer_core::PolymerEngine;
+    use polymer_numa::{Machine, MachineSpec};
+
+    let g = graph();
+    let prog = PageRank::new(g.num_vertices()).with_iters(4);
+    let machine = Machine::new(MachineSpec::test2());
+    let direct = PolymerEngine::new().run(&machine, 2, &g, &prog);
+
+    let svc = GraphService::new(graph(), cfg_on(Backend::Simulated)).unwrap();
+    let served = svc
+        .submit(RequestKind::PageRank { iters: 4 })
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(served.values.ranks().unwrap(), &direct.values[..]);
+    assert_eq!(served.iterations, direct.iterations);
+}

@@ -29,9 +29,14 @@ use crate::bitmap::DenseBitmap;
 pub const DENSITY_DENOMINATOR: u64 = 20;
 
 /// Ligra's representation-switching rule.
+///
+/// The threshold is clamped to ≥ 1: plain `num_edges / 20` is integer
+/// division, so any graph with fewer than 20 edges would get a threshold of
+/// 0 and *every* non-empty frontier would densify — the opposite of what
+/// the rule intends for tiny active sets.
 #[inline]
 pub fn should_densify(active: u64, active_degree_sum: u64, num_edges: u64) -> bool {
-    active + active_degree_sum > num_edges / DENSITY_DENOMINATOR
+    active + active_degree_sum > (num_edges / DENSITY_DENOMINATOR).max(1)
 }
 
 /// An active-vertex set in either dense or sparse representation, generic
@@ -211,6 +216,18 @@ impl FrontierSnapshot {
     }
 }
 
+/// Checked dense-index → vertex-id conversion. Vertex ids are `u32`
+/// workspace-wide; a dense-repr bit index past `u32::MAX` means the caller
+/// built a bitmap over more than 2^32 vertices, and silently truncating the
+/// id would corrupt the frontier. Engines wrap their bodies in
+/// panic-catching guards (`catch_engine_faults` in `polymer-api`), so this
+/// surfaces as a typed `EnginePanicked` error rather than silent wrong
+/// answers.
+#[inline]
+fn checked_vid(v: usize) -> u32 {
+    u32::try_from(v).expect("dense frontier index exceeds the u32 vertex-id space")
+}
+
 /// The flat-bitmap frontier of the NUMA-oblivious engines.
 pub type Frontier = FrontierRepr<DenseBitmap>;
 
@@ -261,7 +278,7 @@ impl Frontier {
         match self {
             f @ FrontierRepr::Sparse(_) => f,
             FrontierRepr::Dense { repr, .. } => {
-                FrontierRepr::Sparse(repr.iter_set().map(|v| v as u32).collect())
+                FrontierRepr::Sparse(repr.iter_set().map(checked_vid).collect())
             }
         }
     }
@@ -283,7 +300,7 @@ impl Frontier {
     pub fn to_snapshot(&self, degree_of: impl FnMut(u32) -> u64) -> FrontierSnapshot {
         match self {
             FrontierRepr::Dense { repr, degree, .. } => {
-                FrontierSnapshot::dense(repr.iter_set().map(|v| v as u32).collect(), *degree)
+                FrontierSnapshot::dense(repr.iter_set().map(checked_vid).collect(), *degree)
             }
             FrontierRepr::Sparse(items) => {
                 let mut degree_of = degree_of;
@@ -317,7 +334,7 @@ impl Frontier {
     /// All active vertices, ascending, unaccounted (verification only).
     pub fn to_sorted_vec(&self) -> Vec<u32> {
         match self {
-            FrontierRepr::Dense { repr, .. } => repr.iter_set().map(|v| v as u32).collect(),
+            FrontierRepr::Dense { repr, .. } => repr.iter_set().map(checked_vid).collect(),
             FrontierRepr::Sparse(items) => {
                 let mut v = items.clone();
                 v.sort_unstable();
@@ -419,6 +436,37 @@ mod tests {
         assert!(!should_densify(10, 80, 2000));
         assert!(should_densify(10, 95, 2000));
         assert!(should_densify(200, 0, 2000));
+    }
+
+    #[test]
+    fn densify_threshold_clamped_on_tiny_graphs() {
+        // Regression: |E| < 20 used to yield a threshold of 0 via integer
+        // division, so any non-empty frontier densified. The clamped
+        // threshold is 1: a lone degree-0 vertex stays sparse.
+        assert!(!should_densify(1, 0, 10));
+        assert!(!should_densify(0, 0, 0));
+        // Boundary: |E| = 19 (threshold 1) vs |E| = 20 (threshold 1) vs
+        // |E| = 40 (threshold 2).
+        assert!(should_densify(1, 1, 19));
+        assert!(should_densify(1, 1, 20));
+        assert!(!should_densify(1, 1, 40));
+        assert!(should_densify(2, 1, 40));
+    }
+
+    #[test]
+    fn tiny_graph_rebuild_keeps_small_frontiers_sparse() {
+        let m = machine();
+        let mk = |items: &[u32]| {
+            let bits = DenseBitmap::new(&m, "stat/f", 8, AllocPolicy::Interleaved);
+            for &v in items {
+                bits.set_unaccounted(v as usize);
+            }
+            bits
+        };
+        // 4-edge graph, single active vertex of degree 0: previously
+        // densified (threshold 0), now stays sparse.
+        let f = Frontier::rebuild(vec![2], 0, 4, true, true, mk);
+        assert!(!f.is_dense());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! | [`engine`] | `polymer-core` | the Polymer engine |
 //! | [`baselines`] | `polymer-{ligra,xstream,galois}` | the three comparison systems |
 //! | [`algos`] | `polymer-algos` | PR, SpMV, BP, BFS, CC, SSSP + reference oracle |
+//! | [`serve`] | `polymer-serve` | resident-graph request serving with batching |
 
 #![deny(unsafe_code)]
 
@@ -49,6 +50,7 @@ pub use polymer_core as engine;
 pub use polymer_faults as faults;
 pub use polymer_graph as graph;
 pub use polymer_numa as numa;
+pub use polymer_serve as serve;
 pub use polymer_sync as sync;
 
 /// The three baseline engines the paper compares Polymer against.
@@ -73,5 +75,6 @@ pub mod prelude {
     pub use polymer_graph::{dataset, DatasetId, EdgeList, Graph};
     pub use polymer_ligra::LigraEngine;
     pub use polymer_numa::{AllocPolicy, BarrierKind, Machine, MachineSpec, SpillPolicy};
+    pub use polymer_serve::{GraphService, RequestKind, ServeConfig, ServeResponse};
     pub use polymer_xstream::XStreamEngine;
 }
