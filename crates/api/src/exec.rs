@@ -5,8 +5,11 @@
 use std::ops::Range;
 
 use polymer_faults::{PolymerError, PolymerResult};
-use polymer_graph::{Graph, VId};
-use polymer_numa::{AccessCtx, AllocPolicy, Atom, Machine, NumaArray, NumaAtomicArray};
+use polymer_graph::{CompressedAdjacency, DeltaDecoder, Graph, VId};
+use polymer_numa::{
+    compressed_topology, AccessCtx, AllocPolicy, Atom, CompressedLists, Machine, NumaArray,
+    NumaAtomicArray,
+};
 
 use crate::program::{Combine, Program};
 
@@ -30,23 +33,88 @@ pub fn check_divergence<T: Atom>(curr: &NumaAtomicArray<T>, iteration: usize) ->
     Ok(())
 }
 
+/// One adjacency array (CSR targets or CSC sources): either the raw `u32`
+/// neighbour array or its delta/varint-compressed form, chosen at build time
+/// by the global [`compressed_topology`] switch.
+enum Adj {
+    Raw(NumaArray<u32>),
+    Compressed(CompressedLists),
+}
+
+/// Accounted neighbour-id stream yielded by [`TopoArrays::out_dst_stream`] /
+/// [`TopoArrays::in_src_stream`]: the raw path iterates an already-charged
+/// `u32` slice, the compressed path decodes an already-charged encoded byte
+/// run on the fly. Either way the ids come out in identical order.
+pub enum NeighborStream<'a> {
+    /// Borrowed slice of the raw neighbour array.
+    Raw(std::iter::Copied<std::slice::Iter<'a, u32>>),
+    /// Streaming decoder over the encoded payload.
+    Compressed(DeltaDecoder<'a>),
+}
+
+impl Iterator for NeighborStream<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            NeighborStream::Raw(it) => it.next(),
+            NeighborStream::Compressed(it) => it.next(),
+        }
+    }
+}
+
+impl Adj {
+    /// Accounted stream of list `v`'s neighbour ids, edge range `lo..hi`.
+    /// Raw: one coalesced `u32` read run. Compressed: one offset-pair read
+    /// plus one coalesced run over the *encoded* bytes.
+    #[inline]
+    fn stream<'s>(
+        &'s self,
+        ctx: &mut AccessCtx,
+        v: usize,
+        lo: usize,
+        hi: usize,
+    ) -> NeighborStream<'s> {
+        match self {
+            Adj::Raw(arr) => NeighborStream::Raw(arr.load_range(ctx, lo..hi).iter().copied()),
+            Adj::Compressed(cl) => {
+                NeighborStream::Compressed(DeltaDecoder::new(v as VId, cl.list(ctx, v)))
+            }
+        }
+    }
+
+    /// Simulated bytes one full sweep of this adjacency moves.
+    fn sweep_bytes(&self) -> usize {
+        match self {
+            Adj::Raw(arr) => arr.len() * std::mem::size_of::<u32>(),
+            Adj::Compressed(cl) => cl.encoded_bytes(),
+        }
+    }
+}
+
 /// The flat CSR/CSC topology arrays of Figure 1, placed by a per-array
 /// policy. Used by the NUMA-oblivious baselines; the Polymer engine builds
-/// its own per-node partitioned topology instead.
+/// its own per-node partitioned topology instead. The neighbour arrays are
+/// stored raw or delta/varint-compressed depending on the global
+/// [`compressed_topology`] switch at build time; engines traverse them
+/// through [`TopoArrays::out_dst_stream`] / [`TopoArrays::in_src_stream`],
+/// which charge whichever representation is resident.
 pub struct TopoArrays {
     /// CSR offsets (`n + 1` entries).
     pub out_off: NumaArray<u64>,
-    /// CSR edge targets.
-    pub out_dst: NumaArray<u32>,
+    /// CSR edge targets (raw or compressed).
+    out_adj: Adj,
     /// CSR edge weights (present when the program uses weights).
     pub out_w: Option<NumaArray<u32>>,
     /// CSC offsets (`n + 1` entries).
     pub in_off: NumaArray<u64>,
-    /// CSC edge sources.
-    pub in_src: NumaArray<u32>,
-    /// Out-degree of each in-edge's source, aligned with `in_src` — pull
-    /// loops read it sequentially with the edge instead of randomly from the
-    /// vertex metadata (the real systems pack adjacency metadata this way).
+    /// CSC edge sources (raw or compressed).
+    in_adj: Adj,
+    /// Out-degree of each in-edge's source, aligned with the CSC edge order —
+    /// pull loops read it sequentially with the edge instead of randomly from
+    /// the vertex metadata (the real systems pack adjacency metadata this
+    /// way).
     pub in_src_deg: NumaArray<u32>,
     /// CSC edge weights.
     pub in_w: Option<NumaArray<u32>>,
@@ -68,17 +136,46 @@ impl TopoArrays {
             machine.alloc_array_with("topo/out_off", n + 1, policy("topo/out_off"), |i| {
                 g.out_offsets()[i] as u64
             });
-        let out_dst =
-            machine.alloc_array_with("topo/out_dst", g.num_edges(), policy("topo/out_dst"), |i| {
-                g.out_targets()[i]
-            });
         let in_off = machine.alloc_array_with("topo/in_off", n + 1, policy("topo/in_off"), |i| {
             g.in_offsets()[i] as u64
         });
-        let in_src =
-            machine.alloc_array_with("topo/in_src", g.num_edges(), policy("topo/in_src"), |i| {
-                g.in_sources()[i]
-            });
+        let (out_adj, in_adj) = if compressed_topology() {
+            let out_c = CompressedAdjacency::out_edges(g);
+            let in_c = CompressedAdjacency::in_edges(g);
+            (
+                Adj::Compressed(CompressedLists::from_encoded(
+                    machine,
+                    "topo/out_dst",
+                    out_c.offs,
+                    out_c.bytes,
+                    policy("topo/out_off"),
+                    policy("topo/out_dst"),
+                )),
+                Adj::Compressed(CompressedLists::from_encoded(
+                    machine,
+                    "topo/in_src",
+                    in_c.offs,
+                    in_c.bytes,
+                    policy("topo/in_off"),
+                    policy("topo/in_src"),
+                )),
+            )
+        } else {
+            (
+                Adj::Raw(machine.alloc_array_with(
+                    "topo/out_dst",
+                    g.num_edges(),
+                    policy("topo/out_dst"),
+                    |i| g.out_targets()[i],
+                )),
+                Adj::Raw(machine.alloc_array_with(
+                    "topo/in_src",
+                    g.num_edges(),
+                    policy("topo/in_src"),
+                    |i| g.in_sources()[i],
+                )),
+            )
+        };
         let in_src_deg = machine.alloc_array_with(
             "topo/in_src_deg",
             g.num_edges(),
@@ -108,14 +205,53 @@ impl TopoArrays {
         };
         TopoArrays {
             out_off,
-            out_dst,
+            out_adj,
             out_w,
             in_off,
-            in_src,
+            in_adj,
             in_src_deg,
             in_w,
             out_deg,
         }
+    }
+
+    /// Accounted stream of vertex `v`'s out-neighbour targets, edge range
+    /// `lo..hi` (from `out_off`), charged at the resident representation's
+    /// size.
+    #[inline]
+    pub fn out_dst_stream<'s>(
+        &'s self,
+        ctx: &mut AccessCtx,
+        v: usize,
+        lo: usize,
+        hi: usize,
+    ) -> NeighborStream<'s> {
+        self.out_adj.stream(ctx, v, lo, hi)
+    }
+
+    /// Accounted stream of vertex `v`'s in-neighbour sources, edge range
+    /// `lo..hi` (from `in_off`), charged at the resident representation's
+    /// size.
+    #[inline]
+    pub fn in_src_stream<'s>(
+        &'s self,
+        ctx: &mut AccessCtx,
+        v: usize,
+        lo: usize,
+        hi: usize,
+    ) -> NeighborStream<'s> {
+        self.in_adj.stream(ctx, v, lo, hi)
+    }
+
+    /// True when the neighbour arrays are delta/varint-compressed.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self.out_adj, Adj::Compressed(_))
+    }
+
+    /// Simulated bytes one full out-edge plus in-edge sweep moves through
+    /// the neighbour arrays (raw `u32`s or encoded payload), for reporting.
+    pub fn neighbor_sweep_bytes(&self) -> usize {
+        self.out_adj.sweep_bytes() + self.in_adj.sweep_bytes()
     }
 }
 
@@ -170,15 +306,12 @@ pub fn charged_values_snapshot<T: Atom>(
     arr: &NumaAtomicArray<T>,
 ) -> Vec<T> {
     let chunks = even_chunks(arr.len(), threads.max(1));
-    let mut parts: Vec<Vec<T>> = vec![Vec::new(); chunks.len()];
-    {
-        let parts = &mut parts;
-        let chunks = &chunks;
-        sim.run_phase("checkpoint", |tid, ctx| {
-            let r = chunks[tid].clone();
-            parts[tid] = arr.iter_seq(ctx, r).collect();
-        });
-    }
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(chunks.len());
+    sim.run_phase_split(
+        "checkpoint",
+        |tid, ctx| arr.iter_seq(ctx, chunks[tid].clone()).collect::<Vec<T>>(),
+        |_tid, _ctx, part| parts.push(part),
+    );
     parts.concat()
 }
 
@@ -193,10 +326,11 @@ pub fn charged_values_restore<T: Atom>(
 ) {
     assert_eq!(values.len(), arr.len(), "restore value count mismatch");
     let chunks = even_chunks(arr.len(), threads.max(1));
-    sim.run_phase("restore", |tid, ctx| {
-        let r = chunks[tid].clone();
-        arr.store_seq(ctx, r, |i| values[i]);
-    });
+    sim.run_phase_split(
+        "restore",
+        |tid, ctx| arr.store_seq(ctx, chunks[tid].clone(), |i| values[i]),
+        |_, _, ()| {},
+    );
 }
 
 /// Split `0..n` into `parts` equal chunks (vertex-oblivious work division).

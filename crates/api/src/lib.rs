@@ -40,7 +40,7 @@ pub use driver::{Checkpoint, CheckpointPolicy, CheckpointStore, IterationDriver,
 pub use engine::{catch_engine_faults, validate_run_config, Engine, EngineKind};
 pub use exec::{
     atomic_combine, charged_values_restore, charged_values_snapshot, check_divergence,
-    degree_balanced_chunks, even_chunks, init_values, TopoArrays,
+    degree_balanced_chunks, even_chunks, init_values, NeighborStream, TopoArrays,
 };
 pub use parallel::{
     run_parallel, try_run_parallel, try_run_parallel_traced, try_run_threads, try_run_threads_rec,

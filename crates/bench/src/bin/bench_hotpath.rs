@@ -1,11 +1,26 @@
-//! Hot-path accounting benchmark: wall-clock of the simulator itself with
-//! the run-coalesced bulk accounting fast path enabled vs. disabled.
+//! Hot-path benchmark: wall-clock of the simulator itself under its three
+//! execution strategies, plus the simulated effect of topology compression.
 //!
-//! Unlike every other binary here, this one measures *host* wall-clock, not
-//! simulated seconds: the subject is the reproduction's own hot loop (see
-//! `docs/PERFORMANCE.md`), and the simulated results are required to be
-//! bit-identical between the two modes — the run aborts with a non-zero
-//! exit if any metric field differs, which the CI smoke job relies on.
+//! Unlike every other binary here, the `wall_*` columns measure *host*
+//! wall-clock, not simulated seconds: the subject is the reproduction's own
+//! hot loop (see `docs/PERFORMANCE.md`). Three strategies are compared per
+//! system:
+//!
+//! 1. **scalar** — per-element accounting, serial phase execution;
+//! 2. **bulk** — run-coalesced accounting ([`set_bulk_accounting`]), serial;
+//! 3. **sharded** — bulk accounting with per-socket shards on real host
+//!    threads ([`SimShardMode::On`]).
+//!
+//! All three must produce bit-identical simulated metrics — the run aborts
+//! with a non-zero exit if any metric field differs, which the CI smoke job
+//! relies on (`identical` gates scalar-vs-bulk, `sharded_identical` gates
+//! serial-vs-sharded).
+//!
+//! A final pass re-runs each system with the delta/varint-compressed
+//! topology ([`set_compressed_topology`]): values still conform, but the
+//! simulated cost *changes by design* — neighbour lists occupy fewer bytes,
+//! so the machine moves less data. The row records raw vs compressed
+//! simulated bytes and the resulting simulated seconds.
 //!
 //! The committed `results/BENCH_hotpath.json` was produced with the
 //! defaults (`--scale 0`: 2^17 vertices, 2^21 edges, PageRank, 80 simulated
@@ -13,14 +28,17 @@
 //! `wall_real_threads_sec` column: the same program through the same
 //! [`polymer_api::Engine::try_run_on`] entry point on the `RealThreads`
 //! backend ([`REAL_THREADS`] OS threads) — a real-parallelism wall-clock
-//! baseline for future performance PRs.
+//! baseline. Sharded wall-clock only beats serial on multi-core hosts;
+//! `host_cores` records what this run had.
 
 use std::time::Instant;
 
 use polymer_api::Backend;
 use polymer_bench::{write_json, AlgoId, Args, SystemId, Table, Workload};
 use polymer_graph::DatasetId;
-use polymer_numa::{set_bulk_accounting, MachineSpec};
+use polymer_numa::{
+    set_bulk_accounting, set_compressed_topology, set_sim_sharding, MachineSpec, SimShardMode,
+};
 use serde::Serialize;
 
 /// OS threads for the `RealThreads` baseline column. Fixed (rather than
@@ -28,7 +46,7 @@ use serde::Serialize;
 /// different core counts.
 const REAL_THREADS: usize = 8;
 
-/// Wall-clock outcome of one system under both accounting modes.
+/// Wall-clock outcome of one system under every execution strategy.
 #[derive(Serialize)]
 struct HotpathRow {
     system: String,
@@ -38,14 +56,33 @@ struct HotpathRow {
     wall_bulk_sec: f64,
     /// `wall_scalar_sec / wall_bulk_sec`.
     speedup: f64,
+    /// Best-of-N host seconds with bulk accounting and per-socket shards on
+    /// real host threads.
+    wall_sharded_sec: f64,
+    /// `wall_bulk_sec / wall_sharded_sec` (> 1 means sharding won).
+    shard_speedup: f64,
+    /// True when serial and sharded simulated metrics matched bit-for-bit.
+    sharded_identical: bool,
     /// Best-of-N host seconds on the `RealThreads` backend with
     /// [`REAL_THREADS`] OS threads (no simulation, no accounting).
     wall_real_threads_sec: f64,
-    /// Simulated seconds (identical in both modes by construction).
+    /// Simulated seconds (identical across all accounting strategies by
+    /// construction).
     sim_seconds: f64,
     iterations: usize,
-    /// True when every metric field matched bit-for-bit across modes.
+    /// True when every metric field matched bit-for-bit across scalar and
+    /// bulk accounting modes.
     identical: bool,
+    /// Simulated bytes moved with the raw (uncompressed) topology.
+    bytes_raw: u64,
+    /// Simulated bytes moved with the delta/varint-compressed topology.
+    bytes_compressed: u64,
+    /// `1 - bytes_compressed / bytes_raw` (fraction of traffic saved).
+    bytes_reduction: f64,
+    /// Simulated seconds with the compressed topology.
+    sim_seconds_compressed: f64,
+    /// Host cores available to this run (sharded wall-clock needs > 1).
+    host_cores: usize,
 }
 
 fn main() {
@@ -53,9 +90,10 @@ fn main() {
     let wl = Workload::prepare(DatasetId::Rmat24S, args.scale);
     let spec = MachineSpec::intel80();
     const REPS: usize = 2;
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     println!(
-        "Hot-path accounting: PageRank on rmat24 (scale {}), 80 threads, Intel\n",
+        "Hot-path strategies: PageRank on rmat24 (scale {}), 80 threads, Intel, {host_cores} host cores\n",
         args.scale
     );
     let mut table = Table::new(&[
@@ -63,19 +101,29 @@ fn main() {
         "Scalar(s)",
         "Bulk(s)",
         "Speedup",
+        "Sharded(s)",
+        "ShardSpd",
         "Real(s)",
         "Identical",
+        "BytesSaved",
     ]);
     let mut rows = Vec::new();
     let mut all_identical = true;
     let real_backend = Backend::real_threads();
     for sys in SystemId::ALL {
         eprintln!("[hotpath] {} ...", sys.name());
-        let mut wall = [f64::MAX; 2]; // [scalar, bulk]
+        // [scalar serial, bulk serial, bulk sharded]
+        let modes = [
+            (false, SimShardMode::Off),
+            (true, SimShardMode::Off),
+            (true, SimShardMode::On),
+        ];
+        let mut wall = [f64::MAX; 3];
         let mut metrics: Vec<String> = Vec::new();
         let mut last = None;
-        for (slot, bulk) in [(0, false), (1, true)] {
+        for (slot, (bulk, shard)) in modes.into_iter().enumerate() {
             set_bulk_accounting(bulk);
+            set_sim_sharding(shard);
             for _ in 0..REPS {
                 let t = Instant::now();
                 let m = polymer_bench::runner::run(sys, AlgoId::PR, &wl, &spec, 80);
@@ -83,45 +131,65 @@ fn main() {
                 if metrics.len() == slot {
                     // Serialized metrics are wall-clock free: every field is
                     // simulated and deterministic, so string equality is a
-                    // bit-identity check across accounting modes.
+                    // bit-identity check across execution strategies.
                     metrics.push(serde_json::to_string(&m).expect("serialize metrics"));
                 }
                 last = Some(m);
             }
         }
         set_bulk_accounting(true);
+        set_sim_sharding(SimShardMode::Off);
         let mut wall_real = f64::MAX;
         for _ in 0..REPS {
             let t = Instant::now();
             polymer_bench::runner::run_on(sys, AlgoId::PR, &wl, &spec, REAL_THREADS, &real_backend);
             wall_real = wall_real.min(t.elapsed().as_secs_f64());
         }
+        // Compressed-topology pass: simulated cost legitimately differs, so
+        // it stays outside the bit-identity comparison.
+        set_compressed_topology(true);
+        let mc = polymer_bench::runner::run(sys, AlgoId::PR, &wl, &spec, 80);
+        set_compressed_topology(false);
+        set_sim_sharding(SimShardMode::Auto);
         let identical = metrics[0] == metrics[1];
-        all_identical &= identical;
+        let sharded_identical = metrics[1] == metrics[2];
+        all_identical &= identical && sharded_identical;
         let m = last.expect("at least one run");
+        let reduction = 1.0 - mc.bytes_moved as f64 / m.bytes_moved as f64;
         table.row(vec![
             sys.name().to_string(),
             format!("{:.3}", wall[0]),
             format!("{:.3}", wall[1]),
             format!("{:.2}x", wall[0] / wall[1]),
+            format!("{:.3}", wall[2]),
+            format!("{:.2}x", wall[1] / wall[2]),
             format!("{:.3}", wall_real),
-            identical.to_string(),
+            (identical && sharded_identical).to_string(),
+            format!("{:.1}%", reduction * 100.0),
         ]);
         rows.push(HotpathRow {
             system: sys.name().to_string(),
             wall_scalar_sec: wall[0],
             wall_bulk_sec: wall[1],
             speedup: wall[0] / wall[1],
+            wall_sharded_sec: wall[2],
+            shard_speedup: wall[1] / wall[2],
+            sharded_identical,
             wall_real_threads_sec: wall_real,
             sim_seconds: m.seconds,
             iterations: m.iterations,
             identical,
+            bytes_raw: m.bytes_moved,
+            bytes_compressed: mc.bytes_moved,
+            bytes_reduction: reduction,
+            sim_seconds_compressed: mc.seconds,
+            host_cores,
         });
     }
     table.print();
     write_json(&args.out, "BENCH_hotpath", &rows);
     if !all_identical {
-        eprintln!("[hotpath] FAIL: simulated metrics diverged between accounting modes");
+        eprintln!("[hotpath] FAIL: simulated metrics diverged across execution strategies");
         std::process::exit(1);
     }
 }

@@ -217,6 +217,9 @@ pub struct Metrics {
     pub sockets: usize,
     /// Remote-access profile (Table 4).
     pub remote: RemoteAccessReport,
+    /// Total simulated bytes moved (local + remote), the unit the
+    /// compressed-topology comparison in `bench_hotpath` reports.
+    pub bytes_moved: u64,
     /// Peak memory in GiB (Table 5).
     pub peak_gib: f64,
     /// Peak agent-replica memory in GiB (Table 5 brackets; Polymer only).
@@ -264,6 +267,7 @@ fn metrics<V>(
         threads: r.threads,
         sockets: r.sockets,
         remote: r.remote_report(),
+        bytes_moved: r.clock.total.bytes_local + r.clock.total.bytes_remote,
         peak_gib: r.memory.peak_gib(),
         agents_gib: r.memory.tag_peak("agents") as f64 / (1u64 << 30) as f64,
         barrier_sec: r.clock.barrier_us / 1e6,

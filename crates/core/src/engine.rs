@@ -306,52 +306,66 @@ impl PolymerEngine {
                         }
                     };
                     let table = fr.as_dense().expect("dense after conversion");
-                    sim.run_phase("gather-pull", |tid, ctx| {
-                        let node = ctx.node();
-                        let nl = &layout.nodes[node];
-                        let dir = nl.pull.as_ref().expect("pull layout built");
-                        let my = &dir.slices[tin[tid]];
-                        if my.is_empty() {
-                            return;
-                        }
-                        // Rolling order: start at the first agent the node owns.
-                        let pivot = dir
-                            .agent_id
-                            .raw()
-                            .partition_point(|&t| (t as usize) < nl.range.start)
-                            .clamp(my.start, my.end)
-                            - my.start;
-                        let own_bits = table.get(node).unwrap();
-                        for off in rolling(my.len(), pivot) {
-                            let a = my.start + off;
-                            // Agent id / offset pair reads stay scalar: the
-                            // offsets re-read the previous agent's end, and the
-                            // rolling order wraps once mid-scan.
-                            let t = dir.agent_id.get(ctx, a) as usize;
-                            let lo = dir.agent_off.get(ctx, a) as usize;
-                            let hi = dir.agent_off.get(ctx, a + 1) as usize;
-                            let mut acc = identity;
-                            let mut any = false;
-                            // Source endpoints are scanned unconditionally —
-                            // bulk stream. Everything inside the frontier test
-                            // (weight, value, degree, bitmap word) is gated or
-                            // vertex-indexed (random) and stays scalar.
-                            for (e, s) in (lo..hi).zip(dir.endpoint.iter_seq(ctx, lo..hi)) {
-                                let s = s as usize;
-                                // Sources are local to this node by layout.
-                                if own_bits.test(ctx, s - nl.range.start) {
-                                    let w = match &dir.weight {
-                                        Some(ws) => ws.get(ctx, e),
-                                        None => 1,
-                                    };
-                                    let sv = curr.load(ctx, s);
-                                    let deg = layout.out_deg.get(ctx, s);
-                                    acc = prog.fold(acc, prog.scatter(s as VId, sv, w, deg));
-                                    ctx.charge_cycles(sc);
-                                    any = true;
+                    // Pull agents fold over *local* sources but target vertices
+                    // owned by any node, so the combine and updated-bit writes
+                    // cross shard boundaries: log them in the compute half and
+                    // replay serially in the publish half.
+                    sim.run_phase_split(
+                        "gather-pull",
+                        |tid, ctx| {
+                            let node = ctx.node();
+                            let nl = &layout.nodes[node];
+                            let dir = nl.pull.as_ref().expect("pull layout built");
+                            let my = &dir.slices[tin[tid]];
+                            let mut log: Vec<(usize, P::Val)> = Vec::new();
+                            if my.is_empty() {
+                                return log;
+                            }
+                            // Rolling order: start at the first agent the node
+                            // owns.
+                            let pivot = dir
+                                .agent_id
+                                .raw()
+                                .partition_point(|&t| (t as usize) < nl.range.start)
+                                .clamp(my.start, my.end)
+                                - my.start;
+                            let own_bits = table.get(node).unwrap();
+                            for off in rolling(my.len(), pivot) {
+                                let a = my.start + off;
+                                // Agent id / offset pair reads stay scalar: the
+                                // offsets re-read the previous agent's end, and
+                                // the rolling order wraps once mid-scan.
+                                let t = dir.agent_id.get(ctx, a) as usize;
+                                let mut acc = identity;
+                                let mut any = false;
+                                // Source endpoints are scanned unconditionally —
+                                // bulk stream. Everything inside the frontier
+                                // test (weight, value, degree, bitmap word) is
+                                // gated or vertex-indexed (random) and stays
+                                // scalar.
+                                for (e, s) in dir.agent_edges_indexed(ctx, a, t as VId) {
+                                    let s = s as usize;
+                                    // Sources are local to this node by layout.
+                                    if own_bits.test(ctx, s - nl.range.start) {
+                                        let w = match &dir.weight {
+                                            Some(ws) => ws.get(ctx, e),
+                                            None => 1,
+                                        };
+                                        let sv = curr.load(ctx, s);
+                                        let deg = layout.out_deg.get(ctx, s);
+                                        acc = prog.fold(acc, prog.scatter(s as VId, sv, w, deg));
+                                        ctx.charge_cycles(sc);
+                                        any = true;
+                                    }
+                                }
+                                if any {
+                                    log.push((t, acc));
                                 }
                             }
-                            if any {
+                            log
+                        },
+                        |_tid, ctx, log| {
+                            for (t, acc) in log {
                                 atomic_combine(prog, &next, ctx, t, acc);
                                 let owner = layout.owner(t);
                                 updated
@@ -359,62 +373,75 @@ impl PolymerEngine {
                                     .unwrap()
                                     .set(ctx, t - layout.nodes[owner].range.start);
                             }
-                        }
-                    });
+                        },
+                    );
                     drop(fr);
                 } else {
                     match &*frontier {
                         FrontierRepr::Dense { repr: table, .. } => {
                             // Dense push: every node scans its agents, testing
                             // the (distributed) frontier bitmap per source.
-                            sim.run_phase("scatter-push", |tid, ctx| {
-                                let node = ctx.node();
-                                let nl = &layout.nodes[node];
-                                let dir = &nl.push;
-                                let my = &dir.slices[tin[tid]];
-                                // Agent ids are scanned unconditionally in slice
-                                // order — bulk stream. Everything below the
-                                // frontier test only happens for active agents
-                                // and stays scalar.
-                                let id_it = dir.agent_id.iter_seq(ctx, my.clone());
-                                for (a, sid) in my.clone().zip(id_it) {
-                                    let s = sid as usize;
-                                    if !test_dense(table, &layout, ctx, s) {
-                                        continue;
-                                    }
-                                    let deg = dir.agent_deg.get(ctx, a);
-                                    // Source value is vertex-indexed — scalar.
-                                    let sv = curr.load(ctx, s);
-                                    let lo = dir.agent_off.get(ctx, a) as usize;
-                                    let hi = dir.agent_off.get(ctx, a + 1) as usize;
-                                    // Every out-edge of an active agent is
-                                    // consumed — the edge-aligned arrays stream
-                                    // in bulk. Combine targets / updated bits /
-                                    // queue pushes are destination-indexed
-                                    // (random) and stay scalar.
-                                    let dst_it = dir.endpoint.iter_seq(ctx, lo..hi);
-                                    let mut w_it =
-                                        dir.weight.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
-                                    for t in dst_it {
-                                        let w = match &mut w_it {
-                                            Some(it) => it.next().expect("weight stream aligned"),
-                                            None => 1,
-                                        };
-                                        let t = t as usize;
-                                        atomic_combine(
-                                            prog,
-                                            &next,
-                                            ctx,
-                                            t,
-                                            prog.scatter(s as VId, sv, w, deg),
-                                        );
-                                        ctx.charge_cycles(sc);
-                                        if updated.get(node).unwrap().set(ctx, t - nl.range.start) {
-                                            queues.push(ctx, t as VId);
+                            // Push targets are node-local by construction and
+                            // queue pushes go to the running thread's own
+                            // queue, so the whole phase body is shard-pure:
+                            // nothing it writes is visible outside its shard
+                            // during the phase.
+                            sim.run_phase_split(
+                                "scatter-push",
+                                |tid, ctx| {
+                                    let node = ctx.node();
+                                    let nl = &layout.nodes[node];
+                                    let dir = &nl.push;
+                                    let my = &dir.slices[tin[tid]];
+                                    // Agent ids are scanned unconditionally in
+                                    // slice order — bulk stream. Everything
+                                    // below the frontier test only happens for
+                                    // active agents and stays scalar.
+                                    let id_it = dir.agent_id.iter_seq(ctx, my.clone());
+                                    for (a, sid) in my.clone().zip(id_it) {
+                                        let s = sid as usize;
+                                        if !test_dense(table, &layout, ctx, s) {
+                                            continue;
+                                        }
+                                        let deg = dir.agent_deg.get(ctx, a);
+                                        // Source value is vertex-indexed —
+                                        // scalar.
+                                        let sv = curr.load(ctx, s);
+                                        // Every out-edge of an active agent is
+                                        // consumed — the edge-aligned arrays
+                                        // stream in bulk. Combine targets /
+                                        // updated bits / queue pushes are
+                                        // destination-indexed (random) and stay
+                                        // scalar.
+                                        let (dst_it, mut w_it) = dir.agent_edges(ctx, a, sid);
+                                        for t in dst_it {
+                                            let w = match &mut w_it {
+                                                Some(it) => {
+                                                    it.next().expect("weight stream aligned")
+                                                }
+                                                None => 1,
+                                            };
+                                            let t = t as usize;
+                                            atomic_combine(
+                                                prog,
+                                                &next,
+                                                ctx,
+                                                t,
+                                                prog.scatter(s as VId, sv, w, deg),
+                                            );
+                                            ctx.charge_cycles(sc);
+                                            if updated
+                                                .get(node)
+                                                .unwrap()
+                                                .set(ctx, t - nl.range.start)
+                                            {
+                                                queues.push(ctx, t as VId);
+                                            }
                                         }
                                     }
-                                }
-                            });
+                                },
+                                |_tid, _ctx, ()| {},
+                            );
                         }
                         FrontierRepr::Sparse(items) => {
                             // Sparse push: every node routes each active vertex
@@ -422,49 +449,59 @@ impl PolymerEngine {
                             let per_node_chunks: Vec<Vec<std::ops::Range<usize>>> = (0..spanned)
                                 .map(|node| even_chunks(items.len(), tpn[node]))
                                 .collect();
-                            sim.run_phase("scatter-push-sparse", |tid, ctx| {
-                                let node = ctx.node();
-                                let nl = &layout.nodes[node];
-                                let dir = &nl.push;
-                                let my = per_node_chunks[node][tin[tid]].clone();
-                                for &s in &items[my] {
-                                    let slot = dir.agent_idx.get(ctx, s as usize);
-                                    if slot == 0 {
-                                        continue;
-                                    }
-                                    let a = (slot - 1) as usize;
-                                    let deg = dir.agent_deg.get(ctx, a);
-                                    // Source value is vertex-indexed — scalar.
-                                    let sv = curr.load(ctx, s as usize);
-                                    let lo = dir.agent_off.get(ctx, a) as usize;
-                                    let hi = dir.agent_off.get(ctx, a + 1) as usize;
-                                    // Every out-edge of an active agent is
-                                    // consumed — the edge-aligned arrays stream
-                                    // in bulk; destination-indexed accesses
-                                    // stay scalar.
-                                    let dst_it = dir.endpoint.iter_seq(ctx, lo..hi);
-                                    let mut w_it =
-                                        dir.weight.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
-                                    for t in dst_it {
-                                        let w = match &mut w_it {
-                                            Some(it) => it.next().expect("weight stream aligned"),
-                                            None => 1,
-                                        };
-                                        let t = t as usize;
-                                        atomic_combine(
-                                            prog,
-                                            &next,
-                                            ctx,
-                                            t,
-                                            prog.scatter(s, sv, w, deg),
-                                        );
-                                        ctx.charge_cycles(sc);
-                                        if updated.get(node).unwrap().set(ctx, t - nl.range.start) {
-                                            queues.push(ctx, t as VId);
+                            // Shard-pure for the same reason as the dense
+                            // variant: push targets are node-local, queue
+                            // pushes are own-thread.
+                            sim.run_phase_split(
+                                "scatter-push-sparse",
+                                |tid, ctx| {
+                                    let node = ctx.node();
+                                    let nl = &layout.nodes[node];
+                                    let dir = &nl.push;
+                                    let my = per_node_chunks[node][tin[tid]].clone();
+                                    for &s in &items[my] {
+                                        let slot = dir.agent_idx.get(ctx, s as usize);
+                                        if slot == 0 {
+                                            continue;
+                                        }
+                                        let a = (slot - 1) as usize;
+                                        let deg = dir.agent_deg.get(ctx, a);
+                                        // Source value is vertex-indexed —
+                                        // scalar.
+                                        let sv = curr.load(ctx, s as usize);
+                                        // Every out-edge of an active agent is
+                                        // consumed — the edge-aligned arrays
+                                        // stream in bulk; destination-indexed
+                                        // accesses stay scalar.
+                                        let (dst_it, mut w_it) = dir.agent_edges(ctx, a, s);
+                                        for t in dst_it {
+                                            let w = match &mut w_it {
+                                                Some(it) => {
+                                                    it.next().expect("weight stream aligned")
+                                                }
+                                                None => 1,
+                                            };
+                                            let t = t as usize;
+                                            atomic_combine(
+                                                prog,
+                                                &next,
+                                                ctx,
+                                                t,
+                                                prog.scatter(s, sv, w, deg),
+                                            );
+                                            ctx.charge_cycles(sc);
+                                            if updated
+                                                .get(node)
+                                                .unwrap()
+                                                .set(ctx, t - nl.range.start)
+                                            {
+                                                queues.push(ctx, t as VId);
+                                            }
                                         }
                                     }
-                                }
-                            });
+                                },
+                                |_tid, _ctx, ()| {},
+                            );
                         }
                     }
                 }
@@ -474,37 +511,50 @@ impl PolymerEngine {
                 let mut alive_count = vec![0u64; threads];
                 let mut alive_degree = vec![0u64; threads];
                 if use_pull {
-                    // Scan each node's own updated bitmap.
+                    // Scan each node's own updated bitmap. Every access is
+                    // node-local (the bitmap, and `curr`/`next`/`out_deg` at
+                    // owned vertices), so the body is shard-pure; only the
+                    // host-side alive tallies travel through the payload.
                     let alive_count = &mut alive_count;
                     let alive_degree = &mut alive_degree;
-                    sim.run_phase("apply", |tid, ctx| {
-                        let node = ctx.node();
-                        let nl = &layout.nodes[node];
-                        let bits = updated.get(node).unwrap();
-                        let words = even_chunks(bits.num_words(), tpn[node]);
-                        let wr = words[tin[tid]].clone();
-                        // The updated bitmap's words are scanned sequentially —
-                        // bulk stream. The per-bit value accesses below are
-                        // vertex-indexed within the word and stay scalar.
-                        let word_stream = bits.words_seq(ctx, wr.clone());
-                        for (w, mut word) in wr.clone().zip(word_stream) {
-                            while word != 0 {
-                                let b = word.trailing_zeros() as usize;
-                                word &= word - 1;
-                                let t = nl.range.start + w * 64 + b;
-                                let acc = next.load(ctx, t);
-                                let cv = curr.load(ctx, t);
-                                let (val, alive) = prog.apply(t as VId, acc, cv);
-                                curr.store(ctx, t, val);
-                                next.store(ctx, t, identity);
-                                if alive {
-                                    queues.push(ctx, t as VId);
-                                    alive_count[tid] += 1;
-                                    alive_degree[tid] += layout.out_deg.get(ctx, t) as u64;
+                    sim.run_phase_split(
+                        "apply",
+                        |tid, ctx| {
+                            let node = ctx.node();
+                            let nl = &layout.nodes[node];
+                            let bits = updated.get(node).unwrap();
+                            let words = even_chunks(bits.num_words(), tpn[node]);
+                            let wr = words[tin[tid]].clone();
+                            let (mut cnt, mut deg) = (0u64, 0u64);
+                            // The updated bitmap's words are scanned
+                            // sequentially — bulk stream. The per-bit value
+                            // accesses below are vertex-indexed within the
+                            // word and stay scalar.
+                            let word_stream = bits.words_seq(ctx, wr.clone());
+                            for (w, mut word) in wr.clone().zip(word_stream) {
+                                while word != 0 {
+                                    let b = word.trailing_zeros() as usize;
+                                    word &= word - 1;
+                                    let t = nl.range.start + w * 64 + b;
+                                    let acc = next.load(ctx, t);
+                                    let cv = curr.load(ctx, t);
+                                    let (val, alive) = prog.apply(t as VId, acc, cv);
+                                    curr.store(ctx, t, val);
+                                    next.store(ctx, t, identity);
+                                    if alive {
+                                        queues.push(ctx, t as VId);
+                                        cnt += 1;
+                                        deg += layout.out_deg.get(ctx, t) as u64;
+                                    }
                                 }
                             }
-                        }
-                    });
+                            (cnt, deg)
+                        },
+                        |tid, _ctx, (cnt, deg)| {
+                            alive_count[tid] = cnt;
+                            alive_degree[tid] = deg;
+                        },
+                    );
                 } else {
                     // Queue-based apply: each node's threads produced exactly the
                     // targets it owns (push processes local targets).
@@ -517,23 +567,35 @@ impl PolymerEngine {
                         .collect();
                     let alive_count = &mut alive_count;
                     let alive_degree = &mut alive_degree;
-                    sim.run_phase("apply", |tid, ctx| {
-                        let node = ctx.node();
-                        let my = per_node_chunks[node][tin[tid]].clone();
-                        for &t in &per_node_items[node][my] {
-                            let ti = t as usize;
-                            let acc = next.load(ctx, ti);
-                            let cv = curr.load(ctx, ti);
-                            let (val, alive) = prog.apply(t, acc, cv);
-                            curr.store(ctx, ti, val);
-                            next.store(ctx, ti, identity);
-                            if alive {
-                                queues.push(ctx, t);
-                                alive_count[tid] += 1;
-                                alive_degree[tid] += layout.out_deg.get(ctx, ti) as u64;
+                    // Queue apply touches only node-owned vertices (push
+                    // produced local targets) — shard-pure like the pull
+                    // variant.
+                    sim.run_phase_split(
+                        "apply",
+                        |tid, ctx| {
+                            let node = ctx.node();
+                            let my = per_node_chunks[node][tin[tid]].clone();
+                            let (mut cnt, mut deg) = (0u64, 0u64);
+                            for &t in &per_node_items[node][my] {
+                                let ti = t as usize;
+                                let acc = next.load(ctx, ti);
+                                let cv = curr.load(ctx, ti);
+                                let (val, alive) = prog.apply(t, acc, cv);
+                                curr.store(ctx, ti, val);
+                                next.store(ctx, ti, identity);
+                                if alive {
+                                    queues.push(ctx, t);
+                                    cnt += 1;
+                                    deg += layout.out_deg.get(ctx, ti) as u64;
+                                }
                             }
-                        }
-                    });
+                            (cnt, deg)
+                        },
+                        |tid, _ctx, (cnt, deg)| {
+                            alive_count[tid] = cnt;
+                            alive_degree[tid] = deg;
+                        },
+                    );
                 }
                 sim.charge_barrier();
 

@@ -17,10 +17,104 @@
 //! (`AllocPolicy::OnNode`); the application-data arrays are contiguous
 //! virtual ranges with chunked physical placement (built by the engine).
 
-use std::ops::Range;
+use std::ops::{Range, RangeFrom};
 
-use polymer_graph::{edge_balanced_ranges, vertex_balanced_ranges, Graph, VId};
-use polymer_numa::{AllocPolicy, Machine, NumaArray};
+use polymer_graph::{edge_balanced_ranges, vertex_balanced_ranges, DeltaDecoder, Graph, VId};
+use polymer_numa::{AccessCtx, AllocPolicy, CompressedLists, Machine, NumaArray};
+
+/// Storage for one direction's grouped edge endpoints: a raw `u32` array, or
+/// delta/varint-encoded per-agent lists when the global
+/// [`compressed_topology`](polymer_numa::compressed_topology) toggle was on
+/// at build time. Compressed lists are anchored at the agent's own vertex id
+/// and billed by *encoded* bytes through the charged accessors, so the
+/// compression shows up as simulated bytes saved.
+pub enum EndpointStore {
+    /// One `u32` per edge, grouped by agent.
+    Raw(NumaArray<u32>),
+    /// Delta/varint-encoded lists (one per agent) plus the total edge count,
+    /// which the encoding no longer stores explicitly.
+    Compressed {
+        /// The encoded lists with their byte offsets.
+        lists: CompressedLists,
+        /// Number of edges across all lists.
+        edges: usize,
+    },
+}
+
+impl EndpointStore {
+    /// Number of edges stored (all agents together).
+    pub fn len(&self) -> usize {
+        match self {
+            EndpointStore::Raw(arr) => arr.len(),
+            EndpointStore::Compressed { edges, .. } => *edges,
+        }
+    }
+
+    /// Whether the store holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the endpoints are delta/varint-encoded.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, EndpointStore::Compressed { .. })
+    }
+
+    /// Simulated footprint of the endpoint data in bytes (raw: 4 bytes per
+    /// edge; compressed: encoded bytes plus the per-list offset table).
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            EndpointStore::Raw(arr) => arr.len() * 4,
+            EndpointStore::Compressed { lists, .. } => {
+                lists.encoded_bytes() + (lists.num_lists() + 1) * 8
+            }
+        }
+    }
+}
+
+/// Accounted stream over one agent's endpoints (no edge indices).
+pub enum EndpointIter<'a> {
+    /// Raw slice walk.
+    Raw(std::iter::Copied<std::slice::Iter<'a, u32>>),
+    /// Varint decode of an encoded list (decode itself is free; the encoded
+    /// bytes were already charged when the list was fetched).
+    Compressed(DeltaDecoder<'a>),
+}
+
+impl Iterator for EndpointIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            EndpointIter::Raw(it) => it.next(),
+            EndpointIter::Compressed(it) => it.next(),
+        }
+    }
+}
+
+/// Accounted stream over one agent's endpoints as `(edge_index, endpoint)`
+/// pairs. The edge index is exact in raw mode and in compressed mode with
+/// weights (where it indexes the weight array); in compressed mode without
+/// weights nothing consumes it and it starts at zero.
+pub enum IndexedEndpointIter<'a> {
+    /// Raw slice walk zipped with its edge range.
+    Raw(std::iter::Zip<Range<usize>, std::iter::Copied<std::slice::Iter<'a, u32>>>),
+    /// Varint decode zipped with edge indices from the agent's start offset.
+    Compressed(std::iter::Zip<RangeFrom<usize>, DeltaDecoder<'a>>),
+}
+
+impl Iterator for IndexedEndpointIter<'_> {
+    type Item = (usize, u32);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, u32)> {
+        match self {
+            IndexedEndpointIter::Raw(it) => it.next(),
+            IndexedEndpointIter::Compressed(it) => it.next(),
+        }
+    }
+}
 
 /// One direction's per-node edge structure: agents plus grouped edges.
 pub struct DirLayout {
@@ -34,11 +128,96 @@ pub struct DirLayout {
     /// used by sparse-frontier processing.
     pub agent_idx: NumaArray<u32>,
     /// Edge endpoints (targets in push, sources in pull), local to the node.
-    pub endpoint: NumaArray<u32>,
+    pub endpoint: EndpointStore,
     /// Edge weights, when the program uses them.
     pub weight: Option<NumaArray<u32>>,
     /// Per-thread agent slices, balanced by edge count.
     pub slices: Vec<Range<usize>>,
+}
+
+impl DirLayout {
+    /// Accounted stream of agent `a`'s endpoints plus, when the layout
+    /// carries weights, the aligned bulk weight stream. `anchor` is the
+    /// agent's vertex id (already read by the caller), which anchors the
+    /// delta decode. Raw mode charges the `agent_off` pair, the endpoint run
+    /// and the weight run — exactly what the engines charged when they read
+    /// the arrays directly. Compressed mode charges the encoded offsets and
+    /// bytes instead, and touches `agent_off` only if the weight array (raw,
+    /// edge-indexed) still needs the edge range.
+    pub fn agent_edges<'s>(
+        &'s self,
+        ctx: &mut AccessCtx,
+        a: usize,
+        anchor: VId,
+    ) -> (
+        EndpointIter<'s>,
+        Option<std::iter::Copied<std::slice::Iter<'s, u32>>>,
+    ) {
+        match &self.endpoint {
+            EndpointStore::Raw(arr) => {
+                let lo = self.agent_off.get(ctx, a) as usize;
+                let hi = self.agent_off.get(ctx, a + 1) as usize;
+                let eps = EndpointIter::Raw(arr.load_range(ctx, lo..hi).iter().copied());
+                let w = self
+                    .weight
+                    .as_ref()
+                    .map(|ws| ws.load_range(ctx, lo..hi).iter().copied());
+                (eps, w)
+            }
+            EndpointStore::Compressed { lists, .. } => {
+                let w = self.weight.as_ref().map(|ws| {
+                    let lo = self.agent_off.get(ctx, a) as usize;
+                    let hi = self.agent_off.get(ctx, a + 1) as usize;
+                    ws.load_range(ctx, lo..hi).iter().copied()
+                });
+                let eps = EndpointIter::Compressed(DeltaDecoder::new(anchor, lists.list(ctx, a)));
+                (eps, w)
+            }
+        }
+    }
+
+    /// Accounted stream of agent `a`'s endpoints as `(edge_index, endpoint)`
+    /// pairs, for callers that gate per-edge scalar accesses (pull). Charges
+    /// like [`DirLayout::agent_edges`] but never streams weights in bulk.
+    pub fn agent_edges_indexed<'s>(
+        &'s self,
+        ctx: &mut AccessCtx,
+        a: usize,
+        anchor: VId,
+    ) -> IndexedEndpointIter<'s> {
+        match &self.endpoint {
+            EndpointStore::Raw(arr) => {
+                let lo = self.agent_off.get(ctx, a) as usize;
+                let hi = self.agent_off.get(ctx, a + 1) as usize;
+                IndexedEndpointIter::Raw((lo..hi).zip(arr.load_range(ctx, lo..hi).iter().copied()))
+            }
+            EndpointStore::Compressed { lists, .. } => {
+                let lo = if self.weight.is_some() {
+                    self.agent_off.get(ctx, a) as usize
+                } else {
+                    0
+                };
+                IndexedEndpointIter::Compressed(
+                    (lo..).zip(DeltaDecoder::new(anchor, lists.list(ctx, a))),
+                )
+            }
+        }
+    }
+
+    /// Unaccounted copy of every endpoint in edge order (tests,
+    /// verification).
+    pub fn endpoint_values(&self) -> Vec<u32> {
+        match &self.endpoint {
+            EndpointStore::Raw(arr) => arr.raw().to_vec(),
+            EndpointStore::Compressed { lists, edges } => {
+                let mut out = Vec::with_capacity(*edges);
+                for (slot, &v) in self.agent_id.raw().iter().enumerate() {
+                    out.extend(DeltaDecoder::new(v, lists.raw_list(slot)));
+                }
+                out
+            }
+        }
+    }
 }
 
 /// Everything one node owns.
@@ -278,33 +457,54 @@ impl PolymerLayout {
             }
             machine.alloc_array_with(&format!("agents/{dir}_idx"), n, pol(), |i| idx[i])
         };
-        let slices = slice_by_edges(&offs, threads_per_node);
-        DirLayout {
-            agent_id: machine.alloc_array_with(
-                &format!("agents/{dir}_id"),
-                ids.len(),
-                pol(),
-                |i| ids[i],
-            ),
-            agent_deg: machine.alloc_array_with(
-                &format!("agents/{dir}_deg"),
-                degs.len(),
-                pol(),
-                |i| degs[i],
-            ),
-            agent_off: machine.alloc_array_with(
-                &format!("agents/{dir}_off"),
-                offs.len(),
-                pol(),
-                |i| offs[i],
-            ),
-            agent_idx,
-            endpoint: machine.alloc_array_with(
+        // Allocation order matters for bit-identical costs: the cost model
+        // folds per-thread times in allocation-id order, so the arrays must
+        // be allocated in the same sequence the pre-sharding layout used
+        // (id, deg, off, endpoints, weights).
+        let agent_id =
+            machine.alloc_array_with(&format!("agents/{dir}_id"), ids.len(), pol(), |i| ids[i]);
+        let agent_deg =
+            machine.alloc_array_with(&format!("agents/{dir}_deg"), degs.len(), pol(), |i| degs[i]);
+        let agent_off =
+            machine.alloc_array_with(&format!("agents/{dir}_off"), offs.len(), pol(), |i| offs[i]);
+        let endpoint = if polymer_numa::compressed_topology() {
+            // Delta/varint-encode each agent's list, anchored at the agent's
+            // own vertex id (lists are in grouped input order, so deltas are
+            // small for locality-friendly ids).
+            let mut coffs = vec![0u64];
+            let mut bytes = Vec::new();
+            for (slot, &v) in ids.iter().enumerate() {
+                let lo = offs[slot] as usize;
+                let hi = offs[slot + 1] as usize;
+                polymer_graph::encode_list(v, &endpoints[lo..hi], &mut bytes);
+                coffs.push(bytes.len() as u64);
+            }
+            EndpointStore::Compressed {
+                lists: CompressedLists::from_encoded(
+                    machine,
+                    &format!("topo/{dir}_edges"),
+                    coffs,
+                    bytes,
+                    pol(),
+                    pol(),
+                ),
+                edges: endpoints.len(),
+            }
+        } else {
+            EndpointStore::Raw(machine.alloc_array_with(
                 &format!("topo/{dir}_edges"),
                 endpoints.len(),
                 pol(),
                 |i| endpoints[i],
-            ),
+            ))
+        };
+        let slices = slice_by_edges(&offs, threads_per_node);
+        DirLayout {
+            agent_id,
+            agent_deg,
+            agent_off,
+            agent_idx,
+            endpoint,
             weight: with_weights.then(|| {
                 machine.alloc_array_with(&format!("topo/{dir}_w"), weights.len(), pol(), |i| {
                     weights[i]
@@ -408,7 +608,7 @@ mod tests {
         let g = Graph::from_edges(&el);
         let (_m, l) = build(&g, false, false);
         for nl in &l.nodes {
-            for &t in nl.push.endpoint.raw() {
+            for t in nl.push.endpoint_values() {
                 assert!(nl.range.contains(&(t as usize)));
             }
         }
@@ -420,7 +620,7 @@ mod tests {
         let g = Graph::from_edges(&el);
         let (_m, l) = build(&g, false, true);
         for nl in &l.nodes {
-            for &s in nl.pull.as_ref().unwrap().endpoint.raw() {
+            for s in nl.pull.as_ref().unwrap().endpoint_values() {
                 assert!(nl.range.contains(&(s as usize)));
             }
         }

@@ -26,6 +26,7 @@
 //!   paper's ablation experiments (Figure 10(b), Table 6).
 
 #![deny(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod engine;
 pub mod layout;

@@ -177,7 +177,7 @@ fn run_async<P: Program>(
                     let deg = (hi - lo) as u32;
                     // Every out-edge of a relaxed vertex is consumed, so the
                     // edge-aligned arrays stream in bulk.
-                    let dst_it = topo.out_dst.iter_seq(ctx, lo..hi);
+                    let dst_it = topo.out_dst_stream(ctx, si, lo, hi);
                     let mut w_it = topo.out_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
                     for t in dst_it {
                         let w = match &mut w_it {
@@ -291,9 +291,16 @@ fn run_sync_pull<P: Program>(
     let in_degrees: Vec<u32> = (0..n).map(|v| g.in_degree(v as VId) as u32).collect();
     let chunks = polymer_graph::edge_balanced_ranges(&in_degrees, threads);
     let apply_chunks = even_chunks(n, threads);
-    // Host-side per-iteration "received an update" flags (per-thread chunks
-    // are disjoint vertex ranges, so a single vector suffices).
-    let mut updated_host = vec![false; n];
+    // Host-side per-iteration "received an update" flags. Atomic so shard
+    // threads can share the vector; per-thread chunks are disjoint vertex
+    // ranges, so the relaxed stores never actually contend. The flags are
+    // host bookkeeping — never charged — so the switch from plain bools has
+    // zero accounting effect.
+    let updated_host: Vec<std::sync::atomic::AtomicBool> = (0..n)
+        .map(|_| std::sync::atomic::AtomicBool::new(false))
+        .collect();
+    let updated_host = &updated_host;
+    use std::sync::atomic::Ordering::Relaxed;
     driver.run_recoverable(
         prog.max_iters(),
         &mut active,
@@ -304,9 +311,11 @@ fn run_sync_pull<P: Program>(
             // Topology-driven shortcut: when every vertex is active, per-edge
             // state checks are semantically no-ops and Galois skips them.
             let all_active = *active == n as u64;
-            {
-                let updated_host = &mut updated_host;
-                sim.run_phase("pull", |tid, ctx| {
+            // Pull targets are chunk-owned and reads (`curr`, the state
+            // bitmap, topology) see only pre-phase state — shard-pure.
+            sim.run_phase_split(
+                "pull",
+                |tid, ctx| {
                     for t in chunks[tid].clone() {
                         // Offset pairs re-read the previous vertex's end — they
                         // stay on the scalar path to keep that access pattern.
@@ -317,7 +326,7 @@ fn run_sync_pull<P: Program>(
                         if all_active {
                             // Dense sweep: every in-edge is consumed, so the
                             // edge-aligned arrays stream in bulk.
-                            let src_it = topo.in_src.iter_seq(ctx, lo..hi);
+                            let src_it = topo.in_src_stream(ctx, t, lo, hi);
                             let deg_it = topo.in_src_deg.iter_seq(ctx, lo..hi);
                             let mut w_it = topo.in_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
                             for (s, deg) in src_it.zip(deg_it) {
@@ -334,9 +343,11 @@ fn run_sync_pull<P: Program>(
                             }
                         } else {
                             // State-gated: downstream reads depend on the
-                            // per-source bitmap test — scalar path.
-                            for e in lo..hi {
-                                let s = topo.in_src.get(ctx, e);
+                            // per-source bitmap test — scalar path. The source
+                            // stream itself is consumed for every edge (only
+                            // the value/weight/degree reads are gated).
+                            for (k, s) in topo.in_src_stream(ctx, t, lo, hi).enumerate() {
+                                let e = lo + k;
                                 if state.test(ctx, s as usize) {
                                     let w = match &topo.in_w {
                                         Some(ws) => ws.get(ctx, e),
@@ -352,33 +363,42 @@ fn run_sync_pull<P: Program>(
                         }
                         if any {
                             next.store(ctx, t, acc);
-                            updated_host[t] = true;
+                            updated_host[t].store(true, Relaxed);
                         }
                     }
-                });
-            }
+                },
+                |_tid, _ctx, ()| {},
+            );
             sim.charge_barrier();
 
             {
                 let alive_count = &mut alive_count;
-                let updated_host = &mut updated_host;
-                sim.run_phase("apply", |tid, ctx| {
-                    for t in apply_chunks[tid].clone() {
-                        if !updated_host[t] {
-                            continue;
+                // Apply chunks are disjoint vertex ranges; `next_state.set`
+                // may share a bitmap word across shards but the word update
+                // is atomic and order-independent — shard-pure.
+                sim.run_phase_split(
+                    "apply",
+                    |tid, ctx| {
+                        let mut cnt = 0u64;
+                        for t in apply_chunks[tid].clone() {
+                            if !updated_host[t].load(Relaxed) {
+                                continue;
+                            }
+                            updated_host[t].store(false, Relaxed);
+                            let acc = next.load(ctx, t);
+                            let cv = curr.load(ctx, t);
+                            let (val, alive) = prog.apply(t as VId, acc, cv);
+                            curr.store(ctx, t, val);
+                            next.store(ctx, t, identity);
+                            if alive {
+                                next_state.set(ctx, t);
+                                cnt += 1;
+                            }
                         }
-                        updated_host[t] = false;
-                        let acc = next.load(ctx, t);
-                        let cv = curr.load(ctx, t);
-                        let (val, alive) = prog.apply(t as VId, acc, cv);
-                        curr.store(ctx, t, val);
-                        next.store(ctx, t, identity);
-                        if alive {
-                            next_state.set(ctx, t);
-                            alive_count[tid] += 1;
-                        }
-                    }
-                });
+                        cnt
+                    },
+                    |tid, _ctx, cnt| alive_count[tid] = cnt,
+                );
             }
             sim.charge_barrier();
 

@@ -19,6 +19,7 @@
 
 #![deny(unsafe_code)]
 
+pub mod compress;
 pub mod csr;
 pub mod datasets;
 pub mod edgelist;
@@ -28,6 +29,7 @@ pub mod partition;
 pub mod stats;
 pub mod types;
 
+pub use compress::{decode_list, encode_list, CompressedAdjacency, DeltaDecoder};
 pub use csr::Graph;
 pub use datasets::{dataset, DatasetId};
 pub use edgelist::EdgeList;

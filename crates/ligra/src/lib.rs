@@ -191,136 +191,189 @@ impl LigraEngine {
                         .map(|v| g.in_degree(v as polymer_graph::VId) as u32)
                         .collect();
                     let chunks = polymer_graph::edge_balanced_ranges(&in_degrees, threads);
-                    sim.run_phase("gather-pull", |tid, ctx| {
-                        for t in chunks[tid].clone() {
-                            // Offset pairs re-read the previous vertex's end —
-                            // the bulk path charges ranges once, so they stay
-                            // on the scalar path to keep that access pattern.
-                            let lo = topo.in_off.get(ctx, t) as usize;
-                            let hi = topo.in_off.get(ctx, t + 1) as usize;
-                            let mut acc = identity;
-                            let mut any = false;
-                            if all_active {
-                                // Dense sweep: every in-edge is consumed, so
-                                // the edge-aligned arrays stream in bulk.
-                                let src_it = topo.in_src.iter_seq(ctx, lo..hi);
-                                let deg_it = topo.in_src_deg.iter_seq(ctx, lo..hi);
-                                let mut w_it =
-                                    topo.in_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
-                                for (s, deg) in src_it.zip(deg_it) {
-                                    let w = match &mut w_it {
-                                        Some(it) => it.next().expect("weight stream aligned"),
-                                        None => 1,
-                                    };
-                                    // Source values are indexed by vertex id —
-                                    // random, scalar path.
-                                    let sv = curr.load(ctx, s as usize);
-                                    acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
-                                    ctx.charge_cycles(sc);
-                                    any = true;
-                                }
-                            } else {
-                                // Frontier-gated: weight/value/degree reads
-                                // depend on the per-source bitmap test — scalar.
-                                for e in lo..hi {
-                                    let s = topo.in_src.get(ctx, e);
-                                    if bits.test(ctx, s as usize) {
-                                        let w = match &topo.in_w {
-                                            Some(ws) => ws.get(ctx, e),
+                    // Pull targets are chunk-owned: every accounted write
+                    // (`next`, `updated`) lands on the thread's own targets,
+                    // and reads see only pre-phase state — so the whole task
+                    // is shard-safe compute with nothing to publish.
+                    sim.run_phase_split(
+                        "gather-pull",
+                        |tid, ctx| {
+                            for t in chunks[tid].clone() {
+                                // Offset pairs re-read the previous vertex's
+                                // end — the bulk path charges ranges once, so
+                                // they stay on the scalar path to keep that
+                                // access pattern.
+                                let lo = topo.in_off.get(ctx, t) as usize;
+                                let hi = topo.in_off.get(ctx, t + 1) as usize;
+                                let mut acc = identity;
+                                let mut any = false;
+                                if all_active {
+                                    // Dense sweep: every in-edge is consumed,
+                                    // so the edge-aligned arrays stream in
+                                    // bulk (raw u32s or encoded bytes).
+                                    let src_it = topo.in_src_stream(ctx, t, lo, hi);
+                                    let deg_it = topo.in_src_deg.iter_seq(ctx, lo..hi);
+                                    let mut w_it =
+                                        topo.in_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                                    for (s, deg) in src_it.zip(deg_it) {
+                                        let w = match &mut w_it {
+                                            Some(it) => it.next().expect("weight stream aligned"),
                                             None => 1,
                                         };
+                                        // Source values are indexed by vertex
+                                        // id — random, scalar path.
                                         let sv = curr.load(ctx, s as usize);
-                                        let deg = topo.in_src_deg.get(ctx, e);
                                         acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
                                         ctx.charge_cycles(sc);
                                         any = true;
                                     }
+                                } else {
+                                    // Frontier-gated: the source stream is
+                                    // still fully consumed; weight/value/
+                                    // degree reads depend on the per-source
+                                    // bitmap test — scalar.
+                                    for (k, s) in topo.in_src_stream(ctx, t, lo, hi).enumerate() {
+                                        let e = lo + k;
+                                        if bits.test(ctx, s as usize) {
+                                            let w = match &topo.in_w {
+                                                Some(ws) => ws.get(ctx, e),
+                                                None => 1,
+                                            };
+                                            let sv = curr.load(ctx, s as usize);
+                                            let deg = topo.in_src_deg.get(ctx, e);
+                                            acc = prog.fold(acc, prog.scatter(s, sv, w, deg));
+                                            ctx.charge_cycles(sc);
+                                            any = true;
+                                        }
+                                    }
+                                }
+                                if any {
+                                    next.store(ctx, t, acc);
+                                    updated.set(ctx, t);
                                 }
                             }
-                            if any {
-                                next.store(ctx, t, acc);
-                                updated.set(ctx, t);
-                            }
-                        }
-                    });
+                        },
+                        |_, _, ()| {},
+                    );
                     _converted = fr;
                 } else {
                     let fr = taken.into_sparse();
                     let items: Vec<VId> = fr.as_sparse().expect("sparse after conversion").to_vec();
                     let chunks = degree_balanced_chunks(&items, |v| g.out_degree(v), threads);
-                    sim.run_phase("scatter-push", |tid, ctx| {
-                        for &s in &items[chunks[tid].clone()] {
-                            let si = s as usize;
-                            // Offset pair + source value are indexed by vertex
-                            // id (random for a sparse frontier) — scalar path.
-                            let lo = topo.out_off.get(ctx, si) as usize;
-                            let hi = topo.out_off.get(ctx, si + 1) as usize;
-                            let sv = curr.load(ctx, si);
-                            let deg = (hi - lo) as u32;
-                            // Every out-edge of an active source is consumed, so
-                            // the edge-aligned arrays stream in bulk.
-                            let dst_it = topo.out_dst.iter_seq(ctx, lo..hi);
-                            let mut w_it = topo.out_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
-                            for t in dst_it {
-                                let w = match &mut w_it {
-                                    Some(it) => it.next().expect("weight stream aligned"),
-                                    None => 1,
-                                };
+                    // Push targets are arbitrary: combines into `next` and
+                    // the `updated` test-and-set that gates queue pushes
+                    // observe other threads' same-phase writes, so they move
+                    // to the serially replayed publish half. Compute streams
+                    // the topology and logs (target, contribution) pairs.
+                    sim.run_phase_split(
+                        "scatter-push",
+                        |tid, ctx| {
+                            let mut log: Vec<(VId, P::Val)> = Vec::new();
+                            for &s in &items[chunks[tid].clone()] {
+                                let si = s as usize;
+                                // Offset pair + source value are indexed by
+                                // vertex id (random for a sparse frontier) —
+                                // scalar path.
+                                let lo = topo.out_off.get(ctx, si) as usize;
+                                let hi = topo.out_off.get(ctx, si + 1) as usize;
+                                let sv = curr.load(ctx, si);
+                                let deg = (hi - lo) as u32;
+                                // Every out-edge of an active source is
+                                // consumed, so the edge-aligned arrays stream
+                                // in bulk.
+                                let dst_it = topo.out_dst_stream(ctx, si, lo, hi);
+                                let mut w_it =
+                                    topo.out_w.as_ref().map(|ws| ws.iter_seq(ctx, lo..hi));
+                                for t in dst_it {
+                                    let w = match &mut w_it {
+                                        Some(it) => it.next().expect("weight stream aligned"),
+                                        None => 1,
+                                    };
+                                    log.push((t, prog.scatter(s, sv, w, deg)));
+                                    ctx.charge_cycles(sc);
+                                }
+                            }
+                            log
+                        },
+                        |_tid, ctx, log| {
+                            for (t, c) in log {
                                 let t = t as usize;
-                                // Combine target / updated bit / queue push are
-                                // destination-indexed (random) — scalar path.
-                                atomic_combine(prog, &next, ctx, t, prog.scatter(s, sv, w, deg));
-                                ctx.charge_cycles(sc);
+                                // Combine target / updated bit / queue push
+                                // are destination-indexed (random) — scalar
+                                // path.
+                                atomic_combine(prog, &next, ctx, t, c);
                                 if updated.set(ctx, t) {
                                     queues.push(ctx, t as VId);
                                 }
                             }
-                        }
-                    });
+                        },
+                    );
                     _converted = fr;
                 }
                 sim.charge_barrier();
 
                 // Apply phase over the updated set; collect the new frontier.
+                // Apply items are unique (chunk-owned targets in pull mode,
+                // first-setter winners in push mode), so the whole task is
+                // shard-safe compute; the per-thread alive tallies ride back
+                // as the compute payload.
                 let mut alive_count = vec![0u64; threads];
                 let mut alive_degree = vec![0u64; threads];
                 if use_pull {
                     let chunks = even_chunks(n, threads);
-                    sim.run_phase("apply", |tid, ctx| {
-                        for t in chunks[tid].clone() {
-                            if !updated.test(ctx, t) {
-                                continue;
+                    sim.run_phase_split(
+                        "apply",
+                        |tid, ctx| {
+                            let (mut cnt, mut deg) = (0u64, 0u64);
+                            for t in chunks[tid].clone() {
+                                if !updated.test(ctx, t) {
+                                    continue;
+                                }
+                                let acc = next.load(ctx, t);
+                                let cv = curr.load(ctx, t);
+                                let (val, alive) = prog.apply(t as VId, acc, cv);
+                                curr.store(ctx, t, val);
+                                next.store(ctx, t, identity);
+                                if alive {
+                                    queues.push(ctx, t as VId);
+                                    cnt += 1;
+                                    deg += topo.out_deg.get(ctx, t) as u64;
+                                }
                             }
-                            let acc = next.load(ctx, t);
-                            let cv = curr.load(ctx, t);
-                            let (val, alive) = prog.apply(t as VId, acc, cv);
-                            curr.store(ctx, t, val);
-                            next.store(ctx, t, identity);
-                            if alive {
-                                queues.push(ctx, t as VId);
-                                alive_count[tid] += 1;
-                                alive_degree[tid] += topo.out_deg.get(ctx, t) as u64;
-                            }
-                        }
-                    });
+                            (cnt, deg)
+                        },
+                        |tid, _ctx, (cnt, deg)| {
+                            alive_count[tid] = cnt;
+                            alive_degree[tid] = deg;
+                        },
+                    );
                 } else {
                     let items = queues.drain_merged();
                     let chunks = even_chunks(items.len(), threads);
-                    sim.run_phase("apply", |tid, ctx| {
-                        for &t in &items[chunks[tid].clone()] {
-                            let ti = t as usize;
-                            let acc = next.load(ctx, ti);
-                            let cv = curr.load(ctx, ti);
-                            let (val, alive) = prog.apply(t, acc, cv);
-                            curr.store(ctx, ti, val);
-                            next.store(ctx, ti, identity);
-                            if alive {
-                                queues.push(ctx, t);
-                                alive_count[tid] += 1;
-                                alive_degree[tid] += topo.out_deg.get(ctx, ti) as u64;
+                    sim.run_phase_split(
+                        "apply",
+                        |tid, ctx| {
+                            let (mut cnt, mut deg) = (0u64, 0u64);
+                            for &t in &items[chunks[tid].clone()] {
+                                let ti = t as usize;
+                                let acc = next.load(ctx, ti);
+                                let cv = curr.load(ctx, ti);
+                                let (val, alive) = prog.apply(t, acc, cv);
+                                curr.store(ctx, ti, val);
+                                next.store(ctx, ti, identity);
+                                if alive {
+                                    queues.push(ctx, t);
+                                    cnt += 1;
+                                    deg += topo.out_deg.get(ctx, ti) as u64;
+                                }
                             }
-                        }
-                    });
+                            (cnt, deg)
+                        },
+                        |tid, _ctx, (cnt, deg)| {
+                            alive_count[tid] = cnt;
+                            alive_degree[tid] = deg;
+                        },
+                    );
                 }
                 sim.charge_barrier();
 

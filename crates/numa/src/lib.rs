@@ -49,20 +49,24 @@
 //! ```
 
 #![deny(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod array;
 pub mod atomicf;
+pub mod compress;
 pub mod cost;
 pub mod ctx;
 pub mod machine;
 pub mod policy;
 pub mod report;
+pub mod shard;
 pub mod sim;
 pub mod tables;
 pub mod topology;
 
 pub use array::{Atom, NumaArray, NumaAtomicArray, SeqWriter};
 pub use atomicf::{AtomicF32, AtomicF64};
+pub use compress::{compressed_topology, set_compressed_topology, CompressedLists};
 pub use cost::{BarrierKind, CostConfig, CostModel, PhaseCost, SocketCost};
 pub use ctx::{bulk_accounting, set_bulk_accounting, AccessCtx, AccessStats, Pattern, Rw};
 pub use machine::{AllocId, Machine, MemUsage, SpillPolicy};
@@ -73,6 +77,7 @@ pub use polymer_trace::{
     TraceBuffer, Tracer, WorkerSpan,
 };
 pub use report::{MemoryReport, RemoteAccessReport};
+pub use shard::{set_sim_sharding, sim_sharding, SimShardMode};
 pub use sim::{PhaseKind, RunClock, SimExecutor};
 pub use tables::{BandwidthTable, DistClass, LatencyTable};
 pub use topology::{MachineSpec, NodeId, NumaTopology, PAGE_SIZE};

@@ -1,0 +1,186 @@
+//! Sharded simulation: host-parallel execution of per-thread phase tasks.
+//!
+//! The simulator owns one [`AccessCtx`] per simulated
+//! thread, and all accounting a task performs lands in its own context —
+//! classification windows, page caches, and counters are per-`(context,
+//! allocation)` state with no cross-thread coupling. That makes the compute
+//! half of a phase embarrassingly parallel *on the host*: contexts can be
+//! split into disjoint shards (one per simulated socket, since threads bind
+//! node-major) and driven by real host threads, then merged at the phase
+//! boundary by the serial cost integration that already runs in
+//! thread-id order.
+//!
+//! Determinism is the hard invariant, and it holds by construction rather
+//! than by synchronization:
+//!
+//! * A task's access stream depends only on its own context and on values it
+//!   reads, never on the host interleaving, **provided** phases are split
+//!   into a side-effect-free compute half and a serially replayed publish
+//!   half ([`SimExecutor::run_phase_split`](crate::SimExecutor::run_phase_split)).
+//! * Statistics are keyed by allocation id
+//!   ([`AccessStats`](crate::AccessStats)`::per` is indexed, not
+//!   insertion-ordered), so first-touch order cannot leak into the merge.
+//! * The merge itself ([`CostModel::phase_cost`](crate::CostModel)) walks
+//!   shards in thread-id order on the calling thread, so floating-point
+//!   accumulation order is fixed.
+//!
+//! The [`SimShardMode`] global selects whether the compute half actually
+//! spawns host threads. The simulated result is bit-identical in every mode;
+//! the mode only trades host wall-clock for thread-spawn overhead.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::ctx::AccessCtx;
+use crate::topology::NodeId;
+
+/// Host-parallelism policy for the compute half of
+/// [`SimExecutor::run_phase_split`](crate::SimExecutor::run_phase_split).
+///
+/// Simulated results are bit-identical under every mode; this only controls
+/// whether shards run on real host threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimShardMode {
+    /// Never spawn host threads; shards run serially in thread-id order.
+    Off,
+    /// Always spawn one host thread per shard (even on single-core hosts —
+    /// useful for exercising the parallel path deterministically in tests).
+    On,
+    /// Spawn host threads when the host has more than one core and the phase
+    /// has more than one shard; serial otherwise. This is the default.
+    Auto,
+}
+
+const MODE_OFF: u8 = 0;
+const MODE_ON: u8 = 1;
+const MODE_AUTO: u8 = 2;
+
+static SIM_SHARDING: AtomicU8 = AtomicU8::new(MODE_AUTO);
+
+/// Set the global [`SimShardMode`]. Takes effect at the next phase.
+pub fn set_sim_sharding(mode: SimShardMode) {
+    let v = match mode {
+        SimShardMode::Off => MODE_OFF,
+        SimShardMode::On => MODE_ON,
+        SimShardMode::Auto => MODE_AUTO,
+    };
+    SIM_SHARDING.store(v, Ordering::SeqCst);
+}
+
+/// The current global [`SimShardMode`].
+pub fn sim_sharding() -> SimShardMode {
+    match SIM_SHARDING.load(Ordering::Relaxed) {
+        MODE_OFF => SimShardMode::Off,
+        MODE_ON => SimShardMode::On,
+        _ => SimShardMode::Auto,
+    }
+}
+
+/// Whether the compute half of a phase with `num_shards` shards should spawn
+/// host threads under the current mode.
+pub(crate) fn parallel_enabled(num_shards: usize) -> bool {
+    match sim_sharding() {
+        SimShardMode::Off => false,
+        SimShardMode::On => num_shards > 1,
+        SimShardMode::Auto => {
+            num_shards > 1
+                && std::thread::available_parallelism()
+                    .map(|n| n.get() > 1)
+                    .unwrap_or(false)
+        }
+    }
+}
+
+/// Contiguous thread-id ranges with a common home node. Threads bind
+/// node-major, so each simulated socket owns one contiguous tid range; those
+/// ranges are the shards.
+pub(crate) fn shard_ranges(nodes: &[NodeId]) -> Vec<Range<usize>> {
+    let mut shards: Vec<Range<usize>> = Vec::new();
+    for (t, &node) in nodes.iter().enumerate() {
+        match shards.last_mut() {
+            Some(r) if nodes[r.start] == node => r.end = t + 1,
+            _ => shards.push(t..t + 1),
+        }
+    }
+    shards
+}
+
+/// Run `compute` for every simulated thread, one host thread per shard.
+/// Within a shard, tids run serially in ascending order; results are
+/// returned in tid order regardless of host scheduling. Panics from shard
+/// threads are re-raised on the caller (first shard in tid order wins), with
+/// the original payload preserved.
+pub(crate) fn run_sharded<D: Send>(
+    ctxs: &mut [AccessCtx],
+    shards: &[Range<usize>],
+    compute: &(impl Fn(usize, &mut AccessCtx) -> D + Sync),
+) -> Vec<D> {
+    let total = ctxs.len();
+    // Split the contexts into one disjoint &mut chunk per shard.
+    let mut chunks: Vec<(usize, &mut [AccessCtx])> = Vec::with_capacity(shards.len());
+    let mut rest = ctxs;
+    let mut consumed = 0usize;
+    for r in shards {
+        let (head, tail) = rest.split_at_mut(r.end - consumed);
+        chunks.push((r.start, head));
+        consumed = r.end;
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(start, chunk)| {
+                scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(k, ctx)| compute(start + k, ctx))
+                        .collect::<Vec<D>>()
+                })
+            })
+            .collect();
+        let mut out: Vec<D> = Vec::with_capacity(total);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => {
+                    if panic.is_none() {
+                        panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        out
+    })
+}
+
+/// Serializes tests that mutate the process-wide shard mode.
+#[cfg(test)]
+pub(crate) static TEST_MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_group_contiguous_nodes() {
+        assert_eq!(shard_ranges(&[0, 0, 1, 1, 2]), vec![0..2, 2..4, 4..5]);
+        assert_eq!(shard_ranges(&[0]), vec![0..1]);
+        assert_eq!(shard_ranges(&[]), Vec::<Range<usize>>::new());
+    }
+
+    #[test]
+    fn mode_roundtrips() {
+        let _guard = TEST_MODE_LOCK.lock().unwrap();
+        let prev = sim_sharding();
+        for m in [SimShardMode::Off, SimShardMode::On, SimShardMode::Auto] {
+            set_sim_sharding(m);
+            assert_eq!(sim_sharding(), m);
+        }
+        set_sim_sharding(prev);
+    }
+}

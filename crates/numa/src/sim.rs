@@ -117,6 +117,9 @@ pub struct SimExecutor {
     barrier_kind: BarrierKind,
     nodes: Vec<NodeId>,
     ctxs: Vec<AccessCtx>,
+    /// Contiguous tid ranges sharing a home node — the host-parallel shards
+    /// of [`SimExecutor::run_phase_split`].
+    shards: Vec<std::ops::Range<usize>>,
     clock: RunClock,
     /// Spill counter at the last trace checkpoint, for per-phase deltas.
     spilled_seen: u64,
@@ -149,13 +152,15 @@ impl SimExecutor {
         let ctxs: Vec<AccessCtx> = (0..num_threads)
             .map(|t| AccessCtx::with_threads(machine, t, t, num_threads))
             .collect();
-        let nodes = ctxs.iter().map(|c| c.node()).collect();
+        let nodes: Vec<NodeId> = ctxs.iter().map(|c| c.node()).collect();
+        let shards = crate::shard::shard_ranges(&nodes);
         SimExecutor {
             machine: machine.clone(),
             model: CostModel::new(machine, config),
             barrier_kind,
             nodes,
             ctxs,
+            shards,
             clock: RunClock::default(),
             spilled_seen: machine.spilled_pages(),
         }
@@ -236,6 +241,62 @@ impl SimExecutor {
         for (tid, ctx) in self.ctxs.iter_mut().enumerate() {
             task(tid, ctx);
         }
+        self.finish_phase(name)
+    }
+
+    /// Run one bulk-synchronous phase split into a side-effect-free compute
+    /// half and a serially replayed publish half, allowing the compute half
+    /// to run host-parallel (one host thread per simulated socket) under the
+    /// global [`crate::SimShardMode`].
+    ///
+    /// `compute(tid, ctx)` is invoked once per simulated thread and returns a
+    /// per-thread payload; when sharding is active, shards run concurrently
+    /// but tids within a shard still run serially in ascending order.
+    /// `publish(tid, ctx, payload)` then runs serially in tid order on the
+    /// calling thread. Cost integration is identical to
+    /// [`SimExecutor::run_phase`], and the result is **bit-identical**
+    /// whether or not host threads are used, under two contract obligations
+    /// on the caller:
+    ///
+    /// * compute must not observe values written by another tid's compute of
+    ///   the same phase (reads of state frozen at the phase boundary, and
+    ///   writes that are disjoint by construction — e.g. own-partition
+    ///   targets or reserved ranges — are both fine);
+    /// * any accounted access whose *value* or *order* depends on other
+    ///   tids' same-phase writes must be deferred to `publish` (combine into
+    ///   shared accumulators, shared-bitmap test-and-set, cross-thread
+    ///   queue handoff).
+    ///
+    /// Both halves charge the same per-thread [`AccessCtx`]: statistics are
+    /// additive per `(context, allocation)` and classification state is
+    /// per-allocation, so moving an allocation's accesses between the two
+    /// halves never changes that allocation's classified stream as long as
+    /// its per-thread access order is preserved.
+    pub fn run_phase_split<D: Send>(
+        &mut self,
+        name: &'static str,
+        compute: impl Fn(usize, &mut AccessCtx) -> D + Sync,
+        mut publish: impl FnMut(usize, &mut AccessCtx, D),
+    ) -> PhaseCost {
+        let payloads: Vec<D> = if crate::shard::parallel_enabled(self.shards.len()) {
+            crate::shard::run_sharded(&mut self.ctxs, &self.shards, &compute)
+        } else {
+            self.ctxs
+                .iter_mut()
+                .enumerate()
+                .map(|(tid, ctx)| compute(tid, ctx))
+                .collect()
+        };
+        for (tid, (ctx, payload)) in self.ctxs.iter_mut().zip(payloads).enumerate() {
+            publish(tid, ctx, payload);
+        }
+        self.finish_phase(name)
+    }
+
+    /// Collect per-thread statistics in tid order, integrate them through
+    /// the cost model, and advance the clock — the serial merge shared by
+    /// [`SimExecutor::run_phase`] and [`SimExecutor::run_phase_split`].
+    fn finish_phase(&mut self, name: &'static str) -> PhaseCost {
         let threads: Vec<(NodeId, AccessStats)> = self
             .ctxs
             .iter_mut()
@@ -440,5 +501,122 @@ mod tests {
     fn too_many_threads_rejected() {
         let m = Machine::new(MachineSpec::test2());
         SimExecutor::new(&m, 5);
+    }
+
+    /// One full compute/publish phase per (mode, run): every thread scans a
+    /// slice of `a`, computes partial float sums, and the publish half
+    /// combines them into a shared accumulator and flags `updated`. Returns
+    /// the bit patterns that must match across modes.
+    fn split_phase_fingerprint(mode: crate::shard::SimShardMode) -> (u64, f64, f64, String) {
+        use crate::shard::{set_sim_sharding, sim_sharding};
+        let prev = sim_sharding();
+        set_sim_sharding(mode);
+        let m = Machine::new(MachineSpec::intel80());
+        let a = m.alloc_array_with("a", 1 << 14, AllocPolicy::Interleaved, |i| i as u64);
+        let acc = m.alloc_atomic::<f64>("acc", 64, AllocPolicy::OnNode(0));
+        let upd = m.alloc_atomic::<u64>("upd", 8, AllocPolicy::OnNode(0));
+        let mut sim = SimExecutor::new(&m, 40);
+        let nt = sim.num_threads();
+        let mut costs = Vec::new();
+        for _ in 0..3 {
+            let c = sim.run_phase_split(
+                "split",
+                |tid, ctx| {
+                    let per = a.len() / nt;
+                    let mut sum = 0.0f64;
+                    for v in a.iter_seq(ctx, tid * per..(tid + 1) * per) {
+                        sum += (v as f64).sqrt();
+                    }
+                    (sum, tid % 7)
+                },
+                |_tid, ctx, (sum, slot)| {
+                    acc.fetch_add(ctx, slot, sum);
+                    upd.fetch_or(ctx, slot % 8, 1 << slot);
+                },
+            );
+            costs.push(c.time_us);
+            sim.charge_barrier();
+        }
+        set_sim_sharding(prev);
+        let accs: String = (0..64)
+            .map(|i| format!("{:016x}", acc.raw_load(i).to_bits()))
+            .collect();
+        (sim.clock().elapsed_us().to_bits(), costs[0], costs[2], accs)
+    }
+
+    #[test]
+    fn run_phase_split_is_bit_identical_across_shard_modes() {
+        use crate::shard::SimShardMode;
+        let _guard = crate::shard::TEST_MODE_LOCK.lock().unwrap();
+        // `On` forces real host threads even on a single-core host, so this
+        // exercises the parallel path everywhere.
+        let serial = split_phase_fingerprint(SimShardMode::Off);
+        let sharded = split_phase_fingerprint(SimShardMode::On);
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn run_phase_split_matches_one_pass_run_phase() {
+        // The same per-thread access streams issued through run_phase (all
+        // inline) and run_phase_split (reads in compute, combines in
+        // publish) must produce bit-identical costs: statistics are additive
+        // per (context, allocation) and each allocation's per-thread access
+        // order is preserved.
+        let run = |split: bool| -> u64 {
+            let m = Machine::new(MachineSpec::test2());
+            let a = m.alloc_array_with("a", 4096, AllocPolicy::Interleaved, |i| i as u64);
+            let acc = m.alloc_atomic::<f64>("acc", 4, AllocPolicy::OnNode(0));
+            let mut sim = SimExecutor::new(&m, 4);
+            if split {
+                sim.run_phase_split(
+                    "p",
+                    |tid, ctx| {
+                        let mut s = 0.0;
+                        for v in a.iter_seq(ctx, tid * 1024..(tid + 1) * 1024) {
+                            s += v as f64;
+                        }
+                        s
+                    },
+                    |tid, ctx, s| {
+                        acc.fetch_add(ctx, tid % 4, s);
+                    },
+                );
+            } else {
+                sim.run_phase("p", |tid, ctx| {
+                    let mut s = 0.0;
+                    for v in a.iter_seq(ctx, tid * 1024..(tid + 1) * 1024) {
+                        s += v as f64;
+                    }
+                    acc.fetch_add(ctx, tid % 4, s);
+                });
+            }
+            sim.clock().elapsed_us().to_bits()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn run_phase_split_propagates_shard_panics() {
+        use crate::shard::{set_sim_sharding, sim_sharding, SimShardMode};
+        let _guard = crate::shard::TEST_MODE_LOCK.lock().unwrap();
+        let prev = sim_sharding();
+        set_sim_sharding(SimShardMode::On);
+        let m = Machine::new(MachineSpec::intel80());
+        let mut sim = SimExecutor::new(&m, 40);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_phase_split(
+                "boom",
+                |tid, _ctx| {
+                    if tid == 25 {
+                        panic!("shard task failed");
+                    }
+                },
+                |_, _, _| {},
+            );
+        }));
+        set_sim_sharding(prev);
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "shard task failed");
     }
 }

@@ -30,16 +30,41 @@ use polymer_api::{
     FrontierInit, IterationDriver, Program, RecoverySession, RunResult,
 };
 use polymer_faults::{PolymerError, PolymerResult};
+use polymer_graph::DeltaDecoder;
 use polymer_graph::{Graph, VId};
-use polymer_numa::{AllocPolicy, Atom, BarrierKind, Machine, NumaArray, NumaAtomicArray};
+use polymer_numa::{
+    AllocPolicy, Atom, BarrierKind, CompressedLists, Machine, NumaArray, NumaAtomicArray,
+};
 use polymer_sync::{DenseBitmap, FrontierSnapshot};
+
+/// One partition's edge storage. Raw mode keeps X-Stream's literal edge
+/// records — parallel `(source, target)` arrays streamed obliviously. Under
+/// the global [`compressed_topology`](polymer_numa::compressed_topology)
+/// toggle (and only for unweighted programs, whose edges carry no payload
+/// that would still need edge indexing), the records collapse into
+/// delta/varint-encoded per-vertex neighbour lists: the source id becomes
+/// implicit in the grouping and targets cost ~1–2 encoded bytes instead of
+/// 8 raw bytes per edge. The scatter then gates on the source's state bit
+/// once per vertex rather than once per edge, skipping inactive vertices'
+/// encoded bytes entirely — the same update sequence, far fewer simulated
+/// bytes.
+enum PartEdges {
+    /// Literal edge records, grouped by source (CSR order).
+    Raw {
+        /// Edge sources.
+        e_src: NumaArray<u32>,
+        /// Edge targets.
+        e_dst: NumaArray<u32>,
+    },
+    /// One encoded neighbour list per partition-local vertex.
+    Compressed(CompressedLists),
+}
 
 /// One streaming partition's data.
 struct Part<V: polymer_numa::Atom> {
     range: Range<usize>,
     /// Edges with source in `range`, grouped by source.
-    e_src: NumaArray<u32>,
-    e_dst: NumaArray<u32>,
+    edges: PartEdges,
     e_w: Option<NumaArray<u32>>,
     /// Out-degrees of the partition's vertices (local indexing).
     deg: NumaArray<u32>,
@@ -137,10 +162,30 @@ impl XStreamEngine {
             }
             let in_edges: usize = range.clone().map(|v| g.in_degree(v as VId)).sum();
             let ecount = src.len();
+            let edges = if polymer_numa::compressed_topology() && !prog.uses_weights() {
+                let mut coffs = vec![0u64];
+                let mut bytes = Vec::new();
+                for v in range.clone() {
+                    polymer_graph::encode_list(v as u32, g.out_neighbors(v as VId), &mut bytes);
+                    coffs.push(bytes.len() as u64);
+                }
+                PartEdges::Compressed(CompressedLists::from_encoded(
+                    machine,
+                    "topo/edges",
+                    coffs,
+                    bytes,
+                    pol(),
+                    pol(),
+                ))
+            } else {
+                PartEdges::Raw {
+                    e_src: machine.alloc_array_with("topo/e_src", ecount, pol(), |i| src[i]),
+                    e_dst: machine.alloc_array_with("topo/e_dst", ecount, pol(), |i| dst[i]),
+                }
+            };
             parts.push(Part {
                 range: range.clone(),
-                e_src: machine.alloc_array_with("topo/e_src", ecount, pol(), |i| src[i]),
-                e_dst: machine.alloc_array_with("topo/e_dst", ecount, pol(), |i| dst[i]),
+                edges,
                 e_w: if prog.uses_weights() {
                     Some(machine.alloc_array_with("topo/e_w", ecount, pol(), |i| wts[i]))
                 } else {
@@ -216,12 +261,17 @@ impl XStreamEngine {
                     .set_unaccounted(v as usize - parts[p].range.start);
             }
             active = ck.frontier.vertices.len() as u64;
-            driver.sim().run_phase("restore", |tid, ctx| {
-                let part = &parts[tid];
-                part.curr.store_seq(ctx, 0..part.range.len(), |i| {
-                    ck.values[part.range.start + i]
-                });
-            });
+            // Each thread rewrites only its own partition — shard-pure.
+            driver.sim().run_phase_split(
+                "restore",
+                |tid, ctx| {
+                    let part = &parts[tid];
+                    part.curr.store_seq(ctx, 0..part.range.len(), |i| {
+                        ck.values[part.range.start + i]
+                    });
+                },
+                |_tid, _ctx, ()| {},
+            );
             driver.resume_at(ck.iteration);
         }
 
@@ -239,52 +289,96 @@ impl XStreamEngine {
                 // append updates to Uout.
                 let mut histograms = vec![vec![0usize; threads]; threads];
                 {
-                    let hist = &mut histograms;
+                    let histograms = &mut histograms;
                     let uout_len = &mut uout_len;
-                    sim.run_phase("scatter", |tid, ctx| {
-                        let part = &parts[tid];
-                        let ecount = part.e_src.len();
-                        // X-Stream streams whole edge *records* — source, target
-                        // and weight are read for every edge regardless of the
-                        // source's state (the stream is oblivious to the
-                        // frontier; that obliviousness is exactly what makes
-                        // sparse-frontier iterations pathological). The
-                        // unconditional full-range sweeps go through the bulk
-                        // accounting path.
-                        let src_it = part.e_src.iter_seq(ctx, 0..ecount);
-                        let dst_it = part.e_dst.iter_seq(ctx, 0..ecount);
-                        let mut w_it = part.e_w.as_ref().map(|ws| ws.iter_seq(ctx, 0..ecount));
-                        // Updates append to Uout at a run-coalesced cursor.
-                        let mut uout_d = part.uout_dst.seq_writer(0);
-                        let mut uout_v = part.uout_val.seq_writer(0);
-                        // X-Stream's edge list is unordered (it never sorts or
-                        // groups edges — that is the system's core design
-                        // trade-off), so the source-state lookup and, for active
-                        // sources, the value/degree loads happen per edge
-                        // record; nothing can be register-cached across edges.
-                        // These are frontier-dependent vertex-indexed accesses —
-                        // scalar path.
-                        for (s, t) in src_it.zip(dst_it) {
-                            let w = match &mut w_it {
-                                Some(it) => it.next().expect("weight stream aligned"),
-                                None => 1,
-                            };
-                            let li = s as usize - part.range.start;
-                            if !part.state.test(ctx, li) {
-                                continue;
+                    // Scatter touches only the partition's own data and its
+                    // own Uout buffer — shard-pure; the routing histogram and
+                    // cursor travel through the payload.
+                    sim.run_phase_split(
+                        "scatter",
+                        |tid, ctx| {
+                            let part = &parts[tid];
+                            let mut row = vec![0usize; threads];
+                            // Updates append to Uout at a run-coalesced cursor.
+                            let mut uout_d = part.uout_dst.seq_writer(0);
+                            let mut uout_v = part.uout_val.seq_writer(0);
+                            match &part.edges {
+                                PartEdges::Raw { e_src, e_dst } => {
+                                    let ecount = e_src.len();
+                                    // X-Stream streams whole edge *records* —
+                                    // source, target and weight are read for
+                                    // every edge regardless of the source's
+                                    // state (the stream is oblivious to the
+                                    // frontier; that obliviousness is exactly
+                                    // what makes sparse-frontier iterations
+                                    // pathological). The unconditional
+                                    // full-range sweeps go through the bulk
+                                    // accounting path.
+                                    let src_it = e_src.iter_seq(ctx, 0..ecount);
+                                    let dst_it = e_dst.iter_seq(ctx, 0..ecount);
+                                    let mut w_it =
+                                        part.e_w.as_ref().map(|ws| ws.iter_seq(ctx, 0..ecount));
+                                    // X-Stream's edge list is unordered (it
+                                    // never sorts or groups edges — that is the
+                                    // system's core design trade-off), so the
+                                    // source-state lookup and, for active
+                                    // sources, the value/degree loads happen
+                                    // per edge record; nothing can be
+                                    // register-cached across edges. These are
+                                    // frontier-dependent vertex-indexed
+                                    // accesses — scalar path.
+                                    for (s, t) in src_it.zip(dst_it) {
+                                        let w = match &mut w_it {
+                                            Some(it) => it.next().expect("weight stream aligned"),
+                                            None => 1,
+                                        };
+                                        let li = s as usize - part.range.start;
+                                        if !part.state.test(ctx, li) {
+                                            continue;
+                                        }
+                                        let sv = part.curr.load(ctx, li);
+                                        let deg = part.deg.get(ctx, li);
+                                        let c = prog.scatter(s as VId, sv, w, deg);
+                                        ctx.charge_cycles(sc);
+                                        uout_d.push(ctx, t);
+                                        uout_v.push(ctx, c);
+                                        row[part_of(t as usize)] += 1;
+                                    }
+                                }
+                                PartEdges::Compressed(lists) => {
+                                    // Grouped lists gate on the state bit once
+                                    // per vertex and skip inactive vertices'
+                                    // encoded bytes entirely; active lists are
+                                    // billed by encoded size. Update order is
+                                    // unchanged (CSR order), so values are
+                                    // bit-identical to raw mode.
+                                    for li in 0..part.range.len() {
+                                        if !part.state.test(ctx, li) {
+                                            continue;
+                                        }
+                                        let s = (part.range.start + li) as u32;
+                                        let sv = part.curr.load(ctx, li);
+                                        let deg = part.deg.get(ctx, li);
+                                        for t in DeltaDecoder::new(s, lists.list(ctx, li)) {
+                                            let c = prog.scatter(s as VId, sv, 1, deg);
+                                            ctx.charge_cycles(sc);
+                                            uout_d.push(ctx, t);
+                                            uout_v.push(ctx, c);
+                                            row[part_of(t as usize)] += 1;
+                                        }
+                                    }
+                                }
                             }
-                            let sv = part.curr.load(ctx, li);
-                            let deg = part.deg.get(ctx, li);
-                            let c = prog.scatter(s as VId, sv, w, deg);
-                            ctx.charge_cycles(sc);
-                            uout_d.push(ctx, t);
-                            uout_v.push(ctx, c);
-                            hist[tid][part_of(t as usize)] += 1;
-                        }
-                        uout_d.flush(ctx);
-                        uout_v.flush(ctx);
-                        uout_len[tid] = uout_d.pos();
-                    });
+                            uout_d.flush(ctx);
+                            uout_v.flush(ctx);
+                            let len = uout_d.pos();
+                            (row, len)
+                        },
+                        |tid, _ctx, (row, len)| {
+                            histograms[tid] = row;
+                            uout_len[tid] = len;
+                        },
+                    );
                 }
                 sim.charge_barrier();
 
@@ -301,32 +395,50 @@ impl XStreamEngine {
                     uin_len[q] = off;
                 }
                 {
+                    // The compute half reads the reserved start offsets; the
+                    // publish half overwrites them with the final cursor
+                    // positions — snapshot the starts so the borrows don't
+                    // overlap.
+                    let starts = cursors.clone();
+                    let starts = &starts;
                     let cursors = &mut cursors;
-                    sim.run_phase("shuffle", |tid, ctx| {
-                        let part = &parts[tid];
-                        // Uout drains front to back — a bulk sequential read.
-                        let t_it = part.uout_dst.iter_seq(ctx, 0..uout_len[tid]);
-                        let v_it = part.uout_val.iter_seq(ctx, 0..uout_len[tid]);
-                        // Each (source, target-partition) stream writes its
-                        // reserved Uin slots sequentially: one coalesced append
-                        // cursor per target.
-                        let mut uin_d: Vec<_> = (0..threads)
-                            .map(|q| parts[q].uin_dst.seq_writer(cursors[tid][q]))
-                            .collect();
-                        let mut uin_v: Vec<_> = (0..threads)
-                            .map(|q| parts[q].uin_val.seq_writer(cursors[tid][q]))
-                            .collect();
-                        for (t, v) in t_it.zip(v_it) {
-                            let q = part_of(t as usize);
-                            uin_d[q].push(ctx, t);
-                            uin_v[q].push(ctx, v);
-                        }
-                        for q in 0..threads {
-                            uin_d[q].flush(ctx);
-                            uin_v[q].flush(ctx);
-                            cursors[tid][q] = uin_d[q].pos();
-                        }
-                    });
+                    // Shuffle writes other partitions' Uin buffers, but at
+                    // offset ranges reserved by the scatter histograms —
+                    // disjoint across threads, and nothing reads Uin until
+                    // the gather. Shard-pure; final cursor positions travel
+                    // through the payload.
+                    sim.run_phase_split(
+                        "shuffle",
+                        |tid, ctx| {
+                            let part = &parts[tid];
+                            // Uout drains front to back — a bulk sequential
+                            // read.
+                            let t_it = part.uout_dst.iter_seq(ctx, 0..uout_len[tid]);
+                            let v_it = part.uout_val.iter_seq(ctx, 0..uout_len[tid]);
+                            // Each (source, target-partition) stream writes its
+                            // reserved Uin slots sequentially: one coalesced
+                            // append cursor per target.
+                            let mut uin_d: Vec<_> = (0..threads)
+                                .map(|q| parts[q].uin_dst.seq_writer(starts[tid][q]))
+                                .collect();
+                            let mut uin_v: Vec<_> = (0..threads)
+                                .map(|q| parts[q].uin_val.seq_writer(starts[tid][q]))
+                                .collect();
+                            for (t, v) in t_it.zip(v_it) {
+                                let q = part_of(t as usize);
+                                uin_d[q].push(ctx, t);
+                                uin_v[q].push(ctx, v);
+                            }
+                            let mut ends = vec![0usize; threads];
+                            for q in 0..threads {
+                                uin_d[q].flush(ctx);
+                                uin_v[q].flush(ctx);
+                                ends[q] = uin_d[q].pos();
+                            }
+                            ends
+                        },
+                        |tid, _ctx, ends| cursors[tid] = ends,
+                    );
                 }
                 sim.charge_barrier();
 
@@ -334,41 +446,49 @@ impl XStreamEngine {
                 let mut alive_count = vec![0u64; threads];
                 {
                     let alive_count = &mut alive_count;
-                    sim.run_phase("gather", |tid, ctx| {
-                        let part = &parts[tid];
-                        // Uin drains front to back — a bulk sequential read.
-                        let t_it = part.uin_dst.iter_seq(ctx, 0..uin_len[tid]);
-                        let v_it = part.uin_val.iter_seq(ctx, 0..uin_len[tid]);
-                        for (t, v) in t_it.zip(v_it) {
-                            let li = t as usize - part.range.start;
-                            // Combine/state targets arrive in update order, not
-                            // sequentially — scalar path.
-                            polymer_api::atomic_combine(prog, &part.next, ctx, li, v);
-                            part.updated.set(ctx, li);
-                        }
-                        // Apply pass: the word scan is a dense sequential sweep
-                        // (bulk); the per-bit value accesses depend on which
-                        // bits are set — scalar.
-                        let nwords = part.updated.num_words();
-                        for (w, word) in part.updated.words_seq(ctx, 0..nwords).enumerate() {
-                            let mut word = word;
-                            while word != 0 {
-                                let b = word.trailing_zeros() as usize;
-                                word &= word - 1;
-                                let li = w * 64 + b;
-                                let acc = part.next.load(ctx, li);
-                                let cv = part.curr.load(ctx, li);
-                                let (val, alive) =
-                                    prog.apply((part.range.start + li) as VId, acc, cv);
-                                part.curr.store(ctx, li, val);
-                                part.next.store(ctx, li, identity);
-                                if alive {
-                                    part.next_state.set(ctx, li);
-                                    alive_count[tid] += 1;
+                    // Gather folds only the partition's own Uin into its own
+                    // `next` slice — shard-pure.
+                    sim.run_phase_split(
+                        "gather",
+                        |tid, ctx| {
+                            let part = &parts[tid];
+                            // Uin drains front to back — a bulk sequential read.
+                            let t_it = part.uin_dst.iter_seq(ctx, 0..uin_len[tid]);
+                            let v_it = part.uin_val.iter_seq(ctx, 0..uin_len[tid]);
+                            for (t, v) in t_it.zip(v_it) {
+                                let li = t as usize - part.range.start;
+                                // Combine/state targets arrive in update order, not
+                                // sequentially — scalar path.
+                                polymer_api::atomic_combine(prog, &part.next, ctx, li, v);
+                                part.updated.set(ctx, li);
+                            }
+                            // Apply pass: the word scan is a dense sequential sweep
+                            // (bulk); the per-bit value accesses depend on which
+                            // bits are set — scalar.
+                            let mut alive = 0u64;
+                            let nwords = part.updated.num_words();
+                            for (w, word) in part.updated.words_seq(ctx, 0..nwords).enumerate() {
+                                let mut word = word;
+                                while word != 0 {
+                                    let b = word.trailing_zeros() as usize;
+                                    word &= word - 1;
+                                    let li = w * 64 + b;
+                                    let acc = part.next.load(ctx, li);
+                                    let cv = part.curr.load(ctx, li);
+                                    let (val, live) =
+                                        prog.apply((part.range.start + li) as VId, acc, cv);
+                                    part.curr.store(ctx, li, val);
+                                    part.next.store(ctx, li, identity);
+                                    if live {
+                                        part.next_state.set(ctx, li);
+                                        alive += 1;
+                                    }
                                 }
                             }
-                        }
-                    });
+                            alive
+                        },
+                        |tid, _ctx, alive| alive_count[tid] = alive,
+                    );
                 }
                 sim.charge_barrier();
 
@@ -405,10 +525,17 @@ impl XStreamEngine {
                 let mut slices: Vec<Vec<P::Val>> = vec![Vec::new(); threads];
                 {
                     let slices = &mut slices;
-                    sim.run_phase("checkpoint", |tid, ctx| {
-                        let part = &parts[tid];
-                        slices[tid] = part.curr.iter_seq(ctx, 0..part.range.len()).collect();
-                    });
+                    // Each thread reads only its own partition — shard-pure.
+                    sim.run_phase_split(
+                        "checkpoint",
+                        |tid, ctx| {
+                            let part = &parts[tid];
+                            part.curr
+                                .iter_seq(ctx, 0..part.range.len())
+                                .collect::<Vec<P::Val>>()
+                        },
+                        |tid, _ctx, vals| slices[tid] = vals,
+                    );
                 }
                 let mut verts: Vec<VId> = Vec::new();
                 for part in &parts {

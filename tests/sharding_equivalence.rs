@@ -1,0 +1,35 @@
+//! Engine-level bit-identity of the sharded simulator.
+//!
+//! Runs the full golden (engine × algorithm) matrix twice — once with host
+//! sharding forced off (the serial merge) and once forced on (per-socket
+//! shards on real host threads) — and requires every accounting aggregate to
+//! match field for field. This is the end-to-end counterpart of the
+//! unit-level `run_phase_split` fingerprint tests in `polymer-numa`.
+//!
+//! The sharding mode is a process-global toggle, so this suite lives in its
+//! own integration-test binary: nothing else in the process races the
+//! switch.
+
+use polymer_bench::golden::golden_matrix;
+use polymer_numa::{set_sim_sharding, SimShardMode};
+
+#[test]
+fn sharded_simulation_is_bit_identical_to_serial() {
+    set_sim_sharding(SimShardMode::Off);
+    let serial = golden_matrix();
+    // `On` forces real host threads even on a single-core machine, so the
+    // parallel path is exercised everywhere, including CI runners with one
+    // visible core.
+    set_sim_sharding(SimShardMode::On);
+    let sharded = golden_matrix();
+    set_sim_sharding(SimShardMode::Auto);
+
+    assert_eq!(serial.len(), sharded.len());
+    for (s, p) in serial.iter().zip(&sharded) {
+        assert_eq!(
+            s, p,
+            "sharded PhaseCosts drifted from serial for {}/{}",
+            s.engine, s.algo
+        );
+    }
+}
