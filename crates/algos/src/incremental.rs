@@ -1,0 +1,1475 @@
+//! Incremental (warm-start) engines over a delta overlay.
+//!
+//! Static engines answer every query from scratch; these engines instead
+//! warm-start from a prior converged [`RunResult`] and repair only the part
+//! of the solution a mutation batch invalidated. All of them run over a
+//! placed [`OverlayTopo`] — merged adjacency reads are charged through the
+//! bulk accessors, so simulated `PhaseCosts` show the true (slightly
+//! higher per-edge) price of reading through the overlay, and the win over
+//! a from-scratch run comes entirely from touching fewer vertices/edges.
+//!
+//! Three repair strategies (see `docs/INCREMENTAL.md` for the proofs):
+//!
+//! * **Monotone path repair** (BFS levels, SSSP distances): values form the
+//!   unique minimum fixpoint of `curr[v] = min over in-edges (u,v,w) of
+//!   relax(curr[u], w)` with the source pinned at zero. A deleted or
+//!   weight-increased edge can only *invalidate* vertices whose old value
+//!   was supported through it: the `inc/seed` phase tests every removed
+//!   edge `(u, v, w_old)` for `curr[v] == relax(curr[u], w_old)`, the
+//!   `inc/cascade` rounds close that suspect set over still-live support
+//!   edges, and one fused `inc/reset` phase lifts suspects back to the
+//!   identity while *pulling* each suspect's best offer from its
+//!   still-trusted (non-suspect, finite) in-neighbours. The `inc/graft`
+//!   phase then lands those pulled repairs plus one relaxation per
+//!   inserted edge (a converged source can only improve targets through
+//!   its *new* edges), and the improved targets seed the `inc/push`
+//!   fixpoint (atomic `fetch_min` over merged out-streams), which
+//!   re-converges to the exact fixpoint — bit-identical to a from-scratch
+//!   run. Positive weights are required (zero-weight inserts are rejected
+//!   at [`polymer_graph::DeltaBatch::validate`]): a zero-weight cycle
+//!   could hide a removed support edge behind an equal-cost chain.
+//! * **Component repair** (connected components over the symmetrized
+//!   graph): an insert-only batch merges components without recomputing
+//!   anything — a host union-find over the *prior labels* of the batch
+//!   endpoints (labels are component minima, so union-by-min preserves the
+//!   invariant) followed by one charged `inc/relabel` sweep; zero repair
+//!   iterations. A batch with structural deletes resets every vertex of an
+//!   affected component to its own id (`inc/reset`) and re-runs min-label
+//!   propagation from the resets plus the insert endpoints. Both paths
+//!   rely on the warm-start contract: the prior labels are *converged*
+//!   (adjacent vertices agree), so any live edge between a reset and a
+//!   non-reset vertex is necessarily a seeded insert.
+//! * **Residual PageRank**: scores solve the linear system
+//!   `x = (1-d)/n + d·Aᵀ D⁻¹ x`. The batch changes a few matrix entries;
+//!   `inc/recompute` re-pulls the equation for every vertex whose in-edges
+//!   or in-neighbour degrees changed and records the resulting residual
+//!   `delta = new − old`, and the `inc/push`/`inc/apply` rounds propagate
+//!   residuals (`d·delta/deg` along live out-edges, atomic adds) until all
+//!   are below `tol`. This converges to the same fixpoint as a
+//!   from-scratch residual run to ε, not bit-identically — float summation
+//!   order differs, as with the static engines.
+//!
+//! Every engine has a **host backend** twin (`*_host`) running the same
+//! repair over [`MutableGraph`] merged iterators on plain host memory —
+//! real wall-clock with zero simulation overhead, used by
+//! `bench_incremental` for the wall-clock speedup column and by the
+//! conformance suite as the second backend.
+//!
+//! Accounting honesty: restored prior values are charged (a `"restore"`
+//! sweep), every adjacency read goes through charged overlay streams, every
+//! value read/write through charged array accessors. Only *work planning*
+//! is host-side and free — frontier vectors, the suspect bitmap, the batch
+//! edge lists, the union-find over a handful of labels — matching how the
+//! static engines treat their frontiers and chunk plans.
+
+use std::collections::HashMap;
+
+use polymer_api::{
+    charged_values_restore, even_chunks, weight_balanced_chunks, IterationDriver, OverlayTopo,
+    PolymerResult, RunResult,
+};
+use polymer_graph::{AppliedBatch, Edge, MutableGraph, VId};
+use polymer_numa::{AllocPolicy, Atom, BarrierKind, Machine, NumaAtomicArray};
+
+use crate::bfs::UNVISITED;
+use crate::sssp::UNREACHED;
+
+/// Default residual tolerance for incremental PageRank: residual mass per
+/// vertex below this is considered converged.
+pub const DEFAULT_PR_TOL: f64 = 1e-12;
+
+/// A prior converged result plus the mutations applied since it was
+/// computed — everything a warm-started engine needs. When several batches
+/// landed since the prior run, merge them first
+/// ([`AppliedBatch::merged_with`]).
+#[derive(Clone, Copy)]
+pub struct WarmStart<'a, V> {
+    /// Per-vertex values of the prior run (must be converged).
+    pub values: &'a [V],
+    /// Iterations the prior run spent; repair rounds stamp after these in
+    /// the same global iteration space.
+    pub iterations: usize,
+    /// The effective mutations applied since the prior run.
+    pub batch: &'a AppliedBatch,
+}
+
+impl<'a, V> WarmStart<'a, V> {
+    /// Warm-start from a prior [`RunResult`].
+    pub fn from_result(prior: &'a RunResult<V>, batch: &'a AppliedBatch) -> Self {
+        WarmStart {
+            values: &prior.values,
+            iterations: prior.iterations,
+            batch,
+        }
+    }
+}
+
+/// The shared shape of the monotone min-fixpoint programs (BFS levels,
+/// SSSP distances, CC labels): an identity ("unreached"), per-vertex cold
+/// init, and a relaxation along an out-edge.
+trait MinSpec: Copy + Sync {
+    type Val: Atom + PartialOrd;
+    /// The "no value yet" sentinel; never relaxed from.
+    fn identity(&self) -> Self::Val;
+    /// The pinned root, or `None` when every vertex roots itself (CC).
+    fn root(&self) -> Option<VId>;
+    /// Cold initial value of `v`.
+    fn init(&self, v: VId) -> Self::Val;
+    /// Value `relax(curr[src], w)` offered to the edge's target.
+    fn relax(&self, src_val: Self::Val, w: u32) -> Self::Val;
+    /// Arithmetic cycles charged per scattered edge (matches the static
+    /// programs' `scatter_cycles`).
+    fn scatter_cycles(&self) -> f64 {
+        2.0
+    }
+}
+
+#[derive(Clone, Copy)]
+struct BfsSpec {
+    source: VId,
+}
+
+impl MinSpec for BfsSpec {
+    type Val = u32;
+    fn identity(&self) -> u32 {
+        UNVISITED
+    }
+    fn root(&self) -> Option<VId> {
+        Some(self.source)
+    }
+    fn init(&self, v: VId) -> u32 {
+        if v == self.source {
+            0
+        } else {
+            UNVISITED
+        }
+    }
+    fn relax(&self, src_val: u32, _w: u32) -> u32 {
+        src_val.saturating_add(1)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SsspSpec {
+    source: VId,
+}
+
+impl MinSpec for SsspSpec {
+    type Val = u64;
+    fn identity(&self) -> u64 {
+        UNREACHED
+    }
+    fn root(&self) -> Option<VId> {
+        Some(self.source)
+    }
+    fn init(&self, v: VId) -> u64 {
+        if v == self.source {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+    fn relax(&self, src_val: u64, w: u32) -> u64 {
+        src_val.saturating_add(w as u64)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct CcSpec;
+
+impl MinSpec for CcSpec {
+    type Val = u32;
+    fn identity(&self) -> u32 {
+        u32::MAX
+    }
+    fn root(&self) -> Option<VId> {
+        None
+    }
+    fn init(&self, v: VId) -> u32 {
+        v
+    }
+    fn relax(&self, src_val: u32, _w: u32) -> u32 {
+        src_val
+    }
+}
+
+/// Incremental BFS over a placed overlay: cold run when `warm` is `None`,
+/// frontier-restricted repair otherwise. Values are bit-identical to a
+/// from-scratch run either way (unique min fixpoint).
+pub fn bfs_overlay(
+    machine: &Machine,
+    threads: usize,
+    topo: &OverlayTopo,
+    source: VId,
+    warm: Option<WarmStart<'_, u32>>,
+    traced: bool,
+) -> PolymerResult<RunResult<u32>> {
+    min_overlay(machine, threads, topo, BfsSpec { source }, warm, traced)
+}
+
+/// Incremental SSSP (weighted Bellman–Ford fixpoint) over a placed
+/// overlay. The overlay must be built `with_weights`; weights are strictly
+/// positive by batch validation.
+pub fn sssp_overlay(
+    machine: &Machine,
+    threads: usize,
+    topo: &OverlayTopo,
+    source: VId,
+    warm: Option<WarmStart<'_, u64>>,
+    traced: bool,
+) -> PolymerResult<RunResult<u64>> {
+    min_overlay(machine, threads, topo, SsspSpec { source }, warm, traced)
+}
+
+/// Incremental connected components over a placed overlay of the
+/// *symmetrized* graph; a warm batch must be symmetrized too
+/// ([`polymer_graph::DeltaBatch::symmetrize`]). Insert-only batches take
+/// the union-find fast path (one relabel sweep, zero repair iterations).
+pub fn cc_overlay(
+    machine: &Machine,
+    threads: usize,
+    topo: &OverlayTopo,
+    warm: Option<WarmStart<'_, u32>>,
+    traced: bool,
+) -> PolymerResult<RunResult<u32>> {
+    let Some(w) = warm else {
+        return min_overlay(machine, threads, topo, CcSpec, None, traced);
+    };
+    let n = topo.num_vertices();
+    assert_eq!(w.values.len(), n, "warm-start value count mismatch");
+    let mut driver = IterationDriver::new(machine, threads, BarrierKind::SenseNuma, traced, n);
+    let curr =
+        machine.alloc_atomic_with::<u32>("data/curr", n, AllocPolicy::Interleaved, |v| v as u32);
+    charged_values_restore(driver.sim(), threads, &curr, w.values);
+    driver.resume_from_state(w.iterations);
+    let mut frontier = cc_repair_seed(&mut driver, threads, &curr, &w);
+    min_push_fixpoint(&mut driver, threads, topo, CcSpec, &curr, &mut frontier)?;
+    let values = curr.snapshot();
+    Ok(driver.finish(values))
+}
+
+fn min_overlay<S: MinSpec>(
+    machine: &Machine,
+    threads: usize,
+    topo: &OverlayTopo,
+    spec: S,
+    warm: Option<WarmStart<'_, S::Val>>,
+    traced: bool,
+) -> PolymerResult<RunResult<S::Val>> {
+    let n = topo.num_vertices();
+    let mut driver = IterationDriver::new(machine, threads, BarrierKind::SenseNuma, traced, n);
+    let curr = machine.alloc_atomic_with::<S::Val>("data/curr", n, AllocPolicy::Interleaved, |v| {
+        spec.init(v as VId)
+    });
+    let mut frontier = match warm {
+        None => match spec.root() {
+            Some(s) => vec![s],
+            None => (0..n as VId).collect(),
+        },
+        Some(w) => {
+            assert_eq!(w.values.len(), n, "warm-start value count mismatch");
+            charged_values_restore(driver.sim(), threads, &curr, w.values);
+            driver.resume_from_state(w.iterations);
+            path_repair_seed(&mut driver, threads, topo, spec, &curr, w.batch)
+        }
+    };
+    min_push_fixpoint(&mut driver, threads, topo, spec, &curr, &mut frontier)?;
+    let values = curr.snapshot();
+    Ok(driver.finish(values))
+}
+
+/// Old weights of reweighted pairs, for support tests against pre-batch
+/// values (the live stream yields the *new* weight).
+fn old_weights(batch: &AppliedBatch) -> HashMap<(VId, VId), u32> {
+    batch
+        .reweighted
+        .iter()
+        .map(|e| ((e.src, e.dst), e.weight))
+        .collect()
+}
+
+/// Seed phases of monotone path repair: suspect detection over removed
+/// support edges, alternative-support refinement, reset, boundary
+/// collection. Returns the initial push frontier.
+///
+/// A vertex is condemned (reset to the identity) only when **no**
+/// still-trusted in-neighbour supports its value at a live weight — the
+/// affected-set refinement of the incremental-SSSP literature. Without the
+/// requalification check, one deleted tree edge near the root condemns
+/// everything downstream and repair degenerates to a from-scratch run;
+/// with it, deletes off the shortest-path DAG (the common case in graphs
+/// with path diversity) condemn nothing at all. Soundness leans on
+/// [`MinSpec::relax`] being strictly increasing (BFS adds 1, SSSP adds a
+/// validated non-zero weight), which rules out support cycles.
+fn path_repair_seed<S: MinSpec>(
+    driver: &mut IterationDriver,
+    threads: usize,
+    topo: &OverlayTopo,
+    spec: S,
+    curr: &NumaAtomicArray<S::Val>,
+    batch: &AppliedBatch,
+) -> Vec<VId> {
+    let n = topo.num_vertices();
+    let root = spec.root().expect("path repair needs a pinned root");
+    let rw = old_weights(batch);
+
+    // Removed support candidates: structural deletes plus reweighted pairs
+    // (each carrying the weight the old value was computed with).
+    let removed: Vec<Edge> = batch
+        .deletes
+        .iter()
+        .chain(batch.reweighted.iter())
+        .copied()
+        .collect();
+    let mut candidates: Vec<VId> = Vec::new();
+    if !removed.is_empty() {
+        let chunks = even_chunks(removed.len(), threads);
+        driver.sim().run_phase_split(
+            "inc/seed",
+            |tid, ctx| {
+                let mut found = Vec::new();
+                for e in &removed[chunks[tid].clone()] {
+                    if e.dst == root {
+                        continue;
+                    }
+                    let uv = curr.load(ctx, e.src as usize);
+                    if uv == spec.identity() {
+                        continue;
+                    }
+                    if curr.load(ctx, e.dst as usize) == spec.relax(uv, e.weight) {
+                        found.push(e.dst);
+                    }
+                }
+                found
+            },
+            |_, _, found| candidates.extend(found),
+        );
+        driver.sim().charge_barrier();
+    }
+
+    // Refinement waves: requalify candidates against the wave-start
+    // suspect set, condemn the unsupported, and re-candidate the
+    // out-neighbours the newly condemned were supporting (old *or* live
+    // weight — a vertex kept on a supporter that later falls must be
+    // re-examined). Each wave condemns at least one vertex, so this
+    // terminates.
+    let mut suspect = vec![false; n];
+    let mut suspects: Vec<VId> = Vec::new();
+    while !candidates.is_empty() {
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|&v| v != root && !suspect[v as usize]);
+        if candidates.is_empty() {
+            break;
+        }
+        let segs = topo.plan_in_segments(&candidates, SEG_GRAIN);
+        let chunks = weight_balanced_chunks(&segs, |s| s.weight as usize, threads);
+        let mut verdicts: HashMap<VId, bool> = HashMap::with_capacity(candidates.len());
+        driver.sim().run_phase_split(
+            "inc/requalify",
+            |tid, ctx| {
+                let mut out: Vec<(VId, bool)> = Vec::new();
+                for &seg in &segs[chunks[tid].clone()] {
+                    let t = seg.v;
+                    let tv = curr.load(ctx, t as usize);
+                    if tv == spec.identity() {
+                        // Unreached values are the identity (the maximum):
+                        // never wrong in the dangerous direction.
+                        out.push((t, true));
+                        continue;
+                    }
+                    let mut kept = false;
+                    for (s2, w2) in topo.in_stream_segment(ctx, seg) {
+                        if !suspect[s2 as usize] {
+                            let sv2 = curr.load(ctx, s2 as usize);
+                            if sv2 != spec.identity() && spec.relax(sv2, w2) == tv {
+                                kept = true;
+                                break;
+                            }
+                        }
+                    }
+                    out.push((t, kept));
+                }
+                out
+            },
+            |_, _, out| {
+                for (t, kept) in out {
+                    *verdicts.entry(t).or_insert(false) |= kept;
+                }
+            },
+        );
+        driver.sim().charge_barrier();
+        // `candidates` is sorted and deduplicated, so the filtered
+        // condemned list is too.
+        let condemned: Vec<VId> = candidates
+            .iter()
+            .copied()
+            .filter(|t| !verdicts.get(t).copied().unwrap_or(false))
+            .collect();
+        if condemned.is_empty() {
+            break;
+        }
+        for &v in &condemned {
+            suspect[v as usize] = true;
+        }
+        let segs = topo.plan_out_segments(&condemned, SEG_GRAIN);
+        let chunks = weight_balanced_chunks(&segs, |s| s.weight as usize, threads);
+        let mut next: Vec<VId> = Vec::new();
+        driver.sim().run_phase_split(
+            "inc/cascade",
+            |tid, ctx| {
+                let mut out = Vec::new();
+                for &seg in &segs[chunks[tid].clone()] {
+                    let s = seg.v;
+                    let sv = curr.load(ctx, s as usize);
+                    if sv == spec.identity() {
+                        continue;
+                    }
+                    for (t, w) in topo.out_stream_segment(ctx, seg) {
+                        // Old support used the old weight where the pair
+                        // was reweighted.
+                        let w_old = rw.get(&(s, t)).copied().unwrap_or(w);
+                        let tv = curr.load(ctx, t as usize);
+                        if tv == spec.relax(sv, w_old) || tv == spec.relax(sv, w) {
+                            out.push(t);
+                        }
+                    }
+                }
+                out
+            },
+            |_, _, f| next.extend(f),
+        );
+        driver.sim().charge_barrier();
+        suspects.extend_from_slice(&condemned);
+        candidates = next;
+    }
+
+    // One fused phase cuts the reset region out and re-pulls it: the
+    // compute half walks each suspect's in-segments computing the best
+    // offer from still-trusted (non-suspect, finite) in-neighbours, the
+    // publish half resets the suspects themselves to the identity. The
+    // reads touch only non-suspect values and the writes only suspect
+    // slots, so the split contract holds. Pulling (suspects × in-degree
+    // reads) replaces the boundary-push alternative (boundary sources ×
+    // their full out-degree), which re-scans every list adjacent to the
+    // region; the pulled minima are applied as offers in the graft phase
+    // below, after the resets land.
+    let mut pulled: Vec<(VId, S::Val)> = Vec::new();
+    if !suspects.is_empty() {
+        let segs = topo.plan_in_segments(&suspects, SEG_GRAIN);
+        let chunks = weight_balanced_chunks(&segs, |s| s.weight as usize, threads);
+        let reset_chunks = even_chunks(suspects.len(), threads);
+        driver.sim().run_phase_split(
+            "inc/reset",
+            |tid, ctx| {
+                let mut out: Vec<(VId, S::Val)> = Vec::new();
+                for &seg in &segs[chunks[tid].clone()] {
+                    let mut best = spec.identity();
+                    for (s, w) in topo.in_stream_segment(ctx, seg) {
+                        if !suspect[s as usize] {
+                            let sv = curr.load(ctx, s as usize);
+                            if sv != spec.identity() {
+                                let c = spec.relax(sv, w);
+                                if c < best {
+                                    best = c;
+                                }
+                            }
+                        }
+                    }
+                    if best != spec.identity() {
+                        out.push((seg.v, best));
+                    }
+                }
+                out
+            },
+            |tid, ctx, out| {
+                pulled.extend(out);
+                for &v in &suspects[reset_chunks[tid].clone()] {
+                    curr.store(ctx, v as usize, spec.identity());
+                }
+            },
+        );
+        driver.sim().charge_barrier();
+    }
+
+    // Graft: inserted edges (including reweight-decreases, which surface in
+    // `inserts` at their new weight) relax exactly once, and the pulled
+    // repair offers land on the freshly reset region. A non-suspect source
+    // is converged, so its only possibly-improving offers run along its NEW
+    // edges — scanning its whole adjacency would be wasted charge.
+    // Identity-valued (suspect or unreached) sources skip; their offers
+    // arrive through the ordinary push rounds once their value recovers.
+    let mut frontier: Vec<VId> = Vec::new();
+    if !batch.inserts.is_empty() || !pulled.is_empty() {
+        let chunks = even_chunks(batch.inserts.len(), threads);
+        let pull_chunks = even_chunks(pulled.len(), threads);
+        driver.sim().run_phase_split(
+            "inc/graft",
+            |tid, ctx| {
+                let mut out: Vec<(VId, S::Val)> = Vec::new();
+                for e in &batch.inserts[chunks[tid].clone()] {
+                    let sv = curr.load(ctx, e.src as usize);
+                    if sv == spec.identity() {
+                        continue;
+                    }
+                    out.push((e.dst, spec.relax(sv, e.weight)));
+                }
+                out
+            },
+            |tid, ctx, out| {
+                for (t, c) in out
+                    .into_iter()
+                    .chain(pulled[pull_chunks[tid].clone()].iter().copied())
+                {
+                    let old = curr.fetch_min(ctx, t as usize, c);
+                    if c < old {
+                        frontier.push(t);
+                    }
+                }
+            },
+        );
+        driver.sim().charge_barrier();
+    }
+    frontier.sort_unstable();
+    frontier.dedup();
+    frontier
+}
+
+/// Seed phase of component repair. Insert-only: host union-find over prior
+/// labels plus one charged relabel sweep, empty frontier (zero repair
+/// iterations). With structural deletes: reset every vertex of an affected
+/// component and seed propagation from resets plus insert endpoints.
+fn cc_repair_seed(
+    driver: &mut IterationDriver,
+    threads: usize,
+    curr: &NumaAtomicArray<u32>,
+    warm: &WarmStart<'_, u32>,
+) -> Vec<VId> {
+    let n = warm.values.len();
+    let batch = warm.batch;
+    if batch.deletes.is_empty() {
+        let resolved = resolve_labels(&batch.inserts, warm.values);
+        if resolved.is_empty() {
+            return Vec::new();
+        }
+        let chunks = even_chunks(n, threads);
+        driver.sim().run_phase_split(
+            "inc/relabel",
+            |tid, ctx| {
+                let r = chunks[tid].clone();
+                let vals: Vec<u32> = curr.iter_seq(ctx, r.clone()).collect();
+                curr.store_seq(ctx, r.clone(), |i| {
+                    let l = vals[i - r.start];
+                    resolved.get(&l).copied().unwrap_or(l)
+                });
+            },
+            |_, _, ()| {},
+        );
+        driver.sim().charge_barrier();
+        return Vec::new();
+    }
+    // Labels of components a structural delete touched; every member of
+    // those components is reset to its own id (weight changes don't touch
+    // connectivity and are excluded — they appear only in `reweighted`).
+    let affected: std::collections::HashSet<u32> = batch
+        .deletes
+        .iter()
+        .flat_map(|e| [warm.values[e.src as usize], warm.values[e.dst as usize]])
+        .collect();
+    let resets: Vec<VId> = (0..n as VId)
+        .filter(|&v| affected.contains(&warm.values[v as usize]))
+        .collect();
+    if !resets.is_empty() {
+        let chunks = even_chunks(resets.len(), threads);
+        driver.sim().run_phase_split(
+            "inc/reset",
+            |tid, ctx| {
+                for &v in &resets[chunks[tid].clone()] {
+                    curr.store(ctx, v as usize, v);
+                }
+            },
+            |_, _, ()| {},
+        );
+        driver.sim().charge_barrier();
+    }
+    let mut frontier = resets;
+    frontier.extend(batch.inserts.iter().flat_map(|e| [e.src, e.dst]));
+    frontier.sort_unstable();
+    frontier.dedup();
+    frontier
+}
+
+/// Union-find over the prior labels of the insert endpoints, by-min (labels
+/// are component minima, so the merged label stays the component minimum).
+/// Returns the non-identity mappings `old label -> merged label`.
+fn resolve_labels(inserts: &[Edge], labels: &[u32]) -> HashMap<u32, u32> {
+    fn find(parent: &mut HashMap<u32, u32>, mut x: u32) -> u32 {
+        while let Some(&p) = parent.get(&x) {
+            if p == x {
+                break;
+            }
+            let gp = parent.get(&p).copied().unwrap_or(p);
+            parent.insert(x, gp);
+            x = gp;
+        }
+        x
+    }
+    let mut parent: HashMap<u32, u32> = HashMap::new();
+    for e in inserts {
+        let a = find(&mut parent, labels[e.src as usize]);
+        let b = find(&mut parent, labels[e.dst as usize]);
+        if a != b {
+            let (lo, hi) = (a.min(b), a.max(b));
+            parent.insert(hi, lo);
+        }
+    }
+    let touched: Vec<u32> = inserts
+        .iter()
+        .flat_map(|e| [labels[e.src as usize], labels[e.dst as usize]])
+        .collect();
+    let mut resolved = HashMap::new();
+    for l in touched {
+        let r = find(&mut parent, l);
+        if r != l {
+            resolved.insert(l, r);
+        }
+    }
+    resolved
+}
+
+/// Base-edge grain for splitting one vertex's out-adjacency across threads
+/// ([`OverlayTopo::plan_out_segments`]). Warm frontiers are tiny and
+/// hub-biased (batches sample live edges, so endpoints skew to high-degree
+/// vertices); without splitting, a single hub scan serializes a whole
+/// scatter round behind one thread.
+const SEG_GRAIN: usize = 128;
+
+/// The monotone push fixpoint: active vertices offer `relax(curr, w)` along
+/// merged out-streams, targets take the min atomically, improved targets
+/// form the next frontier. Runs until the frontier drains. Scatter work is
+/// segment-balanced: heavy vertices split across threads at [`SEG_GRAIN`]
+/// base edges (the source value is re-read per segment — charged).
+fn min_push_fixpoint<S: MinSpec>(
+    driver: &mut IterationDriver,
+    threads: usize,
+    topo: &OverlayTopo,
+    spec: S,
+    curr: &NumaAtomicArray<S::Val>,
+    frontier: &mut Vec<VId>,
+) -> PolymerResult<()> {
+    let sc = spec.scatter_cycles();
+    driver.run_synchronous(
+        usize::MAX,
+        frontier,
+        |f| !f.is_empty(),
+        |sim, _i, f| {
+            let items = std::mem::take(f);
+            let segs = topo.plan_out_segments(&items, SEG_GRAIN);
+            let chunks = weight_balanced_chunks(&segs, |s| s.weight as usize, threads);
+            let mut improved: Vec<VId> = Vec::new();
+            sim.run_phase_split(
+                "inc/push",
+                |tid, ctx| {
+                    let mut log: Vec<(VId, S::Val)> = Vec::new();
+                    for &seg in &segs[chunks[tid].clone()] {
+                        let sv = curr.load(ctx, seg.v as usize);
+                        if sv == spec.identity() {
+                            continue;
+                        }
+                        for (t, w) in topo.out_stream_segment(ctx, seg) {
+                            log.push((t, spec.relax(sv, w)));
+                            ctx.charge_cycles(sc);
+                        }
+                    }
+                    log
+                },
+                |_tid, ctx, log| {
+                    for (t, c) in log {
+                        let old = curr.fetch_min(ctx, t as usize, c);
+                        if c < old {
+                            improved.push(t);
+                        }
+                    }
+                },
+            );
+            sim.charge_barrier();
+            improved.sort_unstable();
+            improved.dedup();
+            *f = improved;
+            Ok(())
+        },
+    )
+}
+
+/// Incremental PageRank over a placed overlay: cold residual run when
+/// `warm` is `None`, recompute-and-propagate repair otherwise. Converges to
+/// the damped PageRank fixpoint to within `tol` residual mass per vertex
+/// (ε-close to a from-scratch run, not bit-identical — float order).
+pub fn pagerank_overlay(
+    machine: &Machine,
+    threads: usize,
+    topo: &OverlayTopo,
+    damping: f64,
+    tol: f64,
+    warm: Option<WarmStart<'_, f64>>,
+    traced: bool,
+) -> PolymerResult<RunResult<f64>> {
+    let n = topo.num_vertices();
+    let nf = n as f64;
+    let base_score = (1.0 - damping) / nf;
+    // Residual rounds scale with log(1/tol)/log(1/damping), independent of
+    // |V|; give small graphs a cap that still fits the geometric tail.
+    let mut driver =
+        IterationDriver::new(machine, threads, BarrierKind::SenseNuma, traced, n.max(512));
+    let curr =
+        machine.alloc_atomic_with::<f64>("data/curr", n, AllocPolicy::Interleaved, |_| base_score);
+    let next = machine.alloc_atomic_with::<f64>("data/next", n, AllocPolicy::Interleaved, |_| 0.0);
+    let mut delta: Vec<f64> = vec![0.0; n];
+    let mut frontier: Vec<VId>;
+    match warm {
+        None => {
+            // Every vertex still owes its initial mass downstream.
+            delta.iter_mut().for_each(|d| *d = base_score);
+            frontier = (0..n as VId).collect();
+        }
+        Some(w) => {
+            assert_eq!(w.values.len(), n, "warm-start value count mismatch");
+            charged_values_restore(driver.sim(), threads, &curr, w.values);
+            driver.resume_from_state(w.iterations);
+            frontier = pr_recompute(&mut driver, threads, topo, &curr, &mut delta, w.batch, {
+                PrParams {
+                    damping,
+                    tol,
+                    base_score,
+                }
+            });
+        }
+    }
+    pr_residual_fixpoint(
+        &mut driver,
+        threads,
+        topo,
+        &curr,
+        &next,
+        &mut delta,
+        &mut frontier,
+        PrParams {
+            damping,
+            tol,
+            base_score,
+        },
+    )?;
+    Ok(driver.finish(curr.snapshot()))
+}
+
+#[derive(Clone, Copy)]
+struct PrParams {
+    damping: f64,
+    tol: f64,
+    base_score: f64,
+}
+
+/// Recompute the PageRank equation for every vertex whose in-edge set or
+/// in-neighbour degrees the batch changed; record residuals and return the
+/// over-tolerance seeds.
+fn pr_recompute(
+    driver: &mut IterationDriver,
+    threads: usize,
+    topo: &OverlayTopo,
+    curr: &NumaAtomicArray<f64>,
+    delta: &mut [f64],
+    batch: &AppliedBatch,
+    p: PrParams,
+) -> Vec<VId> {
+    // Direct in-edge changes: every batch destination. Degree changes:
+    // sources of structural inserts/deletes divide their pushed mass by a
+    // new live degree, so each of their out-neighbours re-pulls too.
+    let mut seeds: Vec<VId> = batch
+        .inserts
+        .iter()
+        .chain(batch.deletes.iter())
+        .map(|e| e.dst)
+        .collect();
+    let mut deg_changed: Vec<VId> = batch
+        .inserts
+        .iter()
+        .chain(batch.deletes.iter())
+        .map(|e| e.src)
+        .collect();
+    deg_changed.sort_unstable();
+    deg_changed.dedup();
+    if !deg_changed.is_empty() {
+        let segs = topo.plan_out_segments(&deg_changed, SEG_GRAIN);
+        let chunks = weight_balanced_chunks(&segs, |s| s.weight as usize, threads);
+        driver.sim().run_phase_split(
+            "inc/seed",
+            |tid, ctx| {
+                let mut out = Vec::new();
+                for &seg in &segs[chunks[tid].clone()] {
+                    for (t, _w) in topo.out_stream_segment(ctx, seg) {
+                        out.push(t);
+                    }
+                }
+                out
+            },
+            |_, _, out| seeds.extend(out),
+        );
+        driver.sim().charge_barrier();
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    if seeds.is_empty() {
+        return seeds;
+    }
+    let mut residuals: Vec<(VId, f64)> = Vec::with_capacity(seeds.len());
+    {
+        let chunks = even_chunks(seeds.len(), threads);
+        driver.sim().run_phase_split(
+            "inc/recompute",
+            |tid, ctx| {
+                let mut out = Vec::new();
+                for &v in &seeds[chunks[tid].clone()] {
+                    let mut sum = 0.0;
+                    for (u, _w) in topo.in_stream(ctx, v as usize) {
+                        let du = topo.live_out_deg.get(ctx, u as usize);
+                        if du > 0 {
+                            sum += curr.load(ctx, u as usize) / du as f64;
+                        }
+                    }
+                    let new = p.base_score + p.damping * sum;
+                    let old = curr.load(ctx, v as usize);
+                    out.push((v, new, new - old));
+                }
+                out
+            },
+            |_, ctx, out| {
+                for (v, new, d) in out {
+                    curr.store(ctx, v as usize, new);
+                    residuals.push((v, d));
+                }
+            },
+        );
+        driver.sim().charge_barrier();
+    }
+    let mut frontier = Vec::new();
+    for (v, d) in residuals {
+        delta[v as usize] = d;
+        if d.abs() > p.tol {
+            frontier.push(v);
+        }
+    }
+    frontier.sort_unstable();
+    frontier
+}
+
+/// Residual propagation rounds: each active vertex pushes
+/// `damping·delta/live_deg` along its merged out-stream (atomic adds into
+/// `next`); touched targets fold the received mass into their score, adopt
+/// it as their new residual, and stay active while above `tol`.
+#[allow(clippy::too_many_arguments)]
+fn pr_residual_fixpoint(
+    driver: &mut IterationDriver,
+    threads: usize,
+    topo: &OverlayTopo,
+    curr: &NumaAtomicArray<f64>,
+    next: &NumaAtomicArray<f64>,
+    delta: &mut [f64],
+    frontier: &mut Vec<VId>,
+    p: PrParams,
+) -> PolymerResult<()> {
+    driver.run_synchronous(
+        usize::MAX,
+        frontier,
+        |f| !f.is_empty(),
+        |sim, _i, f| {
+            let items = std::mem::take(f);
+            let segs = topo.plan_out_segments(&items, SEG_GRAIN);
+            let chunks = weight_balanced_chunks(&segs, |s| s.weight as usize, threads);
+            let mut touched: Vec<VId> = Vec::new();
+            {
+                let delta_r: &[f64] = delta;
+                sim.run_phase_split(
+                    "inc/push",
+                    |tid, ctx| {
+                        let mut log: Vec<(VId, f64)> = Vec::new();
+                        for &seg in &segs[chunks[tid].clone()] {
+                            let u = seg.v;
+                            let du = topo.live_out_deg.get(ctx, u as usize);
+                            if du == 0 {
+                                continue;
+                            }
+                            let c = p.damping * delta_r[u as usize] / du as f64;
+                            for (t, _w) in topo.out_stream_segment(ctx, seg) {
+                                log.push((t, c));
+                                ctx.charge_cycles(6.0);
+                            }
+                        }
+                        log
+                    },
+                    |_tid, ctx, log| {
+                        for (t, c) in log {
+                            next.fetch_add(ctx, t as usize, c);
+                            touched.push(t);
+                        }
+                    },
+                );
+            }
+            sim.charge_barrier();
+            touched.sort_unstable();
+            touched.dedup();
+            let chunks = even_chunks(touched.len(), threads);
+            let mut alive: Vec<VId> = Vec::new();
+            sim.run_phase_split(
+                "inc/apply",
+                |tid, ctx| {
+                    let mut out = Vec::new();
+                    for &t in &touched[chunks[tid].clone()] {
+                        let acc = next.load(ctx, t as usize);
+                        next.store(ctx, t as usize, 0.0);
+                        let x = curr.load(ctx, t as usize);
+                        curr.store(ctx, t as usize, x + acc);
+                        out.push((t, acc));
+                    }
+                    out
+                },
+                |_, _, out| {
+                    for (t, acc) in out {
+                        delta[t as usize] = acc;
+                        if acc.abs() > p.tol {
+                            alive.push(t);
+                        }
+                    }
+                },
+            );
+            sim.charge_barrier();
+            *f = alive;
+            Ok(())
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Host backend: the same repairs over `MutableGraph` merged iterators on
+// plain host memory. Real wall-clock, zero simulation overhead; sequential
+// within-round relaxation (still the same unique fixpoint for the min
+// programs).
+// ---------------------------------------------------------------------------
+
+/// Host-backend incremental BFS. Returns `(values, repair rounds)`.
+pub fn bfs_host(
+    mg: &MutableGraph,
+    source: VId,
+    warm: Option<WarmStart<'_, u32>>,
+) -> (Vec<u32>, usize) {
+    min_host(mg, BfsSpec { source }, warm)
+}
+
+/// Host-backend incremental SSSP. Returns `(values, repair rounds)`.
+pub fn sssp_host(
+    mg: &MutableGraph,
+    source: VId,
+    warm: Option<WarmStart<'_, u64>>,
+) -> (Vec<u64>, usize) {
+    min_host(mg, SsspSpec { source }, warm)
+}
+
+/// Host-backend incremental connected components (`mg` symmetrized, batch
+/// symmetrized). Returns `(labels, repair rounds)`.
+pub fn cc_host(mg: &MutableGraph, warm: Option<WarmStart<'_, u32>>) -> (Vec<u32>, usize) {
+    let n = mg.num_vertices();
+    let Some(w) = warm else {
+        return min_host(mg, CcSpec, None);
+    };
+    let batch = w.batch;
+    let mut curr = w.values.to_vec();
+    if batch.deletes.is_empty() {
+        let resolved = resolve_labels(&batch.inserts, w.values);
+        for l in curr.iter_mut() {
+            if let Some(&r) = resolved.get(l) {
+                *l = r;
+            }
+        }
+        return (curr, 0);
+    }
+    let affected: std::collections::HashSet<u32> = batch
+        .deletes
+        .iter()
+        .flat_map(|e| [w.values[e.src as usize], w.values[e.dst as usize]])
+        .collect();
+    let mut frontier: Vec<VId> = (0..n as VId)
+        .filter(|&v| affected.contains(&w.values[v as usize]))
+        .collect();
+    for &v in &frontier {
+        curr[v as usize] = v;
+    }
+    frontier.extend(batch.inserts.iter().flat_map(|e| [e.src, e.dst]));
+    frontier.sort_unstable();
+    frontier.dedup();
+    let rounds = host_push_rounds(mg, CcSpec, &mut curr, frontier);
+    (curr, rounds)
+}
+
+fn min_host<S: MinSpec>(
+    mg: &MutableGraph,
+    spec: S,
+    warm: Option<WarmStart<'_, S::Val>>,
+) -> (Vec<S::Val>, usize) {
+    let n = mg.num_vertices();
+    let (mut curr, frontier) = match warm {
+        None => {
+            let curr: Vec<S::Val> = (0..n as VId).map(|v| spec.init(v)).collect();
+            let frontier = match spec.root() {
+                Some(s) => vec![s],
+                None => (0..n as VId).collect(),
+            };
+            (curr, frontier)
+        }
+        Some(w) => {
+            assert_eq!(w.values.len(), n, "warm-start value count mismatch");
+            let mut curr = w.values.to_vec();
+            let frontier = host_path_repair_seed(mg, spec, &mut curr, w.batch);
+            (curr, frontier)
+        }
+    };
+    let rounds = host_push_rounds(mg, spec, &mut curr, frontier);
+    (curr, rounds)
+}
+
+fn host_path_repair_seed<S: MinSpec>(
+    mg: &MutableGraph,
+    spec: S,
+    curr: &mut [S::Val],
+    batch: &AppliedBatch,
+) -> Vec<VId> {
+    let root = spec.root().expect("path repair needs a pinned root");
+    let rw = old_weights(batch);
+    let n = curr.len();
+    let mut suspect = vec![false; n];
+    let mut suspects: Vec<VId> = Vec::new();
+    // Same alternative-support refinement as the overlay engine (see
+    // `path_repair_seed`): condemn a candidate only when no still-trusted
+    // in-neighbour supports its value at a live weight.
+    let mut candidates: Vec<VId> = Vec::new();
+    for e in batch.deletes.iter().chain(batch.reweighted.iter()) {
+        if e.dst == root || curr[e.src as usize] == spec.identity() {
+            continue;
+        }
+        if curr[e.dst as usize] == spec.relax(curr[e.src as usize], e.weight) {
+            candidates.push(e.dst);
+        }
+    }
+    while !candidates.is_empty() {
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|&v| v != root && !suspect[v as usize]);
+        let condemned: Vec<VId> = candidates
+            .iter()
+            .copied()
+            .filter(|&t| {
+                let tv = curr[t as usize];
+                tv != spec.identity()
+                    && !mg.in_edges(t).any(|(s2, w2)| {
+                        !suspect[s2 as usize]
+                            && curr[s2 as usize] != spec.identity()
+                            && spec.relax(curr[s2 as usize], w2) == tv
+                    })
+            })
+            .collect();
+        if condemned.is_empty() {
+            break;
+        }
+        for &v in &condemned {
+            suspect[v as usize] = true;
+        }
+        let mut next: Vec<VId> = Vec::new();
+        for &s in &condemned {
+            let sv = curr[s as usize];
+            if sv == spec.identity() {
+                continue;
+            }
+            for (t, w) in mg.out_edges(s) {
+                if t == root || suspect[t as usize] {
+                    continue;
+                }
+                let w_old = rw.get(&(s, t)).copied().unwrap_or(w);
+                let tv = curr[t as usize];
+                if tv == spec.relax(sv, w_old) || tv == spec.relax(sv, w) {
+                    next.push(t);
+                }
+            }
+        }
+        suspects.extend_from_slice(&condemned);
+        candidates = next;
+    }
+    let mut frontier: Vec<VId> = Vec::new();
+    for &v in &suspects {
+        for (s, _w) in mg.in_edges(v) {
+            if !suspect[s as usize] && curr[s as usize] != spec.identity() {
+                frontier.push(s);
+            }
+        }
+    }
+    for &v in &suspects {
+        curr[v as usize] = spec.identity();
+    }
+    frontier.extend(batch.inserts.iter().map(|e| e.src));
+    frontier.sort_unstable();
+    frontier.dedup();
+    frontier
+}
+
+fn host_push_rounds<S: MinSpec>(
+    mg: &MutableGraph,
+    spec: S,
+    curr: &mut [S::Val],
+    mut frontier: Vec<VId>,
+) -> usize {
+    let mut rounds = 0;
+    while !frontier.is_empty() {
+        rounds += 1;
+        let mut improved: Vec<VId> = Vec::new();
+        for &s in &frontier {
+            let sv = curr[s as usize];
+            if sv == spec.identity() {
+                continue;
+            }
+            for (t, w) in mg.out_edges(s) {
+                let c = spec.relax(sv, w);
+                if c < curr[t as usize] {
+                    curr[t as usize] = c;
+                    improved.push(t);
+                }
+            }
+        }
+        improved.sort_unstable();
+        improved.dedup();
+        frontier = improved;
+    }
+    rounds
+}
+
+/// Host-backend incremental PageRank. Returns `(scores, repair rounds)`.
+pub fn pagerank_host(
+    mg: &MutableGraph,
+    damping: f64,
+    tol: f64,
+    warm: Option<WarmStart<'_, f64>>,
+) -> (Vec<f64>, usize) {
+    let n = mg.num_vertices();
+    let nf = n as f64;
+    let base_score = (1.0 - damping) / nf;
+    let mut curr: Vec<f64>;
+    let mut delta: Vec<f64> = vec![0.0; n];
+    let mut frontier: Vec<VId>;
+    match warm {
+        None => {
+            curr = vec![base_score; n];
+            delta.iter_mut().for_each(|d| *d = base_score);
+            frontier = (0..n as VId).collect();
+        }
+        Some(w) => {
+            assert_eq!(w.values.len(), n, "warm-start value count mismatch");
+            curr = w.values.to_vec();
+            let batch = w.batch;
+            let mut seeds: Vec<VId> = batch
+                .inserts
+                .iter()
+                .chain(batch.deletes.iter())
+                .map(|e| e.dst)
+                .collect();
+            let mut deg_changed: Vec<VId> = batch
+                .inserts
+                .iter()
+                .chain(batch.deletes.iter())
+                .map(|e| e.src)
+                .collect();
+            deg_changed.sort_unstable();
+            deg_changed.dedup();
+            for &u in &deg_changed {
+                seeds.extend(mg.out_edges(u).map(|(t, _)| t));
+            }
+            seeds.sort_unstable();
+            seeds.dedup();
+            frontier = Vec::new();
+            let news: Vec<(VId, f64)> = seeds
+                .iter()
+                .map(|&v| {
+                    let sum: f64 = mg
+                        .in_edges(v)
+                        .map(|(u, _)| {
+                            let du = mg.live_out_degree(u);
+                            if du > 0 {
+                                curr[u as usize] / du as f64
+                            } else {
+                                0.0
+                            }
+                        })
+                        .sum();
+                    (v, base_score + damping * sum)
+                })
+                .collect();
+            for (v, new) in news {
+                let d = new - curr[v as usize];
+                curr[v as usize] = new;
+                delta[v as usize] = d;
+                if d.abs() > tol {
+                    frontier.push(v);
+                }
+            }
+            frontier.sort_unstable();
+        }
+    }
+    let mut next = vec![0.0f64; n];
+    let mut rounds = 0;
+    while !frontier.is_empty() {
+        rounds += 1;
+        let mut touched: Vec<VId> = Vec::new();
+        for &u in &frontier {
+            let du = mg.live_out_degree(u);
+            if du == 0 {
+                continue;
+            }
+            let c = damping * delta[u as usize] / du as f64;
+            for (t, _w) in mg.out_edges(u) {
+                next[t as usize] += c;
+                touched.push(t);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let mut alive: Vec<VId> = Vec::new();
+        for &t in &touched {
+            let acc = next[t as usize];
+            next[t as usize] = 0.0;
+            curr[t as usize] += acc;
+            delta[t as usize] = acc;
+            if acc.abs() > tol {
+                alive.push(t);
+            }
+        }
+        frontier = alive;
+    }
+    (curr, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::max_rel_error;
+    use polymer_graph::{gen, DeltaBatch, EdgeList, Graph};
+    use polymer_numa::MachineSpec;
+
+    const THREADS: usize = 4;
+
+    fn build_topo(machine: &Machine, mg: &MutableGraph, with_weights: bool) -> OverlayTopo {
+        OverlayTopo::build(machine, mg, with_weights, |_| AllocPolicy::Interleaved)
+    }
+
+    fn scratch_graph(mg: &MutableGraph) -> Graph {
+        Graph::from_edges(&mg.snapshot_edge_list())
+    }
+
+    fn test_batch(mg: &MutableGraph, seed: u64, k: usize) -> DeltaBatch {
+        // Deterministic mix of deletes (live edges), inserts (fresh pairs),
+        // and reweights, derived from the live edge set.
+        let el = mg.snapshot_edge_list();
+        let n = mg.num_vertices() as u64;
+        let mut b = DeltaBatch::new();
+        for i in 0..k {
+            let h = seed
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(i as u64)
+                .wrapping_mul(0xbf58476d1ce4e5b9);
+            let e = el.edges[(h % el.edges.len() as u64) as usize];
+            match i % 3 {
+                0 => {
+                    b.delete(e.src, e.dst);
+                }
+                1 => {
+                    let s = (h >> 8) % n;
+                    let d = (h >> 24) % n;
+                    if s != d {
+                        b.insert(s as VId, d as VId, 1 + (h % 90) as u32);
+                    }
+                }
+                _ => {
+                    b.insert(e.src, e.dst, 1 + ((h >> 16) % 90) as u32);
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn cold_bfs_matches_reference() {
+        let el = gen::uniform(200, 1200, 7);
+        let mg = MutableGraph::from_edge_list(el).with_compaction_fraction(f64::INFINITY);
+        let machine = Machine::new(MachineSpec::test2());
+        let topo = build_topo(&machine, &mg, false);
+        let run = bfs_overlay(&machine, THREADS, &topo, 0, None, false).unwrap();
+        let (oracle, _) = crate::run_reference(&scratch_graph(&mg), &crate::Bfs { source: 0 });
+        assert_eq!(run.values, oracle);
+        let (host, _) = bfs_host(&mg, 0, None);
+        assert_eq!(host, oracle);
+    }
+
+    #[test]
+    fn warm_bfs_and_sssp_match_scratch_after_batch() {
+        let el = gen::uniform(300, 2000, 11);
+        let mut mg = MutableGraph::from_edge_list(el).with_compaction_fraction(f64::INFINITY);
+        let machine = Machine::new(MachineSpec::test2());
+
+        let topo = build_topo(&machine, &mg, true);
+        let prior_bfs = bfs_overlay(&machine, THREADS, &topo, 0, None, false).unwrap();
+        let prior_sssp = sssp_overlay(&machine, THREADS, &topo, 0, None, false).unwrap();
+
+        let applied = mg.apply(&test_batch(&mg, 3, 24)).unwrap();
+        let topo = build_topo(&machine, &mg, true);
+        let g2 = scratch_graph(&mg);
+
+        let warm = WarmStart::from_result(&prior_bfs, &applied);
+        let run = bfs_overlay(&machine, THREADS, &topo, 0, Some(warm), false).unwrap();
+        let (oracle, _) = crate::run_reference(&g2, &crate::Bfs { source: 0 });
+        assert_eq!(run.values, oracle, "incremental BFS must be oracle-exact");
+        assert!(run.iterations >= prior_bfs.iterations);
+        let (host, _) = bfs_host(&mg, 0, Some(warm));
+        assert_eq!(host, oracle, "host-backend BFS must be oracle-exact");
+
+        let warm = WarmStart::from_result(&prior_sssp, &applied);
+        let run = sssp_overlay(&machine, THREADS, &topo, 0, Some(warm), false).unwrap();
+        let (oracle, _) = crate::run_reference(&g2, &crate::Sssp::new(0));
+        assert_eq!(run.values, oracle, "incremental SSSP must be oracle-exact");
+        let (host, _) = sssp_host(&mg, 0, Some(warm));
+        assert_eq!(host, oracle, "host-backend SSSP must be oracle-exact");
+    }
+
+    #[test]
+    fn warm_cc_insert_only_takes_union_find_fast_path() {
+        // Two chains, symmetrized; an insert bridges them.
+        let mut el = EdgeList::new(8);
+        for (s, d) in [(0u32, 1u32), (1, 2), (4, 5), (5, 6), (6, 7)] {
+            el.push(polymer_graph::Edge::weighted(s, d, 1));
+            el.push(polymer_graph::Edge::weighted(d, s, 1));
+        }
+        let mut mg = MutableGraph::from_edge_list(el).with_compaction_fraction(f64::INFINITY);
+        let machine = Machine::new(MachineSpec::test2());
+        let topo = build_topo(&machine, &mg, false);
+        let prior = cc_overlay(&machine, THREADS, &topo, None, false).unwrap();
+
+        let mut b = DeltaBatch::new();
+        b.insert(2, 4, 1);
+        b.symmetrize();
+        let applied = mg.apply(&b).unwrap();
+        let topo = build_topo(&machine, &mg, false);
+        let warm = WarmStart::from_result(&prior, &applied);
+        let run = cc_overlay(&machine, THREADS, &topo, Some(warm), false).unwrap();
+        let (oracle, _) = crate::run_reference(&scratch_graph(&mg), &crate::ConnectedComponents);
+        assert_eq!(run.values, oracle);
+        // Union-find fast path: relabel only, zero repair iterations.
+        assert_eq!(run.iterations, prior.iterations);
+        let (host, rounds) = cc_host(&mg, Some(warm));
+        assert_eq!(host, oracle);
+        assert_eq!(rounds, 0);
+    }
+
+    #[test]
+    fn warm_cc_with_deletes_matches_scratch() {
+        let mut el = gen::uniform(150, 500, 13);
+        // Symmetrize the base for CC.
+        let rev: Vec<polymer_graph::Edge> = el.edges.iter().map(|e| e.reversed()).collect();
+        el.edges.extend(rev);
+        let mut mg = MutableGraph::from_edge_list(el).with_compaction_fraction(f64::INFINITY);
+        let machine = Machine::new(MachineSpec::test2());
+        let topo = build_topo(&machine, &mg, false);
+        let prior = cc_overlay(&machine, THREADS, &topo, None, false).unwrap();
+
+        // Delete a handful of live symmetric pairs, insert one bridge.
+        let el = mg.snapshot_edge_list();
+        let mut b = DeltaBatch::new();
+        for e in el.edges.iter().step_by(37).take(6) {
+            b.delete(e.src, e.dst).delete(e.dst, e.src);
+        }
+        b.insert(3, 120, 1);
+        b.insert(120, 3, 1);
+        let applied = mg.apply(&b).unwrap();
+        let topo = build_topo(&machine, &mg, false);
+        let warm = WarmStart::from_result(&prior, &applied);
+        let run = cc_overlay(&machine, THREADS, &topo, Some(warm), false).unwrap();
+        let (oracle, _) = crate::run_reference(&scratch_graph(&mg), &crate::ConnectedComponents);
+        assert_eq!(run.values, oracle);
+        let (host, _) = cc_host(&mg, Some(warm));
+        assert_eq!(host, oracle);
+    }
+
+    #[test]
+    fn warm_pagerank_is_close_to_scratch() {
+        let el = gen::uniform(200, 1500, 17);
+        let mut mg = MutableGraph::from_edge_list(el).with_compaction_fraction(f64::INFINITY);
+        let machine = Machine::new(MachineSpec::test2());
+        let topo = build_topo(&machine, &mg, false);
+        let prior =
+            pagerank_overlay(&machine, THREADS, &topo, 0.85, DEFAULT_PR_TOL, None, false).unwrap();
+
+        let applied = mg.apply(&test_batch(&mg, 5, 18)).unwrap();
+        let topo = build_topo(&machine, &mg, false);
+        let warm = WarmStart::from_result(&prior, &applied);
+        let inc = pagerank_overlay(
+            &machine,
+            THREADS,
+            &topo,
+            0.85,
+            DEFAULT_PR_TOL,
+            Some(warm),
+            false,
+        )
+        .unwrap();
+        let scratch =
+            pagerank_overlay(&machine, THREADS, &topo, 0.85, DEFAULT_PR_TOL, None, false).unwrap();
+        assert!(
+            max_rel_error(&inc.values, &scratch.values) < 1e-6,
+            "incremental PageRank diverged from scratch: {}",
+            max_rel_error(&inc.values, &scratch.values)
+        );
+        let (host, _) = pagerank_host(&mg, 0.85, DEFAULT_PR_TOL, Some(warm));
+        assert!(max_rel_error(&host, &scratch.values) < 1e-6);
+    }
+
+    #[test]
+    fn small_batch_repair_is_cheaper_than_scratch() {
+        let el = gen::rmat(11, 16_000, (0.57, 0.19, 0.19), 42);
+        let mut mg = MutableGraph::from_edge_list(el).with_compaction_fraction(f64::INFINITY);
+        let machine = Machine::new(MachineSpec::test2());
+        let topo = build_topo(&machine, &mg, false);
+        let prior = bfs_overlay(&machine, THREADS, &topo, 0, None, false).unwrap();
+
+        let mut b = DeltaBatch::new();
+        b.insert(1, 2, 5).insert(100, 200, 3);
+        let applied = mg.apply(&b).unwrap();
+        let topo = build_topo(&machine, &mg, false);
+        let warm = WarmStart::from_result(&prior, &applied);
+        let inc = bfs_overlay(&machine, THREADS, &topo, 0, Some(warm), false).unwrap();
+        let scratch = bfs_overlay(&machine, THREADS, &topo, 0, None, false).unwrap();
+        assert_eq!(inc.values, scratch.values);
+        assert!(
+            inc.clock.elapsed_us() < scratch.clock.elapsed_us() / 2.0,
+            "tiny-batch repair ({:.1}µs) should be far cheaper than scratch ({:.1}µs)",
+            inc.clock.elapsed_us(),
+            scratch.clock.elapsed_us()
+        );
+    }
+
+    #[test]
+    fn empty_batch_repair_is_a_cheap_noop() {
+        let el = gen::uniform(100, 600, 23);
+        let mut mg = MutableGraph::from_edge_list(el).with_compaction_fraction(f64::INFINITY);
+        let machine = Machine::new(MachineSpec::test2());
+        let topo = build_topo(&machine, &mg, true);
+        let prior = sssp_overlay(&machine, THREADS, &topo, 0, None, false).unwrap();
+        let applied = mg.apply(&DeltaBatch::new()).unwrap();
+        assert!(applied.is_noop());
+        let warm = WarmStart::from_result(&prior, &applied);
+        let run = sssp_overlay(&machine, THREADS, &topo, 0, Some(warm), false).unwrap();
+        assert_eq!(run.values, prior.values);
+        assert_eq!(run.iterations, prior.iterations, "no repair rounds");
+    }
+}

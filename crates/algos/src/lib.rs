@@ -24,6 +24,7 @@
 pub mod bfs;
 pub mod bp;
 pub mod cc;
+pub mod incremental;
 pub mod multi;
 pub mod pagerank;
 pub mod reference;
@@ -33,6 +34,10 @@ pub mod sssp;
 pub use bfs::{Bfs, UNVISITED};
 pub use bp::BeliefPropagation;
 pub use cc::ConnectedComponents;
+pub use incremental::{
+    bfs_host, bfs_overlay, cc_host, cc_overlay, pagerank_host, pagerank_overlay, sssp_host,
+    sssp_overlay, WarmStart, DEFAULT_PR_TOL,
+};
 pub use multi::{run_multi_source, MultiRunResult, MultiSource, SingleSource, MAX_LANES};
 pub use pagerank::PageRank;
 pub use reference::run_reference;

@@ -294,6 +294,11 @@ pub struct IterationDriver {
     sim: SimExecutor,
     threads: usize,
     iters: usize,
+    /// Iteration the counter was re-based to by
+    /// [`IterationDriver::resume_from_state`]; the safety cap bounds
+    /// `iters - base` so a warm-started repair loop gets its own full
+    /// budget. Zero for cold runs and checkpoint resumes.
+    base: usize,
     iter_cap: usize,
 }
 
@@ -320,6 +325,7 @@ impl IterationDriver {
             sim,
             threads,
             iters: 0,
+            base: 0,
             iter_cap: 2 * num_vertices + 64,
         }
     }
@@ -347,6 +353,20 @@ impl IterationDriver {
     /// fault-plan trigger points all keep their meaning).
     pub fn resume_at(&mut self, iteration: usize) {
         self.iters = iteration;
+    }
+
+    /// Warm-start hook for incremental recomputation: like
+    /// [`IterationDriver::resume_at`], the counter fast-forwards so repair
+    /// iterations stamp in the same global space as the prior run (a
+    /// warm-started result reports `prior.iterations + repair rounds`), but
+    /// the iteration safety cap is *re-based* here — the repair loop gets
+    /// its own full `2·|V| + 64` budget regardless of how many iterations
+    /// the prior result already spent. Checkpoint resume deliberately does
+    /// not re-base: it continues the *same* logical run, so cap and
+    /// fault-trigger points must keep their absolute meaning.
+    pub fn resume_from_state(&mut self, iteration: usize) {
+        self.iters = iteration;
+        self.base = iteration;
     }
 
     /// The bulk-synchronous loop: while `is_active(state)` and under
@@ -393,7 +413,7 @@ impl IterationDriver {
         V: Clone,
     {
         while is_active(state) && self.iters < max_iters {
-            if self.iters >= self.iter_cap {
+            if self.iters - self.base >= self.iter_cap {
                 return Err(PolymerError::IterationCapExceeded { cap: self.iter_cap });
             }
             self.sim.set_iteration(Some(self.iters as u64));
@@ -539,6 +559,44 @@ mod tests {
         )
         .unwrap();
         assert_eq!(d.iterations(), 5);
+    }
+
+    #[test]
+    fn warm_start_stamps_globally_and_rebases_the_cap() {
+        let m = Machine::new(MachineSpec::test2());
+        // num_vertices = 0 -> cap 64. A prior run spent 60 iterations; a
+        // warm-started repair of 10 more must not trip the cap.
+        let mut d = IterationDriver::new(&m, 1, BarrierKind::Hierarchical, false, 0);
+        d.resume_from_state(60);
+        let mut remaining = 10usize;
+        let mut stamps = Vec::new();
+        d.run_synchronous(
+            usize::MAX,
+            &mut remaining,
+            |r| *r > 0,
+            |_, i, r| {
+                stamps.push(i);
+                *r -= 1;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(d.iterations(), 70);
+        assert_eq!(stamps.first(), Some(&60));
+        assert_eq!(stamps.last(), Some(&69));
+
+        // The re-based cap still fires after a full fresh budget.
+        let mut d = IterationDriver::new(&m, 1, BarrierKind::Hierarchical, false, 0);
+        d.resume_from_state(60);
+        let mut state = ();
+        let err = d
+            .run_synchronous(usize::MAX, &mut state, |_| true, |_, _, _| Ok(()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PolymerError::IterationCapExceeded { cap: 64 }
+        ));
+        assert_eq!(d.iterations(), 60 + 64);
     }
 
     #[test]

@@ -348,7 +348,17 @@ pub fn degree_balanced_chunks(
     degree_of: impl Fn(VId) -> usize,
     parts: usize,
 ) -> Vec<Range<usize>> {
-    let total: usize = items.iter().map(|&v| degree_of(v) + 1).sum();
+    weight_balanced_chunks(items, |&v| degree_of(v), parts)
+}
+
+/// Generalization of [`degree_balanced_chunks`] to any item type with a
+/// per-item weight (e.g. adjacency segments weighted by their edge span).
+pub fn weight_balanced_chunks<T>(
+    items: &[T],
+    weight_of: impl Fn(&T) -> usize,
+    parts: usize,
+) -> Vec<Range<usize>> {
+    let total: usize = items.iter().map(|it| weight_of(it) + 1).sum();
     let mut cuts = Vec::with_capacity(parts + 1);
     cuts.push(0usize);
     let mut acc = 0usize;
@@ -356,7 +366,7 @@ pub fn degree_balanced_chunks(
     for p in 1..parts {
         let target = p * total / parts;
         while i < items.len() && acc < target {
-            acc += degree_of(items[i]) + 1;
+            acc += weight_of(&items[i]) + 1;
             i += 1;
         }
         cuts.push(i);

@@ -30,6 +30,7 @@ pub mod backend;
 pub mod driver;
 pub mod engine;
 pub mod exec;
+pub mod overlay;
 pub mod parallel;
 pub mod program;
 pub mod result;
@@ -40,8 +41,10 @@ pub use driver::{Checkpoint, CheckpointPolicy, CheckpointStore, IterationDriver,
 pub use engine::{catch_engine_faults, validate_run_config, Engine, EngineKind};
 pub use exec::{
     atomic_combine, charged_values_restore, charged_values_snapshot, check_divergence,
-    degree_balanced_chunks, even_chunks, init_values, NeighborStream, TopoArrays,
+    degree_balanced_chunks, even_chunks, init_values, weight_balanced_chunks, NeighborStream,
+    TopoArrays,
 };
+pub use overlay::{MergedTopoStream, OutSegment, OverlayTopo};
 pub use parallel::{
     run_parallel, try_run_parallel, try_run_parallel_traced, try_run_threads, try_run_threads_rec,
     try_run_threads_traced,

@@ -9,7 +9,7 @@
 //! `docs/OBSERVABILITY.md` for the field taxonomy.
 
 use polymer_bench::report::fmt_sec;
-use polymer_bench::{write_json, AlgoId, Args, SystemId, Table, Workload};
+use polymer_bench::{write_json_with_meta, AlgoId, Args, BenchMeta, SystemId, Table, Workload};
 use polymer_graph::DatasetId;
 use polymer_numa::{chrome_trace_json, MachineSpec};
 
@@ -43,5 +43,10 @@ fn main() {
         rows.push(m);
     }
     table.print();
-    write_json(&args.out, "BENCH_baseline_pagerank", &rows);
+    write_json_with_meta(
+        &args.out,
+        "BENCH_baseline_pagerank",
+        &BenchMeta::capture(args.scale),
+        &rows,
+    );
 }

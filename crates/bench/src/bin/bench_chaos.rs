@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use polymer_api::supervisor::{RecoveryReport, RunSupervisor, SupervisorConfig};
 use polymer_api::{Backend, CheckpointPolicy, FaultPlan, PolymerError, PolymerResult, RunResult};
-use polymer_bench::{write_json, Args, SystemId, Table};
+use polymer_bench::{write_json_with_meta, Args, BenchMeta, SystemId, Table};
 use polymer_core::PolymerEngine;
 use polymer_galois::GaloisEngine;
 use polymer_graph::{gen, Graph};
@@ -266,7 +266,12 @@ fn main() {
     }
 
     table.print();
-    write_json(&args.out, "BENCH_chaos", &rows);
+    write_json_with_meta(
+        &args.out,
+        "BENCH_chaos",
+        &BenchMeta::capture(args.scale),
+        &rows,
+    );
 
     if !saw_resumed_recovery {
         violations.push("no cell recovered via checkpoint resume".to_string());

@@ -34,7 +34,7 @@
 use std::time::Instant;
 
 use polymer_api::Backend;
-use polymer_bench::{write_json, AlgoId, Args, SystemId, Table, Workload};
+use polymer_bench::{write_json_with_meta, AlgoId, Args, BenchMeta, SystemId, Table, Workload};
 use polymer_graph::DatasetId;
 use polymer_numa::{
     set_bulk_accounting, set_compressed_topology, set_sim_sharding, MachineSpec, SimShardMode,
@@ -187,7 +187,12 @@ fn main() {
         });
     }
     table.print();
-    write_json(&args.out, "BENCH_hotpath", &rows);
+    write_json_with_meta(
+        &args.out,
+        "BENCH_hotpath",
+        &BenchMeta::capture(args.scale),
+        &rows,
+    );
     if !all_identical {
         eprintln!("[hotpath] FAIL: simulated metrics diverged across execution strategies");
         std::process::exit(1);

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use polymer_algos::{run_reference, Bfs, Sssp};
 use polymer_api::Backend;
-use polymer_bench::{write_json, Args, Table};
+use polymer_bench::{write_json_with_meta, Args, BenchMeta, Table};
 use polymer_graph::{gen, Graph};
 use polymer_serve::{GraphService, PolymerError, RequestKind, ServeConfig, ServeResponse, Ticket};
 use rand::rngs::StdRng;
@@ -130,6 +130,11 @@ impl Oracles {
                 if ranks.is_empty() || ranks.iter().any(|x| !x.is_finite()) {
                     return Err("PageRank answer empty or non-finite".to_string());
                 }
+            }
+            // This benchmark's workload never mutates the graph (the
+            // incremental suite and `bench_incremental` cover that).
+            RequestKind::Ingest { .. } => {
+                return Err("unexpected ingest in the serving workload".to_string());
             }
         }
         Ok(())
@@ -372,7 +377,12 @@ fn main() {
         phases,
         violations: violations.clone(),
     };
-    write_json(&args.out, "BENCH_serve", &report);
+    write_json_with_meta(
+        &args.out,
+        "BENCH_serve",
+        &BenchMeta::capture(args.scale),
+        &report,
+    );
 
     if !violations.is_empty() {
         eprintln!("[serve] FAIL:");

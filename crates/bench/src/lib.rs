@@ -22,5 +22,5 @@ pub mod report;
 pub mod runner;
 
 pub use cli::Args;
-pub use report::{write_json, Table};
+pub use report::{write_json, write_json_with_meta, BenchMeta, Table};
 pub use runner::{run, run_on, AlgoId, Metrics, SystemId, Workload};

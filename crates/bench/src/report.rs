@@ -97,6 +97,52 @@ pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
     eprintln!("[results written to {}]", path.display());
 }
 
+/// The provenance block every `BENCH_*` artifact records (the bench-hygiene
+/// contract): enough to tell where and how the numbers were produced.
+///
+/// Simulated metrics are host-independent, but the wall-clock columns are
+/// not — `host_cores` pins down the machine context a committed artifact
+/// came from, `scale` the dataset size it ran at, and `backend` which
+/// topology encoding the engines traversed (the process-global
+/// [`polymer_numa::compressed_topology`] toggle at capture time).
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchMeta {
+    /// Host CPU parallelism when the artifact was produced (wall-clock
+    /// context only; simulated numbers do not depend on it).
+    pub host_cores: usize,
+    /// Dataset scale shift the binary ran with (`--scale`).
+    pub scale: i32,
+    /// Topology encoding the run traversed: `"raw"` or `"compressed"`.
+    pub backend: String,
+}
+
+impl BenchMeta {
+    /// Capture the block for a run at `scale`, reading `host_cores` from
+    /// the OS and `backend` from the global compressed-topology toggle.
+    pub fn capture(scale: i32) -> BenchMeta {
+        BenchMeta {
+            host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            scale,
+            backend: if polymer_numa::compressed_topology() {
+                "compressed"
+            } else {
+                "raw"
+            }
+            .to_string(),
+        }
+    }
+}
+
+/// Write a `BENCH_*` artifact to `<dir>/<name>.json` as
+/// `{"meta": {...}, "rows": <payload>}` — every `BENCH_*` writer goes
+/// through here so the metadata block stays uniform across the series.
+pub fn write_json_with_meta<T: Serialize>(dir: &Path, name: &str, meta: &BenchMeta, rows: &T) {
+    let mut obj = serde::Map::new();
+    obj.insert("meta", meta.to_value());
+    obj.insert("rows", rows.to_value());
+    write_json(dir, name, &serde::Value::Obj(obj));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +180,23 @@ mod tests {
         let back: Vec<i32> =
             serde_json::from_str(&std::fs::read_to_string(dir.join("t.json")).unwrap()).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn meta_report_shape_is_uniform() {
+        let dir = std::env::temp_dir().join("polymer_bench_meta_test");
+        let meta = BenchMeta::capture(-3);
+        write_json_with_meta(&dir, "BENCH_t", &meta, &vec![7u64, 8]);
+        let text = std::fs::read_to_string(dir.join("BENCH_t.json")).unwrap();
+        let back: serde::Value = serde_json::from_str(&text).unwrap();
+        let top = back.as_object().unwrap();
+        let m = top.get("meta").unwrap().as_object().unwrap();
+        assert_eq!(m.get("scale").unwrap().as_i64(), Some(-3));
+        assert_eq!(m.get("backend").unwrap().as_str(), Some("raw"));
+        assert!(m.get("host_cores").unwrap().as_u64().unwrap() >= 1);
+        let rows = top.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

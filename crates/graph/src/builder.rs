@@ -1,0 +1,143 @@
+//! The single shared graph-construction pipeline: canonicalization, degree
+//! counting, and CSR/CSC assembly.
+//!
+//! Before this module existed the repo had two construction paths that could
+//! drift: [`crate::Graph::from_edges`] (counting-sort assembly used by every
+//! loader) and [`crate::EdgeList::dedup`] (canonicalization used by
+//! `symmetrize`). Extracting them here surfaced one real inconsistency:
+//! `dedup` sorted with `sort_unstable_by_key` while documenting that the
+//! *first* weight among duplicate `(src, dst)` pairs survives — an unstable
+//! sort makes the survivor arbitrary. [`GraphBuilder::canonicalize`] uses a
+//! stable sort so the documented first-in-input weight genuinely wins, and
+//! both the initial loaders and the [`crate::MutableGraph`] compaction
+//! rebuild go through the same code, so they can never disagree again.
+
+use crate::csr::Graph;
+use crate::edgelist::EdgeList;
+use crate::types::Edge;
+
+/// Shared construction pipeline for every path that turns edges into a
+/// [`Graph`]: initial loaders ([`Graph::from_edges`]), symmetrization
+/// ([`EdgeList::dedup`] / [`EdgeList::symmetrize`]), and the
+/// [`crate::MutableGraph`] compaction rebuild.
+pub struct GraphBuilder;
+
+impl GraphBuilder {
+    /// Canonicalize an edge list in place: drop self-loops, sort by
+    /// `(src, dst)`, and collapse duplicate pairs keeping the first-in-input
+    /// weight. The sort is stable, so "first" means genuinely first in the
+    /// original order — the former `sort_unstable_by_key` in
+    /// `EdgeList::dedup` left the surviving weight arbitrary among
+    /// duplicates.
+    pub fn canonicalize(edges: &mut Vec<Edge>) {
+        edges.retain(|e| e.src != e.dst);
+        edges.sort_by_key(|e| ((e.src as u64) << 32) | e.dst as u64);
+        edges.dedup_by_key(|e| (e.src, e.dst));
+    }
+
+    /// Whether `el` is in canonical form: no self-loops, strictly increasing
+    /// `(src, dst)` keys (sorted and duplicate-free).
+    pub fn is_canonical(el: &EdgeList) -> bool {
+        el.edges.iter().all(|e| e.src != e.dst)
+            && el.edges.windows(2).all(|w| key(&w[0]) < key(&w[1]))
+    }
+
+    /// Counting-sort CSR+CSC assembly: O(V + E), deterministic, preserving
+    /// input edge order within each adjacency list. This is the body that
+    /// used to live in `Graph::from_edges`; that constructor now delegates
+    /// here, as does the compaction rebuild.
+    pub fn assemble(el: &EdgeList) -> Graph {
+        let n = el.num_vertices;
+        let m = el.edges.len();
+
+        let mut out_off = vec![0usize; n + 1];
+        let mut in_off = vec![0usize; n + 1];
+        for e in &el.edges {
+            out_off[e.src as usize + 1] += 1;
+            in_off[e.dst as usize + 1] += 1;
+        }
+        for v in 0..n {
+            out_off[v + 1] += out_off[v];
+            in_off[v + 1] += in_off[v];
+        }
+
+        let mut out_dst = vec![0; m];
+        let mut out_w = vec![0; m];
+        let mut in_src = vec![0; m];
+        let mut in_w = vec![0; m];
+        let mut out_cur = out_off.clone();
+        let mut in_cur = in_off.clone();
+        for e in &el.edges {
+            let o = out_cur[e.src as usize];
+            out_dst[o] = e.dst;
+            out_w[o] = e.weight;
+            out_cur[e.src as usize] += 1;
+            let i = in_cur[e.dst as usize];
+            in_src[i] = e.src;
+            in_w[i] = e.weight;
+            in_cur[e.dst as usize] += 1;
+        }
+
+        Graph::from_parts(n, m, out_off, out_dst, out_w, in_off, in_src, in_w)
+    }
+
+    /// Canonicalize a copy of `el` and assemble. This is the reference
+    /// "build from scratch" a compaction rebuild must match bit-for-bit
+    /// (the `incremental` proptest suite asserts exactly that).
+    pub fn build_canonical(mut el: EdgeList) -> Graph {
+        Self::canonicalize(&mut el.edges);
+        Self::assemble(&el)
+    }
+}
+
+#[inline]
+fn key(e: &Edge) -> u64 {
+    ((e.src as u64) << 32) | e.dst as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_keeps_first_in_input_weight() {
+        // Many duplicates of the same pair with distinct weights: the
+        // stable sort must keep weight 7 (the first one pushed), no matter
+        // how many decoys surround it.
+        let mut edges = Vec::new();
+        edges.push(Edge::weighted(0, 1, 7));
+        for w in 0..64 {
+            edges.push(Edge::weighted(0, 1, 100 + w));
+            edges.push(Edge::weighted(1, 2, w));
+        }
+        GraphBuilder::canonicalize(&mut edges);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0], Edge::weighted(0, 1, 7));
+        assert_eq!(edges[1], Edge::weighted(1, 2, 0));
+    }
+
+    #[test]
+    fn canonical_form_detected() {
+        let mut el = EdgeList::from_pairs(4, [(2, 0), (0, 1), (1, 1), (0, 1)]);
+        assert!(!GraphBuilder::is_canonical(&el));
+        GraphBuilder::canonicalize(&mut el.edges);
+        assert!(GraphBuilder::is_canonical(&el));
+        assert_eq!(el.num_edges(), 2);
+    }
+
+    #[test]
+    fn assemble_matches_from_edges() {
+        let el = EdgeList::from_pairs(5, [(0, 2), (3, 1), (0, 4), (2, 2), (4, 0)]);
+        assert_eq!(GraphBuilder::assemble(&el), Graph::from_edges(&el));
+    }
+
+    #[test]
+    fn build_canonical_is_idempotent() {
+        let el = EdgeList::from_pairs(4, [(1, 0), (0, 1), (1, 0), (2, 2)]);
+        let once = GraphBuilder::build_canonical(el.clone());
+        let mut canon = el;
+        GraphBuilder::canonicalize(&mut canon.edges);
+        let twice = GraphBuilder::build_canonical(canon);
+        assert_eq!(once, twice);
+    }
+}

@@ -2,13 +2,14 @@
 //! over in-edges, with per-vertex degrees — the topology layout of the
 //! paper's Figure 1 ("vertices", "out-edges", "in-edges" arrays).
 
+use crate::builder::GraphBuilder;
 use crate::edgelist::EdgeList;
 use crate::types::{VId, Weight};
 
 /// An immutable directed graph in CSR+CSC form. Offsets are `usize` indexes
 /// into the target/source arrays; weights are stored alongside both
 /// directions so engines can traverse either with weights.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
     m: usize,
@@ -23,39 +24,28 @@ pub struct Graph {
 impl Graph {
     /// Build the CSR/CSC representation from an edge list. Edge order within
     /// a vertex's adjacency list follows the input order (counting sort by
-    /// endpoint), so construction is O(V + E) and deterministic.
+    /// endpoint), so construction is O(V + E) and deterministic. Delegates to
+    /// [`GraphBuilder::assemble`], the single assembly path shared with the
+    /// compaction rebuild.
     pub fn from_edges(el: &EdgeList) -> Self {
-        let n = el.num_vertices;
-        let m = el.edges.len();
+        GraphBuilder::assemble(el)
+    }
 
-        let mut out_off = vec![0usize; n + 1];
-        let mut in_off = vec![0usize; n + 1];
-        for e in &el.edges {
-            out_off[e.src as usize + 1] += 1;
-            in_off[e.dst as usize + 1] += 1;
-        }
-        for v in 0..n {
-            out_off[v + 1] += out_off[v];
-            in_off[v + 1] += in_off[v];
-        }
-
-        let mut out_dst = vec![0 as VId; m];
-        let mut out_w = vec![0 as Weight; m];
-        let mut in_src = vec![0 as VId; m];
-        let mut in_w = vec![0 as Weight; m];
-        let mut out_cur = out_off.clone();
-        let mut in_cur = in_off.clone();
-        for e in &el.edges {
-            let o = out_cur[e.src as usize];
-            out_dst[o] = e.dst;
-            out_w[o] = e.weight;
-            out_cur[e.src as usize] += 1;
-            let i = in_cur[e.dst as usize];
-            in_src[i] = e.src;
-            in_w[i] = e.weight;
-            in_cur[e.dst as usize] += 1;
-        }
-
+    /// Assemble a graph from pre-built CSR/CSC arrays. Only
+    /// [`GraphBuilder::assemble`] constructs these; keeping the fields
+    /// private preserves the representation invariants (offsets are prefix
+    /// sums, targets/weights aligned).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        n: usize,
+        m: usize,
+        out_off: Vec<usize>,
+        out_dst: Vec<VId>,
+        out_w: Vec<Weight>,
+        in_off: Vec<usize>,
+        in_src: Vec<VId>,
+        in_w: Vec<Weight>,
+    ) -> Self {
         Graph {
             n,
             m,

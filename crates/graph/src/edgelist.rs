@@ -58,12 +58,11 @@ impl EdgeList {
     }
 
     /// Remove duplicate `(src, dst)` pairs (keeping the first weight) and
-    /// self-loops. Sorts the list as a side effect.
+    /// self-loops. Sorts the list as a side effect. Delegates to
+    /// [`crate::GraphBuilder::canonicalize`], whose stable sort makes
+    /// "first weight" genuinely mean first in input order.
     pub fn dedup(&mut self) {
-        self.edges.retain(|e| e.src != e.dst);
-        self.edges
-            .sort_unstable_by_key(|e| ((e.src as u64) << 32) | e.dst as u64);
-        self.edges.dedup_by_key(|e| (e.src, e.dst));
+        crate::GraphBuilder::canonicalize(&mut self.edges);
     }
 
     /// Make the graph undirected by adding the reverse of every edge (the

@@ -16,23 +16,35 @@
 //! * [`io`] — plain-text and binary edge-list readers/writers.
 //! * [`datasets`] — the scaled-down named datasets used by the experiment
 //!   harness, with the scale factors recorded in `EXPERIMENTS.md`.
+//! * [`builder`] — the single canonicalization + CSR-assembly pipeline
+//!   shared by loaders and the compaction rebuild.
+//! * [`delta`] / [`mutable`] — batched edge mutations ([`DeltaBatch`]),
+//!   the applied overlay ([`DeltaLog`]), and the merged live view
+//!   ([`MutableGraph`]) with threshold-triggered compaction
+//!   (`docs/INCREMENTAL.md`).
 
 #![deny(unsafe_code)]
 
+pub mod builder;
 pub mod compress;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod edgelist;
 pub mod gen;
 pub mod io;
+pub mod mutable;
 pub mod partition;
 pub mod stats;
 pub mod types;
 
+pub use builder::GraphBuilder;
 pub use compress::{decode_list, encode_list, CompressedAdjacency, DeltaDecoder};
 pub use csr::Graph;
 pub use datasets::{dataset, DatasetId};
+pub use delta::{AppliedBatch, BatchStats, DeltaBatch, DeltaError, DeltaLog};
 pub use edgelist::EdgeList;
+pub use mutable::{MergedEdges, MutableGraph, DEFAULT_COMPACTION_FRACTION};
 pub use partition::{edge_balanced_ranges, vertex_balanced_ranges, PartitionStats};
 pub use stats::GraphStats;
 pub use types::{Edge, VId, Weight};

@@ -43,6 +43,21 @@
 //!   [`ServeResponse::deadline_missed`] set, and counted in
 //!   [`ServeStats::deadline_missed`].
 //!
+//! * **Continuous ingest.** [`RequestKind::Ingest`] applies an edge
+//!   mutation batch to the resident graph through the same queue and
+//!   admission machinery (batches are validated at admission). The first
+//!   ingest canonicalizes the resident edge set into a
+//!   [`polymer_graph::MutableGraph`] and switches the service to *mutated
+//!   mode*: later queries are answered by the incremental overlay engines
+//!   ([`polymer_algos::bfs_overlay`] and friends) against a resident
+//!   delta-overlay topology, warm-started from a per-lane cache of
+//!   converged results (a repeat query with no intervening mutation is a
+//!   pure cache hit). Coalescing is disabled in mutated mode — the
+//!   multi-source sweep reads the pre-mutation graph — and mutated-mode
+//!   PageRank serves the tolerance-converged residual fixpoint rather
+//!   than an iteration-capped sweep. `docs/INCREMENTAL.md` covers the
+//!   delta model and warm-start semantics.
+//!
 //! * **Shutdown.** [`GraphService::stop`] (also on drop) fails queued
 //!   requests with [`PolymerError::ServiceStopped`], lets in-flight runs
 //!   deliver, and joins the pool.
@@ -67,6 +82,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod mutate;
 mod request;
 mod service;
 

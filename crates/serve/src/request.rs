@@ -5,9 +5,10 @@ use std::time::Duration;
 
 use polymer_api::supervisor::RecoveryReport;
 use polymer_api::PolymerResult;
-use polymer_graph::VId;
+use polymer_graph::{BatchStats, DeltaBatch, VId};
 
-/// One algorithm request against the resident graph.
+/// One request against the resident graph: an algorithm query or an edge
+/// mutation batch.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RequestKind {
     /// BFS hop levels from `source`.
@@ -26,9 +27,24 @@ pub enum RequestKind {
     },
     /// PageRank over the whole graph for `iters` iterations. Whole-graph
     /// requests never coalesce — there is no per-source lane to share.
+    /// Once the graph has been mutated (see [`RequestKind::Ingest`]),
+    /// PageRank is served as the tolerance-converged residual fixpoint and
+    /// `iters` becomes a hint only.
     PageRank {
-        /// Iteration cap.
+        /// Iteration cap (static-graph mode only).
         iters: usize,
+    },
+    /// Apply an edge mutation batch to the resident graph. The first
+    /// ingest switches the service into *mutated mode*: the resident edge
+    /// set is canonicalized into a [`polymer_graph::MutableGraph`] and
+    /// every later query is answered incrementally against the
+    /// delta-overlay topology, warm-started from cached converged results
+    /// where possible. The batch is validated at admission
+    /// (out-of-range endpoints, self-loops, and zero weights are rejected
+    /// with [`polymer_api::PolymerError::InvalidConfig`]).
+    Ingest {
+        /// The mutation batch to apply.
+        batch: DeltaBatch,
     },
 }
 
@@ -39,28 +55,33 @@ impl RequestKind {
             RequestKind::Bfs { .. } => "BFS",
             RequestKind::Sssp { .. } => "SSSP",
             RequestKind::PageRank { .. } => "PageRank",
+            RequestKind::Ingest { .. } => "Ingest",
         }
     }
 
     /// The coalescing class: requests with equal keys can share one
-    /// multi-source sweep. `None` for whole-graph algorithms.
+    /// multi-source sweep. `None` for whole-graph algorithms and for
+    /// mutations.
     pub(crate) fn batch_key(&self) -> Option<BatchKey> {
         match self {
             RequestKind::Bfs { .. } => Some(BatchKey::Bfs),
             RequestKind::Sssp { delta, .. } => Some(BatchKey::Sssp { delta: *delta }),
             RequestKind::PageRank { .. } => None,
+            RequestKind::Ingest { .. } => None,
         }
     }
 
     /// Admission-control estimate of the request's scratch footprint:
-    /// two value lanes per vertex (`curr`/`next`), by value width. The
-    /// estimate is deliberately simple and deterministic — the budget
-    /// bounds aggregate pressure, it does not meter allocations.
+    /// two value lanes per vertex (`curr`/`next`) for queries, by value
+    /// width, and the op list itself for ingests. The estimate is
+    /// deliberately simple and deterministic — the budget bounds aggregate
+    /// pressure, it does not meter allocations.
     pub(crate) fn scratch_bytes(&self, num_vertices: usize) -> u64 {
         let per_vertex: u64 = match self {
             RequestKind::Bfs { .. } => 2 * 4,
             RequestKind::Sssp { .. } => 2 * 8,
             RequestKind::PageRank { .. } => 2 * 8,
+            RequestKind::Ingest { batch } => return 16 * batch.len() as u64,
         };
         per_vertex * num_vertices as u64
     }
@@ -82,6 +103,8 @@ pub enum ResponseValues {
     Distances(Vec<u64>),
     /// PageRank mass per vertex.
     Ranks(Vec<f64>),
+    /// Counters of an applied ingest batch (no per-vertex values).
+    Ingested(BatchStats),
 }
 
 impl ResponseValues {
@@ -109,12 +132,21 @@ impl ResponseValues {
         }
     }
 
-    /// Number of vertices covered.
+    /// Applied-batch counters, if this is an ingest response.
+    pub fn ingest_stats(&self) -> Option<&BatchStats> {
+        match self {
+            ResponseValues::Ingested(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number of vertices covered (`0` for ingest responses).
     pub fn len(&self) -> usize {
         match self {
             ResponseValues::Levels(v) => v.len(),
             ResponseValues::Distances(v) => v.len(),
             ResponseValues::Ranks(v) => v.len(),
+            ResponseValues::Ingested(_) => 0,
         }
     }
 
@@ -228,4 +260,14 @@ pub struct ServeStats {
     pub batched_requests: u64,
     /// Largest lane count of any sweep so far.
     pub max_batch_lanes: u64,
+    /// Mutation batches applied to the resident graph.
+    pub ingests: u64,
+    /// Threshold compactions triggered by ingests (base CSR rebuilds).
+    pub compactions: u64,
+    /// Queries answered by the incremental overlay engines (mutated mode),
+    /// warm-started or cold; cache hits are counted separately.
+    pub incremental_answers: u64,
+    /// Queries answered straight from the converged-result cache without
+    /// running anything (no mutation since the cached run).
+    pub cache_hits: u64,
 }

@@ -12,6 +12,7 @@ use polymer_core::PolymerEngine;
 use polymer_graph::Graph;
 use polymer_numa::{Machine, MachineSpec};
 
+use crate::mutate::{AnswerPath, MutState};
 use crate::request::{
     BatchKey, RequestKind, ResponseValues, ServeResponse, ServeStats, Slot, Ticket,
 };
@@ -45,6 +46,11 @@ pub struct ServeConfig {
     pub supervisor: SupervisorConfig,
     /// Deadline applied to requests submitted without one.
     pub default_deadline: Option<Duration>,
+    /// Compaction-threshold override for mutated mode (`None` keeps
+    /// [`polymer_graph::DEFAULT_COMPACTION_FRACTION`]); pending overlay
+    /// entries past this fraction of the base edge count trigger a base
+    /// CSR rebuild on ingest.
+    pub compaction_fraction: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +65,7 @@ impl Default for ServeConfig {
             spec: MachineSpec::test2(),
             supervisor: SupervisorConfig::default(),
             default_deadline: None,
+            compaction_fraction: None,
         }
     }
 }
@@ -78,6 +85,10 @@ struct State {
     queue: VecDeque<Pending>,
     stopped: bool,
     paused: bool,
+    /// Set by the first successful ingest; from then on queries dispatch
+    /// through the incremental path and coalescing is disabled (the static
+    /// multi-source sweep reads the pre-mutation resident graph).
+    mutated: bool,
     in_use_bytes: u64,
     next_id: u64,
     stats: ServeStats,
@@ -87,6 +98,9 @@ struct Inner {
     graph: Arc<Graph>,
     cfg: ServeConfig,
     state: Mutex<State>,
+    /// Mutated-mode state (`None` until the first ingest). Held across the
+    /// whole apply/answer, so mutated-mode requests serialize on it.
+    mut_state: Mutex<Option<MutState>>,
     cv: Condvar,
 }
 
@@ -138,10 +152,12 @@ impl GraphService {
                 queue: VecDeque::new(),
                 stopped: false,
                 paused: false,
+                mutated: false,
                 in_use_bytes: 0,
                 next_id: 0,
                 stats: ServeStats::default(),
             }),
+            mut_state: Mutex::new(None),
             cv: Condvar::new(),
         });
         let workers = (0..inner.cfg.workers)
@@ -180,7 +196,7 @@ impl GraphService {
         let source = match kind {
             RequestKind::Bfs { source } => Some(source),
             RequestKind::Sssp { source, .. } => Some(source),
-            RequestKind::PageRank { .. } => None,
+            RequestKind::PageRank { .. } | RequestKind::Ingest { .. } => None,
         };
         if let Some(s) = source {
             if s as usize >= n {
@@ -188,6 +204,11 @@ impl GraphService {
                     "source vertex {s} out of range (graph has {n} vertices)"
                 )));
             }
+        }
+        if let RequestKind::Ingest { batch } = &kind {
+            batch
+                .validate(n)
+                .map_err(|e| PolymerError::InvalidConfig(format!("ingest batch: {e}")))?;
         }
         let scratch = kind.scratch_bytes(n);
         let mut st = self.inner.lock();
@@ -304,10 +325,17 @@ fn worker_loop(inner: &Inner) {
 
 /// Pop the head request and coalesce every queued request with the same
 /// [`BatchKey`] behind it, up to `max_lanes`. Whole-graph requests (no
-/// key) dispatch alone. FIFO order is preserved for everything left.
+/// key) dispatch alone, and once the graph has been mutated nothing
+/// coalesces — the multi-source sweep reads the pre-mutation resident
+/// graph, so every query must go through the incremental path. FIFO order
+/// is preserved for everything left.
 fn take_batch(st: &mut State, max_lanes: usize) -> Vec<Pending> {
     let head = st.queue.pop_front().expect("caller checked non-empty");
-    let key = head.kind.batch_key();
+    let key = if st.mutated {
+        None
+    } else {
+        head.kind.batch_key()
+    };
     let mut batch = vec![head];
     if let Some(key) = key {
         let mut i = 0;
@@ -342,9 +370,90 @@ fn process(inner: &Inner, batch: Vec<Pending>) {
     }
     match live.len() {
         0 => {}
-        1 => run_solo(inner, live.into_iter().next().expect("len checked")),
+        1 => dispatch_one(inner, live.into_iter().next().expect("len checked")),
         _ => run_batched(inner, live),
     }
+}
+
+/// Route a solo request: ingests mutate the resident state; queries run
+/// incrementally once the graph has been mutated, and under the full
+/// static-graph supervisor before that.
+fn dispatch_one(inner: &Inner, p: Pending) {
+    if matches!(p.kind, RequestKind::Ingest { .. }) {
+        run_ingest(inner, p);
+    } else if inner.lock().mutated {
+        run_incremental(inner, p);
+    } else {
+        run_solo(inner, p);
+    }
+}
+
+/// Apply an ingest batch to the mutated-mode state (created lazily from
+/// the resident graph on the first ingest) and answer with its stats.
+fn run_ingest(inner: &Inner, p: Pending) {
+    let RequestKind::Ingest { batch } = &p.kind else {
+        unreachable!("caller matched Ingest");
+    };
+    let mut guard = inner.mut_state.lock().unwrap_or_else(|e| e.into_inner());
+    let ms =
+        guard.get_or_insert_with(|| MutState::new(&inner.graph, inner.cfg.compaction_fraction));
+    let outcome = match ms.ingest(batch) {
+        Ok(stats) => {
+            {
+                let mut st = inner.lock();
+                st.mutated = true;
+                st.stats.ingests += 1;
+                if stats.compacted {
+                    st.stats.compactions += 1;
+                }
+            }
+            Ok(ServeResponse {
+                id: p.id,
+                algorithm: p.kind.name(),
+                values: ResponseValues::Ingested(stats),
+                iterations: 0,
+                batched_lanes: 1,
+                deadline_missed: missed(&p),
+                latency: p.submitted.elapsed(),
+                recovery: None,
+            })
+        }
+        // Validation ran at admission; an error here means the graph
+        // changed shape underneath the queue, which it cannot.
+        Err(e) => Err(PolymerError::InvalidConfig(format!("ingest batch: {e}"))),
+    };
+    drop(guard);
+    finish(inner, &p, outcome);
+}
+
+/// Answer a query in mutated mode: cache hit, warm-started incremental
+/// repair, or cold overlay run (see [`crate::mutate`]).
+fn run_incremental(inner: &Inner, p: Pending) {
+    let mut guard = inner.mut_state.lock().unwrap_or_else(|e| e.into_inner());
+    let ms = guard.as_mut().expect("mutated flag implies state");
+    let outcome = ms
+        .answer(&p.kind, &inner.cfg.spec, inner.cfg.threads_per_request)
+        .map(|(values, iterations, path)| {
+            {
+                let mut st = inner.lock();
+                match path {
+                    AnswerPath::CacheHit => st.stats.cache_hits += 1,
+                    AnswerPath::Warm | AnswerPath::Cold => st.stats.incremental_answers += 1,
+                }
+            }
+            ServeResponse {
+                id: p.id,
+                algorithm: p.kind.name(),
+                values,
+                iterations,
+                batched_lanes: 1,
+                deadline_missed: missed(&p),
+                latency: p.submitted.elapsed(),
+                recovery: None,
+            }
+        });
+    drop(guard);
+    finish(inner, &p, outcome);
 }
 
 /// Deliver `outcome` for `p` and release its admission pledge.
@@ -400,6 +509,7 @@ fn run_solo(inner: &Inner, p: Pending) {
             let (res, _) = sup.run_reported(&engine, backend, spec, threads, g, &prog);
             res.map(|run| solo_response(&p, run.with_tag(p.id), ResponseValues::Ranks))
         }
+        RequestKind::Ingest { .. } => unreachable!("ingests dispatch through run_ingest"),
     };
     finish(inner, &p, outcome);
 }
@@ -436,7 +546,9 @@ fn run_batched(inner: &Inner, batch: Vec<Pending>) {
         .map(|p| match p.kind {
             RequestKind::Bfs { source } => source,
             RequestKind::Sssp { source, .. } => source,
-            RequestKind::PageRank { .. } => unreachable!("whole-graph requests never coalesce"),
+            RequestKind::PageRank { .. } | RequestKind::Ingest { .. } => {
+                unreachable!("keyless requests never coalesce")
+            }
         })
         .collect();
     {
@@ -552,6 +664,7 @@ mod tests {
     use super::*;
     use polymer_algos::run_reference;
     use polymer_graph::gen;
+    use polymer_graph::{DeltaBatch, MutableGraph};
 
     fn graph() -> Graph {
         Graph::from_edges(&gen::rmat(7, 1 << 10, gen::RMAT_GRAPH500, 5))
@@ -735,6 +848,172 @@ mod tests {
             .map(|t| t.id())
             .unwrap_err();
         assert_eq!(err, PolymerError::ServiceStopped);
+    }
+
+    #[test]
+    fn ingest_switches_to_incremental_with_cache_and_warm_start() {
+        let g = graph();
+        let n = g.num_vertices() as u32;
+        let svc = GraphService::new(g.clone(), quick_cfg()).unwrap();
+
+        // Static-mode query first, so the service has served both modes.
+        svc.submit(RequestKind::Bfs { source: 0 })
+            .unwrap()
+            .wait()
+            .unwrap();
+
+        let mut b1 = DeltaBatch::new();
+        b1.insert(1, n - 3, 7).insert(2, n - 2, 3).delete(0, 1);
+        let r = svc
+            .submit(RequestKind::Ingest { batch: b1.clone() })
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r.algorithm, "Ingest");
+        let applied = r.values.ingest_stats().unwrap();
+        assert_eq!(applied.inserted, 2);
+
+        // Mirror the service's mutation to get the oracle graph.
+        let mut mirror = MutableGraph::from_graph(&g);
+        mirror.apply(&b1).unwrap();
+        let (want, _) = run_reference(
+            &Graph::from_edges(&mirror.snapshot_edge_list()),
+            &Bfs::new(0),
+        );
+
+        // Cold incremental answer, then a pure cache hit.
+        let r1 = svc.submit(RequestKind::Bfs { source: 0 }).unwrap();
+        assert_eq!(r1.wait().unwrap().values.levels().unwrap(), &want[..]);
+        let r2 = svc.submit(RequestKind::Bfs { source: 0 }).unwrap();
+        assert_eq!(r2.wait().unwrap().values.levels().unwrap(), &want[..]);
+
+        // Second ingest, then the same query warm-starts from the cache.
+        let mut b2 = DeltaBatch::new();
+        b2.insert(5, n - 1, 2).delete(1, n - 3);
+        svc.submit(RequestKind::Ingest { batch: b2.clone() })
+            .unwrap()
+            .wait()
+            .unwrap();
+        mirror.apply(&b2).unwrap();
+        let (want, _) = run_reference(
+            &Graph::from_edges(&mirror.snapshot_edge_list()),
+            &Bfs::new(0),
+        );
+        let r3 = svc.submit(RequestKind::Bfs { source: 0 }).unwrap();
+        assert_eq!(r3.wait().unwrap().values.levels().unwrap(), &want[..]);
+
+        let stats = svc.stats();
+        assert_eq!(stats.ingests, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.incremental_answers, 2, "cold + warm");
+        assert_eq!(stats.compactions, 0);
+    }
+
+    #[test]
+    fn sssp_and_pagerank_serve_incrementally_after_ingest() {
+        let g = graph();
+        let svc = GraphService::new(g.clone(), quick_cfg()).unwrap();
+        let mut b = DeltaBatch::new();
+        b.insert(3, 77, 4).insert(9, 50, 2).delete(0, 2);
+        svc.submit(RequestKind::Ingest { batch: b.clone() })
+            .unwrap()
+            .wait()
+            .unwrap();
+        let mut mirror = MutableGraph::from_graph(&g);
+        mirror.apply(&b).unwrap();
+        let g2 = Graph::from_edges(&mirror.snapshot_edge_list());
+
+        let r = svc
+            .submit(RequestKind::Sssp {
+                source: 3,
+                delta: 100,
+            })
+            .unwrap()
+            .wait()
+            .unwrap();
+        let (want, _) = run_reference(&g2, &Sssp::new(3));
+        assert_eq!(r.values.distances().unwrap(), &want[..]);
+
+        let r = svc
+            .submit(RequestKind::PageRank { iters: 5 })
+            .unwrap()
+            .wait()
+            .unwrap();
+        let (want, _) =
+            polymer_algos::pagerank_host(&mirror, 0.85, polymer_algos::DEFAULT_PR_TOL, None);
+        let err = polymer_algos::reference::max_rel_error(r.values.ranks().unwrap(), &want);
+        assert!(err < 1e-6, "served PR off by {err}");
+    }
+
+    #[test]
+    fn ingest_batches_are_validated_at_admission() {
+        let svc = GraphService::new(graph(), quick_cfg()).unwrap();
+        let mut self_loop = DeltaBatch::new();
+        self_loop.insert(4, 4, 1);
+        let mut zero_w = DeltaBatch::new();
+        zero_w.insert(0, 1, 0);
+        let mut oob = DeltaBatch::new();
+        oob.insert(0, 1 << 20, 1);
+        for bad in [self_loop, zero_w, oob] {
+            let err = svc
+                .submit(RequestKind::Ingest { batch: bad })
+                .map(|t| t.id())
+                .unwrap_err();
+            assert_eq!(err.code(), "invalid-config");
+        }
+        assert_eq!(svc.stats().submitted, 0);
+        assert_eq!(svc.stats().ingests, 0);
+    }
+
+    #[test]
+    fn threshold_compaction_is_counted_and_queries_survive_it() {
+        let g = graph();
+        let cfg = ServeConfig {
+            compaction_fraction: Some(1e-4),
+            ..quick_cfg()
+        };
+        let svc = GraphService::new(g.clone(), cfg).unwrap();
+        let n = g.num_vertices() as u32;
+        let mut b = DeltaBatch::new();
+        for i in 0..8u32 {
+            b.insert(i, n - 1 - i, 1 + i);
+        }
+        let r = svc
+            .submit(RequestKind::Ingest { batch: b.clone() })
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(r.values.ingest_stats().unwrap().compacted);
+        assert_eq!(svc.stats().compactions, 1);
+
+        let mut mirror = MutableGraph::from_graph(&g).with_compaction_fraction(1e-4);
+        mirror.apply(&b).unwrap();
+        let (want, _) = run_reference(
+            &Graph::from_edges(&mirror.snapshot_edge_list()),
+            &Bfs::new(0),
+        );
+        let r = svc.submit(RequestKind::Bfs { source: 0 }).unwrap();
+        assert_eq!(r.wait().unwrap().values.levels().unwrap(), &want[..]);
+    }
+
+    #[test]
+    fn coalescing_is_disabled_once_mutated() {
+        let svc = GraphService::new(graph(), quick_cfg()).unwrap();
+        let mut b = DeltaBatch::new();
+        b.insert(0, 99, 1);
+        svc.submit(RequestKind::Ingest { batch: b })
+            .unwrap()
+            .wait()
+            .unwrap();
+        svc.pause();
+        let t1 = svc.submit(RequestKind::Bfs { source: 0 }).unwrap();
+        let t2 = svc.submit(RequestKind::Bfs { source: 5 }).unwrap();
+        svc.resume();
+        assert_eq!(t1.wait().unwrap().batched_lanes, 1);
+        assert_eq!(t2.wait().unwrap().batched_lanes, 1);
+        let stats = svc.stats();
+        assert_eq!(stats.batches, 0, "no coalesced sweep after mutation");
+        assert_eq!(stats.incremental_answers, 2);
     }
 
     #[test]

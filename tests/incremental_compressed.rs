@@ -1,0 +1,111 @@
+//! Incremental overlay queries under the delta/varint-compressed topology.
+//!
+//! The regression this pins: compaction replaces the base CSR, so any
+//! placed *and encoded* copy of it is stale. A resident service that keeps
+//! serving from the pre-compaction `OverlayTopo` would read decoded
+//! neighbours of a graph that no longer exists. The contract is that
+//! `OverlayTopo::is_stale` flags the topology after threshold compaction
+//! and a rebuild re-encodes the new base, leaving warm-started queries
+//! oracle-exact and still moving fewer sweep bytes than the raw layout.
+//!
+//! The compression toggle is process-global, so this suite owns its test
+//! binary and keeps everything in one `#[test]`.
+
+use polymer::algos::{bfs_overlay, cc_overlay, WarmStart};
+use polymer::api::OverlayTopo;
+use polymer::graph::{gen, DeltaBatch, MutableGraph};
+use polymer::numa::{set_compressed_topology, AllocPolicy};
+use polymer::prelude::*;
+
+const THREADS: usize = 4;
+
+fn build_topo(machine: &Machine, mg: &MutableGraph) -> OverlayTopo {
+    OverlayTopo::build(machine, mg, false, |_| AllocPolicy::Interleaved)
+}
+
+fn mixed_batch(mg: &MutableGraph, seed: u64, k: usize) -> DeltaBatch {
+    let el = mg.snapshot_edge_list();
+    let n = mg.num_vertices() as u64;
+    let mut b = DeltaBatch::new();
+    for i in 0..k {
+        let h = seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(i as u64)
+            .wrapping_mul(0xbf58476d1ce4e5b9);
+        let e = el.edges[(h % el.edges.len() as u64) as usize];
+        if i % 2 == 0 {
+            b.delete(e.src, e.dst);
+        } else {
+            let s = (h >> 8) % n;
+            let d = (h >> 24) % n;
+            if s != d {
+                b.insert(s as u32, d as u32, 1 + (h % 90) as u32);
+            }
+        }
+    }
+    b
+}
+
+#[test]
+fn compaction_under_compression_stays_oracle_exact() {
+    let machine = Machine::new(MachineSpec::test2());
+    let base = gen::uniform(200, 1_200, 97);
+
+    // Raw-layout baseline for the cold query.
+    set_compressed_topology(false);
+    let mg_raw = MutableGraph::from_edge_list(base.clone());
+    let raw_topo = build_topo(&machine, &mg_raw);
+    let raw_cold = bfs_overlay(&machine, THREADS, &raw_topo, 0, None, false).unwrap();
+
+    // Compressed resident graph with an aggressive compaction threshold
+    // (1% of |E| ≈ 12 pending entries).
+    set_compressed_topology(true);
+    let mut mg = MutableGraph::from_edge_list(base).with_compaction_fraction(0.01);
+    let topo = build_topo(&machine, &mg);
+    assert!(
+        topo.neighbor_sweep_bytes() < raw_topo.neighbor_sweep_bytes(),
+        "encoded base must be smaller than the raw layout"
+    );
+    let prior = bfs_overlay(&machine, THREADS, &topo, 0, None, false).unwrap();
+    assert_eq!(
+        prior.values, raw_cold.values,
+        "compressed cold query diverged from raw"
+    );
+
+    // Ingest past the threshold: apply compacts internally, invalidating
+    // the encoded base the resident topology holds.
+    let applied = mg.apply(&mixed_batch(&mg, 3, 30)).unwrap();
+    assert!(applied.stats.compacted, "batch must trigger compaction");
+    assert!(
+        topo.is_stale(&mg),
+        "pre-compaction topology must report stale under compression"
+    );
+
+    // Rebuild (re-encodes the new base); the warm-started query must be
+    // oracle-exact on the post-batch graph.
+    let topo = build_topo(&machine, &mg);
+    assert!(!topo.is_stale(&mg));
+    let g2 = Graph::from_edges(&mg.snapshot_edge_list());
+    let warm = WarmStart::from_result(&prior, &applied);
+    let run = bfs_overlay(&machine, THREADS, &topo, 0, Some(warm), false).unwrap();
+    let (oracle, _) = run_reference(&g2, &Bfs::new(0));
+    assert_eq!(run.values, oracle, "warm BFS after compaction vs oracle");
+
+    // The rebuilt topology is still encoded: strictly smaller sweep than
+    // a raw rebuild of the same mutable graph.
+    set_compressed_topology(false);
+    let raw_rebuilt = build_topo(&machine, &mg);
+    set_compressed_topology(true);
+    assert!(
+        topo.neighbor_sweep_bytes() < raw_rebuilt.neighbor_sweep_bytes(),
+        "post-compaction rebuild must re-encode the base"
+    );
+
+    // A cold CC query on the rebuilt compressed topology also matches the
+    // oracle (symmetric programs decode the in-direction too).
+    let (cc_oracle, _) = run_reference(&g2, &ConnectedComponents::new());
+    let cc = cc_overlay(&machine, THREADS, &topo, None, false).unwrap();
+    assert_eq!(cc.values, cc_oracle, "cold CC on compressed rebuild");
+
+    set_compressed_topology(false);
+}
