@@ -196,6 +196,9 @@ pub trait Engine {
                         peak_bytes: 0,
                         spilled_pages: 0,
                         tags: vec![],
+                        spilled_by_node: vec![],
+                        demoted_by_node: vec![],
+                        promoted_by_node: vec![],
                     },
                     threads,
                     sockets: cfg.groups.clamp(1, threads.max(1)),

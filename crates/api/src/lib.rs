@@ -25,6 +25,7 @@
 //! (simulated time, access profile, memory report).
 
 #![deny(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod backend;
 pub mod driver;

@@ -98,6 +98,9 @@ mod tests {
                 peak_bytes: 1 << 30,
                 spilled_pages: 0,
                 tags: vec![],
+                spilled_by_node: vec![],
+                demoted_by_node: vec![],
+                promoted_by_node: vec![],
             },
             threads: 4,
             sockets: 2,

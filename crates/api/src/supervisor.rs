@@ -567,6 +567,9 @@ mod tests {
                     peak_bytes: 0,
                     spilled_pages: 0,
                     tags: vec![],
+                    spilled_by_node: vec![],
+                    demoted_by_node: vec![],
+                    promoted_by_node: vec![],
                 },
                 threads,
                 sockets: 1,

@@ -233,6 +233,15 @@ pub struct Metrics {
     /// Simulated seconds charged to each iteration, index-aligned with the
     /// iteration numbers the engine stamped (empty when untraced).
     pub per_iteration_sec: Vec<f64>,
+    /// Pages that landed off their requested node per landing node
+    /// (capacity spills; empty when nothing spilled).
+    pub spilled_by_node: Vec<u64>,
+    /// Pages demoted to each slow node — alloc-time overflow plus runtime
+    /// fast→slow migrations (empty off tiered machines).
+    pub demoted_by_node: Vec<u64>,
+    /// Pages promoted to each fast node by runtime slow→fast migrations
+    /// (empty off tiered machines).
+    pub promoted_by_node: Vec<u64>,
 }
 
 /// Build the per-phase summaries from a recorded trace.
@@ -249,6 +258,16 @@ fn phase_summaries(buf: &TraceBuffer) -> Vec<PhaseSummary> {
             spilled_pages: r.spilled_pages,
         })
         .collect()
+}
+
+/// An all-zero per-node counter vector carries no information — drop it so
+/// single-tier rows stay as small as before.
+fn nonzero_counts(v: Vec<u64>) -> Vec<u64> {
+    if v.iter().all(|&c| c == 0) {
+        Vec::new()
+    } else {
+        v
+    }
 }
 
 fn metrics<V>(
@@ -281,6 +300,9 @@ fn metrics<V>(
             .trace()
             .map(|buf| buf.iteration_us().iter().map(|(_, us)| us / 1e6).collect())
             .unwrap_or_default(),
+        spilled_by_node: nonzero_counts(r.memory.spilled_by_node.clone()),
+        demoted_by_node: nonzero_counts(r.memory.demoted_by_node.clone()),
+        promoted_by_node: nonzero_counts(r.memory.promoted_by_node.clone()),
     }
 }
 
@@ -374,6 +396,67 @@ pub fn run_with_polymer_config(
     config: PolymerConfig,
 ) -> Metrics {
     run_traced_with_polymer_config(system, algo, wl, spec, threads, config).0
+}
+
+/// Like [`run`], but on a caller-built [`Machine`] instead of a fresh one —
+/// the hook for runs that need machine state configured before the engine
+/// allocates: tier routing (`Machine::route_tags_to_slow`), a promotion
+/// policy (`Machine::set_tier_policy`), capacity clamps, or a non-default
+/// spill policy. The caller is responsible for applying the workload's
+/// barrier/LLC scaling to the spec (see [`Workload::scaled_spec`]).
+///
+/// `iters` overrides the iteration count of the fixed-iteration algorithms
+/// (PR, SpMV, BP); `None` keeps their 5-iteration default, and traversals
+/// (BFS, CC, SSSP) run to their own convergence either way.
+pub fn run_on_machine(
+    system: SystemId,
+    algo: AlgoId,
+    wl: &Workload,
+    machine: &Machine,
+    threads: usize,
+    iters: Option<usize>,
+) -> Metrics {
+    let g = wl.graph_for(algo);
+    let spec = machine.spec().clone();
+    let name = wl.id.name();
+    macro_rules! dispatch_prog {
+        ($prog:expr) => {{
+            let prog = $prog;
+            let r = match system {
+                SystemId::Polymer => PolymerEngine::new().run_traced(machine, threads, g, &prog),
+                SystemId::Ligra => LigraEngine::new().run_traced(machine, threads, g, &prog),
+                SystemId::XStream => XStreamEngine::new().run_traced(machine, threads, g, &prog),
+                SystemId::Galois => GaloisEngine::new().run_traced(machine, threads, g, &prog),
+            };
+            metrics(system, algo, name, &spec, &r)
+        }};
+    }
+    match algo {
+        AlgoId::PR => {
+            let mut prog = PageRank::new(g.num_vertices());
+            if let Some(k) = iters {
+                prog = prog.with_iters(k);
+            }
+            dispatch_prog!(prog)
+        }
+        AlgoId::SpMV => {
+            let mut prog = SpMV::new();
+            if let Some(k) = iters {
+                prog = prog.with_iters(k);
+            }
+            dispatch_prog!(prog)
+        }
+        AlgoId::BP => {
+            let mut prog = BeliefPropagation::new();
+            if let Some(k) = iters {
+                prog = prog.with_iters(k);
+            }
+            dispatch_prog!(prog)
+        }
+        AlgoId::BFS => dispatch_prog!(Bfs::new(wl.source)),
+        AlgoId::CC => dispatch_prog!(ConnectedComponents::new()),
+        AlgoId::SSSP => dispatch_prog!(Sssp::new(wl.source)),
+    }
 }
 
 /// [`run_traced`] with an explicit Polymer configuration.

@@ -87,6 +87,17 @@ pub struct CostConfig {
     pub max_hit_rate: f64,
     /// CPU cycles charged per access as an instruction-overhead floor.
     pub cpu_cycles_per_access: f64,
+    /// Aggregate bandwidth of one *slow-tier* node's controller, MB/s.
+    /// Follows the Optane calibration: the capacity tier's aggregate
+    /// bandwidth is roughly the DRAM controller's divided by
+    /// [`crate::SLOW_SEQ_BW_DIVISOR`]. Only consulted for slow nodes, so
+    /// single-tier machines never read it.
+    #[serde(default = "default_slow_node_dram_mbs")]
+    pub slow_node_dram_mbs: f64,
+}
+
+fn default_slow_node_dram_mbs() -> f64 {
+    4_900.0
 }
 
 impl Default for CostConfig {
@@ -98,6 +109,7 @@ impl Default for CostConfig {
             llc_rand_mbs: 6_000.0,
             max_hit_rate: 0.95,
             cpu_cycles_per_access: 1.0,
+            slow_node_dram_mbs: default_slow_node_dram_mbs(),
         }
     }
 }
@@ -420,7 +432,10 @@ impl CostModel {
                             let dist = topo.dist(node, dst);
                             let miss_b = b * (1.0 - hit);
                             let hit_b = b * hit;
-                            let dram_bw = spec.bandwidth.bw(seq, dist);
+                            // The destination node's tier selects the table
+                            // row; `bw_t(.., Fast)` is exactly `bw(..)`, so
+                            // single-tier machines charge bit-identically.
+                            let dram_bw = spec.bandwidth.bw_t(seq, dist, topo.tier_of(dst));
                             let llc_bw = if seq {
                                 cfg.llc_seq_mbs
                             } else {
@@ -503,9 +518,20 @@ impl CostModel {
         }
 
         cost.max_thread_us = cost.per_thread_us.iter().cloned().fold(0.0, f64::max);
+        // Congestion folds each node's miss bytes over its *own* controller
+        // capacity: slow-tier controllers saturate earlier. For all-fast
+        // machines every divisor is `node_dram_mbs`, as before.
         cost.dram_bound_us = dram_bytes
             .iter()
-            .map(|b| b / cfg.node_dram_mbs)
+            .enumerate()
+            .map(|(n, b)| {
+                let mbs = if topo.tier_of(n).is_slow() {
+                    cfg.slow_node_dram_mbs
+                } else {
+                    cfg.node_dram_mbs
+                };
+                b / mbs
+            })
             .fold(0.0, f64::max);
         cost.link_bound_us = link_bytes
             .iter()
@@ -658,6 +684,86 @@ mod tests {
         let c_hot = model.phase_cost(&[hot]);
         let c_cold = model.phase_cost(&[cold]);
         assert!(c_cold.time_us > 2.0 * c_hot.time_us);
+    }
+
+    #[test]
+    fn slow_tier_bytes_charge_slower() {
+        // Same workload against a fast-homed and a slow-homed array on a
+        // tiered machine: the slow copy must cost several times more for
+        // random accesses (the Optane ÷8 row) and more for sequential too.
+        let m = Machine::new(MachineSpec::test2_tiered());
+        let fast = m.alloc_array::<u64>("f", 1 << 20, AllocPolicy::OnNode(1));
+        let slow = m.alloc_array::<u64>("s", 1 << 20, AllocPolicy::OnNode(2));
+        let mut model = CostModel::new(&m, CostConfig::default());
+        let n = 100_000;
+        let run = |arr: &crate::NumaArray<u64>, rand: bool| {
+            stats_for(&m, 0, |ctx| {
+                let mut i = 1usize;
+                for k in 0..n {
+                    let idx = if rand {
+                        i = (i.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+                            % (1 << 20);
+                        i
+                    } else {
+                        k
+                    };
+                    arr.get(ctx, idx);
+                }
+            })
+        };
+        let seq_fast = model.phase_cost(&[run(&fast, false)]);
+        let seq_slow = model.phase_cost(&[run(&slow, false)]);
+        let mut model2 = CostModel::new(&m, CostConfig::default());
+        let rand_fast = model2.phase_cost(&[run(&fast, true)]);
+        let rand_slow = model2.phase_cost(&[run(&slow, true)]);
+        assert!(
+            seq_slow.time_us > 1.5 * seq_fast.time_us,
+            "seq slow {} vs fast {}",
+            seq_slow.time_us,
+            seq_fast.time_us
+        );
+        assert!(
+            rand_slow.time_us > 4.0 * rand_fast.time_us,
+            "rand slow {} vs fast {}",
+            rand_slow.time_us,
+            rand_fast.time_us
+        );
+    }
+
+    #[test]
+    fn slow_controller_congests_earlier() {
+        // Many threads hammering one node: congestion binds, and the bound
+        // is deeper when the hammered node is a slow one.
+        let spec = MachineSpec {
+            nodes: 4,
+            cores_per_node: 4,
+            node_tiers: vec![
+                crate::TierClass::Fast,
+                crate::TierClass::Fast,
+                crate::TierClass::Slow,
+                crate::TierClass::Slow,
+            ],
+            ..MachineSpec::test2()
+        };
+        let m = Machine::new(spec);
+        let on_fast = m.alloc_array::<u64>("f", 1 << 22, AllocPolicy::OnNode(1));
+        let on_slow = m.alloc_array::<u64>("s", 1 << 22, AllocPolicy::OnNode(2));
+        let run = |arr: &crate::NumaArray<u64>| {
+            let mut model = CostModel::new(&m, CostConfig::default());
+            let threads: Vec<_> = (0..8)
+                .map(|core| {
+                    stats_for(&m, core, |ctx| {
+                        for i in 0..50_000 {
+                            arr.get(ctx, i);
+                        }
+                    })
+                })
+                .collect();
+            model.phase_cost(&threads)
+        };
+        let cf = run(&on_fast);
+        let cs = run(&on_slow);
+        assert!(cs.dram_bound_us > 2.0 * cf.dram_bound_us);
     }
 
     #[test]

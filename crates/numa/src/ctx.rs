@@ -236,6 +236,22 @@ impl AllocState {
     }
 }
 
+/// How a context samples per-page access heat for the tier promotion
+/// policies. `Off` (the default, and the only mode single-tier runs ever
+/// see) adds no work to the access paths.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) enum HeatMode {
+    /// No heat tracking.
+    #[default]
+    Off,
+    /// Count every access per page (the hot-page LRU policy's input).
+    Full,
+    /// Count one access in `N` (AutoNUMA-style sampled scanning; the
+    /// sampled promotion policy's input). Run-recorded accesses attribute
+    /// their samples to the run's first page.
+    Sampled(u32),
+}
+
 /// The execution context of one simulated thread: which core it is bound to,
 /// and the classified statistics of everything it has touched since the last
 /// [`AccessCtx::take_stats`].
@@ -248,6 +264,18 @@ pub struct AccessCtx {
     extra_cycles: f64,
     /// Per-allocation trackers + counters, indexed by [`AllocId`].
     per: Vec<AllocState>,
+    /// True on tiered machines: page→node caches are dropped at phase
+    /// boundaries because the promotion layer may migrate pages between
+    /// phases. Single-tier machines keep the caches forever, as before.
+    tiered: bool,
+    /// Heat-sampling mode (set by the executor when a promotion policy
+    /// needs it; [`HeatMode::Off`] otherwise).
+    heat_mode: HeatMode,
+    /// Per-allocation per-page access counts since the last
+    /// [`AccessCtx::take_heat`]. Only populated when `heat_mode != Off`.
+    heat: Vec<Vec<u32>>,
+    /// Rolling access tick for [`HeatMode::Sampled`].
+    heat_tick: u64,
 }
 
 impl AccessCtx {
@@ -261,6 +289,10 @@ impl AccessCtx {
             num_threads: topo.total_cores(),
             extra_cycles: 0.0,
             per: Vec::new(),
+            tiered: topo.is_tiered(),
+            heat_mode: HeatMode::Off,
+            heat: Vec::new(),
+            heat_tick: 0,
         }
     }
 
@@ -352,6 +384,9 @@ impl AccessCtx {
         st.touched = true;
         st.stat.bytes[rw.index()][pat.index()][dst] += len as u64;
         st.stat.count[rw.index()][pat.index()][dst] += 1;
+        if self.heat_mode != HeatMode::Off {
+            self.note_heat_scalar(alloc, page as usize);
+        }
     }
 
     /// Record a contiguous forward run of `n` elements of `elem` bytes
@@ -415,6 +450,116 @@ impl AccessCtx {
                 s.count[rwi][seqi][node] += seq_cnt;
             }
         });
+        if self.heat_mode != HeatMode::Off {
+            self.note_heat_run(alloc, placement, off, elem, n);
+        }
+    }
+
+    /// Record page heat for a coalesced run: in `Full` mode each page is
+    /// credited with the elements that start on it; in `Sampled` mode the
+    /// run advances the access tick and credits any samples it crosses to
+    /// the run's first page (the coarse attribution AutoNUMA's periodic
+    /// scan would make).
+    fn note_heat_run(
+        &mut self,
+        alloc: AllocId,
+        placement: &Placement,
+        off: usize,
+        elem: usize,
+        n: usize,
+    ) {
+        match self.heat_mode {
+            HeatMode::Off => {}
+            HeatMode::Full => {
+                let shift = placement.page_shift();
+                let mut k = 0usize;
+                while k < n {
+                    let cur = off + k * elem;
+                    let page = cur >> shift;
+                    let boundary = (page + 1) << shift;
+                    let cnt = (boundary - cur).div_ceil(elem.max(1)).min(n - k);
+                    self.note_heat(alloc, page, cnt as u32);
+                    k += cnt;
+                }
+            }
+            HeatMode::Sampled(p) => {
+                let p = u64::from(p.max(1));
+                let crossed = (self.heat_tick + n as u64) / p - self.heat_tick / p;
+                self.heat_tick += n as u64;
+                if crossed > 0 {
+                    self.note_heat(alloc, off >> placement.page_shift(), crossed as u32);
+                }
+            }
+        }
+    }
+
+    /// Heat hook of the scalar [`AccessCtx::record`] path: full mode counts
+    /// the access, sampled mode advances the tick and counts only when it
+    /// lands on a sample boundary. Runs pre-aggregate instead (see
+    /// [`AccessCtx::note_heat_run`]).
+    fn note_heat_scalar(&mut self, alloc: AllocId, page: usize) {
+        if let HeatMode::Sampled(p) = self.heat_mode {
+            self.heat_tick += 1;
+            if !self.heat_tick.is_multiple_of(u64::from(p.max(1))) {
+                return;
+            }
+        }
+        self.note_heat(alloc, page, 1);
+    }
+
+    /// Credit `by` accesses of heat to one page of one allocation
+    /// (unconditional raw bump; sampling is the callers' concern).
+    fn note_heat(&mut self, alloc: AllocId, page: usize, by: u32) {
+        let i = alloc as usize;
+        if i >= self.heat.len() {
+            self.heat.resize_with(i + 1, Vec::new);
+        }
+        let v = &mut self.heat[i];
+        if page >= v.len() {
+            v.resize(page + 1, 0);
+        }
+        v[page] = v[page].saturating_add(by);
+    }
+
+    /// Set the heat-sampling mode (executor-controlled; only promotion
+    /// policies that need heat turn it on).
+    pub(crate) fn set_heat_mode(&mut self, mode: HeatMode) {
+        self.heat_mode = mode;
+    }
+
+    /// Drain the accumulated page heat: `(alloc, per-page counts)` for every
+    /// allocation with any recorded heat.
+    pub(crate) fn take_heat(&mut self) -> Vec<(AllocId, Vec<u32>)> {
+        let mut out = Vec::new();
+        for (i, v) in self.heat.iter_mut().enumerate() {
+            if v.iter().any(|&c| c > 0) {
+                out.push((i as AllocId, std::mem::take(v)));
+            }
+        }
+        out
+    }
+
+    /// Charge a page migration as explicit memory traffic: a sequential
+    /// read of `bytes` from `from` plus a sequential write to `to`,
+    /// attributed to the migrated allocation, counted in cache-line (64 B)
+    /// transactions. The tier runtime calls this so promotion/demotion
+    /// overhead flows through the ordinary [`crate::CostModel`] integration
+    /// and stays visible in `PhaseCost` and the per-socket trace counters.
+    pub(crate) fn record_migration(
+        &mut self,
+        alloc: AllocId,
+        bytes: u64,
+        from: NodeId,
+        to: NodeId,
+    ) {
+        let lines = bytes.div_ceil(64);
+        let st = self.alloc_state(alloc);
+        st.touched = true;
+        let seqi = Pattern::Seq.index();
+        st.stat.bytes[Rw::Read.index()][seqi][from] += bytes;
+        st.stat.count[Rw::Read.index()][seqi][from] += lines;
+        st.stat.bytes[Rw::Write.index()][seqi][to] += bytes;
+        st.stat.count[Rw::Write.index()][seqi][to] += lines;
     }
 
     /// Charge extra CPU cycles (per-edge arithmetic) to this thread's
@@ -425,17 +570,23 @@ impl AccessCtx {
     }
 
     /// Take and reset the accumulated statistics; also resets the
-    /// sequential-stream trackers (a new phase starts new streams). The
-    /// page→node caches survive: placements are immutable and allocation
-    /// ids never reused, so cached resolutions stay valid across phases.
+    /// sequential-stream trackers (a new phase starts new streams). On
+    /// single-tier machines the page→node caches survive: placements are
+    /// immutable and allocation ids never reused, so cached resolutions stay
+    /// valid across phases. On tiered machines the caches are dropped too,
+    /// because the promotion layer migrates pages between phases.
     pub fn take_stats(&mut self) -> AccessStats {
         let mut out = AccessStats {
             extra_cycles: self.extra_cycles,
             ..AccessStats::default()
         };
         self.extra_cycles = 0.0;
+        let tiered = self.tiered;
         for (i, st) in self.per.iter_mut().enumerate() {
             st.last_end = u64::MAX;
+            if tiered {
+                st.page = u64::MAX;
+            }
             if st.touched {
                 if out.per.len() <= i {
                     out.per.resize_with(i + 1, || None);
@@ -572,6 +723,90 @@ mod tests {
         total.merge(&s1);
         total.merge(&ctx.take_stats());
         assert_eq!(total.extra_cycles, 16.5);
+    }
+
+    #[test]
+    fn full_heat_counts_every_access_per_page() {
+        let (m, mut ctx) = setup();
+        ctx.set_heat_mode(HeatMode::Full);
+        // 1024 u64 elements = 2 pages of 512 elements.
+        let a = m.alloc_array_with("a", 1024, AllocPolicy::OnNode(0), |i| i as u64);
+        for i in 0..600 {
+            a.get(&mut ctx, i);
+        }
+        a.get(&mut ctx, 5); // one extra random touch of page 0
+        let heat = ctx.take_heat();
+        assert_eq!(heat.len(), 1);
+        let (id, pages) = &heat[0];
+        assert_eq!(*id, a.alloc_id());
+        assert_eq!(pages[0], 513);
+        assert_eq!(pages[1], 88);
+        // Drained: a second take is empty.
+        assert!(ctx.take_heat().is_empty());
+    }
+
+    #[test]
+    fn bulk_and_scalar_full_heat_agree() {
+        let (m, mut ctx) = setup();
+        ctx.set_heat_mode(HeatMode::Full);
+        let a = m.alloc_array_with("a", 2048, AllocPolicy::Interleaved, |i| i as u64);
+        let mut sum = 0u64;
+        for i in 100..1600 {
+            sum += a.get(&mut ctx, i);
+        }
+        let scalar = ctx.take_heat();
+        let mut ctx2 = AccessCtx::new(&m, 0);
+        ctx2.set_heat_mode(HeatMode::Full);
+        sum += a.iter_seq(&mut ctx2, 100..1600).sum::<u64>();
+        let bulk = ctx2.take_heat();
+        assert_eq!(scalar, bulk);
+        assert!(sum > 0);
+    }
+
+    #[test]
+    fn sampled_heat_counts_one_in_n() {
+        let (m, mut ctx) = setup();
+        ctx.set_heat_mode(HeatMode::Sampled(10));
+        let a = m.alloc_array_with("a", 512, AllocPolicy::OnNode(0), |i| i as u64);
+        for i in 0..100 {
+            a.get(&mut ctx, i % 512);
+        }
+        let heat = ctx.take_heat();
+        let total: u32 = heat.iter().flat_map(|(_, v)| v.iter()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn record_migration_charges_both_endpoints() {
+        let (m, mut ctx) = setup();
+        let a = m.alloc_array::<u64>("a", 512, AllocPolicy::OnNode(0));
+        ctx.record_migration(a.alloc_id(), 4096, 1, 0);
+        let s = ctx.take_stats();
+        let st = s.array_bytes(a.alloc_id()).unwrap();
+        let seqi = Pattern::Seq.index();
+        assert_eq!(st.bytes[Rw::Read.index()][seqi][1], 4096);
+        assert_eq!(st.count[Rw::Read.index()][seqi][1], 64);
+        assert_eq!(st.bytes[Rw::Write.index()][seqi][0], 4096);
+        assert_eq!(st.count[Rw::Write.index()][seqi][0], 64);
+    }
+
+    #[test]
+    fn tiered_ctx_reresolves_pages_after_take_stats() {
+        let m = Machine::new(MachineSpec::test2_tiered());
+        let mut ctx = AccessCtx::new(&m, 0);
+        let a = m.alloc_array_with("a", 512, AllocPolicy::OnNode(0), |i| i as u64);
+        a.get(&mut ctx, 0);
+        ctx.take_stats();
+        // Migrate page 0 to the slow tier between phases.
+        assert_eq!(m.migrate_page(a.alloc_id(), 0, 2), Some(0));
+        a.get(&mut ctx, 1);
+        let s = ctx.take_stats();
+        let st = s.array_bytes(a.alloc_id()).unwrap();
+        let hit_node2: u64 = (0..2).map(|p| st.count[0][p][2]).sum();
+        assert_eq!(
+            hit_node2, 1,
+            "post-migration access must resolve the new home"
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod report;
 pub mod shard;
 pub mod sim;
 pub mod tables;
+pub mod tier;
 pub mod topology;
 
 pub use array::{Atom, NumaArray, NumaAtomicArray, SeqWriter};
@@ -79,5 +80,9 @@ pub use polymer_trace::{
 pub use report::{MemoryReport, RemoteAccessReport};
 pub use shard::{set_sim_sharding, sim_sharding, SimShardMode};
 pub use sim::{PhaseKind, RunClock, SimExecutor};
-pub use tables::{BandwidthTable, DistClass, LatencyTable};
+pub use tables::{
+    BandwidthTable, DistClass, LatencyTable, TierClass, SLOW_LOAD_FACTOR, SLOW_RAND_BW_DIVISOR,
+    SLOW_SEQ_BW_DIVISOR, SLOW_STORE_FACTOR,
+};
+pub use tier::{TierPolicy, TierRuntime};
 pub use topology::{MachineSpec, NodeId, NumaTopology, PAGE_SIZE};

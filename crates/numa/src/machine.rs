@@ -14,7 +14,8 @@ use parking_lot::Mutex;
 use polymer_faults::{panic_with, FaultPlan, PolymerError, PolymerResult};
 
 use crate::array::{Atom, NumaArray, NumaAtomicArray};
-use crate::policy::{AllocPolicy, Placement};
+use crate::policy::{AllocPolicy, PageMap, Placement};
+use crate::tables::TierClass;
 use crate::topology::{MachineSpec, NodeId, NumaTopology};
 
 /// Identifier of one allocation within a machine; indexes per-array access
@@ -40,6 +41,22 @@ pub enum SpillPolicy {
     /// Round-robin overflowing pages across all nodes with room, trading
     /// locality for balance.
     Interleave,
+    /// Tiered machines: overflow from a full fast node *demotes* to the
+    /// nearest slow node with room (ties broken by node id) instead of
+    /// spilling sideways within the fast tier; when no slow node has room
+    /// (or the machine is single-tier) it falls back to
+    /// [`SpillPolicy::NearestRemote`] order. This is the default pressure
+    /// valve of the tiered model.
+    Demote,
+}
+
+/// Result of charging one allocation's pages against node capacities.
+struct ChargeOutcome {
+    placement: Placement,
+    node_bytes: Vec<u64>,
+    spilled: u64,
+    spilled_by_node: Vec<u64>,
+    demoted_by_node: Vec<u64>,
 }
 
 /// Live/peak byte counters.
@@ -57,8 +74,15 @@ pub(crate) struct AllocInfo {
     pub bytes: u64,
     pub live: bool,
     /// Page-granular bytes charged to each node by this allocation, so a
-    /// free returns exactly what was taken even after spilling.
+    /// free returns exactly what was taken even after spilling — and, on
+    /// tiered machines, even after page migrations.
     pub node_bytes: Vec<u64>,
+    /// The shared mutable page→node map, present on tiered machines (every
+    /// allocation is registered in the explicit paged form there so its
+    /// pages can migrate between tiers) and on spilled allocations.
+    pub page_map: Option<Arc<PageMap>>,
+    /// Page size of the allocation's placement, in bytes.
+    pub page_bytes: u64,
 }
 
 pub(crate) struct MachineInner {
@@ -74,9 +98,25 @@ pub(crate) struct MachineInner {
     node_live: Mutex<Vec<u64>>,
     /// Pages that landed off their requested node due to capacity pressure.
     spilled_pages: AtomicU64,
-    /// Effective per-node capacity: the spec's limit tightened by any
-    /// fault-plan clamp. `None` = unbounded.
-    node_capacity: Option<u64>,
+    /// Effective per-node capacity: the spec's (per-tier) limit tightened by
+    /// any fault-plan clamp. `None` = unbounded node.
+    node_capacity: Vec<Option<u64>>,
+    /// Pages that landed on node `n` while off their requested node
+    /// (cumulative, alloc-time spills only).
+    spilled_by_node: Mutex<Vec<u64>>,
+    /// Pages demoted to slow node `n` (alloc-time `Demote` overflow plus
+    /// runtime fast→slow migrations). Cumulative.
+    demoted_by_node: Mutex<Vec<u64>>,
+    /// Pages promoted to fast node `n` (runtime slow→fast migrations).
+    /// Cumulative.
+    promoted_by_node: Mutex<Vec<u64>>,
+    /// Allocation-name tags (prefix before `'/'`) routed to the slow tier
+    /// at allocation time — the out-of-core mode's edge-streaming hook.
+    slow_tags: Mutex<Vec<String>>,
+    /// Promotion policy every new executor on this machine attaches
+    /// automatically ([`crate::SimExecutor`] reads it at construction), so
+    /// engines inherit tiering without any per-engine logic.
+    tier_policy: Mutex<Option<crate::tier::TierPolicy>>,
     spill_policy: SpillPolicy,
     plan: FaultPlan,
 }
@@ -99,10 +139,13 @@ impl Machine {
     /// [`MachineSpec::node_capacity_bytes`] and the plan's capacity clamp.
     pub fn with_faults(spec: MachineSpec, spill_policy: SpillPolicy, plan: FaultPlan) -> Self {
         let topology = spec.topology();
-        let node_capacity = match (spec.node_capacity_bytes, plan.node_capacity_clamp()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
+        let clamp = plan.node_capacity_clamp();
+        let node_capacity = (0..topology.num_nodes())
+            .map(|n| match (spec.capacity_of(n), clamp) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            })
+            .collect();
         let nodes = topology.num_nodes();
         Machine {
             inner: Arc::new(MachineInner {
@@ -115,6 +158,11 @@ impl Machine {
                 node_live: Mutex::new(vec![0; nodes]),
                 spilled_pages: AtomicU64::new(0),
                 node_capacity,
+                spilled_by_node: Mutex::new(vec![0; nodes]),
+                demoted_by_node: Mutex::new(vec![0; nodes]),
+                promoted_by_node: Mutex::new(vec![0; nodes]),
+                slow_tags: Mutex::new(Vec::new()),
+                tier_policy: Mutex::new(None),
                 spill_policy,
                 plan,
             }),
@@ -141,10 +189,24 @@ impl Machine {
         self.inner.spill_policy
     }
 
-    /// Effective per-node capacity in bytes (spec limit tightened by any
-    /// fault-plan clamp); `None` means unbounded.
+    /// Effective uniform per-node capacity in bytes (the spec's legacy
+    /// `node_capacity_bytes` tightened by any fault-plan clamp); `None`
+    /// means unbounded. Tiered machines resolve per-tier capacities through
+    /// [`Machine::capacity_of_node`] instead.
     pub fn node_capacity_bytes(&self) -> Option<u64> {
-        self.inner.node_capacity
+        match (
+            self.inner.spec.node_capacity_bytes,
+            self.inner.plan.node_capacity_clamp(),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Effective capacity of one node in bytes, after per-tier resolution
+    /// and any fault-plan clamp; `None` means unbounded.
+    pub fn capacity_of_node(&self, node: NodeId) -> Option<u64> {
+        self.inner.node_capacity[node]
     }
 
     /// Page-granular live bytes currently charged to each node.
@@ -156,6 +218,63 @@ impl Machine {
     /// capacity pressure since the machine was built.
     pub fn spilled_pages(&self) -> u64 {
         self.inner.spilled_pages.load(Ordering::Relaxed)
+    }
+
+    /// Pages that landed on each node while off their requested node
+    /// (cumulative alloc-time spills, indexed by landing node).
+    pub fn spilled_pages_by_node(&self) -> Vec<u64> {
+        self.inner.spilled_by_node.lock().clone()
+    }
+
+    /// Pages demoted to each slow node — alloc-time `Demote` overflow plus
+    /// runtime fast→slow migrations. Cumulative, indexed by landing node.
+    pub fn demoted_pages_by_node(&self) -> Vec<u64> {
+        self.inner.demoted_by_node.lock().clone()
+    }
+
+    /// Pages promoted to each fast node by runtime slow→fast migrations.
+    /// Cumulative, indexed by landing node.
+    pub fn promoted_pages_by_node(&self) -> Vec<u64> {
+        self.inner.promoted_by_node.lock().clone()
+    }
+
+    /// True when any node of this machine sits in the slow tier.
+    pub fn is_tiered(&self) -> bool {
+        self.inner.topology.is_tiered()
+    }
+
+    /// Route allocations whose tag (name prefix before `'/'`) is in `tags`
+    /// to the slow tier, pages interleaved across the slow nodes. This is
+    /// the out-of-core mode's hook: registering `"topo"` before loading a
+    /// graph streams the edge arrays from the capacity tier while vertex
+    /// state keeps the fast tier. The wildcard tag `"*"` routes every
+    /// allocation (the slow-only ablation). No effect on single-tier
+    /// machines. Affects only allocations made after the call.
+    pub fn route_tags_to_slow(&self, tags: &[&str]) {
+        let mut slow = self.inner.slow_tags.lock();
+        for t in tags {
+            if !slow.iter().any(|s| s == t) {
+                slow.push(t.to_string());
+            }
+        }
+    }
+
+    /// The tags currently routed to the slow tier.
+    pub fn slow_routed_tags(&self) -> Vec<String> {
+        self.inner.slow_tags.lock().clone()
+    }
+
+    /// Set the promotion policy every subsequently created executor on this
+    /// machine attaches automatically (a fresh [`crate::TierRuntime`] each).
+    /// `None` (the default) freezes placements — static tiering. Ignored by
+    /// executors on single-tier machines.
+    pub fn set_tier_policy(&self, policy: Option<crate::tier::TierPolicy>) {
+        *self.inner.tier_policy.lock() = policy;
+    }
+
+    /// The promotion policy configured via [`Machine::set_tier_policy`].
+    pub fn tier_policy(&self) -> Option<crate::tier::TierPolicy> {
+        *self.inner.tier_policy.lock()
     }
 
     /// Allocate a zero-initialized plain (read-mostly) array. Panics on
@@ -270,7 +389,7 @@ impl Machine {
             });
         }
         let elem = std::mem::size_of::<T>();
-        let placement = Placement::resolve_paged(
+        let mut placement = Placement::resolve_paged(
             policy,
             len,
             elem.max(1),
@@ -278,12 +397,67 @@ impl Machine {
             self.inner.spec.page_bytes,
         );
         let bytes = (len * elem) as u64;
-        let (placement, node_bytes, spilled) = self.charge_nodes(name, bytes, placement)?;
+        let tiered = self.inner.topology.is_tiered();
+        if tiered {
+            // Out-of-core routing: slow-tagged allocations interleave their
+            // pages across the slow nodes regardless of requested policy
+            // (`"*"` routes every tag — the slow-only ablation).
+            let tag = Self::tag_of(name);
+            let routed_slow = self
+                .inner
+                .slow_tags
+                .lock()
+                .iter()
+                .any(|t| t == "*" || *t == tag);
+            if routed_slow {
+                let slow: Vec<NodeId> = self.inner.spec.slow_nodes();
+                if !slow.is_empty() {
+                    let pages = placement.num_pages(bytes as usize);
+                    let map: Vec<u8> = (0..pages).map(|p| slow[p % slow.len()] as u8).collect();
+                    placement =
+                        Placement::from_page_map(map, placement.page_bytes().trailing_zeros());
+                }
+            } else if matches!(policy, AllocPolicy::Interleaved) {
+                // Tier preference: node-agnostic interleaving spreads across
+                // the fast prefix only — the slow tier is reached through
+                // tag routing, demotion spill, or an explicit node request.
+                let fast = self.inner.spec.fast_nodes().len();
+                placement = Placement::resolve_paged(
+                    policy,
+                    len,
+                    elem.max(1),
+                    fast,
+                    self.inner.spec.page_bytes,
+                );
+            }
+            // Tiered machines register everything in the explicit paged
+            // form so the promotion/demotion layer can migrate pages later.
+            placement = placement.to_paged(bytes as usize);
+        }
+        let outcome = self.charge_nodes(name, bytes, placement)?;
+        let ChargeOutcome {
+            placement,
+            node_bytes,
+            spilled,
+            spilled_by_node,
+            demoted_by_node,
+        } = outcome;
         if spilled > 0 {
             self.inner
                 .spilled_pages
                 .fetch_add(spilled, Ordering::Relaxed);
+            let mut by = self.inner.spilled_by_node.lock();
+            for (n, c) in spilled_by_node.iter().enumerate() {
+                by[n] += c;
+            }
         }
+        if demoted_by_node.iter().any(|&c| c > 0) {
+            let mut by = self.inner.demoted_by_node.lock();
+            for (n, c) in demoted_by_node.iter().enumerate() {
+                by[n] += c;
+            }
+        }
+        let page_map = placement.page_map().cloned();
         let mut allocs = self.inner.allocs.lock();
         let id = allocs.len() as AllocId;
         allocs.push(AllocInfo {
@@ -291,6 +465,8 @@ impl Machine {
             bytes,
             live: true,
             node_bytes,
+            page_map,
+            page_bytes: placement.page_bytes() as u64,
         });
         drop(allocs);
         self.on_alloc(name, bytes);
@@ -299,37 +475,47 @@ impl Machine {
 
     /// Charge an allocation's pages against per-node capacity, spilling pages
     /// to other nodes per the spill policy when the requested node is full.
-    /// All-or-nothing: on error, no page is charged. Returns the (possibly
-    /// rewritten) placement, the bytes charged per node, and the number of
-    /// pages that landed off their requested node.
+    /// All-or-nothing: on error, no page is charged.
     fn charge_nodes(
         &self,
         name: &str,
         bytes: u64,
         placement: Placement,
-    ) -> PolymerResult<(Placement, Vec<u64>, u64)> {
+    ) -> PolymerResult<ChargeOutcome> {
         let nodes = self.topology().num_nodes();
         let page_bytes = placement.page_bytes() as u64;
         let wanted = placement.page_nodes(bytes as usize);
         let mut charged = vec![0u64; nodes];
         let mut node_live = self.inner.node_live.lock();
 
-        let Some(cap) = self.inner.node_capacity else {
+        let caps = &self.inner.node_capacity;
+        if caps.iter().all(|c| c.is_none()) {
             for &n in &wanted {
                 charged[n] += page_bytes;
                 node_live[n] += page_bytes;
             }
-            return Ok((placement, charged, 0));
-        };
+            return Ok(ChargeOutcome {
+                placement,
+                node_bytes: charged,
+                spilled: 0,
+                spilled_by_node: vec![0; nodes],
+                demoted_by_node: vec![0; nodes],
+            });
+        }
 
         // Place page by page against a working copy so a failure midway
         // leaves the shared accounting untouched.
         let mut work = node_live.clone();
         let mut map = Vec::with_capacity(wanted.len());
         let mut spilled = 0u64;
+        let mut spilled_by_node = vec![0u64; nodes];
+        let mut demoted_by_node = vec![0u64; nodes];
         let mut rr = 0usize;
         for &want in &wanted {
-            let fits = |w: &[u64], n: NodeId| w[n] + page_bytes <= cap;
+            let fits = |w: &[u64], n: NodeId| match caps[n] {
+                Some(cap) => w[n] + page_bytes <= cap,
+                None => true,
+            };
             let chosen = if fits(&work, want) {
                 Some(want)
             } else {
@@ -352,13 +538,28 @@ impl Machine {
                         }
                         found
                     }
+                    SpillPolicy::Demote => {
+                        // Prefer the nearest slow node with room; fall back
+                        // to nearest-remote order over all nodes.
+                        let topo = self.topology();
+                        let mut slow: Vec<NodeId> = (0..nodes)
+                            .filter(|&n| n != want && topo.tier_of(n).is_slow())
+                            .collect();
+                        slow.sort_by_key(|&n| (topo.hops(want, n), n));
+                        slow.into_iter().find(|&n| fits(&work, n)).or_else(|| {
+                            let mut cands: Vec<NodeId> =
+                                (0..nodes).filter(|&n| n != want).collect();
+                            cands.sort_by_key(|&n| (topo.hops(want, n), n));
+                            cands.into_iter().find(|&n| fits(&work, n))
+                        })
+                    }
                 }
             };
             let Some(n) = chosen else {
                 return Err(PolymerError::NodeCapacityExceeded {
                     node: want,
                     requested_bytes: bytes,
-                    capacity_bytes: cap,
+                    capacity_bytes: caps[want].unwrap_or(u64::MAX),
                     name: name.to_string(),
                 });
             };
@@ -366,6 +567,11 @@ impl Machine {
             charged[n] += page_bytes;
             if n != want {
                 spilled += 1;
+                spilled_by_node[n] += 1;
+                let topo = self.topology();
+                if topo.tier_of(n).is_slow() && !topo.tier_of(want).is_slow() {
+                    demoted_by_node[n] += 1;
+                }
             }
             map.push(n as u8);
         }
@@ -375,7 +581,77 @@ impl Machine {
         } else {
             placement
         };
-        Ok((placement, charged, spilled))
+        Ok(ChargeOutcome {
+            placement,
+            node_bytes: charged,
+            spilled,
+            spilled_by_node,
+            demoted_by_node,
+        })
+    }
+
+    /// Move one page of a live allocation to a new home node, respecting the
+    /// target node's capacity. Returns the page's previous home on success
+    /// (`None` when the page already lives on `to`, the target is full, or
+    /// the allocation is not migratable). Promotion (slow→fast) and demotion
+    /// (fast→slow) counters are updated; the *caller* — the promotion policy
+    /// layer in [`crate::tier`] — is responsible for charging the migration
+    /// as memory traffic so tiering overhead stays visible in `PhaseCost`.
+    ///
+    /// Only called between phases: the shared page map must not change while
+    /// a phase's accesses are being recorded.
+    pub fn migrate_page(&self, id: AllocId, page: usize, to: NodeId) -> Option<NodeId> {
+        let (map, page_bytes) = {
+            let allocs = self.inner.allocs.lock();
+            let info = allocs.get(id as usize)?;
+            if !info.live {
+                return None;
+            }
+            (info.page_map.clone()?, info.page_bytes)
+        };
+        if page >= map.len() || to >= self.topology().num_nodes() {
+            return None;
+        }
+        let from = map.get(page);
+        if from == to {
+            return None;
+        }
+        {
+            let mut node_live = self.inner.node_live.lock();
+            if let Some(cap) = self.inner.node_capacity[to] {
+                if node_live[to] + page_bytes > cap {
+                    return None;
+                }
+            }
+            node_live[from] = node_live[from].saturating_sub(page_bytes);
+            node_live[to] += page_bytes;
+        }
+        map.set(page, to);
+        {
+            let mut allocs = self.inner.allocs.lock();
+            let info = &mut allocs[id as usize];
+            info.node_bytes[from] = info.node_bytes[from].saturating_sub(page_bytes);
+            info.node_bytes[to] += page_bytes;
+        }
+        let topo = self.topology();
+        let (ft, tt) = (topo.tier_of(from), topo.tier_of(to));
+        if ft.is_slow() && tt == TierClass::Fast {
+            self.inner.promoted_by_node.lock()[to] += 1;
+        } else if ft == TierClass::Fast && tt.is_slow() {
+            self.inner.demoted_by_node.lock()[to] += 1;
+        }
+        Some(from)
+    }
+
+    /// The shared page map and page size of a live allocation, when it is in
+    /// the migratable explicit-paged form (always true on tiered machines).
+    pub fn page_map_of(&self, id: AllocId) -> Option<(Arc<PageMap>, u64)> {
+        let allocs = self.inner.allocs.lock();
+        let info = allocs.get(id as usize)?;
+        if !info.live {
+            return None;
+        }
+        Some((info.page_map.clone()?, info.page_bytes))
     }
 
     pub(crate) fn on_alloc(&self, name: &str, bytes: u64) {
@@ -644,6 +920,116 @@ mod tests {
         assert_eq!(m.node_capacity_bytes(), Some(3 * PAGE));
         let m = Machine::new(MachineSpec::test2());
         assert_eq!(m.node_capacity_bytes(), None);
+    }
+
+    #[test]
+    fn demote_overflow_prefers_slow_nodes() {
+        // test2_tiered: fast {0,1} capped at 2 pages, slow {2,3} unbounded.
+        let spec = MachineSpec::test2_tiered().with_fast_capacity(2 * PAGE);
+        let m = Machine::with_faults(spec, SpillPolicy::Demote, FaultPlan::default());
+        let a = m
+            .try_alloc_array::<u8>("a", 5 * PAGE as usize, AllocPolicy::OnNode(0))
+            .unwrap();
+        // 2 pages fit on fast node 0; 3 demote to slow node 2 (nearest slow,
+        // full mesh ties broken by id) — never sideways to fast node 1.
+        assert_eq!(m.node_live_bytes(), vec![2 * PAGE, 0, 3 * PAGE, 0]);
+        assert_eq!(m.spilled_pages(), 3);
+        assert_eq!(m.spilled_pages_by_node(), vec![0, 0, 3, 0]);
+        assert_eq!(m.demoted_pages_by_node(), vec![0, 0, 3, 0]);
+        assert_eq!(a.node_of((3 * PAGE) as usize), 2);
+        drop(a);
+        assert_eq!(m.node_live_bytes(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn demote_falls_back_to_nearest_remote_when_slow_full() {
+        let spec = MachineSpec::test2_tiered()
+            .with_fast_capacity(2 * PAGE)
+            .with_slow_capacity(PAGE);
+        let m = Machine::with_faults(spec, SpillPolicy::Demote, FaultPlan::default());
+        let _a = m
+            .try_alloc_array::<u8>("a", 6 * PAGE as usize, AllocPolicy::OnNode(0))
+            .unwrap();
+        // 2 on node 0, slow nodes take 1 each, remaining 2 fall back to the
+        // nearest node with room: fast node 1.
+        assert_eq!(m.node_live_bytes(), vec![2 * PAGE, 2 * PAGE, PAGE, PAGE]);
+        assert_eq!(m.demoted_pages_by_node(), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn demote_on_single_tier_machine_acts_like_nearest_remote() {
+        let m = capped(2, SpillPolicy::Demote);
+        let _a = m
+            .try_alloc_array::<u8>("a", 4 * PAGE as usize, AllocPolicy::OnNode(0))
+            .unwrap();
+        assert_eq!(m.node_live_bytes(), vec![2 * PAGE, 2 * PAGE]);
+        assert_eq!(m.demoted_pages_by_node(), vec![0, 0]);
+    }
+
+    #[test]
+    fn tiered_machine_registers_migratable_placements() {
+        let m = Machine::new(MachineSpec::test2_tiered());
+        let a = m.alloc_array::<u8>("a", 4 * PAGE as usize, AllocPolicy::OnNode(0));
+        let (map, pb) = m.page_map_of(0).expect("tiered alloc is paged");
+        assert_eq!(map.len(), 4);
+        assert_eq!(pb, PAGE);
+        assert_eq!(a.node_of(0), 0);
+        // Single-tier machines keep the compact placement forms.
+        let m1 = Machine::new(MachineSpec::test2());
+        let _b = m1.alloc_array::<u8>("b", 4 * PAGE as usize, AllocPolicy::OnNode(0));
+        assert!(m1.page_map_of(0).is_none());
+    }
+
+    #[test]
+    fn migrate_page_moves_accounting_and_is_visible_to_arrays() {
+        let m = Machine::new(MachineSpec::test2_tiered());
+        let a = m.alloc_array::<u8>("a", 4 * PAGE as usize, AllocPolicy::OnNode(2));
+        assert_eq!(m.node_live_bytes(), vec![0, 0, 4 * PAGE, 0]);
+        // Promote page 1 to fast node 0: the array clone sees the move.
+        assert_eq!(m.migrate_page(0, 1, 0), Some(2));
+        assert_eq!(a.node_of(PAGE as usize), 0);
+        assert_eq!(a.node_of(0), 2);
+        assert_eq!(m.node_live_bytes(), vec![PAGE, 0, 3 * PAGE, 0]);
+        assert_eq!(m.promoted_pages_by_node(), vec![1, 0, 0, 0]);
+        // Demote it back.
+        assert_eq!(m.migrate_page(0, 1, 3), Some(0));
+        assert_eq!(m.demoted_pages_by_node(), vec![0, 0, 0, 1]);
+        // No-op and out-of-range moves are rejected.
+        assert_eq!(m.migrate_page(0, 1, 3), None);
+        assert_eq!(m.migrate_page(0, 99, 0), None);
+        // Free returns exactly what is charged after the migrations.
+        drop(a);
+        assert_eq!(m.node_live_bytes(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn migrate_page_respects_target_capacity() {
+        let spec = MachineSpec::test2_tiered().with_fast_capacity(PAGE);
+        let m = Machine::new(spec);
+        let _a = m.alloc_array::<u8>("a", 3 * PAGE as usize, AllocPolicy::OnNode(2));
+        assert_eq!(m.migrate_page(0, 0, 0), Some(2));
+        // Fast node 0 is now full: further promotion there is refused.
+        assert_eq!(m.migrate_page(0, 1, 0), None);
+        assert_eq!(m.node_live_bytes(), vec![PAGE, 0, 2 * PAGE, 0]);
+    }
+
+    #[test]
+    fn slow_tag_routing_streams_allocation_to_slow_tier() {
+        let m = Machine::new(MachineSpec::test2_tiered());
+        m.route_tags_to_slow(&["topo"]);
+        let _e = m.alloc_array::<u8>("topo/e_dst", 4 * PAGE as usize, AllocPolicy::OnNode(0));
+        let _v = m.alloc_array::<u8>("data/curr", 2 * PAGE as usize, AllocPolicy::OnNode(0));
+        // Edge pages interleave over slow nodes {2,3}; vertex data stays fast.
+        assert_eq!(m.node_live_bytes(), vec![2 * PAGE, 0, 2 * PAGE, 2 * PAGE]);
+        assert_eq!(m.slow_routed_tags(), vec!["topo".to_string()]);
+        // Routing a tag twice does not duplicate it.
+        m.route_tags_to_slow(&["topo"]);
+        assert_eq!(m.slow_routed_tags().len(), 1);
+        // No effect on single-tier machines.
+        let m1 = Machine::new(MachineSpec::test2());
+        m1.route_tags_to_slow(&["topo"]);
+        let _e1 = m1.alloc_array::<u8>("topo/e_dst", 4 * PAGE as usize, AllocPolicy::OnNode(0));
+        assert_eq!(m1.node_live_bytes(), vec![4 * PAGE, 0]);
     }
 
     #[test]

@@ -7,9 +7,62 @@
 //! contiguous array has its page ranges homed on the nodes that own the
 //! corresponding vertex partitions.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use crate::topology::{NodeId, PAGE_SIZE};
+
+/// Mutable per-page home-node map, shared (via `Arc`) between the machine's
+/// allocation registry and every array that cloned the placement.
+///
+/// Entries are `AtomicU8` so page *migration* — tier promotion/demotion at
+/// phase boundaries — is visible to all holders without unsafe code or
+/// locks. Within a phase the map is never mutated (migrations run only in
+/// the executor's serial phase-boundary hook), so the relaxed loads on the
+/// access path observe a stable mapping.
+#[derive(Debug)]
+pub struct PageMap {
+    nodes: Box<[AtomicU8]>,
+}
+
+impl PageMap {
+    fn new(map: Vec<u8>) -> Self {
+        PageMap {
+            nodes: map.into_iter().map(AtomicU8::new).collect(),
+        }
+    }
+
+    /// Number of pages covered.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the map covers no pages (never happens for resolved
+    /// placements, which always cover at least one page).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Home node of a page.
+    #[inline]
+    pub fn get(&self, page: usize) -> NodeId {
+        self.nodes[page].load(Ordering::Relaxed) as NodeId
+    }
+
+    /// Move a page to a new home node. Only the machine's migration path
+    /// calls this, at phase boundaries.
+    pub(crate) fn set(&self, page: usize, node: NodeId) {
+        self.nodes[page].store(node as u8, Ordering::Relaxed);
+    }
+
+    /// Snapshot the map as plain bytes.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.nodes
+            .iter()
+            .map(|n| n.load(Ordering::Relaxed))
+            .collect()
+    }
+}
 
 /// Placement intent supplied when allocating a [`crate::NumaArray`].
 #[derive(Clone, Debug)]
@@ -50,8 +103,8 @@ enum PlacementKind {
     OnNode(NodeId),
     /// Page `p` lives on node `p % nodes`.
     Interleaved { nodes: usize },
-    /// Explicit per-page home nodes.
-    Pages(Arc<[u8]>),
+    /// Explicit per-page home nodes, mutable for page migration.
+    Pages(Arc<PageMap>),
 }
 
 impl Placement {
@@ -109,7 +162,7 @@ impl Placement {
                     map[start_page..end_page.min(pages)].fill(*node as u8);
                     elem = end_elem;
                 }
-                PlacementKind::Pages(map.into())
+                PlacementKind::Pages(Arc::new(PageMap::new(map)))
             }
         };
         Placement { kind, page_shift }
@@ -122,7 +175,7 @@ impl Placement {
         match &self.kind {
             PlacementKind::OnNode(n) => *n,
             PlacementKind::Interleaved { nodes } => page % nodes,
-            PlacementKind::Pages(map) => map[page.min(map.len() - 1)] as usize,
+            PlacementKind::Pages(map) => map.get(page.min(map.len() - 1)),
         }
     }
 
@@ -198,8 +251,35 @@ impl Placement {
     pub(crate) fn from_page_map(map: Vec<u8>, page_shift: u32) -> Placement {
         assert!(!map.is_empty(), "page map must cover at least one page");
         Placement {
-            kind: PlacementKind::Pages(map.into()),
+            kind: PlacementKind::Pages(Arc::new(PageMap::new(map))),
             page_shift,
+        }
+    }
+
+    /// The shared mutable page map backing this placement, if it is in the
+    /// explicit per-page form (the only migratable form).
+    pub(crate) fn page_map(&self) -> Option<&Arc<PageMap>> {
+        match &self.kind {
+            PlacementKind::Pages(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// A copy of this placement expanded to the explicit per-page form
+    /// covering `total_bytes`, so its pages can later be migrated. The
+    /// expansion preserves every page's home node; only the representation
+    /// changes. Tiered machines register every allocation through this.
+    pub(crate) fn to_paged(&self, total_bytes: usize) -> Placement {
+        match &self.kind {
+            PlacementKind::Pages(_) => self.clone(),
+            _ => {
+                let map: Vec<u8> = self
+                    .page_nodes(total_bytes)
+                    .into_iter()
+                    .map(|n| n as u8)
+                    .collect();
+                Placement::from_page_map(map, self.page_shift)
+            }
         }
     }
 }

@@ -81,6 +81,16 @@ pub struct MemoryReport {
     /// was full — the degradation column for capacity-pressure experiments.
     #[serde(default)]
     pub spilled_pages: u64,
+    /// Spilled pages broken down by the node that was full (empty on
+    /// machines that never spilled).
+    #[serde(default)]
+    pub spilled_by_node: Vec<u64>,
+    /// Pages demoted fast→slow per destination node (tiered machines only).
+    #[serde(default)]
+    pub demoted_by_node: Vec<u64>,
+    /// Pages promoted slow→fast per destination node (tiered machines only).
+    #[serde(default)]
+    pub promoted_by_node: Vec<u64>,
 }
 
 impl MemoryReport {
@@ -94,7 +104,21 @@ impl MemoryReport {
                 .map(|(t, u)| (t, u.peak))
                 .collect(),
             spilled_pages: machine.spilled_pages(),
+            spilled_by_node: machine.spilled_pages_by_node(),
+            demoted_by_node: machine.demoted_pages_by_node(),
+            promoted_by_node: machine.promoted_pages_by_node(),
         }
+    }
+
+    /// Total pages demoted to the slow tier (alloc-time overflow plus
+    /// runtime migrations).
+    pub fn demoted_pages(&self) -> u64 {
+        self.demoted_by_node.iter().sum()
+    }
+
+    /// Total pages promoted to the fast tier by runtime migrations.
+    pub fn promoted_pages(&self) -> u64 {
+        self.promoted_by_node.iter().sum()
     }
 
     /// Peak bytes of one tag (0 when absent).
@@ -137,6 +161,29 @@ mod tests {
         let r = RemoteAccessReport::from_cost(&PhaseCost::default());
         assert_eq!(r.access_rate_remote, 0.0);
         assert_eq!(r.num_accesses_remote, 0);
+    }
+
+    #[test]
+    fn memory_report_tier_counters() {
+        let m = Machine::new(MachineSpec::test2_tiered());
+        let a = m.alloc_array::<u64>("data/x", 2 * 512, AllocPolicy::OnNode(2));
+        // Promote both pages, then demote one back.
+        assert!(m.migrate_page(a.alloc_id(), 0, 0).is_some());
+        assert!(m.migrate_page(a.alloc_id(), 1, 1).is_some());
+        assert!(m.migrate_page(a.alloc_id(), 0, 3).is_some());
+        let r = MemoryReport::from_machine(&m);
+        assert_eq!(r.promoted_pages(), 2);
+        assert_eq!(r.demoted_pages(), 1);
+        assert_eq!(r.promoted_by_node[0], 1);
+        assert_eq!(r.promoted_by_node[1], 1);
+        assert_eq!(r.demoted_by_node[3], 1);
+        // Round-trips through serde with the new fields.
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MemoryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.promoted_by_node, r.promoted_by_node);
+        // Old documents without the vectors still parse.
+        let old: MemoryReport = serde_json::from_str(r#"{"peak_bytes": 1, "tags": []}"#).unwrap();
+        assert_eq!(old.promoted_pages(), 0);
     }
 
     #[test]

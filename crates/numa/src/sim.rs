@@ -36,8 +36,9 @@ use std::collections::HashMap;
 use polymer_trace::{PhaseSpan, SocketSample, Tracer};
 
 use crate::cost::{BarrierKind, CostConfig, CostModel, PhaseCost, SocketCost};
-use crate::ctx::{AccessCtx, AccessStats};
-use crate::machine::Machine;
+use crate::ctx::{AccessCtx, AccessStats, HeatMode};
+use crate::machine::{AllocId, Machine};
+use crate::tier::TierRuntime;
 use crate::topology::NodeId;
 
 /// Category labels for phase-time breakdowns.
@@ -123,6 +124,10 @@ pub struct SimExecutor {
     clock: RunClock,
     /// Spill counter at the last trace checkpoint, for per-phase deltas.
     spilled_seen: u64,
+    /// Tier promotion engine, run at every phase boundary when attached
+    /// ([`SimExecutor::set_tiering`]). `None` on single-tier machines and on
+    /// tiered machines running without promotion (static placement).
+    tier: Option<TierRuntime>,
 }
 
 impl SimExecutor {
@@ -154,7 +159,7 @@ impl SimExecutor {
             .collect();
         let nodes: Vec<NodeId> = ctxs.iter().map(|c| c.node()).collect();
         let shards = crate::shard::shard_ranges(&nodes);
-        SimExecutor {
+        let mut sim = SimExecutor {
             machine: machine.clone(),
             model: CostModel::new(machine, config),
             barrier_kind,
@@ -163,7 +168,48 @@ impl SimExecutor {
             shards,
             clock: RunClock::default(),
             spilled_seen: machine.spilled_pages(),
+            tier: None,
+        };
+        // Machines carrying a tier policy hand every executor a fresh
+        // promotion runtime — engines inherit tiering with no code of their
+        // own (see `Machine::set_tier_policy`).
+        if machine.is_tiered() {
+            if let Some(policy) = machine.tier_policy() {
+                sim.set_tiering(TierRuntime::new(policy));
+            }
         }
+        sim
+    }
+
+    /// Attach a tier promotion engine: at every phase boundary the runtime
+    /// drains the page heat collected during the phase, migrates hot
+    /// slow-tier pages to the fast tier (demoting least-recently-promoted
+    /// pages when the fast tier is full), and the migrations are charged as
+    /// a synthetic `tier-migrate` phase on the clock. Panics on single-tier
+    /// machines — there is nothing to promote to.
+    pub fn set_tiering(&mut self, runtime: TierRuntime) {
+        assert!(
+            self.machine.is_tiered(),
+            "set_tiering requires a tiered machine spec"
+        );
+        let mode = runtime.policy().heat_mode();
+        for ctx in &mut self.ctxs {
+            ctx.set_heat_mode(mode);
+        }
+        self.tier = Some(runtime);
+    }
+
+    /// The attached tier runtime, if any.
+    pub fn tiering(&self) -> Option<&TierRuntime> {
+        self.tier.as_ref()
+    }
+
+    /// Detach the tier runtime (heat collection stops; placements freeze).
+    pub fn clear_tiering(&mut self) -> Option<TierRuntime> {
+        for ctx in &mut self.ctxs {
+            ctx.set_heat_mode(HeatMode::Off);
+        }
+        self.tier.take()
     }
 
     /// Record a phase/barrier timeline with per-socket counters into the
@@ -326,7 +372,76 @@ impl SimExecutor {
         let e = self.clock.by_phase.entry(name).or_insert((0.0, 0));
         e.0 += cost.time_us;
         e.1 += 1;
+        if self.tier.is_some() {
+            self.run_tier_boundary();
+        }
         cost
+    }
+
+    /// Drain the phase's page heat, let the tier runtime migrate pages, and
+    /// charge the migration traffic as a synthetic `tier-migrate` phase.
+    /// Runs after the main phase's `take_stats`, so every context re-resolves
+    /// page homes at its next access (tiered contexts drop their page caches
+    /// at `take_stats`).
+    fn run_tier_boundary(&mut self) {
+        // Merge per-context heat into one per-(alloc, page) view.
+        let mut heat: Vec<(AllocId, Vec<u32>)> = Vec::new();
+        for ctx in &mut self.ctxs {
+            for (alloc, pages) in ctx.take_heat() {
+                match heat.iter_mut().find(|(a, _)| *a == alloc) {
+                    Some((_, agg)) => {
+                        if agg.len() < pages.len() {
+                            agg.resize(pages.len(), 0);
+                        }
+                        for (slot, h) in agg.iter_mut().zip(pages.iter()) {
+                            *slot = slot.saturating_add(*h);
+                        }
+                    }
+                    None => heat.push((alloc, pages)),
+                }
+            }
+        }
+        heat.sort_by_key(|(a, _)| *a);
+        let mut rt = self.tier.take().expect("tier runtime attached");
+        let migrations = rt.run_boundary(&self.machine, &heat);
+        self.tier = Some(rt);
+        if migrations.is_empty() {
+            return;
+        }
+        // Charge the copies on thread 0's context — migration is a serial
+        // runtime service, like the kernel's migration daemon — and integrate
+        // them as their own phase so the overhead is visible per se.
+        for m in &migrations {
+            self.ctxs[0].record_migration(m.alloc, m.bytes, m.from, m.to);
+        }
+        let threads: Vec<(NodeId, AccessStats)> = self
+            .ctxs
+            .iter_mut()
+            .enumerate()
+            .map(|(t, ctx)| (self.nodes[t], ctx.take_stats()))
+            .collect();
+        let cost = self.model.phase_cost(&threads);
+        let start_us = self.clock.elapsed_us();
+        self.clock.trace.record(|buf| {
+            let lanes = buf.sockets.min(cost.per_socket.len());
+            buf.push_phase(PhaseSpan {
+                name: "tier-migrate",
+                iteration: buf.iteration(),
+                start_us,
+                dur_us: cost.time_us,
+                per_thread_us: cost.per_thread_us.clone(),
+                per_socket: socket_samples(&cost.per_socket[..lanes]),
+                spilled_pages: 0,
+            });
+        });
+        self.clock.total.accumulate(&cost);
+        let e = self
+            .clock
+            .by_phase
+            .entry("tier-migrate")
+            .or_insert((0.0, 0));
+        e.0 += cost.time_us;
+        e.1 += 1;
     }
 
     /// Charge one global barrier at the configured family's cost, scaled by
@@ -501,6 +616,84 @@ mod tests {
     fn too_many_threads_rejected() {
         let m = Machine::new(MachineSpec::test2());
         SimExecutor::new(&m, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a tiered machine")]
+    fn tiering_rejected_on_single_tier_machine() {
+        let m = Machine::new(MachineSpec::test2());
+        let mut sim = SimExecutor::new(&m, 2);
+        sim.set_tiering(crate::tier::TierRuntime::new(
+            crate::tier::TierPolicy::HotPageLru,
+        ));
+    }
+
+    #[test]
+    fn tiering_promotes_hot_pages_and_charges_migration_phase() {
+        use crate::tier::{TierPolicy, TierRuntime};
+        let m = Machine::new(MachineSpec::test2_tiered());
+        // Hot data starts on the slow tier (node 2).
+        let a = m.alloc_array_with("data/hot", 4096, AllocPolicy::OnNode(2), |i| i as u64);
+        let mut sim = SimExecutor::new(&m, 2);
+        sim.enable_trace();
+        sim.set_tiering(TierRuntime::new(TierPolicy::HotPageLru));
+        let scan = |_tid: usize, ctx: &mut AccessCtx| {
+            for i in 0..a.len() {
+                a.get(ctx, i);
+            }
+        };
+        let cold = sim.run_phase("scan", scan);
+        // The boundary promoted all touched pages to the fast tier...
+        assert!(sim.tiering().unwrap().promotions() > 0);
+        assert!(!m.spec().tier_of(a.node_of(0)).is_slow());
+        // ...charging the copies on the clock as their own phase.
+        let (migrate_us, n) = sim.clock().by_phase["tier-migrate"];
+        assert!(migrate_us > 0.0 && n == 1);
+        let buf = sim.clock().trace.buffer().unwrap();
+        assert!(buf.phases.iter().any(|p| p.name == "tier-migrate"));
+        // The same scan now runs faster from the fast tier.
+        let warm = sim.run_phase("scan", scan);
+        assert!(
+            warm.time_us < cold.time_us,
+            "post-promotion scan {} must beat slow-tier scan {}",
+            warm.time_us,
+            cold.time_us
+        );
+    }
+
+    #[test]
+    fn tiering_off_leaves_tiered_clock_untouched_by_heat() {
+        use crate::tier::{TierPolicy, TierRuntime};
+        // A tiered machine without an attached runtime must behave exactly
+        // like static placement: no heat, no migrations, no extra phases.
+        let run = |tiering: bool| -> (u64, f64) {
+            let m = Machine::new(MachineSpec::test2_tiered());
+            let a = m.alloc_array_with("a", 2048, AllocPolicy::OnNode(0), |i| i as u64);
+            let mut sim = SimExecutor::new(&m, 2);
+            if tiering {
+                sim.set_tiering(TierRuntime::new(TierPolicy::FirstTouch));
+            }
+            sim.run_phase("scan", |_, ctx| {
+                for i in 0..a.len() {
+                    a.get(ctx, i);
+                }
+            });
+            (
+                sim.clock().elapsed_us().to_bits(),
+                sim.clock()
+                    .by_phase
+                    .get("tier-migrate")
+                    .map(|e| e.1)
+                    .unwrap_or(0) as f64,
+            )
+        };
+        let (plain, m0) = run(false);
+        let (tiered, m1) = run(true);
+        // Data already fast-resident: the runtime finds nothing to promote,
+        // and the clock matches the static run bit-for-bit.
+        assert_eq!(plain, tiered);
+        assert_eq!(m0, 0.0);
+        assert_eq!(m1, 0.0);
     }
 
     /// One full compute/publish phase per (mode, run): every thread scans a

@@ -21,6 +21,60 @@ pub enum DistClass {
     TwoHop,
 }
 
+/// Memory tier of a node: a small fast tier (DRAM) or a big slow tier
+/// (Optane-class persistent memory / CXL-attached capacity memory).
+///
+/// Tiers *compose* with [`DistClass`]: an access still has a hop distance to
+/// the owning node, and on top of that the owning node's tier selects which
+/// latency/bandwidth row is charged. The slow-tier rows are calibrated from
+/// the Optane single-machine graph-analytics measurements (see
+/// `docs/TIERING.md`): ~3.4× DRAM load latency, sequential bandwidth ÷2.6,
+/// random bandwidth ÷8, with an extra write penalty.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TierClass {
+    /// DRAM: the paper's measured tables apply unchanged.
+    #[default]
+    Fast,
+    /// Capacity tier behind the fast tier, with its own table rows.
+    Slow,
+}
+
+impl TierClass {
+    /// Both tiers, fast first.
+    pub const ALL: [TierClass; 2] = [TierClass::Fast, TierClass::Slow];
+
+    /// Index into per-tier tables (`Fast = 0`, `Slow = 1`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TierClass::Fast => 0,
+            TierClass::Slow => 1,
+        }
+    }
+
+    /// True for the slow (capacity) tier.
+    #[inline]
+    pub fn is_slow(self) -> bool {
+        self == TierClass::Slow
+    }
+}
+
+/// Slow-tier load-latency multiplier over DRAM (Optane random read ≈ 3.4×).
+pub const SLOW_LOAD_FACTOR: f64 = 3.4;
+/// Slow-tier store-latency multiplier over DRAM (write path is costlier than
+/// the read path on persistent memory).
+pub const SLOW_STORE_FACTOR: f64 = 4.6;
+/// Slow-tier sequential bandwidth is DRAM ÷ this factor.
+pub const SLOW_SEQ_BW_DIVISOR: f64 = 2.6;
+/// Slow-tier random bandwidth is DRAM ÷ this factor (the Optane paper's
+/// headline asymmetry: random reads collapse much harder than sequential).
+pub const SLOW_RAND_BW_DIVISOR: f64 = 8.0;
+
+#[inline]
+fn scale4(a: [f64; 4], f: f64) -> [f64; 4] {
+    [a[0] * f, a[1] * f, a[2] * f, a[3] * f]
+}
+
 impl DistClass {
     /// All classes, in increasing distance order.
     pub const ALL: [DistClass; 4] = [
@@ -65,37 +119,78 @@ pub struct LatencyTable {
     pub load_cycles: [f64; 4],
     /// Store latency in cycles, indexed by [`DistClass::index`].
     pub store_cycles: [f64; 4],
+    /// Slow-tier load latency in cycles per distance class. Legacy specs
+    /// without the field deserialize to the intel80-derived calibration.
+    #[serde(default = "default_slow_load")]
+    pub slow_load_cycles: [f64; 4],
+    /// Slow-tier store latency in cycles per distance class.
+    #[serde(default = "default_slow_store")]
+    pub slow_store_cycles: [f64; 4],
+}
+
+fn default_slow_load() -> [f64; 4] {
+    LatencyTable::intel80().slow_load_cycles
+}
+
+fn default_slow_store() -> [f64; 4] {
+    LatencyTable::intel80().slow_store_cycles
 }
 
 impl LatencyTable {
     /// Figure 3(b), 80-core Intel Xeon machine. The one-hop-intra column is
     /// unused on Intel (no multi-die sockets) and mirrors the one-hop value.
     pub fn intel80() -> Self {
+        let load_cycles = [117.0, 271.0, 271.0, 372.0];
+        let store_cycles = [108.0, 304.0, 304.0, 409.0];
         LatencyTable {
-            load_cycles: [117.0, 271.0, 271.0, 372.0],
-            store_cycles: [108.0, 304.0, 304.0, 409.0],
+            load_cycles,
+            store_cycles,
+            slow_load_cycles: scale4(load_cycles, SLOW_LOAD_FACTOR),
+            slow_store_cycles: scale4(store_cycles, SLOW_STORE_FACTOR),
         }
     }
 
     /// Figure 3(b), 64-core AMD Opteron machine. The paper reports a single
     /// one-hop number, reused for both one-hop classes.
     pub fn amd64() -> Self {
+        let load_cycles = [228.0, 419.0, 419.0, 498.0];
+        let store_cycles = [256.0, 463.0, 463.0, 544.0];
         LatencyTable {
-            load_cycles: [228.0, 419.0, 419.0, 498.0],
-            store_cycles: [256.0, 463.0, 463.0, 544.0],
+            load_cycles,
+            store_cycles,
+            slow_load_cycles: scale4(load_cycles, SLOW_LOAD_FACTOR),
+            slow_store_cycles: scale4(store_cycles, SLOW_STORE_FACTOR),
         }
     }
 
-    /// Load latency for a distance class, in cycles.
+    /// Load latency for a distance class, in cycles (fast tier).
     #[inline]
     pub fn load(&self, d: DistClass) -> f64 {
         self.load_cycles[d.index()]
     }
 
-    /// Store latency for a distance class, in cycles.
+    /// Store latency for a distance class, in cycles (fast tier).
     #[inline]
     pub fn store(&self, d: DistClass) -> f64 {
         self.store_cycles[d.index()]
+    }
+
+    /// Load latency for a distance class on a given tier, in cycles.
+    #[inline]
+    pub fn load_t(&self, d: DistClass, t: TierClass) -> f64 {
+        match t {
+            TierClass::Fast => self.load_cycles[d.index()],
+            TierClass::Slow => self.slow_load_cycles[d.index()],
+        }
+    }
+
+    /// Store latency for a distance class on a given tier, in cycles.
+    #[inline]
+    pub fn store_t(&self, d: DistClass, t: TierClass) -> f64 {
+        match t {
+            TierClass::Fast => self.store_cycles[d.index()],
+            TierClass::Slow => self.slow_store_cycles[d.index()],
+        }
     }
 }
 
@@ -112,15 +207,34 @@ pub struct BandwidthTable {
     /// separate column; the cost model reproduces it from the per-class mix,
     /// and the Figure 4 harness checks the two agree in shape.
     pub interleaved_mbs: [f64; 2],
+    /// Slow-tier sequential bandwidth, MB/s per distance class. Legacy specs
+    /// without the field deserialize to the intel80-derived calibration.
+    #[serde(default = "default_slow_seq")]
+    pub slow_seq_mbs: [f64; 4],
+    /// Slow-tier random bandwidth, MB/s per distance class.
+    #[serde(default = "default_slow_rand")]
+    pub slow_rand_mbs: [f64; 4],
+}
+
+fn default_slow_seq() -> [f64; 4] {
+    BandwidthTable::intel80().slow_seq_mbs
+}
+
+fn default_slow_rand() -> [f64; 4] {
+    BandwidthTable::intel80().slow_rand_mbs
 }
 
 impl BandwidthTable {
     /// Figure 4, 80-core Intel Xeon machine.
     pub fn intel80() -> Self {
+        let seq_mbs = [3207.0, 2455.0, 2455.0, 2101.0];
+        let rand_mbs = [720.0, 348.0, 348.0, 307.0];
         BandwidthTable {
-            seq_mbs: [3207.0, 2455.0, 2455.0, 2101.0],
-            rand_mbs: [720.0, 348.0, 348.0, 307.0],
+            seq_mbs,
+            rand_mbs,
             interleaved_mbs: [2333.0, 344.0],
+            slow_seq_mbs: scale4(seq_mbs, 1.0 / SLOW_SEQ_BW_DIVISOR),
+            slow_rand_mbs: scale4(rand_mbs, 1.0 / SLOW_RAND_BW_DIVISOR),
         }
     }
 
@@ -128,20 +242,40 @@ impl BandwidthTable {
     /// (2806/2406 sequential, 509/487 random) distinguish intra-socket from
     /// inter-socket one-hop distance.
     pub fn amd64() -> Self {
+        let seq_mbs = [3241.0, 2806.0, 2406.0, 1997.0];
+        let rand_mbs = [533.0, 509.0, 487.0, 415.0];
         BandwidthTable {
-            seq_mbs: [3241.0, 2806.0, 2406.0, 1997.0],
-            rand_mbs: [533.0, 509.0, 487.0, 415.0],
+            seq_mbs,
+            rand_mbs,
             interleaved_mbs: [2509.0, 466.0],
+            slow_seq_mbs: scale4(seq_mbs, 1.0 / SLOW_SEQ_BW_DIVISOR),
+            slow_rand_mbs: scale4(rand_mbs, 1.0 / SLOW_RAND_BW_DIVISOR),
         }
     }
 
-    /// Single-stream bandwidth for an access pattern and distance, MB/s.
+    /// Single-stream bandwidth for an access pattern and distance, MB/s
+    /// (fast tier).
     #[inline]
     pub fn bw(&self, sequential: bool, d: DistClass) -> f64 {
         if sequential {
             self.seq_mbs[d.index()]
         } else {
             self.rand_mbs[d.index()]
+        }
+    }
+
+    /// Single-stream bandwidth for a pattern, distance and tier, MB/s.
+    #[inline]
+    pub fn bw_t(&self, sequential: bool, d: DistClass, t: TierClass) -> f64 {
+        match t {
+            TierClass::Fast => self.bw(sequential, d),
+            TierClass::Slow => {
+                if sequential {
+                    self.slow_seq_mbs[d.index()]
+                } else {
+                    self.slow_rand_mbs[d.index()]
+                }
+            }
         }
     }
 }
@@ -185,6 +319,88 @@ mod tests {
             // LOCAL by a wide margin (2.92x on Intel).
             assert!(t.bw(true, DistClass::TwoHop) > 2.0 * t.bw(false, DistClass::Local));
         }
+    }
+
+    #[test]
+    fn tier_class_round_trip_and_default() {
+        for t in TierClass::ALL {
+            assert_eq!(TierClass::ALL[t.index()], t);
+        }
+        assert_eq!(TierClass::default(), TierClass::Fast);
+        assert!(TierClass::Slow.is_slow());
+        assert!(!TierClass::Fast.is_slow());
+    }
+
+    #[test]
+    fn fast_tier_rows_are_the_paper_tables() {
+        let lat = LatencyTable::intel80();
+        let bw = BandwidthTable::intel80();
+        for d in DistClass::ALL {
+            assert_eq!(
+                lat.load_t(d, TierClass::Fast).to_bits(),
+                lat.load(d).to_bits()
+            );
+            assert_eq!(
+                lat.store_t(d, TierClass::Fast).to_bits(),
+                lat.store(d).to_bits()
+            );
+            for seq in [true, false] {
+                assert_eq!(
+                    bw.bw_t(seq, d, TierClass::Fast).to_bits(),
+                    bw.bw(seq, d).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slow_tier_calibration_ratios() {
+        for (lat, bw) in [
+            (LatencyTable::intel80(), BandwidthTable::intel80()),
+            (LatencyTable::amd64(), BandwidthTable::amd64()),
+        ] {
+            for d in DistClass::ALL {
+                let load_x = lat.load_t(d, TierClass::Slow) / lat.load(d);
+                let store_x = lat.store_t(d, TierClass::Slow) / lat.store(d);
+                assert!((load_x - SLOW_LOAD_FACTOR).abs() < 1e-12);
+                assert!((store_x - SLOW_STORE_FACTOR).abs() < 1e-12);
+                let seq_div = bw.bw(true, d) / bw.bw_t(true, d, TierClass::Slow);
+                let rand_div = bw.bw(false, d) / bw.bw_t(false, d, TierClass::Slow);
+                assert!((seq_div - SLOW_SEQ_BW_DIVISOR).abs() < 1e-9);
+                assert!((rand_div - SLOW_RAND_BW_DIVISOR).abs() < 1e-9);
+            }
+            // The Optane asymmetry: slow sequential still beats slow random
+            // by a wider margin than on DRAM.
+            assert!(
+                bw.bw_t(true, DistClass::Local, TierClass::Slow)
+                    > 3.0 * bw.bw_t(false, DistClass::Local, TierClass::Slow)
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_tables_deserialize_with_slow_defaults() {
+        let json = serde_json::to_string(&BandwidthTable::intel80()).unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("slow_seq_mbs");
+        obj.remove("slow_rand_mbs");
+        let legacy: BandwidthTable = serde_json::from_value(v).unwrap();
+        assert_eq!(
+            legacy.slow_seq_mbs[0].to_bits(),
+            BandwidthTable::intel80().slow_seq_mbs[0].to_bits()
+        );
+        let json = serde_json::to_string(&LatencyTable::amd64()).unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("slow_load_cycles");
+        obj.remove("slow_store_cycles");
+        let legacy: LatencyTable = serde_json::from_value(v).unwrap();
+        // Defaults come from the intel80 calibration, not amd64's own rows.
+        assert_eq!(
+            legacy.slow_load_cycles[0].to_bits(),
+            LatencyTable::intel80().slow_load_cycles[0].to_bits()
+        );
     }
 
     #[test]

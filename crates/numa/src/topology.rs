@@ -14,7 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::tables::{BandwidthTable, DistClass, LatencyTable};
+use crate::tables::{BandwidthTable, DistClass, LatencyTable, TierClass};
 
 /// Identifier of a NUMA memory node (socket or die with its own controller).
 pub type NodeId = usize;
@@ -89,6 +89,26 @@ pub struct MachineSpec {
     /// [`crate::SpillPolicy`].
     #[serde(default)]
     pub node_capacity_bytes: Option<u64>,
+    /// Memory tier of each node, indexed by [`NodeId`]. Empty (the default,
+    /// and what every legacy spec deserializes to) means *all nodes are
+    /// fast*, which reproduces the single-tier model bit-for-bit. When
+    /// non-empty it must have exactly `nodes` entries and all fast nodes
+    /// must precede all slow nodes in the id space — threads bind
+    /// node-major, so this convention keeps compute on the fast tier
+    /// whenever the thread count fits there.
+    #[serde(default)]
+    pub node_tiers: Vec<TierClass>,
+    /// Usable memory per *fast-tier* node in bytes. Overrides
+    /// `node_capacity_bytes` for fast nodes when set; this is the knob the
+    /// tiering experiments turn to make the fast tier smaller than the
+    /// graph.
+    #[serde(default)]
+    pub fast_capacity_bytes: Option<u64>,
+    /// Usable memory per *slow-tier* node in bytes. Overrides
+    /// `node_capacity_bytes` for slow nodes when set; `None` models an
+    /// effectively unbounded capacity tier.
+    #[serde(default)]
+    pub slow_capacity_bytes: Option<u64>,
 }
 
 fn default_page_bytes() -> usize {
@@ -118,6 +138,9 @@ impl MachineSpec {
             llc_scale: 1.0,
             page_bytes: PAGE_SIZE,
             node_capacity_bytes: None,
+            node_tiers: Vec::new(),
+            fast_capacity_bytes: None,
+            slow_capacity_bytes: None,
         }
     }
 
@@ -137,6 +160,9 @@ impl MachineSpec {
             llc_scale: 1.0,
             page_bytes: PAGE_SIZE,
             node_capacity_bytes: None,
+            node_tiers: Vec::new(),
+            fast_capacity_bytes: None,
+            slow_capacity_bytes: None,
         }
     }
 
@@ -155,7 +181,130 @@ impl MachineSpec {
             llc_scale: 1.0,
             page_bytes: PAGE_SIZE,
             node_capacity_bytes: None,
+            node_tiers: Vec::new(),
+            fast_capacity_bytes: None,
+            slow_capacity_bytes: None,
         }
+    }
+
+    /// A small tiered sibling of [`MachineSpec::test2`]: 2 fast nodes (with
+    /// cores, same tables as `test2`) in front of 2 slow capacity nodes,
+    /// full-mesh. Thread counts up to 4 bind node-major onto the fast
+    /// nodes only, so compute stays on the fast tier and the slow nodes act
+    /// purely as memory — the shape the tier tests and the `tiering-smoke`
+    /// CI job assume. Capacities are unbounded by default; tests cap the
+    /// fast tier via [`MachineSpec::with_fast_capacity`].
+    pub fn test2_tiered() -> Self {
+        let mut s = MachineSpec::test2();
+        s.name = "test2_tiered".to_string();
+        s.nodes = 4;
+        s.node_tiers = vec![
+            TierClass::Fast,
+            TierClass::Fast,
+            TierClass::Slow,
+            TierClass::Slow,
+        ];
+        s
+    }
+
+    /// A tiered sibling of [`MachineSpec::intel80`]: the same 8-node twisted
+    /// hypercube, with nodes 4–7 reclassified as the slow capacity tier
+    /// (Optane-calibrated latency/bandwidth rows). Thread counts up to 40
+    /// bind node-major onto the fast nodes 0–3 only, so the slow nodes act
+    /// purely as far memory — the shape `bench_tiering` runs.
+    pub fn intel80_tiered() -> Self {
+        let mut s = MachineSpec::intel80();
+        s.name = "intel80_tiered".to_string();
+        s.node_tiers = (0..8)
+            .map(|n| {
+                if n < 4 {
+                    TierClass::Fast
+                } else {
+                    TierClass::Slow
+                }
+            })
+            .collect();
+        s
+    }
+
+    /// The tier of a node: the `node_tiers` entry, or `Fast` when the spec
+    /// is single-tier (empty `node_tiers`).
+    #[inline]
+    pub fn tier_of(&self, node: NodeId) -> TierClass {
+        self.node_tiers
+            .get(node)
+            .copied()
+            .unwrap_or(TierClass::Fast)
+    }
+
+    /// True when any node sits in the slow tier.
+    pub fn is_tiered(&self) -> bool {
+        self.node_tiers.iter().any(|t| t.is_slow())
+    }
+
+    /// Ids of the fast-tier nodes (all nodes on a single-tier spec).
+    pub fn fast_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes)
+            .filter(|&n| !self.tier_of(n).is_slow())
+            .collect()
+    }
+
+    /// Ids of the slow-tier nodes (empty on a single-tier spec).
+    pub fn slow_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes)
+            .filter(|&n| self.tier_of(n).is_slow())
+            .collect()
+    }
+
+    /// Usable memory of one node in bytes: the per-tier capacity when set,
+    /// else the legacy uniform `node_capacity_bytes`, else unbounded.
+    pub fn capacity_of(&self, node: NodeId) -> Option<u64> {
+        let tier_cap = match self.tier_of(node) {
+            TierClass::Fast => self.fast_capacity_bytes,
+            TierClass::Slow => self.slow_capacity_bytes,
+        };
+        tier_cap.or(self.node_capacity_bytes)
+    }
+
+    /// A copy of this spec with each fast-tier node's usable memory capped
+    /// at `bytes`.
+    pub fn with_fast_capacity(mut self, bytes: u64) -> Self {
+        self.fast_capacity_bytes = Some(bytes);
+        self
+    }
+
+    /// A copy of this spec with each slow-tier node's usable memory capped
+    /// at `bytes`.
+    pub fn with_slow_capacity(mut self, bytes: u64) -> Self {
+        self.slow_capacity_bytes = Some(bytes);
+        self
+    }
+
+    /// Panic unless the tier layout is well-formed: `node_tiers` is empty or
+    /// exactly `nodes` long, fast nodes precede slow nodes, and at least one
+    /// node is fast. Called by the topology and machine constructors.
+    pub fn validate_tiers(&self) {
+        if self.node_tiers.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.node_tiers.len(),
+            self.nodes,
+            "node_tiers length must match node count"
+        );
+        assert!(
+            self.node_tiers.iter().any(|t| !t.is_slow()),
+            "at least one node must be fast"
+        );
+        let first_slow = self
+            .node_tiers
+            .iter()
+            .position(|t| t.is_slow())
+            .unwrap_or(self.nodes);
+        assert!(
+            self.node_tiers[first_slow..].iter().all(|t| t.is_slow()),
+            "fast nodes must precede slow nodes in the id space"
+        );
     }
 
     /// A copy of this spec restricted to the first `nodes` memory nodes and
@@ -175,6 +324,9 @@ impl MachineSpec {
         let mut s = self.clone();
         s.nodes = nodes;
         s.cores_per_node = cores;
+        if !s.node_tiers.is_empty() {
+            s.node_tiers.truncate(nodes);
+        }
         s
     }
 
@@ -201,6 +353,8 @@ pub struct NumaTopology {
     llc_bytes: usize,
     /// `dist[a * nodes + b]` — distance class between nodes `a` and `b`.
     dist: Vec<DistClass>,
+    /// Tier of each node (all `Fast` for single-tier specs).
+    tiers: Vec<TierClass>,
 }
 
 impl NumaTopology {
@@ -208,6 +362,7 @@ impl NumaTopology {
     pub fn from_spec(spec: &MachineSpec) -> Self {
         assert!(spec.nodes >= 1 && spec.nodes <= MAX_NODES, "node count");
         assert!(spec.cores_per_node >= 1, "cores per node");
+        spec.validate_tiers();
         let n = spec.nodes;
         let mut dist = vec![DistClass::Local; n * n];
         for a in 0..n {
@@ -221,6 +376,7 @@ impl NumaTopology {
             ghz: spec.ghz,
             llc_bytes: ((spec.llc_bytes as f64 * spec.llc_scale) as usize).max(1),
             dist,
+            tiers: (0..n).map(|i| spec.tier_of(i)).collect(),
         }
     }
 
@@ -290,6 +446,17 @@ impl NumaTopology {
     /// Distance class between two memory nodes.
     pub fn dist(&self, a: NodeId, b: NodeId) -> DistClass {
         self.dist[a * self.nodes + b]
+    }
+
+    /// Memory tier of a node.
+    #[inline]
+    pub fn tier_of(&self, node: NodeId) -> TierClass {
+        self.tiers[node]
+    }
+
+    /// True when any node sits in the slow tier.
+    pub fn is_tiered(&self) -> bool {
+        self.tiers.iter().any(|t| t.is_slow())
     }
 
     /// Hop count (0, 1 or 2) between two nodes, collapsing the AMD
@@ -418,6 +585,86 @@ mod tests {
         assert_eq!(spec.topology().llc_bytes(), 12 << 20);
         spec.llc_scale = 1e-9;
         assert!(spec.topology().llc_bytes() >= 1);
+    }
+
+    #[test]
+    fn test2_tiered_shape() {
+        let s = MachineSpec::test2_tiered();
+        assert_eq!(s.nodes, 4);
+        assert!(s.is_tiered());
+        assert_eq!(s.fast_nodes(), vec![0, 1]);
+        assert_eq!(s.slow_nodes(), vec![2, 3]);
+        let t = s.topology();
+        assert_eq!(t.tier_of(0), TierClass::Fast);
+        assert_eq!(t.tier_of(3), TierClass::Slow);
+        assert!(t.is_tiered());
+        // Threads bind node-major: 4 threads land on the two fast nodes.
+        assert_eq!(t.node_of_core(3), 1);
+    }
+
+    #[test]
+    fn single_tier_specs_report_all_fast() {
+        let s = MachineSpec::test2();
+        assert!(!s.is_tiered());
+        assert_eq!(s.fast_nodes(), vec![0, 1]);
+        assert!(s.slow_nodes().is_empty());
+        assert_eq!(s.tier_of(1), TierClass::Fast);
+        assert!(!s.topology().is_tiered());
+    }
+
+    #[test]
+    fn per_tier_capacity_resolution() {
+        let s = MachineSpec::test2_tiered()
+            .with_fast_capacity(1 << 16)
+            .with_slow_capacity(1 << 24);
+        assert_eq!(s.capacity_of(0), Some(1 << 16));
+        assert_eq!(s.capacity_of(2), Some(1 << 24));
+        // Per-tier caps fall back to the legacy uniform cap when unset.
+        let mut s = MachineSpec::test2_tiered().with_node_capacity(1 << 20);
+        assert_eq!(s.capacity_of(0), Some(1 << 20));
+        assert_eq!(s.capacity_of(3), Some(1 << 20));
+        s.fast_capacity_bytes = Some(1 << 12);
+        assert_eq!(s.capacity_of(0), Some(1 << 12));
+        assert_eq!(s.capacity_of(3), Some(1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "fast nodes must precede slow nodes")]
+    fn slow_before_fast_rejected() {
+        let mut s = MachineSpec::test2();
+        s.node_tiers = vec![TierClass::Slow, TierClass::Fast];
+        s.topology();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node must be fast")]
+    fn all_slow_rejected() {
+        let mut s = MachineSpec::test2();
+        s.node_tiers = vec![TierClass::Slow, TierClass::Slow];
+        s.topology();
+    }
+
+    #[test]
+    fn subset_truncates_tiers() {
+        let s = MachineSpec::test2_tiered().subset(2, 2);
+        assert!(!s.is_tiered());
+        assert_eq!(s.node_tiers.len(), 2);
+        let s3 = MachineSpec::test2_tiered().subset(3, 1);
+        assert_eq!(s3.slow_nodes(), vec![2]);
+    }
+
+    #[test]
+    fn legacy_spec_json_defaults_to_single_tier() {
+        let json = serde_json::to_string(&MachineSpec::test2()).unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("node_tiers");
+        obj.remove("fast_capacity_bytes");
+        obj.remove("slow_capacity_bytes");
+        let legacy: MachineSpec = serde_json::from_value(v).unwrap();
+        assert!(legacy.node_tiers.is_empty());
+        assert!(!legacy.is_tiered());
+        assert_eq!(legacy.capacity_of(0), None);
     }
 
     #[test]
